@@ -1,0 +1,76 @@
+// Command csvdiff extracts a change history from a series of CSV snapshots
+// of the same relation — the preprocessing the DynFD paper applies to its
+// dataset dump series (§6.1). The output is the JSON-lines change format
+// consumed by the dynfd command.
+//
+// Usage:
+//
+//	csvdiff [-key col1,col2] v1.csv v2.csv [v3.csv ...] > changes.jsonl
+//
+// With -key, logical rows are matched across versions by the named columns
+// (which must be unique per version) and value changes become updates.
+// Without -key, versions are diffed as row multisets, producing only
+// inserts and deletes.
+//
+// Record ids in the output follow the dynfd engine's assignment: the first
+// version's rows get ids 0..n-1 in file order, and every insert or update
+// allocates the next id — so the stream replays directly against a monitor
+// bootstrapped with the first version.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynfd/internal/dataset"
+	"dynfd/internal/extract"
+	"dynfd/internal/stream"
+)
+
+func main() {
+	key := flag.String("key", "", "comma-separated key columns for update detection")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: csvdiff [-key cols] v1.csv v2.csv [v3.csv ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var keyCols []string
+	if *key != "" {
+		keyCols = strings.Split(*key, ",")
+	}
+	if err := run(flag.Args(), keyCols, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "csvdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(paths []string, keyCols []string, out *os.File) error {
+	initial, err := dataset.ReadCSVFile(paths[0])
+	if err != nil {
+		return err
+	}
+	x, err := extract.New(initial, keyCols)
+	if err != nil {
+		return err
+	}
+	for _, path := range paths[1:] {
+		next, err := dataset.ReadCSVFile(path)
+		if err != nil {
+			return err
+		}
+		changes, err := x.Diff(next)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := stream.WriteChanges(out, changes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunKeyed(t *testing.T) {
+	v1 := write(t, "v1.csv", "id,city\n1,Potsdam\n2,Berlin\n")
+	v2 := write(t, "v2.csv", "id,city\n1,Leipzig\n3,Bremen\n")
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run([]string{v1, v2}, []string{"id"}, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	for _, want := range []string{`"op":"update"`, `"op":"insert"`, `"op":"delete"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %s:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunMultiset(t *testing.T) {
+	v1 := write(t, "v1.csv", "a\nx\nx\n")
+	v2 := write(t, "v2.csv", "a\nx\ny\n")
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run([]string{v1, v2}, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out.Name())
+	if !strings.Contains(string(data), `"op":"delete"`) || !strings.Contains(string(data), `"op":"insert"`) {
+		t.Errorf("output = %s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	v1 := write(t, "v1.csv", "id,city\n1,Potsdam\n")
+	if err := run([]string{"/nonexistent.csv", v1}, nil, os.Stdout); err == nil {
+		t.Error("missing first version accepted")
+	}
+	if err := run([]string{v1, "/nonexistent.csv"}, nil, os.Stdout); err == nil {
+		t.Error("missing second version accepted")
+	}
+	if err := run([]string{v1, v1}, []string{"nope"}, os.Stdout); err == nil {
+		t.Error("unknown key column accepted")
+	}
+	other := write(t, "other.csv", "x\n1\n")
+	if err := run([]string{v1, other}, nil, os.Stdout); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}

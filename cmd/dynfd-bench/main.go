@@ -1,0 +1,61 @@
+// Command dynfd-bench regenerates the tables and figures of the DynFD
+// paper's evaluation (EDBT 2019, §6) on the synthesized datasets.
+//
+// Usage:
+//
+//	dynfd-bench -list
+//	dynfd-bench -exp table4 [-scale 0.1] [-datasets cpu,single] [-maxbatches 20]
+//	dynfd-bench -exp all -scale 0.05
+//
+// The -scale flag multiplies every dataset's row and change counts; use
+// small values for quick runs and 1.0 (the default) for full, paper-sized
+// measurements (artist is pre-scaled; see DESIGN.md). Each experiment
+// prints a plain-text table matching the corresponding paper artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynfd/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	scale := flag.Float64("scale", 1.0, "dataset size multiplier")
+	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all six)")
+	maxBatches := flag.Int("maxbatches", 0, "cap batches per measurement (0 = experiment default)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, id := range bench.ExperimentIDs() {
+			fmt.Printf("  %-8s %s\n", id, bench.Experiments()[id])
+		}
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	names, err := bench.ParseDatasets(*datasets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynfd-bench:", err)
+		os.Exit(1)
+	}
+	opts := bench.Options{Scale: *scale, MaxBatches: *maxBatches, Datasets: names, Out: os.Stdout}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.ExperimentIDs()
+	}
+	for _, id := range ids {
+		fmt.Printf("\n=== %s: %s ===\n", id, bench.Experiments()[id])
+		if err := bench.Run(id, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "dynfd-bench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Command dynfd maintains the minimal functional dependencies of a CSV
+// relation under a change stream, printing every FD change as it happens.
+//
+// Usage:
+//
+//	dynfd [-batch n] [-initial data.csv] [-quiet] changes.jsonl
+//
+// The change stream is a JSON-lines file (use "-" for stdin):
+//
+//	{"op":"insert","values":["14482","Potsdam"]}
+//	{"op":"delete","id":3}
+//	{"op":"update","id":4,"values":["14482","Berlin"]}
+//
+// Record ids: the initial CSV rows receive ids 0..n-1 in file order; every
+// insert or update receives the next sequential id. Without -initial the
+// relation starts empty and the schema is taken from -columns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dynfd"
+	"dynfd/internal/dataset"
+	"dynfd/internal/stream"
+)
+
+func main() {
+	batchSize := flag.Int("batch", 100, "changes per maintenance batch")
+	initial := flag.String("initial", "", "CSV file with the initial relation (header = schema)")
+	columns := flag.String("columns", "", "comma-separated schema when no -initial file is given")
+	quiet := flag.Bool("quiet", false, "suppress per-batch FD changes; print only the final FDs")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dynfd [flags] changes.jsonl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *initial, *columns, *batchSize, *quiet, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dynfd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(changesPath, initial, columns string, batchSize int, quiet bool, out io.Writer) error {
+	if batchSize <= 0 {
+		return fmt.Errorf("batch size must be positive")
+	}
+	var (
+		cols []string
+		rows [][]string
+	)
+	switch {
+	case initial != "":
+		rel, err := dataset.ReadCSVFile(initial)
+		if err != nil {
+			return err
+		}
+		cols, rows = rel.Columns, rel.Rows
+	case columns != "":
+		cols = strings.Split(columns, ",")
+	default:
+		return fmt.Errorf("either -initial or -columns is required")
+	}
+
+	mon, err := dynfd.NewMonitor(cols)
+	if err != nil {
+		return err
+	}
+	if len(rows) > 0 {
+		if err := mon.Bootstrap(rows); err != nil {
+			return err
+		}
+	}
+	if !quiet {
+		fmt.Fprintf(out, "# bootstrap: %d rows, %d minimal FDs\n", len(rows), len(mon.FDs()))
+		for _, f := range mon.FDs() {
+			fmt.Fprintf(out, "+ %s\n", mon.FormatFD(f))
+		}
+	}
+
+	changes, err := readChanges(changesPath)
+	if err != nil {
+		return err
+	}
+	for i, b := range stream.FixedBatches(changes, batchSize) {
+		diff, err := mon.Apply(toPublicChanges(b.Changes)...)
+		if err != nil {
+			return fmt.Errorf("batch %d: %w", i, err)
+		}
+		if quiet {
+			continue
+		}
+		for _, f := range diff.Removed {
+			fmt.Fprintf(out, "- %s (batch %d)\n", mon.FormatFD(f), i)
+		}
+		for _, f := range diff.Added {
+			fmt.Fprintf(out, "+ %s (batch %d)\n", mon.FormatFD(f), i)
+		}
+	}
+
+	fmt.Fprintf(out, "# final: %d rows, %d minimal FDs\n", mon.NumRecords(), len(mon.FDs()))
+	if quiet {
+		for _, f := range mon.FDs() {
+			fmt.Fprintf(out, "+ %s\n", mon.FormatFD(f))
+		}
+	}
+	st := mon.Stats()
+	fmt.Fprintf(out, "# stats: %d batches, %d validations (%d skipped), %d comparisons\n",
+		st.Batches, st.Validations, st.SkippedValidations, st.Comparisons)
+	return nil
+}
+
+func readChanges(path string) ([]stream.Change, error) {
+	if path == "-" {
+		return stream.ReadChanges(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return stream.ReadChanges(f)
+}
+
+func toPublicChanges(in []stream.Change) []dynfd.Change {
+	out := make([]dynfd.Change, len(in))
+	for i, c := range in {
+		pc := dynfd.Change{ID: c.ID, Values: c.Values, Time: c.Time}
+		switch c.Kind {
+		case stream.Insert:
+			pc.Kind = dynfd.KindInsert
+		case stream.Delete:
+			pc.Kind = dynfd.KindDelete
+		case stream.Update:
+			pc.Kind = dynfd.KindUpdate
+		}
+		out[i] = pc
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const peopleCSV = `firstname,lastname,zip,city
+Max,Jones,14482,Potsdam
+Max,Miller,14482,Potsdam
+Max,Jones,10115,Berlin
+Anna,Scott,13591,Berlin
+`
+
+const paperChanges = `{"op":"delete","id":2}
+{"op":"insert","values":["Marie","Scott","14467","Potsdam"]}
+{"op":"insert","values":["Marie","Gray","14469","Potsdam"]}
+`
+
+func TestRunWithInitialCSV(t *testing.T) {
+	csv := writeFile(t, "people.csv", peopleCSV)
+	changes := writeFile(t, "changes.jsonl", paperChanges)
+	var out bytes.Buffer
+	if err := run(changes, csv, "", 100, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"bootstrap: 4 rows, 5 minimal FDs",
+		"- [lastname] -> firstname",
+		"+ [firstname] -> city",
+		"final: 5 rows, 6 minimal FDs",
+		"stats:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunQuietMode(t *testing.T) {
+	csv := writeFile(t, "people.csv", peopleCSV)
+	changes := writeFile(t, "changes.jsonl", paperChanges)
+	var out bytes.Buffer
+	if err := run(changes, csv, "", 1, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Contains(s, "(batch") {
+		t.Errorf("quiet mode printed per-batch changes:\n%s", s)
+	}
+	if !strings.Contains(s, "final: 5 rows, 6 minimal FDs") {
+		t.Errorf("final summary missing:\n%s", s)
+	}
+}
+
+func TestRunColumnsOnly(t *testing.T) {
+	changes := writeFile(t, "c.jsonl", `{"op":"insert","values":["a","b"]}`+"\n")
+	var out bytes.Buffer
+	if err := run(changes, "", "x,y", 10, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "final: 1 rows") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	changes := writeFile(t, "c.jsonl", "")
+	var out bytes.Buffer
+	if err := run(changes, "", "", 10, false, &out); err == nil {
+		t.Error("missing schema accepted")
+	}
+	if err := run(changes, "", "a,b", 0, false, &out); err == nil {
+		t.Error("batch size 0 accepted")
+	}
+	if err := run("/nonexistent.jsonl", "", "a,b", 10, false, &out); err == nil {
+		t.Error("missing changes file accepted")
+	}
+	bad := writeFile(t, "bad.jsonl", `{"op":"delete","id":999}`+"\n")
+	if err := run(bad, "", "a,b", 10, false, &out); err == nil {
+		t.Error("dangling delete accepted")
+	}
+	badCSV := writeFile(t, "bad.csv", "a,a\n1,2\n")
+	if err := run(changes, badCSV, "", 10, false, &out); err == nil {
+		t.Error("duplicate-column CSV accepted")
+	}
+}

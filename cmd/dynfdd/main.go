@@ -1,0 +1,82 @@
+// Command dynfdd runs DynFD as a network service: it maintains the
+// functional dependencies of one relation and serves a line-oriented JSON
+// protocol over TCP for feeding changes and querying the current FDs.
+//
+// Usage:
+//
+//	dynfdd -listen 127.0.0.1:7070 -initial data.csv [-batch 100]
+//	dynfdd -listen 127.0.0.1:7070 -columns zip,city
+//
+// Protocol (one JSON object per line; see internal/server):
+//
+//	{"op":"insert","values":["14482","Potsdam"]}
+//	{"op":"delete","id":3}
+//	{"op":"update","id":4,"values":["14482","Berlin"]}
+//	{"op":"commit"}   -> {"ok":true,"inserted_ids":[5],"added":[...],"removed":[...]}
+//	{"op":"fds"}      -> {"ok":true,"fds":["[zip] -> city", ...]}
+//	{"op":"stats"}    -> {"ok":true,"records":42,"batches":7}
+//
+// Try it interactively:
+//
+//	printf '{"op":"fds"}\n' | nc 127.0.0.1 7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"dynfd/internal/core"
+	"dynfd/internal/dataset"
+	"dynfd/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+	initial := flag.String("initial", "", "CSV file with the initial relation (header = schema)")
+	columns := flag.String("columns", "", "comma-separated schema when no -initial file is given")
+	batch := flag.Int("batch", 100, "auto-commit batch size")
+	flag.Parse()
+
+	srv, l, err := setup(*listen, *initial, *columns, *batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynfdd:", err)
+		os.Exit(1)
+	}
+	log.Printf("dynfdd: serving on %s", l.Addr())
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, "dynfdd:", err)
+		os.Exit(1)
+	}
+}
+
+func setup(listen, initial, columns string, batch int) (*server.Server, net.Listener, error) {
+	var (
+		cols []string
+		rows [][]string
+	)
+	switch {
+	case initial != "":
+		rel, err := dataset.ReadCSVFile(initial)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols, rows = rel.Columns, rel.Rows
+	case columns != "":
+		cols = strings.Split(columns, ",")
+	default:
+		return nil, nil, fmt.Errorf("either -initial or -columns is required")
+	}
+	srv, err := server.New(cols, rows, batch, core.DefaultConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, l, nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bufio"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSetupAndRoundTrip(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "d.csv")
+	if err := os.WriteFile(csv, []byte("zip,city\n14482,Potsdam\n10115,Berlin\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, l, err := setup("127.0.0.1:0", csv, "", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+	defer func() { srv.Close(); <-done }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"op":"fds"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, "[zip] -> city") {
+		t.Errorf("fds response = %s", line)
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	if _, _, err := setup("127.0.0.1:0", "", "", 10); err == nil {
+		t.Error("missing schema accepted")
+	}
+	if _, _, err := setup("127.0.0.1:0", "/nonexistent.csv", "", 10); err == nil {
+		t.Error("missing CSV accepted")
+	}
+	if _, _, err := setup("127.0.0.1:0", "", "a,b", 0); err == nil {
+		t.Error("batch size 0 accepted")
+	}
+	if _, _, err := setup("notanaddress", "", "a,b", 10); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

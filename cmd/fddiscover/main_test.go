@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynfd"
+)
+
+func TestRunAlgorithms(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "people.csv")
+	csv := "zip,city\n14482,Potsdam\n14467,Potsdam\n10115,Berlin\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"hyfd", "tane", "fdep"} {
+		if err := run(path, algo, false); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+		if err := run(path, algo, true); err != nil {
+			t.Errorf("%s -counts: %v", algo, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent.csv", "hyfd", false); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "x.csv")
+	_ = os.WriteFile(path, []byte("a,b\n1,2\n"), 0o644)
+	if err := run(path, "nope", false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	got := format([]string{"zip", "city"}, dynfd.FD{Lhs: []int{0}, Rhs: 1})
+	if got != "[zip] -> city" {
+		t.Errorf("format = %q", got)
+	}
+}

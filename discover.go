@@ -1,0 +1,107 @@
+package dynfd
+
+import (
+	"fmt"
+
+	"dynfd/internal/dataset"
+	"dynfd/internal/fd"
+	"dynfd/internal/fdep"
+	"dynfd/internal/hyfd"
+	"dynfd/internal/tane"
+)
+
+// Algorithm selects a static FD discovery algorithm for Discover.
+type Algorithm int
+
+const (
+	// AlgorithmHyFD is the hybrid algorithm of Papenbrock & Naumann
+	// (SIGMOD 2016): row-based sampling interleaved with column-based
+	// validation. The fastest choice for most inputs and the algorithm
+	// DynFD bootstraps from.
+	AlgorithmHyFD Algorithm = iota
+	// AlgorithmTANE is the classic column-based level-wise algorithm of
+	// Huhtala et al. (1999), built on stripped partitions.
+	AlgorithmTANE
+	// AlgorithmFDEP is the row-based algorithm of Flach & Savnik (1999):
+	// pairwise record comparison followed by dependency induction.
+	// Quadratic in the row count; best for narrow, short inputs.
+	AlgorithmFDEP
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmHyFD:
+		return "hyfd"
+	case AlgorithmTANE:
+		return "tane"
+	case AlgorithmFDEP:
+		return "fdep"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts a name ("hyfd", "tane", "fdep") to an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "hyfd":
+		return AlgorithmHyFD, nil
+	case "tane":
+		return AlgorithmTANE, nil
+	case "fdep":
+		return AlgorithmFDEP, nil
+	default:
+		return 0, fmt.Errorf("dynfd: unknown algorithm %q (want hyfd, tane, or fdep)", name)
+	}
+}
+
+// Discover runs a static, one-shot FD discovery over a snapshot and
+// returns all minimal, non-trivial FDs. All three algorithms are exact and
+// return identical results; they differ only in cost profile.
+func Discover(columns []string, rows [][]string, algo Algorithm) ([]FD, error) {
+	rel := dataset.New("relation", columns)
+	for _, row := range rows {
+		if err := rel.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	var (
+		fds []fd.FD
+		err error
+	)
+	switch algo {
+	case AlgorithmHyFD:
+		fds, err = hyfd.DiscoverFDs(rel)
+	case AlgorithmTANE:
+		fds, err = tane.Discover(rel)
+	case AlgorithmFDEP:
+		fds, err = fdep.Discover(rel)
+	default:
+		return nil, fmt.Errorf("dynfd: unknown algorithm %d", int(algo))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return toPublic(fds), nil
+}
+
+// DiscoverApprox returns all minimal approximate FDs whose g3 error does
+// not exceed epsilon ∈ [0, 1): an FD qualifies when removing at most
+// ⌊epsilon·rows⌋ tuples makes it hold exactly. It runs the approximate
+// TANE variant (Huhtala et al. 1999); epsilon 0 equals exact discovery.
+// Use it to surface dependencies that "almost" hold — typically rules
+// broken only by dirty outlier tuples.
+func DiscoverApprox(columns []string, rows [][]string, epsilon float64) ([]FD, error) {
+	rel := dataset.New("relation", columns)
+	for _, row := range rows {
+		if err := rel.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	fds, err := tane.DiscoverApprox(rel, epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return toPublic(fds), nil
+}

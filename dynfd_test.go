@@ -1,0 +1,335 @@
+package dynfd
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+var paperColumns = []string{"firstname", "lastname", "zip", "city"}
+
+var paperRows = [][]string{
+	{"Max", "Jones", "14482", "Potsdam"},
+	{"Max", "Miller", "14482", "Potsdam"},
+	{"Max", "Jones", "10115", "Berlin"},
+	{"Anna", "Scott", "13591", "Berlin"},
+}
+
+func newPaperMonitor(t *testing.T, opts ...Option) *Monitor {
+	t.Helper()
+	m, err := NewMonitor(paperColumns, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bootstrap(paperRows); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMonitorLifecycle(t *testing.T) {
+	m := newPaperMonitor(t)
+	if m.NumRecords() != 4 {
+		t.Fatalf("NumRecords = %d", m.NumRecords())
+	}
+	fds := m.FDs()
+	if len(fds) != 5 {
+		t.Fatalf("FDs = %v", fds)
+	}
+	// The paper's batch: delete tuple 3 (id 2), insert tuples 5 and 6.
+	diff, err := m.Apply(
+		Delete(2),
+		Insert("Marie", "Scott", "14467", "Potsdam"),
+		Insert("Marie", "Gray", "14469", "Potsdam"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.InsertedIDs) != 2 {
+		t.Fatalf("InsertedIDs = %v", diff.InsertedIDs)
+	}
+	if len(m.FDs()) != 6 {
+		t.Errorf("after batch: %d FDs, want 6 (Figure 4)", len(m.FDs()))
+	}
+	ok, err := m.Holds([]string{"firstname"}, "city")
+	if err != nil || !ok {
+		t.Errorf("Holds(firstname -> city) = %v, %v; want true", ok, err)
+	}
+	ok, err = m.Holds([]string{"firstname", "city"}, "zip")
+	if err != nil || ok {
+		t.Errorf("Holds(firstname,city -> zip) = %v, %v; want false", ok, err)
+	}
+}
+
+func TestMonitorHoldsValidation(t *testing.T) {
+	m := newPaperMonitor(t)
+	if _, err := m.Holds([]string{"nope"}, "city"); err == nil {
+		t.Error("unknown lhs column accepted")
+	}
+	if _, err := m.Holds([]string{"zip"}, "nope"); err == nil {
+		t.Error("unknown rhs column accepted")
+	}
+	// Trivial FDs always hold.
+	ok, err := m.Holds([]string{"zip", "city"}, "zip")
+	if err != nil || !ok {
+		t.Error("trivial FD does not hold")
+	}
+	// ∅ -> X on a non-constant column.
+	ok, err = m.Holds(nil, "city")
+	if err != nil || ok {
+		t.Error("empty-lhs FD held on non-constant column")
+	}
+}
+
+func TestBootstrapOrderingRules(t *testing.T) {
+	m, err := NewMonitor([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply(Insert("1", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bootstrap([][]string{{"x", "y"}}); err == nil {
+		t.Error("Bootstrap after Apply accepted")
+	}
+	m2, _ := NewMonitor([]string{"a", "b"})
+	if err := m2.Bootstrap([][]string{{"x", "y"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Bootstrap([][]string{{"x", "y"}}); err == nil {
+		t.Error("double Bootstrap accepted")
+	}
+}
+
+func TestMonitorWithoutBootstrap(t *testing.T) {
+	m, err := NewMonitor([]string{"k", "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything holds on the empty relation.
+	if got := m.FDs(); len(got) != 2 {
+		t.Fatalf("initial FDs = %v", got)
+	}
+	diff, err := m.Apply(Insert("k1", "v1"), Insert("k1", "v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k -> v must have been invalidated.
+	found := false
+	for _, f := range diff.Removed {
+		if f.Rhs == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Removed = %v", diff.Removed)
+	}
+}
+
+func TestMonitorErrors(t *testing.T) {
+	if _, err := NewMonitor(nil); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := NewMonitor([]string{"a", "a"}); err == nil {
+		t.Error("duplicate columns accepted")
+	}
+	m, _ := NewMonitor([]string{"a", "b"})
+	if _, err := m.Apply(Change{Kind: ChangeKind(9)}); err == nil {
+		t.Error("unknown change kind accepted")
+	}
+	if _, err := m.Apply(Insert("only-one")); err == nil {
+		t.Error("wrong-arity insert accepted")
+	}
+	if _, err := m.Apply(Delete(42)); err == nil {
+		t.Error("delete of unknown id accepted")
+	}
+}
+
+func TestMonitorUpdateAndLookup(t *testing.T) {
+	m := newPaperMonitor(t)
+	ids, err := m.Lookup([]string{"Anna", "Scott", "13591", "Berlin"})
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("Lookup = %v, %v", ids, err)
+	}
+	diff, err := m.Apply(Update(ids[0], "Anna", "Scott", "10115", "Berlin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, ok := m.Record(diff.InsertedIDs[0])
+	if !ok || vals[2] != "10115" {
+		t.Errorf("Record = %v, %v", vals, ok)
+	}
+	if _, ok := m.Record(ids[0]); ok {
+		t.Error("old version still live")
+	}
+}
+
+func TestFormatFD(t *testing.T) {
+	m := newPaperMonitor(t)
+	got := m.FormatFD(FD{Lhs: []int{2}, Rhs: 3})
+	if got != "[zip] -> city" {
+		t.Errorf("FormatFD = %q", got)
+	}
+	if s := (FD{Lhs: []int{0, 2}, Rhs: 3}).String(); s != "[0 2] -> 3" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMonitorStats(t *testing.T) {
+	m := newPaperMonitor(t)
+	if m.Stats().Batches != 0 {
+		t.Error("fresh monitor has batches")
+	}
+	_, _ = m.Apply(Insert("a", "b", "c", "d"))
+	st := m.Stats()
+	if st.Batches != 1 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestDiscoverAlgorithmsAgree(t *testing.T) {
+	var results [][]FD
+	for _, algo := range []Algorithm{AlgorithmHyFD, AlgorithmTANE, AlgorithmFDEP} {
+		got, err := Discover(paperColumns, paperRows, algo)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		results = append(results, got)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) || !reflect.DeepEqual(results[0], results[2]) {
+		t.Errorf("algorithms disagree:\nhyfd %v\ntane %v\nfdep %v", results[0], results[1], results[2])
+	}
+	if len(results[0]) != 5 {
+		t.Errorf("paper relation has 5 minimal FDs, got %v", results[0])
+	}
+}
+
+func TestDiscoverErrors(t *testing.T) {
+	if _, err := Discover([]string{"a"}, [][]string{{"1", "2"}}, AlgorithmHyFD); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := Discover([]string{"a"}, nil, Algorithm(99)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, name := range []string{"hyfd", "tane", "fdep"} {
+		a, err := ParseAlgorithm(name)
+		if err != nil || a.String() != name {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", name, a, err)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if Algorithm(9).String() != "Algorithm(9)" {
+		t.Error("unknown algorithm String")
+	}
+}
+
+func TestPruningOptionsRespected(t *testing.T) {
+	// All pruning combinations must agree on the resulting FDs.
+	var want []FD
+	combos := []Pruning{
+		{},
+		{Cluster: true},
+		{ViolationSearch: true},
+		{Validation: true},
+		{DepthFirstSearch: true},
+		AllPruning(),
+	}
+	for i, p := range combos {
+		m, err := NewMonitor(paperColumns, WithPruning(p), WithSeed(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Bootstrap(paperRows); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Apply(
+			Delete(2),
+			Insert("Marie", "Scott", "14467", "Potsdam"),
+			Insert("Marie", "Gray", "14469", "Potsdam"),
+		); err != nil {
+			t.Fatal(err)
+		}
+		got := m.FDs()
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("pruning %+v changed results: %v != %v", p, got, want)
+		}
+	}
+}
+
+func ExampleMonitor() {
+	mon, _ := NewMonitor([]string{"product", "price"})
+	_ = mon.Bootstrap([][]string{
+		{"apple", "1.00"},
+		{"pear", "1.50"},
+	})
+	// A second price for "apple" invalidates product -> price.
+	diff, _ := mon.Apply(Insert("apple", "2.00"))
+	for _, f := range diff.Removed {
+		fmt.Println("no longer holds:", mon.FormatFD(f))
+	}
+	// Output:
+	// no longer holds: [product] -> price
+}
+
+func ExampleDiscover() {
+	fds, _ := Discover(
+		[]string{"zip", "city"},
+		[][]string{
+			{"14482", "Potsdam"},
+			{"14467", "Potsdam"},
+			{"10115", "Berlin"},
+		},
+		AlgorithmHyFD,
+	)
+	for _, f := range fds {
+		fmt.Println(f)
+	}
+	// Output:
+	// [0] -> 1
+}
+
+func TestDiscoverApprox(t *testing.T) {
+	columns := []string{"product", "price"}
+	rows := [][]string{
+		{"p0", "1"}, {"p0", "1"}, {"p1", "2"}, {"p1", "2"},
+		{"p2", "3"}, {"p2", "3"}, {"p0", "1"}, {"p1", "2"},
+		{"p2", "3"}, {"p0", "99"}, // one outlier in ten rows
+	}
+	exact, err := DiscoverApprox(columns, rows, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasProductPrice := func(fds []FD) bool {
+		for _, f := range fds {
+			if len(f.Lhs) == 1 && f.Lhs[0] == 0 && f.Rhs == 1 {
+				return true
+			}
+		}
+		return false
+	}
+	if hasProductPrice(exact) {
+		t.Fatal("exact discovery accepted the violated FD")
+	}
+	approx, err := DiscoverApprox(columns, rows, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasProductPrice(approx) {
+		t.Errorf("approximate discovery missed product -> price: %v", approx)
+	}
+	if _, err := DiscoverApprox(columns, rows, 1.5); err == nil {
+		t.Error("epsilon out of range accepted")
+	}
+	if _, err := DiscoverApprox([]string{"a"}, [][]string{{"1", "2"}}, 0.1); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}

@@ -1,0 +1,109 @@
+// Cleaning: combine approximate FD discovery with violation inspection to
+// find and explain dirty tuples — the data-cleansing application of FDs
+// the paper cites (§1, reference [2]).
+//
+// The workflow: exact discovery misses rules broken by a few bad tuples;
+// approximate discovery (g3 error threshold) surfaces them as "almost
+// FDs"; violation inspection then pinpoints exactly which records break
+// each almost-FD, which is the repair worklist.
+//
+// Run with: go run ./examples/cleaning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynfd"
+)
+
+func main() {
+	columns := []string{"zip", "city", "state"}
+	rows := [][]string{
+		{"14482", "Potsdam", "BB"},
+		{"14482", "Potsdam", "BB"},
+		{"14467", "Potsdam", "BB"},
+		{"10115", "Berlin", "BE"},
+		{"10115", "Berlin", "BE"},
+		{"10115", "Berlin", "BE"},
+		{"20095", "Hamburg", "HH"},
+		{"20095", "Hamburg", "HH"},
+		// Two typos: a misspelled city and a wrong state.
+		{"14482", "Potsdm", "BB"},
+		{"20095", "Hamburg", "BB"},
+	}
+
+	exact, err := dynfd.Discover(columns, rows, dynfd.AlgorithmHyFD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	approx, err := dynfd.DiscoverApprox(columns, rows, 0.12) // tolerate ~1 bad row in 10
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact FDs: %d, approximate FDs (g3 <= 0.12): %d\n\n", len(exact), len(approx))
+
+	// Almost-FDs = approximate minus exactly-implied: the cleaning rules.
+	var almost []dynfd.FD
+	for _, a := range approx {
+		implied := false
+		for _, e := range exact {
+			if covers(e, a) {
+				implied = true
+				break
+			}
+		}
+		if !implied {
+			almost = append(almost, a)
+		}
+	}
+
+	mon, err := dynfd.NewMonitor(columns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mon.Bootstrap(rows); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, f := range almost {
+		lhs := names(columns, f.Lhs)
+		fmt.Printf("almost-FD %v -> %s — violating groups:\n", lhs, columns[f.Rhs])
+		groups, g3, err := mon.Violations(lhs, columns[f.Rhs], 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, g := range groups {
+			for _, id := range g.IDs {
+				row, _ := mon.Record(id)
+				fmt.Printf("    record %d: %v\n", id, row)
+			}
+		}
+		fmt.Printf("  g3 error %.2f — repair the minority tuples above\n", g3)
+	}
+}
+
+// covers reports whether FD a implies FD b (same rhs, lhs subset).
+func covers(a, b dynfd.FD) bool {
+	if a.Rhs != b.Rhs {
+		return false
+	}
+	set := map[int]bool{}
+	for _, x := range b.Lhs {
+		set[x] = true
+	}
+	for _, x := range a.Lhs {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func names(columns []string, attrs []int) []string {
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		out[i] = columns[a]
+	}
+	return out
+}

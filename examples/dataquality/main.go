@@ -1,0 +1,128 @@
+// Dataquality: use FD maintenance to catch erroneous updates.
+//
+// The DynFD paper observes that "sudden changes of thus far robust FDs
+// might signal data quality issues, i.e., erroneous updates" (§1). This
+// example tracks how long each FD has been stable; when a batch breaks an
+// FD that has survived many batches, it raises an alert, while churn on
+// short-lived FDs stays quiet.
+//
+// Run with: go run ./examples/dataquality
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dynfd"
+)
+
+// stability tracks, per FD (rendered form), how many batches it survived.
+type stability struct {
+	mon    *dynfd.Monitor
+	age    map[string]int
+	minAge int // batches an FD must have survived to be considered robust
+}
+
+func newStability(mon *dynfd.Monitor, minAge int) *stability {
+	s := &stability{mon: mon, age: map[string]int{}, minAge: minAge}
+	for _, f := range mon.FDs() {
+		s.age[mon.FormatFD(f)] = 0
+	}
+	return s
+}
+
+// observe folds in one batch diff and returns alerts for broken robust FDs.
+func (s *stability) observe(diff dynfd.Diff) []string {
+	var alerts []string
+	for _, f := range diff.Removed {
+		key := s.mon.FormatFD(f)
+		if s.age[key] >= s.minAge {
+			alerts = append(alerts,
+				fmt.Sprintf("robust FD %s broke after %d stable batches", key, s.age[key]))
+		}
+		delete(s.age, key)
+	}
+	for _, f := range diff.Added {
+		s.age[s.mon.FormatFD(f)] = 0
+	}
+	for key := range s.age {
+		s.age[key]++
+	}
+	return alerts
+}
+
+func main() {
+	// A small sensor registry: sensor_id is a key; every sensor sits in
+	// one room, every room on one floor.
+	mon, err := dynfd.NewMonitor([]string{"sensor_id", "room", "floor", "reading"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rooms := []string{"r101", "r102", "r201", "r202"}
+	floorOf := map[string]string{"r101": "1", "r102": "1", "r201": "2", "r202": "2"}
+	r := rand.New(rand.NewSource(1))
+	var rows [][]string
+	for i := 0; i < 40; i++ {
+		room := rooms[r.Intn(len(rooms))]
+		rows = append(rows, []string{
+			fmt.Sprintf("s%03d", i), room, floorOf[room], fmt.Sprint(r.Intn(50)),
+		})
+	}
+	if err := mon.Bootstrap(rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrap: %d FDs, including room -> floor\n\n", len(mon.FDs()))
+
+	watch := newStability(mon, 3)
+	nextID := int64(len(rows))
+
+	// Normal operation: readings change, room -> floor stays intact.
+	for batch := 0; batch < 5; batch++ {
+		var changes []dynfd.Change
+		used := map[int64]bool{}
+		for i := 0; i < 4; i++ {
+			id := int64(r.Intn(int(nextID)))
+			vals, ok := mon.Record(id)
+			if !ok || used[id] {
+				continue
+			}
+			used[id] = true
+			upd := append([]string(nil), vals...)
+			upd[3] = fmt.Sprint(r.Intn(50)) // new reading only
+			changes = append(changes, dynfd.Update(id, upd...))
+		}
+		diff, err := mon.Apply(changes...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nextID += int64(len(diff.InsertedIDs))
+		for _, a := range watch.observe(diff) {
+			fmt.Println("ALERT:", a)
+		}
+		fmt.Printf("batch %d: ok (%d FD changes)\n", batch, len(diff.Added)+len(diff.Removed))
+	}
+
+	// An erroneous update: someone moves room r101 to floor 2 for a single
+	// sensor, contradicting every other r101 record — a classic typo.
+	var victim int64 = -1
+	for id := int64(0); id < nextID; id++ {
+		if vals, ok := mon.Record(id); ok && vals[1] == "r101" {
+			victim = id
+			break
+		}
+	}
+	vals, _ := mon.Record(victim)
+	bad := append([]string(nil), vals...)
+	bad[2] = "2" // wrong floor
+	diff, err := mon.Apply(dynfd.Update(victim, bad...))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nerroneous batch applied")
+	for _, a := range watch.observe(diff) {
+		fmt.Println("ALERT:", a)
+	}
+	ok, _ := mon.Holds([]string{"room"}, "floor")
+	fmt.Printf("room -> floor after the bad update: %v\n", ok)
+}

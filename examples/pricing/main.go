@@ -1,0 +1,90 @@
+// Pricing: monitor the business rule "every product has one price" as a
+// functional dependency over a live pricing feed.
+//
+// The DynFD paper motivates FD tracking with exactly this scenario: the FD
+// product → price in a pricing database was temporarily violated at the
+// time of a system migration (§1). This example simulates such a
+// migration: two systems write prices concurrently for a while, the FD
+// breaks, and once the migration finishes and the old rows are cleaned up,
+// the FD recovers — all of which the monitor reports as it happens.
+//
+// Run with: go run ./examples/pricing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynfd"
+)
+
+func main() {
+	mon, err := dynfd.NewMonitor([]string{"product", "price", "source"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mon.Bootstrap([][]string{
+		{"apple", "1.00", "legacy"},
+		{"pear", "1.50", "legacy"},
+		{"plum", "0.80", "legacy"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	report := func(stage string, diff dynfd.Diff) {
+		fmt.Printf("%s:\n", stage)
+		for _, f := range diff.Removed {
+			fmt.Println("  RULE BROKEN:", mon.FormatFD(f))
+		}
+		for _, f := range diff.Added {
+			fmt.Println("  rule holds again:", mon.FormatFD(f))
+		}
+		ok, _ := mon.Holds([]string{"product"}, "price")
+		fmt.Printf("  product -> price: %v\n", ok)
+	}
+
+	// Normal operation: a new product arrives.
+	diff, err := mon.Apply(dynfd.Insert("quince", "2.10", "legacy"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("new product", diff)
+
+	// Migration starts: the new system writes its own (diverging) prices
+	// while the legacy rows still exist. product -> price breaks.
+	diff, err = mon.Apply(
+		dynfd.Insert("apple", "1.05", "next-gen"),
+		dynfd.Insert("pear", "1.50", "next-gen"),
+		dynfd.Insert("plum", "0.85", "next-gen"),
+		dynfd.Insert("quince", "2.10", "next-gen"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("migration writes", diff)
+
+	// Migration finishes: the legacy rows are deleted (ids 0..3 were the
+	// bootstrap and first-insert rows). The FD must recover.
+	legacy, _ := mon.Lookup([]string{"apple", "1.00", "legacy"})
+	ids := legacy
+	for _, probe := range [][]string{
+		{"pear", "1.50", "legacy"},
+		{"plum", "0.80", "legacy"},
+		{"quince", "2.10", "legacy"},
+	} {
+		found, _ := mon.Lookup(probe)
+		ids = append(ids, found...)
+	}
+	changes := make([]dynfd.Change, len(ids))
+	for i, id := range ids {
+		changes[i] = dynfd.Delete(id)
+	}
+	diff, err = mon.Apply(changes...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("legacy cleanup", diff)
+
+	st := mon.Stats()
+	fmt.Printf("\nprocessed %d batches with %d validations (%d skipped via witnesses)\n",
+		st.Batches, st.Validations, st.SkippedValidations)
+}

@@ -1,0 +1,62 @@
+// Quickstart: discover the functional dependencies of a small relation,
+// then keep them up to date while the relation changes.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynfd"
+)
+
+func main() {
+	// The example relation from the DynFD paper (Table 1, tuples 1-4).
+	columns := []string{"firstname", "lastname", "zip", "city"}
+	initial := [][]string{
+		{"Max", "Jones", "14482", "Potsdam"},
+		{"Max", "Miller", "14482", "Potsdam"},
+		{"Max", "Jones", "10115", "Berlin"},
+		{"Anna", "Scott", "13591", "Berlin"},
+	}
+
+	mon, err := dynfd.NewMonitor(columns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Bootstrap profiles the initial tuples with the static HyFD algorithm.
+	if err := mon.Bootstrap(initial); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("minimal FDs after bootstrap:")
+	for _, f := range mon.FDs() {
+		fmt.Println(" ", mon.FormatFD(f))
+	}
+
+	// Apply the paper's example batch: tuple 3 (id 2) is removed, two new
+	// people move to Potsdam.
+	diff, err := mon.Apply(
+		dynfd.Delete(2),
+		dynfd.Insert("Marie", "Scott", "14467", "Potsdam"),
+		dynfd.Insert("Marie", "Gray", "14469", "Potsdam"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nFD changes caused by the batch:")
+	for _, f := range diff.Removed {
+		fmt.Println("  -", mon.FormatFD(f))
+	}
+	for _, f := range diff.Added {
+		fmt.Println("  +", mon.FormatFD(f))
+	}
+
+	// Ask directed questions through Holds.
+	ok, _ := mon.Holds([]string{"zip"}, "city")
+	fmt.Printf("\nzip -> city still holds: %v\n", ok)
+	ok, _ = mon.Holds([]string{"firstname", "city"}, "zip")
+	fmt.Printf("firstname,city -> zip still holds: %v\n", ok)
+}

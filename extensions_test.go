@@ -1,0 +1,85 @@
+package dynfd
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWithKeyColumns(t *testing.T) {
+	m, err := NewMonitor([]string{"id", "a", "b"}, WithKeyColumns("id"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bootstrap([][]string{
+		{"1", "x", "p"},
+		{"2", "x", "q"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := m.FDs()
+	// Inserting with fresh ids keeps all id-lhs FDs trivially valid.
+	if _, err := m.Apply(Insert("3", "y", "p")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().SkippedValidations == 0 {
+		t.Error("key-column pruning skipped nothing")
+	}
+	// Results must match a monitor without the declaration.
+	m2, _ := NewMonitor([]string{"id", "a", "b"})
+	_ = m2.Bootstrap([][]string{{"1", "x", "p"}, {"2", "x", "q"}})
+	_, _ = m2.Apply(Insert("3", "y", "p"))
+	if !reflect.DeepEqual(m.FDs(), m2.FDs()) {
+		t.Errorf("key declaration changed results:\n%v\n%v", m.FDs(), m2.FDs())
+	}
+	_ = want
+}
+
+func TestWithKeyColumnsUnknown(t *testing.T) {
+	if _, err := NewMonitor([]string{"a"}, WithKeyColumns("nope")); err == nil {
+		t.Error("unknown key column accepted")
+	}
+}
+
+func TestWithUpdateColumnPruning(t *testing.T) {
+	mk := func(opts ...Option) *Monitor {
+		m, err := NewMonitor([]string{"id", "a", "b"}, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Bootstrap([][]string{
+			{"1", "x", "p"},
+			{"2", "x", "q"},
+			{"3", "y", "p"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m := mk(WithUpdateColumnPruning())
+	plain := mk()
+	// An update touching only column b.
+	batch := []Change{Update(0, "1", "x", "zz")}
+	d1, err := m.Apply(batch...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := plain.Apply(batch...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d1.Added, d2.Added) || !reflect.DeepEqual(d1.Removed, d2.Removed) {
+		t.Errorf("pruning changed results: %+v vs %+v", d1, d2)
+	}
+	if !reflect.DeepEqual(m.FDs(), plain.FDs()) {
+		t.Error("FDs diverge")
+	}
+	if m.Stats().SkippedValidations <= plain.Stats().SkippedValidations {
+		t.Errorf("update-column pruning skipped nothing (%d vs %d)",
+			m.Stats().SkippedValidations, plain.Stats().SkippedValidations)
+	}
+	// Phase timing counters must be populated.
+	st := m.Stats()
+	if st.StructureTime <= 0 {
+		t.Error("StructureTime not recorded")
+	}
+}

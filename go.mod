@@ -1,0 +1,3 @@
+module dynfd
+
+go 1.22

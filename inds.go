@@ -1,0 +1,143 @@
+package dynfd
+
+import (
+	"fmt"
+
+	"dynfd/internal/dataset"
+	"dynfd/internal/ind"
+	"dynfd/internal/stream"
+)
+
+// IND is a unary inclusion dependency over column indexes: every value in
+// column Lhs also occurs in column Rhs.
+type IND struct {
+	Lhs, Rhs int
+}
+
+// INDMonitor maintains the valid unary inclusion dependencies of a dynamic
+// relation, following the attribute-clustering approach of Shaabani &
+// Meinel (SSDBM 2017) that the DynFD paper reviews as related work (§7.2).
+// It is not safe for concurrent use.
+type INDMonitor struct {
+	columns   []string
+	colIndex  map[string]int
+	engine    *ind.Engine
+	booted    bool
+	batchSeen bool
+}
+
+// NewINDMonitor returns an IND monitor for the given column names.
+func NewINDMonitor(columns []string) (*INDMonitor, error) {
+	rel := dataset.New("relation", columns)
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	m := &INDMonitor{
+		columns:  append([]string(nil), columns...),
+		colIndex: make(map[string]int, len(columns)),
+		engine:   ind.NewEmpty(len(columns)),
+	}
+	for i, c := range m.columns {
+		m.colIndex[c] = i
+	}
+	return m, nil
+}
+
+// Bootstrap loads and profiles initial tuples; it must precede the first
+// Apply and may run at most once. Rows receive ids 0..len(rows)-1.
+func (m *INDMonitor) Bootstrap(rows [][]string) error {
+	if m.booted || m.batchSeen {
+		return fmt.Errorf("dynfd: Bootstrap must be the first operation on an INDMonitor")
+	}
+	rel := dataset.New("relation", m.columns)
+	for _, row := range rows {
+		if err := rel.Append(row); err != nil {
+			return err
+		}
+	}
+	engine, err := ind.Bootstrap(rel)
+	if err != nil {
+		return err
+	}
+	m.engine = engine
+	m.booted = true
+	return nil
+}
+
+// INDDiff reports the effect of one batch on the valid INDs.
+type INDDiff struct {
+	InsertedIDs    []int64
+	Added, Removed []IND
+}
+
+// Apply incorporates one batch of changes.
+func (m *INDMonitor) Apply(changes ...Change) (INDDiff, error) {
+	b := stream.Batch{Changes: make([]stream.Change, len(changes))}
+	for i, c := range changes {
+		sc := stream.Change{ID: c.ID, Values: c.Values, Time: c.Time}
+		switch c.Kind {
+		case KindInsert:
+			sc.Kind = stream.Insert
+		case KindDelete:
+			sc.Kind = stream.Delete
+		case KindUpdate:
+			sc.Kind = stream.Update
+		default:
+			return INDDiff{}, fmt.Errorf("dynfd: change %d: unknown kind %d", i, int(c.Kind))
+		}
+		b.Changes[i] = sc
+	}
+	res, err := m.engine.ApplyBatch(b)
+	if err != nil {
+		return INDDiff{}, err
+	}
+	m.batchSeen = true
+	return INDDiff{
+		InsertedIDs: res.InsertedIDs,
+		Added:       toPublicINDs(res.Added),
+		Removed:     toPublicINDs(res.Removed),
+	}, nil
+}
+
+// INDs returns all valid non-trivial unary INDs in deterministic order.
+func (m *INDMonitor) INDs() []IND { return toPublicINDs(m.engine.INDs()) }
+
+// Holds reports whether values(lhsColumn) ⊆ values(rhsColumn) currently
+// holds.
+func (m *INDMonitor) Holds(lhsColumn, rhsColumn string) (bool, error) {
+	lhs, ok := m.colIndex[lhsColumn]
+	if !ok {
+		return false, fmt.Errorf("dynfd: unknown column %q", lhsColumn)
+	}
+	rhs, ok := m.colIndex[rhsColumn]
+	if !ok {
+		return false, fmt.Errorf("dynfd: unknown column %q", rhsColumn)
+	}
+	return m.engine.Holds(lhs, rhs), nil
+}
+
+// NumRecords returns the current tuple count.
+func (m *INDMonitor) NumRecords() int { return m.engine.NumRecords() }
+
+// FormatIND renders an IND with column names, e.g. "ship_city ⊆ city".
+func (m *INDMonitor) FormatIND(d IND) string {
+	l, r := fmt.Sprintf("col%d", d.Lhs), fmt.Sprintf("col%d", d.Rhs)
+	if d.Lhs < len(m.columns) {
+		l = m.columns[d.Lhs]
+	}
+	if d.Rhs < len(m.columns) {
+		r = m.columns[d.Rhs]
+	}
+	return fmt.Sprintf("%s ⊆ %s", l, r)
+}
+
+func toPublicINDs(in []ind.IND) []IND {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]IND, len(in))
+	for i, d := range in {
+		out[i] = IND{Lhs: d.Lhs, Rhs: d.Rhs}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package dynfd
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestINDMonitorLifecycle(t *testing.T) {
+	m, err := NewINDMonitor([]string{"ship_city", "city"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bootstrap([][]string{
+		{"Berlin", "Berlin"},
+		{"Berlin", "Potsdam"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// ship_city {Berlin} ⊆ city {Berlin, Potsdam}.
+	if got := m.INDs(); !reflect.DeepEqual(got, []IND{{Lhs: 0, Rhs: 1}}) {
+		t.Fatalf("INDs = %v", got)
+	}
+	ok, err := m.Holds("ship_city", "city")
+	if err != nil || !ok {
+		t.Error("ship_city ⊆ city should hold")
+	}
+	ok, err = m.Holds("city", "ship_city")
+	if err != nil || ok {
+		t.Error("city ⊆ ship_city should not hold")
+	}
+	if _, err := m.Holds("nope", "city"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := m.Holds("city", "nope"); err == nil {
+		t.Error("unknown column accepted")
+	}
+
+	diff, err := m.Apply(Insert("Hamburg", "Berlin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Removed) != 1 || diff.Removed[0] != (IND{Lhs: 0, Rhs: 1}) {
+		t.Errorf("Removed = %v", diff.Removed)
+	}
+	if got := m.FormatIND(IND{Lhs: 0, Rhs: 1}); got != "ship_city ⊆ city" {
+		t.Errorf("FormatIND = %q", got)
+	}
+	if got := m.FormatIND(IND{Lhs: 9, Rhs: 8}); got != "col9 ⊆ col8" {
+		t.Errorf("FormatIND out of range = %q", got)
+	}
+	if m.NumRecords() != 3 {
+		t.Errorf("NumRecords = %d", m.NumRecords())
+	}
+}
+
+func TestINDMonitorRules(t *testing.T) {
+	if _, err := NewINDMonitor(nil); err == nil {
+		t.Error("empty schema accepted")
+	}
+	m, _ := NewINDMonitor([]string{"a", "b"})
+	if _, err := m.Apply(Change{Kind: ChangeKind(9)}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := m.Apply(Insert("1", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bootstrap(nil); err == nil {
+		t.Error("Bootstrap after Apply accepted")
+	}
+	m2, _ := NewINDMonitor([]string{"a", "b"})
+	if err := m2.Bootstrap([][]string{{"x"}}); err == nil {
+		t.Error("ragged bootstrap accepted")
+	}
+}
+
+func ExampleINDMonitor() {
+	m, _ := NewINDMonitor([]string{"order_city", "warehouse_city"})
+	_ = m.Bootstrap([][]string{
+		{"Berlin", "Berlin"},
+		{"Berlin", "Leipzig"},
+	})
+	diff, _ := m.Apply(Insert("Munich", "Leipzig"))
+	for _, d := range diff.Removed {
+		fmt.Println("containment lost:", m.FormatIND(d))
+	}
+	// Output:
+	// containment lost: order_city ⊆ warehouse_city
+}

@@ -1,0 +1,227 @@
+package attrset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfAndContains(t *testing.T) {
+	s := Of(0, 3, 63, 64, 129, 255)
+	for _, a := range []int{0, 3, 63, 64, 129, 255} {
+		if !s.Contains(a) {
+			t.Errorf("Contains(%d) = false, want true", a)
+		}
+	}
+	for _, a := range []int{1, 2, 62, 65, 128, 254} {
+		if s.Contains(a) {
+			t.Errorf("Contains(%d) = true, want false", a)
+		}
+	}
+}
+
+func TestZeroValueIsEmpty(t *testing.T) {
+	var s Set
+	if !s.IsEmpty() {
+		t.Error("zero Set is not empty")
+	}
+	if s.Count() != 0 {
+		t.Errorf("Count = %d, want 0", s.Count())
+	}
+	if s.First() != -1 {
+		t.Errorf("First = %d, want -1", s.First())
+	}
+	if got := s.Slice(); len(got) != 0 {
+		t.Errorf("Slice = %v, want empty", got)
+	}
+}
+
+func TestFull(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 63, 64, 65, 127, 128, 200, 256} {
+		s := Full(n)
+		if s.Count() != n {
+			t.Errorf("Full(%d).Count() = %d", n, s.Count())
+		}
+		if n > 0 && (!s.Contains(0) || !s.Contains(n-1)) {
+			t.Errorf("Full(%d) missing endpoints", n)
+		}
+		if n < MaxAttrs && s.Contains(n) {
+			t.Errorf("Full(%d) contains %d", n, n)
+		}
+	}
+}
+
+func TestFullPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Full(257) did not panic")
+		}
+	}()
+	Full(MaxAttrs + 1)
+}
+
+func TestContainsPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Contains(-1) did not panic")
+		}
+	}()
+	var s Set
+	s.Contains(-1)
+}
+
+func TestWithWithout(t *testing.T) {
+	s := Of(1, 2)
+	s2 := s.With(100)
+	if s.Contains(100) {
+		t.Error("With mutated receiver")
+	}
+	if !s2.Contains(100) || !s2.Contains(1) {
+		t.Error("With lost elements")
+	}
+	s3 := s2.Without(1)
+	if s3.Contains(1) || !s3.Contains(2) || !s3.Contains(100) {
+		t.Errorf("Without wrong result: %v", s3)
+	}
+	if s3.Without(200) != s3 {
+		t.Error("Without of absent element changed set")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a := Of(1, 2, 3, 70)
+	b := Of(2, 3, 4, 200)
+	if got, want := a.Union(b), Of(1, 2, 3, 4, 70, 200); got != want {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got, want := a.Intersect(b), Of(2, 3); got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got, want := a.Diff(b), Of(1, 70); got != want {
+		t.Errorf("Diff = %v, want %v", got, want)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false")
+	}
+	if a.Intersects(Of(9, 99)) {
+		t.Error("Intersects with disjoint set = true")
+	}
+}
+
+func TestSubsetRelations(t *testing.T) {
+	sub := Of(1, 70)
+	sup := Of(1, 2, 70, 200)
+	if !sub.IsSubsetOf(sup) || !sup.IsSupersetOf(sub) {
+		t.Error("subset relation failed")
+	}
+	if sup.IsSubsetOf(sub) {
+		t.Error("superset reported as subset")
+	}
+	if !sub.IsSubsetOf(sub) {
+		t.Error("set not subset of itself")
+	}
+	if sub.IsProperSubsetOf(sub) {
+		t.Error("set proper subset of itself")
+	}
+	if !sub.IsProperSubsetOf(sup) {
+		t.Error("proper subset relation failed")
+	}
+}
+
+func TestNextIteration(t *testing.T) {
+	attrs := []int{0, 5, 63, 64, 65, 127, 128, 255}
+	s := Of(attrs...)
+	var got []int
+	for a := s.First(); a >= 0; a = s.Next(a) {
+		got = append(got, a)
+	}
+	if !reflect.DeepEqual(got, attrs) {
+		t.Errorf("iteration = %v, want %v", got, attrs)
+	}
+	if s.Next(255) != -1 {
+		t.Errorf("Next(255) = %d, want -1", s.Next(255))
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := Of(1, 2, 3, 4)
+	n := 0
+	s.ForEach(func(a int) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("ForEach visited %d, want 2", n)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(0, 3, 7).String(); got != "{0, 3, 7}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Of().String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	cols := []string{"zip", "city"}
+	if got := Of(0, 1).Names(cols); got != "[zip, city]" {
+		t.Errorf("Names = %q", got)
+	}
+	if got := Of(5).Names(cols); got != "[col5]" {
+		t.Errorf("Names out of range = %q", got)
+	}
+}
+
+func randomSet(r *rand.Rand) Set {
+	var s Set
+	n := r.Intn(20)
+	for i := 0; i < n; i++ {
+		s = s.With(r.Intn(MaxAttrs))
+	}
+	return s
+}
+
+func TestQuickSetAlgebra(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		a, b := randomSet(r), randomSet(r)
+		// De Morgan-ish identities over finite universe operations.
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		if a.Intersect(b) != b.Intersect(a) {
+			return false
+		}
+		if a.Diff(b).Intersects(b) {
+			return false
+		}
+		if a.Diff(b).Union(a.Intersect(b)) != a {
+			return false
+		}
+		if !a.Intersect(b).IsSubsetOf(a) || !a.IsSubsetOf(a.Union(b)) {
+			return false
+		}
+		if a.Union(b).Count() != a.Count()+b.Count()-a.Intersect(b).Count() {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSliceRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		s := randomSet(r)
+		return Of(s.Slice()...) == s && len(s.Slice()) == s.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dynfd/internal/core"
+	"dynfd/internal/datagen"
+	"dynfd/internal/stream"
+)
+
+func smallOpts(buf *bytes.Buffer) Options {
+	return Options{Scale: 0.02, MaxBatches: 3, Out: buf}
+}
+
+func TestTimingsStats(t *testing.T) {
+	ts := Timings{4 * time.Millisecond, 1 * time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond}
+	if ts.Total() != 10*time.Millisecond {
+		t.Errorf("Total = %v", ts.Total())
+	}
+	if ts.Avg() != 2500*time.Microsecond {
+		t.Errorf("Avg = %v", ts.Avg())
+	}
+	if got := ts.Percentile(100); got != 4*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := ts.Percentile(50); got != 2*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	var empty Timings
+	if empty.Avg() != 0 || empty.Percentile(99) != 0 {
+		t.Error("empty Timings stats non-zero")
+	}
+}
+
+func TestReplayDynFDAndHyFDAgree(t *testing.T) {
+	p, _ := datagen.ByName("cpu")
+	d, err := datagen.Generate(p.Scaled(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, eng, err := ReplayDynFD(d, core.DefaultConfig(), 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dyn) == 0 || eng == nil {
+		t.Fatal("no batches measured")
+	}
+	static, err := ReplayHyFD(d, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(static) != len(dyn) {
+		t.Errorf("batch counts differ: %d vs %d", len(static), len(dyn))
+	}
+}
+
+func TestSnapshotTracksIDsLikeEngine(t *testing.T) {
+	// The snapshot's final state must match the engine's record values.
+	p, _ := datagen.ByName("disease")
+	d, err := datagen.Generate(p.Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, eng, err := ReplayDynFD(d, core.DefaultConfig(), 17, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := newSnapshot(d.Relation)
+	for _, c := range d.Changes {
+		if err := snap.apply(stream.Batch{Changes: []stream.Change{c}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(snap.rows) != eng.NumRecords() {
+		t.Fatalf("snapshot has %d rows, engine %d", len(snap.rows), eng.NumRecords())
+	}
+	for id, row := range snap.rows {
+		got, ok := eng.Record(id)
+		if !ok {
+			t.Fatalf("engine missing record %d", id)
+		}
+		for i := range row {
+			if got[i] != row[i] {
+				t.Fatalf("record %d differs: %v vs %v", id, got, row)
+			}
+		}
+	}
+}
+
+func TestRunAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	for _, id := range ExperimentIDs() {
+		var buf bytes.Buffer
+		opts := smallOpts(&buf)
+		if id == "fig7" {
+			opts.MaxBatches = 2
+		}
+		if err := Run(id, opts); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run("nope", Options{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentCatalog(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 11 {
+		t.Errorf("experiments = %v", ids)
+	}
+	for _, id := range ids {
+		if Experiments()[id] == "" {
+			t.Errorf("%s has no description", id)
+		}
+	}
+}
+
+func TestCompositionsMatchPaper(t *testing.T) {
+	comps := Compositions()
+	if len(comps) != 8 {
+		t.Fatalf("compositions = %d", len(comps))
+	}
+	if comps[0].Name != "-" {
+		t.Errorf("baseline name = %q", comps[0].Name)
+	}
+	full := comps[len(comps)-1]
+	if !full.Cfg.ClusterPruning || !full.Cfg.ViolationSearch ||
+		!full.Cfg.ValidationPruning || !full.Cfg.DepthFirstSearch {
+		t.Error("full composition misses a strategy")
+	}
+	base := comps[0]
+	if base.Cfg.ClusterPruning || base.Cfg.ViolationSearch ||
+		base.Cfg.ValidationPruning || base.Cfg.DepthFirstSearch {
+		t.Error("baseline has a strategy enabled")
+	}
+}
+
+func TestParseDatasets(t *testing.T) {
+	got, err := ParseDatasets("cpu,single")
+	if err != nil || len(got) != 2 {
+		t.Errorf("ParseDatasets = %v, %v", got, err)
+	}
+	if got, err := ParseDatasets(""); err != nil || got != nil {
+		t.Errorf("empty = %v, %v", got, err)
+	}
+	if _, err := ParseDatasets("cpu,nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestTable4Output(t *testing.T) {
+	var buf bytes.Buffer
+	opts := Options{Scale: 0.02, MaxBatches: 2, Datasets: []string{"cpu"}, Out: &buf}
+	if err := Table4(opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cpu") || !strings.Contains(out, "throughput") {
+		t.Errorf("output = %q", out)
+	}
+}

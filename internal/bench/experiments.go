@@ -1,0 +1,512 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"dynfd/internal/core"
+	"dynfd/internal/datagen"
+	"dynfd/internal/ind"
+	"dynfd/internal/stream"
+	"dynfd/internal/ucc"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale multiplies every dataset's row and change counts (default 1.0).
+	// Use small values (e.g. 0.05) for quick smoke runs.
+	Scale float64
+	// MaxBatches caps the number of batches per measurement where the
+	// paper does the same (Table 4 and Figure 5 process up to 100 batches).
+	// <= 0 uses the experiment's default.
+	MaxBatches int
+	// Datasets restricts the run to the named datasets; nil means all six.
+	Datasets []string
+	// Out receives the result tables; default os.Stdout.
+	Out io.Writer
+}
+
+func (o Options) normalize() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.Out == nil {
+		o.Out = os.Stdout
+	}
+	return o
+}
+
+func (o Options) datasets() ([]*datagen.Dataset, error) {
+	names := o.Datasets
+	if len(names) == 0 {
+		for _, p := range datagen.Profiles() {
+			names = append(names, p.Name)
+		}
+	}
+	var out []*datagen.Dataset
+	for _, name := range names {
+		p, err := datagen.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		d, err := datagen.Generate(p.Scaled(o.Scale))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Experiments lists the runnable experiment ids with a short description.
+func Experiments() map[string]string {
+	return map[string]string{
+		"table3":   "dataset characteristics (columns, rows, changes, initial/final FDs, change mix)",
+		"table4":   "batch processing performance: runtime, throughput, avg batch time, 99/95/90th percentiles (batch size 100)",
+		"fig5":     "per-batch runtime series on the single dataset (batch size 100)",
+		"fig6":     "average batch runtime for batch sizes 10..1000 over the first 10,000 changes",
+		"fig7":     "speedup of DynFD over repeated HyFD for relative batch sizes 1%..1000%",
+		"fig8":     "runtime under pruning-strategy compositions, fixed batch size 1,000",
+		"fig9":     "runtime under pruning-strategy compositions, relative batch size 10%",
+		"fig10":    "runtime on cpu: pruning compositions x batch sizes",
+		"fig11":    "runtime on single: pruning compositions x batch sizes",
+		"phases":   "per-phase breakdown: structure updates vs delete phase vs insert phase, plus work counters (extension of the §6.5 in-depth analysis)",
+		"siblings": "maintenance cost of the three incremental engines side by side: FDs (DynFD), unique column combinations (Swan-like), unary INDs (extension)",
+	}
+}
+
+// Run executes one experiment by id.
+func Run(id string, opts Options) error {
+	switch id {
+	case "table3":
+		return Table3(opts)
+	case "table4":
+		return Table4(opts)
+	case "fig5":
+		return Figure5(opts)
+	case "fig6":
+		return Figure6(opts)
+	case "fig7":
+		return Figure7(opts)
+	case "fig8":
+		return Figure8(opts)
+	case "fig9":
+		return Figure9(opts)
+	case "fig10":
+		return Figure10(opts)
+	case "fig11":
+		return Figure11(opts)
+	case "phases":
+		return Phases(opts)
+	case "siblings":
+		return Siblings(opts)
+	default:
+		return fmt.Errorf("bench: unknown experiment %q", id)
+	}
+}
+
+// Composition is one pruning-strategy combination of the ablation study
+// (§6.5). Names follow the paper's section numbers: 4.2 cluster pruning,
+// 4.3 violation search, 5.2 validation pruning, 5.3 depth-first searches.
+type Composition struct {
+	Name string
+	Cfg  core.Config
+}
+
+// Compositions returns the eight strategy combinations of Figures 8-11.
+func Compositions() []Composition {
+	mk := func(name string, cluster, violation, validation, dfs bool) Composition {
+		cfg := core.DefaultConfig()
+		cfg.ClusterPruning = cluster
+		cfg.ViolationSearch = violation
+		cfg.ValidationPruning = validation
+		cfg.DepthFirstSearch = dfs
+		return Composition{Name: name, Cfg: cfg}
+	}
+	return []Composition{
+		mk("-", false, false, false, false),
+		mk("4.3", false, true, false, false),
+		mk("5.3", false, false, false, true),
+		mk("4.2", true, false, false, false),
+		mk("5.2", false, false, true, false),
+		mk("4.3+5.3", false, true, false, true),
+		mk("4.3+5.3+4.2", true, true, false, true),
+		mk("4.3+5.3+4.2+5.2", true, true, true, true),
+	}
+}
+
+// Table3 reports the dataset characteristics: the synthesized counterpart
+// of the paper's Table 3, with initial and final FD counts measured by
+// bootstrapping and replaying the full change history.
+func Table3(opts Options) error {
+	opts = opts.normalize()
+	ds, err := opts.datasets()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(opts.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Dataset\t#Columns\t#Rows\t#Changes\t#FDs(initial)\t#FDs(final)\t%%Inserts\t%%Deletes\t%%Updates\n")
+	for _, d := range ds {
+		eng, err := core.Bootstrap(d.Relation, core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		initialFDs := len(eng.FDs())
+		for _, b := range stream.FixedBatches(d.Changes, 100) {
+			if _, err := eng.ApplyBatch(b); err != nil {
+				return err
+			}
+		}
+		ins, del, upd := stream.Batch{Changes: d.Changes}.Counts()
+		total := float64(len(d.Changes))
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%.1f\t%.1f\t%.1f\n",
+			d.Profile.Name, d.Profile.Columns, d.Relation.NumRows(), len(d.Changes),
+			initialFDs, len(eng.FDs()),
+			100*float64(ins)/total, 100*float64(del)/total, 100*float64(upd)/total)
+	}
+	return w.Flush()
+}
+
+// Table4 reports batch processing performance with batch size 100: total
+// runtime, throughput, and the average and tail batch times (paper §6.2).
+func Table4(opts Options) error {
+	opts = opts.normalize()
+	maxBatches := opts.MaxBatches
+	if maxBatches <= 0 {
+		maxBatches = 100 // the paper processes up to 100 batches per dataset
+	}
+	ds, err := opts.datasets()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(opts.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Dataset\truntime[s]\tthroughput[changes/s]\tavg batch[ms]\tp99[ms]\tp95[ms]\tp90[ms]")
+	for _, d := range ds {
+		times, _, err := ReplayDynFD(d, core.DefaultConfig(), 100, maxBatches)
+		if err != nil {
+			return err
+		}
+		changes := len(d.Changes)
+		if c := len(times) * 100; c < changes {
+			changes = c
+		}
+		total := times.Total()
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			d.Profile.Name, total.Seconds(), float64(changes)/total.Seconds(),
+			ms(times.Avg()), ms(times.Percentile(99)), ms(times.Percentile(95)), ms(times.Percentile(90)))
+	}
+	return w.Flush()
+}
+
+// Figure5 prints the per-batch runtime series for the single dataset with
+// batch size 100 — the runtime-spike plot of §6.2.
+func Figure5(opts Options) error {
+	opts = opts.normalize()
+	if len(opts.Datasets) == 0 {
+		opts.Datasets = []string{"single"}
+	}
+	maxBatches := opts.MaxBatches
+	if maxBatches <= 0 {
+		maxBatches = 100
+	}
+	ds, err := opts.datasets()
+	if err != nil {
+		return err
+	}
+	for _, d := range ds {
+		times, _, err := ReplayDynFD(d, core.DefaultConfig(), 100, maxBatches)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(opts.Out, "# %s: runtime per batch (size 100)\n", d.Profile.Name)
+		fmt.Fprintln(opts.Out, "batch\truntime[ms]")
+		for i, t := range times {
+			fmt.Fprintf(opts.Out, "%d\t%.2f\n", i+1, ms(t))
+		}
+	}
+	return nil
+}
+
+// Figure6 reports the average batch runtime for batch sizes 10..1000 over
+// the first 10,000 changes of every dataset (§6.3). The paper's headline
+// observation — 100x larger batches cost only ~10x more per batch, i.e.
+// throughput grows with batch size — is visible in the rows.
+func Figure6(opts Options) error {
+	opts = opts.normalize()
+	sizes := []int{10, 32, 100, 316, 1000}
+	ds, err := opts.datasets()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(opts.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "Dataset")
+	for _, s := range sizes {
+		fmt.Fprintf(w, "\tavg[ms]@%d", s)
+	}
+	fmt.Fprintln(w)
+	const changeBudget = 10000
+	for _, d := range ds {
+		fmt.Fprint(w, d.Profile.Name)
+		for _, size := range sizes {
+			maxBatches := changeBudget / size
+			if maxBatches < 1 {
+				maxBatches = 1
+			}
+			times, _, err := ReplayDynFD(d, core.DefaultConfig(), size, maxBatches)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\t%.2f", ms(times.Avg()))
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+// Figure7 reports the speedup of DynFD over repeated HyFD executions for
+// batch sizes relative to the initial dataset size (§6.4). Values > 1 mean
+// DynFD is faster; the paper finds >10x for small batches and a crossover
+// near a 100% batch-size ratio.
+func Figure7(opts Options) error {
+	opts = opts.normalize()
+	ratios := []float64{0.01, 0.1, 1.0, 10.0}
+	ds, err := opts.datasets()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(opts.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "Dataset")
+	for _, r := range ratios {
+		fmt.Fprintf(w, "\tspeedup@%g%%", r*100)
+	}
+	fmt.Fprintln(w)
+	for _, d := range ds {
+		fmt.Fprint(w, d.Profile.Name)
+		for _, ratio := range ratios {
+			size := int(float64(d.Relation.NumRows()) * ratio)
+			if size < 1 {
+				size = 1
+			}
+			// Cap the work: enough batches to be representative, bounded
+			// for the expensive static re-runs.
+			maxBatches := opts.MaxBatches
+			if maxBatches <= 0 {
+				maxBatches = 10
+			}
+			dyn, _, err := ReplayDynFD(d, core.DefaultConfig(), size, maxBatches)
+			if err != nil {
+				return err
+			}
+			static, err := ReplayHyFD(d, size, len(dyn))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\t%.2f", float64(static.Total())/float64(dyn.Total()))
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+// Figure8 reports total runtimes under the eight pruning-strategy
+// compositions with a fixed batch size of 1,000 (§6.5).
+func Figure8(opts Options) error {
+	return ablation(opts, func(d *datagen.Dataset) int { return 1000 }, "fixed batch size 1,000")
+}
+
+// Figure9 reports total runtimes under the compositions with a relative
+// batch size of 10% of the initial dataset size (§6.5).
+func Figure9(opts Options) error {
+	return ablation(opts, func(d *datagen.Dataset) int {
+		s := d.Relation.NumRows() / 10
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}, "relative batch size 10%")
+}
+
+func ablation(opts Options, batchSize func(*datagen.Dataset) int, title string) error {
+	opts = opts.normalize()
+	ds, err := opts.datasets()
+	if err != nil {
+		return err
+	}
+	comps := Compositions()
+	w := tabwriter.NewWriter(opts.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(opts.Out, "# total runtime [ms] per pruning composition, %s\n", title)
+	fmt.Fprint(w, "Strategies")
+	for _, d := range ds {
+		fmt.Fprintf(w, "\t%s", d.Profile.Name)
+	}
+	fmt.Fprintln(w)
+	for _, comp := range comps {
+		fmt.Fprint(w, comp.Name)
+		for _, d := range ds {
+			times, _, err := ReplayDynFD(d, comp.Cfg, batchSize(d), opts.MaxBatches)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\t%.1f", ms(times.Total()))
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+// Figure10 reports cpu's total runtime per composition across batch sizes.
+func Figure10(opts Options) error {
+	return ablationBySize(opts, "cpu")
+}
+
+// Figure11 reports single's total runtime per composition across batch
+// sizes.
+func Figure11(opts Options) error {
+	return ablationBySize(opts, "single")
+}
+
+func ablationBySize(opts Options, name string) error {
+	opts = opts.normalize()
+	opts.Datasets = []string{name}
+	ds, err := opts.datasets()
+	if err != nil {
+		return err
+	}
+	d := ds[0]
+	sizes := []int{10, 100, 1000}
+	comps := Compositions()
+	w := tabwriter.NewWriter(opts.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(opts.Out, "# %s: total runtime [ms] per pruning composition and batch size\n", name)
+	fmt.Fprint(w, "Strategies")
+	for _, s := range sizes {
+		fmt.Fprintf(w, "\t@%d", s)
+	}
+	fmt.Fprintln(w)
+	for _, comp := range comps {
+		fmt.Fprint(w, comp.Name)
+		for _, size := range sizes {
+			times, _, err := ReplayDynFD(d, comp.Cfg, size, opts.MaxBatches)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\t%.1f", ms(times.Total()))
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+// Phases reports where DynFD's batch time goes — structural updates versus
+// the delete-side and insert-side cover reasoning — together with the work
+// counters behind the pruning strategies. It extends the paper's in-depth
+// analysis (§6.5) with the wall-clock split of Figure 1's pipeline steps.
+func Phases(opts Options) error {
+	opts = opts.normalize()
+	maxBatches := opts.MaxBatches
+	if maxBatches <= 0 {
+		maxBatches = 100
+	}
+	ds, err := opts.datasets()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(opts.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Dataset\tstructure[ms]\tdeletes[ms]\tinserts[ms]\tvalidations\tskipped\tcomparisons\tsearch runs\tDFS runs\n")
+	for _, d := range ds {
+		_, eng, err := ReplayDynFD(d, core.DefaultConfig(), 100, maxBatches)
+		if err != nil {
+			return err
+		}
+		st := eng.Stats()
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%d\t%d\t%d\t%d\t%d\n",
+			d.Profile.Name, ms(st.StructureTime), ms(st.DeletePhaseTime), ms(st.InsertPhaseTime),
+			st.Validations, st.SkippedValidations, st.Comparisons,
+			st.ViolationSearchRuns, st.DepthFirstSearchRuns)
+	}
+	return w.Flush()
+}
+
+// Siblings compares the batch-maintenance cost of the three incremental
+// engines this repository implements: DynFD (minimal FDs), the Swan-like
+// UCC engine (candidate keys), and the attribute-clustering unary-IND
+// engine — the related-work landscape of paper §7.2, measured on the same
+// histories.
+func Siblings(opts Options) error {
+	opts = opts.normalize()
+	maxBatches := opts.MaxBatches
+	if maxBatches <= 0 {
+		maxBatches = 100
+	}
+	ds, err := opts.datasets()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(opts.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Dataset\tFDs[ms]\tUCCs[ms]\tINDs[ms]\n")
+	for _, d := range ds {
+		fdTimes, _, err := ReplayDynFD(d, core.DefaultConfig(), 100, maxBatches)
+		if err != nil {
+			return err
+		}
+		batches := stream.FixedBatches(d.Changes, 100)
+		if len(batches) > maxBatches {
+			batches = batches[:maxBatches]
+		}
+		uccEng, err := ucc.Bootstrap(d.Relation)
+		if err != nil {
+			return err
+		}
+		uccStart := time.Now()
+		for _, b := range batches {
+			if _, err := uccEng.ApplyBatch(b); err != nil {
+				return err
+			}
+		}
+		uccTotal := time.Since(uccStart)
+		indEng, err := ind.Bootstrap(d.Relation)
+		if err != nil {
+			return err
+		}
+		indStart := time.Now()
+		for _, b := range batches {
+			if _, err := indEng.ApplyBatch(b); err != nil {
+				return err
+			}
+		}
+		indTotal := time.Since(indStart)
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\n",
+			d.Profile.Name, ms(fdTimes.Total()), ms(uccTotal), ms(indTotal))
+	}
+	return w.Flush()
+}
+
+// ExperimentIDs returns the experiment ids in a stable order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(Experiments()))
+	for id := range Experiments() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// ParseDatasets validates a comma-separated dataset list.
+func ParseDatasets(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	names := strings.Split(s, ",")
+	for _, n := range names {
+		if _, err := datagen.ByName(n); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}

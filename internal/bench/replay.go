@@ -1,0 +1,158 @@
+// Package bench implements the experiment harness that regenerates every
+// table and figure of the DynFD paper's evaluation (§6) on the synthesized
+// datasets: batch processing performance (Table 4, Figure 5), batch size
+// scalability (Figure 6), the competitive comparison against repeated HyFD
+// runs (Figure 7), and the pruning-strategy ablations (Figures 8-11).
+// Dataset characteristics (Table 3) are reported as well.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dynfd/internal/core"
+	"dynfd/internal/datagen"
+	"dynfd/internal/dataset"
+	"dynfd/internal/hyfd"
+	"dynfd/internal/stream"
+)
+
+// Timings is a series of per-batch processing durations.
+type Timings []time.Duration
+
+// Total returns the summed duration.
+func (t Timings) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range t {
+		sum += d
+	}
+	return sum
+}
+
+// Avg returns the mean duration, or 0 for an empty series.
+func (t Timings) Avg() time.Duration {
+	if len(t) == 0 {
+		return 0
+	}
+	return t.Total() / time.Duration(len(t))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank method.
+func (t Timings) Percentile(p float64) time.Duration {
+	if len(t) == 0 {
+		return 0
+	}
+	sorted := append(Timings(nil), t...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// ReplayDynFD bootstraps a DynFD engine on the dataset's initial relation
+// and feeds the change history through it in fixed-size batches, measuring
+// each batch. maxBatches <= 0 replays the entire history.
+func ReplayDynFD(d *datagen.Dataset, cfg core.Config, batchSize, maxBatches int) (Timings, *core.Engine, error) {
+	eng, err := core.Bootstrap(d.Relation, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	batches := stream.FixedBatches(d.Changes, batchSize)
+	if maxBatches > 0 && len(batches) > maxBatches {
+		batches = batches[:maxBatches]
+	}
+	times := make(Timings, 0, len(batches))
+	for i, b := range batches {
+		start := time.Now()
+		if _, err := eng.ApplyBatch(b); err != nil {
+			return nil, nil, fmt.Errorf("bench: %s batch %d: %w", d.Profile.Name, i, err)
+		}
+		times = append(times, time.Since(start))
+	}
+	return times, eng, nil
+}
+
+// ReplayHyFD simulates the static competitor: after every batch of changes
+// the full relation snapshot is re-profiled with HyFD from scratch (paper
+// §6.4). The per-batch duration is the full discovery time; applying the
+// raw changes to the snapshot is not charged to either contestant.
+func ReplayHyFD(d *datagen.Dataset, batchSize, maxBatches int) (Timings, error) {
+	snap := newSnapshot(d.Relation)
+	batches := stream.FixedBatches(d.Changes, batchSize)
+	if maxBatches > 0 && len(batches) > maxBatches {
+		batches = batches[:maxBatches]
+	}
+	times := make(Timings, 0, len(batches))
+	for i, b := range batches {
+		if err := snap.apply(b); err != nil {
+			return nil, fmt.Errorf("bench: %s batch %d: %w", d.Profile.Name, i, err)
+		}
+		rel := snap.relation(d.Profile.Name, d.Relation.Columns)
+		start := time.Now()
+		if _, err := hyfd.Discover(rel); err != nil {
+			return nil, fmt.Errorf("bench: %s batch %d: %w", d.Profile.Name, i, err)
+		}
+		times = append(times, time.Since(start))
+	}
+	return times, nil
+}
+
+// snapshot replays a change history onto plain rows, assigning surrogate
+// ids with the same scheme as the engine, so delete/update targets resolve.
+type snapshot struct {
+	rows   map[int64][]string
+	nextID int64
+}
+
+func newSnapshot(rel *dataset.Relation) *snapshot {
+	s := &snapshot{rows: make(map[int64][]string, rel.NumRows())}
+	for _, row := range rel.Rows {
+		s.rows[s.nextID] = row
+		s.nextID++
+	}
+	return s
+}
+
+func (s *snapshot) apply(b stream.Batch) error {
+	for _, c := range b.Changes {
+		switch c.Kind {
+		case stream.Insert:
+			s.rows[s.nextID] = c.Values
+			s.nextID++
+		case stream.Delete:
+			if _, ok := s.rows[c.ID]; !ok {
+				return fmt.Errorf("bench: delete of unknown id %d", c.ID)
+			}
+			delete(s.rows, c.ID)
+		case stream.Update:
+			if _, ok := s.rows[c.ID]; !ok {
+				return fmt.Errorf("bench: update of unknown id %d", c.ID)
+			}
+			delete(s.rows, c.ID)
+			s.rows[s.nextID] = c.Values
+			s.nextID++
+		}
+	}
+	return nil
+}
+
+func (s *snapshot) relation(name string, columns []string) *dataset.Relation {
+	rel := dataset.New(name, columns)
+	ids := make([]int64, 0, len(s.rows))
+	for id := range s.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	rel.Rows = make([][]string, 0, len(ids))
+	for _, id := range ids {
+		rel.Rows = append(rel.Rows, s.rows[id])
+	}
+	return rel
+}

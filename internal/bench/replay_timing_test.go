@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"dynfd/internal/core"
+	"dynfd/internal/datagen"
+)
+
+// TestTimeReplays is a manually-invoked timing aid (not part of CI runs).
+func TestTimeReplays(t *testing.T) {
+	if os.Getenv("DYNFD_TIMING") == "" {
+		t.Skip("set DYNFD_TIMING=1 to run")
+	}
+	for _, p := range datagen.Profiles() {
+		d, err := datagen.Generate(p.Scaled(0.02))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bs := range []int{10, 100, 1000} {
+			start := time.Now()
+			times, eng, err := ReplayDynFD(d, core.DefaultConfig(), bs, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "%s bs=%d: total %v (%d batches, %d fds final)\n",
+				p.Name, bs, time.Since(start), len(times), len(eng.FDs()))
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"dynfd/internal/fd"
+	"dynfd/internal/induct"
+	"dynfd/internal/validate"
+)
+
+// depthFirstSearches implements the optimistic depth-first searches of
+// paper §5.3: when a level of the delete-side sweep turns many non-FDs
+// into FDs, their generalization chains can run for many levels. For a
+// sample of the newly valid seed FDs, the search eagerly chases valid
+// generalizations depth-first (Algorithm 5) and deduces the cover updates
+// from every valid FD found (Algorithm 6). The remaining seeds stay with
+// the breadth-first sweep, which the paper found more effective for the
+// common small-change case.
+func (e *Engine) depthFirstSearches(validFds []fd.FD) {
+	e.stats.DepthFirstSearchRuns++
+	n := int(e.cfg.DFSSampleRate * float64(len(validFds)))
+	if n < 1 {
+		n = 1
+	}
+	visited := make(map[fd.FD]bool)
+	for _, i := range e.rng.Perm(len(validFds))[:n] {
+		e.depthFirst(validFds[i], visited)
+	}
+}
+
+// depthFirst recursively explores the valid generalizations of a valid FD
+// (Algorithm 5). A generalization is followed when it is implied by the
+// positive cover or when validation confirms it. The expensive deduction
+// runs last, after the recursion, so that deeper (more general) FDs have
+// already simplified the covers.
+func (e *Engine) depthFirst(f fd.FD, visited map[fd.FD]bool) {
+	if visited[f] {
+		return
+	}
+	visited[f] = true
+	f.Lhs.ForEach(func(r int) bool {
+		gen := fd.FD{Lhs: f.Lhs.Without(r), Rhs: f.Rhs}
+		if visited[gen] {
+			return true
+		}
+		valid := e.fds.ContainsGeneralization(gen.Lhs, gen.Rhs)
+		if !valid {
+			e.stats.Validations++
+			valid, _ = validate.FD(e.store, gen.Lhs, gen.Rhs, validate.NoPruning)
+		}
+		if valid {
+			e.depthFirst(gen, visited)
+		}
+		return true
+	})
+	e.deduceNonFds(f)
+}
+
+// deduceNonFds updates both covers with a known-valid FD (Algorithm 6):
+// all specializations in the negative cover are de-facto valid and are
+// replaced by their maximal generalizations; the FD itself enters the
+// positive cover if it is minimal, evicting its specializations.
+func (e *Engine) deduceNonFds(f fd.FD) {
+	induct.Generalize(e.nonFds, f.Lhs, f.Rhs)
+	if !e.fds.ContainsGeneralization(f.Lhs, f.Rhs) {
+		e.fds.RemoveSpecializations(f.Lhs, f.Rhs)
+		e.fds.Add(f.Lhs, f.Rhs)
+	}
+}

@@ -1,0 +1,316 @@
+// Package core implements DynFD, the incremental maintenance algorithm for
+// minimal functional dependencies on dynamic datasets (Schirmer et al.,
+// EDBT 2019). The Engine owns the runtime data structures of §3 — the Pli
+// store with dictionary-encoded records and the positive and negative FD
+// covers — and evolves them batch by batch along the processing pipeline of
+// Figure 1:
+//
+//  1. apply the batch's structural changes to the Pli store,
+//  2. process deletes against the negative cover (§5),
+//  3. process inserts against the positive cover (§4),
+//  4. report the FD changes.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/dataset"
+	"dynfd/internal/fd"
+	"dynfd/internal/hyfd"
+	"dynfd/internal/induct"
+	"dynfd/internal/lattice"
+	"dynfd/internal/pli"
+	"dynfd/internal/stream"
+	"dynfd/internal/validate"
+)
+
+// Engine maintains the exact set of minimal, non-trivial FDs of a single
+// relation under batches of inserts, updates, and deletes. An Engine is not
+// safe for concurrent use.
+type Engine struct {
+	cfg      Config
+	numAttrs int
+	store    *pli.Store
+	fds      *lattice.Cover // positive cover: all minimal FDs
+	nonFds   lattice.View   // negative cover: all maximal non-FDs (complement-keyed)
+	keySet   attrset.Set    // declared unique columns (Config.KeyColumns)
+	rng      *rand.Rand
+	stats    Stats
+}
+
+// initExtras finishes construction: declared key columns and the seeded
+// random source for the depth-first-search sampling.
+func (e *Engine) initExtras() {
+	for _, a := range e.cfg.KeyColumns {
+		if a >= 0 && a < e.numAttrs {
+			e.keySet = e.keySet.With(a)
+		}
+	}
+	e.rng = rand.New(rand.NewSource(e.cfg.Seed))
+}
+
+// NewEmpty returns an engine for an initially empty relation with numAttrs
+// attributes. On an empty instance every FD holds, so the positive cover
+// starts as {∅ → A | A ∈ R} and the negative cover is empty.
+func NewEmpty(numAttrs int, cfg Config) *Engine {
+	e := &Engine{
+		cfg:      cfg.normalize(),
+		numAttrs: numAttrs,
+		store:    pli.NewStore(numAttrs),
+		fds:      lattice.New(numAttrs),
+		nonFds:   lattice.NewFlipped(numAttrs),
+	}
+	for a := 0; a < numAttrs; a++ {
+		e.fds.Add(attrset.Set{}, a)
+	}
+	e.initExtras()
+	return e
+}
+
+// Bootstrap returns an engine initialized from a populated relation. The
+// static HyFD algorithm profiles the initial tuples and hands over its data
+// structures and positive cover (paper §2); the negative cover is derived
+// through cover inversion (paper §3.2, Algorithm 1).
+func Bootstrap(rel *dataset.Relation, cfg Config) (*Engine, error) {
+	res, err := hyfd.Discover(rel)
+	if err != nil {
+		return nil, fmt.Errorf("core: bootstrap: %w", err)
+	}
+	return FromHyFD(res, cfg), nil
+}
+
+// FromHyFD adopts the output of a HyFD run: the Pli store and the positive
+// cover are taken over directly, the negative cover is computed by cover
+// inversion. The result must not be reused elsewhere afterwards.
+func FromHyFD(res *hyfd.Result, cfg Config) *Engine {
+	numAttrs := res.Store.NumAttrs()
+	e := &Engine{
+		cfg:      cfg.normalize(),
+		numAttrs: numAttrs,
+		store:    res.Store,
+		fds:      res.FDs,
+		nonFds:   induct.Invert(res.FDs, numAttrs),
+	}
+	e.initExtras()
+	return e
+}
+
+// NumAttrs returns the schema width.
+func (e *Engine) NumAttrs() int { return e.numAttrs }
+
+// Config returns the engine's normalized configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Holds reports whether lhs → rhs currently holds: a trivial candidate
+// (rhs ∈ lhs) always holds, any other candidate holds iff some maintained
+// minimal FD generalizes it.
+func (e *Engine) Holds(lhs []int, rhs int) bool {
+	var s attrset.Set
+	for _, a := range lhs {
+		s = s.With(a)
+	}
+	if s.Contains(rhs) {
+		return true
+	}
+	return e.fds.ContainsGeneralization(s, rhs)
+}
+
+// NumRecords returns the current tuple count.
+func (e *Engine) NumRecords() int { return e.store.NumRecords() }
+
+// FDs returns the current minimal, non-trivial FDs in deterministic order.
+func (e *Engine) FDs() []fd.FD { return e.fds.All() }
+
+// NonFDs returns the current maximal non-FDs in deterministic order.
+func (e *Engine) NonFDs() []fd.FD { return e.nonFds.All() }
+
+// Stats returns the accumulated work counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Record returns the current values of a live record.
+func (e *Engine) Record(id int64) ([]string, bool) { return e.store.Values(id) }
+
+// Lookup returns the ids of live records matching the given tuple.
+func (e *Engine) Lookup(values []string) ([]int64, error) { return e.store.Lookup(values) }
+
+// Violations inspects why lhs → rhs does not hold: it returns up to max
+// groups of records that agree on lhs but differ on rhs (max <= 0 returns
+// all), plus the g3 error — the minimum fraction of records whose removal
+// would make the FD hold. For a valid FD it returns no groups and 0.
+func (e *Engine) Violations(lhs []int, rhs int, max int) ([]validate.ViolationGroup, float64) {
+	var s attrset.Set
+	for _, a := range lhs {
+		s = s.With(a)
+	}
+	return validate.Violations(e.store, s, rhs, max)
+}
+
+// Result describes the outcome of one batch.
+type Result struct {
+	// InsertedIDs holds the surrogate id assigned to each insert and
+	// update of the batch, in batch order (updates receive a fresh id for
+	// their new tuple version).
+	InsertedIDs []int64
+	// Added and Removed are the minimal-FD changes caused by the batch.
+	Added, Removed []fd.FD
+}
+
+// CheckBatch verifies that a batch would apply cleanly — arities match and
+// every delete/update target resolves, including references to records
+// born earlier in the same batch — without touching any engine state. Use
+// it in front of ApplyBatch when the batch comes from an untrusted source,
+// because ApplyBatch leaves the engine in an unspecified state on error.
+func (e *Engine) CheckBatch(batch stream.Batch) error {
+	nextID := e.store.NextID()
+	dead := make(map[int64]bool)
+	born := make(map[int64]bool)
+	alive := func(id int64) bool {
+		if dead[id] {
+			return false
+		}
+		if born[id] {
+			return true
+		}
+		_, ok := e.store.Record(id)
+		return ok
+	}
+	for i, c := range batch.Changes {
+		if err := c.Validate(e.numAttrs); err != nil {
+			return fmt.Errorf("core: batch change %d: %w", i, err)
+		}
+		switch c.Kind {
+		case stream.Delete:
+			if !alive(c.ID) {
+				return fmt.Errorf("core: batch change %d: record %d not found", i, c.ID)
+			}
+			dead[c.ID] = true
+		case stream.Update:
+			if !alive(c.ID) {
+				return fmt.Errorf("core: batch change %d: record %d not found", i, c.ID)
+			}
+			dead[c.ID] = true
+			born[nextID] = true
+			nextID++
+		case stream.Insert:
+			born[nextID] = true
+			nextID++
+		}
+	}
+	return nil
+}
+
+// ApplyBatch incorporates one batch of change operations and returns the
+// resulting FD changes. Updates are processed as a delete followed by an
+// insert; all structural deletes are applied before all inserts so the
+// intermediate relation never holds both versions of an updated tuple
+// (paper §2). The engine state is unspecified after an error.
+func (e *Engine) ApplyBatch(batch stream.Batch) (Result, error) {
+	for i, c := range batch.Changes {
+		if err := c.Validate(e.numAttrs); err != nil {
+			return Result{}, fmt.Errorf("core: batch change %d: %w", i, err)
+		}
+	}
+	before := e.fds.All()
+
+	// Step 1: structural updates, applied in batch order so changes may
+	// reference records born earlier in the same batch. The FD reasoning in
+	// steps 2 and 3 only sees the batch's final state, so the paper's
+	// deletes-before-inserts rule (§2) is preserved where it matters: an
+	// updated tuple's old and new version never coexist for validation.
+	structStart := time.Now()
+	minNewID := e.store.NextID()
+	deletes := 0
+	var ids []int64
+	// touched collects the columns whose projection the batch may have
+	// changed (update-column pruning, Config.UpdateColumnPruning): updates
+	// touch only the columns whose value actually differs, while inserts
+	// and deletes touch every column.
+	full := attrset.Full(e.numAttrs)
+	touched := full
+	if e.cfg.UpdateColumnPruning {
+		touched = attrset.Set{}
+	}
+	for i, c := range batch.Changes {
+		switch c.Kind {
+		case stream.Delete:
+			if err := e.store.Delete(c.ID); err != nil {
+				return Result{}, fmt.Errorf("core: batch change %d: %w", i, err)
+			}
+			deletes++
+			touched = full
+		case stream.Update:
+			if e.cfg.UpdateColumnPruning && touched != full {
+				if old, ok := e.store.Values(c.ID); ok {
+					for a, v := range old {
+						if v != c.Values[a] {
+							touched = touched.With(a)
+						}
+					}
+				}
+			}
+			if err := e.store.Delete(c.ID); err != nil {
+				return Result{}, fmt.Errorf("core: batch change %d: %w", i, err)
+			}
+			deletes++
+			id, err := e.store.Insert(c.Values)
+			if err != nil {
+				return Result{}, fmt.Errorf("core: batch change %d: %w", i, err)
+			}
+			ids = append(ids, id)
+		case stream.Insert:
+			id, err := e.store.Insert(c.Values)
+			if err != nil {
+				return Result{}, fmt.Errorf("core: batch change %d: %w", i, err)
+			}
+			ids = append(ids, id)
+			touched = full
+		}
+	}
+
+	e.stats.StructureTime += time.Since(structStart)
+
+	// Step 2: deletes may turn non-FDs into FDs (§5).
+	if deletes > 0 {
+		start := time.Now()
+		e.processDeletes(touched)
+		e.stats.DeletePhaseTime += time.Since(start)
+	}
+	// Step 3: inserts may turn FDs into non-FDs (§4).
+	if len(ids) > 0 {
+		start := time.Now()
+		e.processInserts(minNewID, ids, touched)
+		e.stats.InsertPhaseTime += time.Since(start)
+	}
+
+	// Step 4: signal the changed FDs.
+	e.stats.Batches++
+	added, removed := fd.Diff(before, e.fds.All())
+	e.stats.FDsAdded += len(added)
+	e.stats.FDsRemoved += len(removed)
+	return Result{InsertedIDs: ids, Added: added, Removed: removed}, nil
+}
+
+// CheckInvariants verifies the engine's cross-structure invariants: Pli
+// consistency, cover minimality/maximality, and the duality between the
+// two covers (inverting the positive cover reproduces the negative cover).
+// It is exported for tests and failure-injection suites.
+func (e *Engine) CheckInvariants() error {
+	if err := e.store.CheckConsistency(); err != nil {
+		return err
+	}
+	if err := e.fds.CheckMinimal(); err != nil {
+		return fmt.Errorf("core: positive cover: %w", err)
+	}
+	if err := e.nonFds.CheckMinimal(); err != nil {
+		return fmt.Errorf("core: negative cover: %w", err)
+	}
+	wantNeg := induct.Invert(e.fds, e.numAttrs).All()
+	gotNeg := e.nonFds.All()
+	if !fd.Equal(gotNeg, wantNeg) {
+		return fmt.Errorf("core: cover duality violated:\n  negative cover: %v\n  inverted positive: %v", gotNeg, wantNeg)
+	}
+	return nil
+}

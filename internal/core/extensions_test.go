@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dynfd/internal/dataset"
+	"dynfd/internal/fd"
+	"dynfd/internal/oracle"
+	"dynfd/internal/stream"
+)
+
+// TestUpdateColumnPruningExact replays random update-only workloads with
+// the §8-extension pruning enabled and checks exactness against the oracle
+// after every batch: the pruning must never change results.
+func TestUpdateColumnPruningExact(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	const attrs = 5
+	cols := make([]string, attrs)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i)
+	}
+	rel := dataset.New("t", cols)
+	for i := 0; i < 25; i++ {
+		row := make([]string, attrs)
+		for a := range row {
+			row[a] = fmt.Sprint(r.Intn(3))
+		}
+		_ = rel.Append(row)
+	}
+	cfg := DefaultConfig()
+	cfg.UpdateColumnPruning = true
+	e, err := Bootstrap(rel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[int64][]string{}
+	var live []int64
+	for i := range rel.Rows {
+		model[int64(i)] = rel.Rows[i]
+		live = append(live, int64(i))
+	}
+	for batch := 0; batch < 15; batch++ {
+		var changes []stream.Change
+		used := map[int64]bool{}
+		var newRows [][]string
+		for c := 0; c < 5; c++ {
+			id := live[r.Intn(len(live))]
+			if used[id] {
+				continue
+			}
+			used[id] = true
+			// Update 1-2 columns only — the case the pruning targets.
+			row := append([]string(nil), model[id]...)
+			for j := 0; j < 1+r.Intn(2); j++ {
+				row[r.Intn(attrs)] = fmt.Sprint(r.Intn(3))
+			}
+			changes = append(changes, stream.Change{Kind: stream.Update, ID: id, Values: row})
+			newRows = append(newRows, row)
+		}
+		res, err := e.ApplyBatch(stream.Batch{Changes: changes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range used {
+			delete(model, id)
+		}
+		for i, id := range res.InsertedIDs {
+			model[id] = newRows[i]
+		}
+		live = live[:0]
+		for id := range model {
+			live = append(live, id)
+		}
+		rows := make([][]string, 0, len(model))
+		for _, row := range model {
+			rows = append(rows, row)
+		}
+		if got, want := e.FDs(), oracle.MinimalFDs(rows, attrs); !fd.Equal(got, want) {
+			t.Fatalf("batch %d: FDs diverged with update pruning\n got  %v\n want %v", batch, got, want)
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+	}
+	if e.Stats().SkippedValidations == 0 {
+		t.Error("update-column pruning never skipped a validation")
+	}
+}
+
+// TestKeyColumnPruningExact declares the (actually unique) first column as
+// a key and checks that results stay exact while validations are skipped.
+func TestKeyColumnPruningExact(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const attrs = 4
+	cols := []string{"id", "a", "b", "c"}
+	rel := dataset.New("t", cols)
+	serial := 0
+	newRow := func() []string {
+		serial++
+		return []string{
+			fmt.Sprintf("u%04d", serial),
+			fmt.Sprint(r.Intn(3)), fmt.Sprint(r.Intn(3)), fmt.Sprint(r.Intn(3)),
+		}
+	}
+	rows := map[int64][]string{}
+	for i := 0; i < 20; i++ {
+		row := newRow()
+		_ = rel.Append(row)
+		rows[int64(i)] = row
+	}
+	cfg := DefaultConfig()
+	cfg.KeyColumns = []int{0}
+	e, err := Bootstrap(rel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 10; batch++ {
+		row := newRow()
+		res, err := e.ApplyBatch(stream.Batch{Changes: []stream.Change{
+			{Kind: stream.Insert, Values: row},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows[res.InsertedIDs[0]] = row
+		snapshot := make([][]string, 0, len(rows))
+		for _, r := range rows {
+			snapshot = append(snapshot, r)
+		}
+		if got, want := e.FDs(), oracle.MinimalFDs(snapshot, attrs); !fd.Equal(got, want) {
+			t.Fatalf("batch %d: FDs diverged with key pruning\n got  %v\n want %v", batch, got, want)
+		}
+	}
+	if e.Stats().SkippedValidations == 0 {
+		t.Error("key-column pruning never skipped a validation")
+	}
+}
+
+// TestKeyColumnsOutOfRangeIgnored ensures sloppy configs do not panic.
+func TestKeyColumnsOutOfRangeIgnored(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KeyColumns = []int{-3, 99}
+	e := NewEmpty(3, cfg)
+	if _, err := e.ApplyBatch(stream.Batch{Changes: []stream.Change{
+		{Kind: stream.Insert, Values: []string{"a", "b", "c"}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"dynfd/internal/attrset"
+	"dynfd/internal/fd"
+	"dynfd/internal/induct"
+	"dynfd/internal/lattice"
+	"dynfd/internal/validate"
+)
+
+// processInserts implements the lattice-traversal FD validation for insert
+// batches (paper §4.1, Algorithm 2). Inserts can only invalidate FDs, so
+// the positive cover is validated level-wise from the most general to the
+// most specific candidates; invalidated FDs move to the negative cover and
+// are replaced by their minimal specializations, which the traversal
+// validates when it reaches their level. When a level yields too many
+// invalid candidates, the progressive violation search (§4.3) takes over
+// the hunt for further violations.
+//
+// minNewID is the smallest surrogate id assigned in this batch; newIDs are
+// all ids inserted by the batch; touched holds the columns the batch may
+// have changed (all columns unless update-column pruning narrowed it).
+func (e *Engine) processInserts(minNewID int64, newIDs []int64, touched attrset.Set) {
+	for level := 0; level <= e.numAttrs; level++ {
+		candidates := e.fds.Level(level)
+		if len(candidates) == 0 {
+			continue
+		}
+		type invalidFD struct {
+			cand    fd.FD
+			witness validate.Witness
+		}
+		var invalid []invalidFD
+		for _, cand := range candidates {
+			if !e.fds.Contains(cand.Lhs, cand.Rhs) {
+				continue // removed by an earlier specialization or search
+			}
+			if e.keySet.Intersects(cand.Lhs) {
+				// A declared key in the Lhs makes every Lhs group a single
+				// record; the FD can never be invalidated (§8 ext. 2).
+				e.stats.SkippedValidations++
+				continue
+			}
+			if !cand.Lhs.With(cand.Rhs).Intersects(touched) {
+				// No involved column changed, so the FD's validity cannot
+				// have changed either (§8 ext. 3).
+				e.stats.SkippedValidations++
+				continue
+			}
+			prune := validate.NoPruning
+			if e.cfg.ClusterPruning {
+				prune = minNewID
+			}
+			e.stats.Validations++
+			valid, w := validate.FD(e.store, cand.Lhs, cand.Rhs, prune)
+			if !valid {
+				invalid = append(invalid, invalidFD{cand: cand, witness: w})
+			}
+		}
+		for _, inv := range invalid {
+			if !e.fds.Contains(inv.cand.Lhs, inv.cand.Rhs) {
+				continue
+			}
+			// Algorithm 2 lines 6-15: remove the non-FD from the positive
+			// cover, record it as a maximal non-FD, and add its minimal
+			// specializations for validation on the next level.
+			induct.Specialize(e.fds, inv.cand.Lhs, inv.cand.Rhs, e.numAttrs)
+			e.addNonFD(inv.cand.Lhs, inv.cand.Rhs, lattice.Violation{A: inv.witness.A, B: inv.witness.B})
+		}
+		// Lines 16-17: switch to the violation search when the traversal
+		// becomes inefficient.
+		if float64(len(invalid)) > e.cfg.EfficiencyThreshold*float64(len(candidates)) {
+			e.violationSearch(newIDs)
+		}
+	}
+}
+
+// addNonFD records a newly discovered non-FD in the negative cover with
+// its violating record pair (paper §4.1: remove all generalizations, then
+// add; §5.2: attach the surrogate violation).
+func (e *Engine) addNonFD(lhs attrset.Set, rhs int, v lattice.Violation) {
+	if induct.AddMaximalNonFD(e.nonFds, lhs, rhs) {
+		e.nonFds.SetViolation(lhs, rhs, v)
+	}
+}

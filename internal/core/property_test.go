@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dynfd/internal/dataset"
+	"dynfd/internal/fd"
+	"dynfd/internal/induct"
+	"dynfd/internal/oracle"
+	"dynfd/internal/stream"
+)
+
+// workload drives a random sequence of batches against an engine and a
+// shadow row model, and verifies exactness against the brute-force oracle
+// plus all structural invariants after every batch.
+func runWorkload(t *testing.T, cfg Config, seed int64, attrs, initialRows, batches, batchSize, domain int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	cols := make([]string, attrs)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i)
+	}
+	randRow := func() []string {
+		row := make([]string, attrs)
+		for a := range row {
+			row[a] = fmt.Sprint(r.Intn(domain))
+		}
+		return row
+	}
+	rel := dataset.New("t", cols)
+	for i := 0; i < initialRows; i++ {
+		if err := rel.Append(randRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := Bootstrap(rel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shadow model: id -> row.
+	model := make(map[int64][]string)
+	var live []int64
+	for i := range rel.Rows {
+		model[int64(i)] = rel.Rows[i]
+		live = append(live, int64(i))
+	}
+
+	for b := 0; b < batches; b++ {
+		var changes []stream.Change
+		pendingDeletes := map[int64]bool{}
+		var pendingRows [][]string
+		for c := 0; c < batchSize; c++ {
+			op := r.Intn(4)
+			if len(live) == 0 {
+				op = 0
+			}
+			switch op {
+			case 0, 1: // insert
+				row := randRow()
+				changes = append(changes, stream.Change{Kind: stream.Insert, Values: row})
+				pendingRows = append(pendingRows, row)
+			case 2: // delete a random live record not already touched
+				id := live[r.Intn(len(live))]
+				if pendingDeletes[id] {
+					continue
+				}
+				pendingDeletes[id] = true
+				changes = append(changes, stream.Change{Kind: stream.Delete, ID: id})
+			case 3: // update
+				id := live[r.Intn(len(live))]
+				if pendingDeletes[id] {
+					continue
+				}
+				pendingDeletes[id] = true
+				row := randRow()
+				changes = append(changes, stream.Change{Kind: stream.Update, ID: id, Values: row})
+				pendingRows = append(pendingRows, row)
+			}
+		}
+		res, err := e.ApplyBatch(stream.Batch{Changes: changes})
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		// Update the shadow model.
+		for id := range pendingDeletes {
+			delete(model, id)
+		}
+		if len(res.InsertedIDs) != len(pendingRows) {
+			t.Fatalf("batch %d: %d inserted ids for %d rows", b, len(res.InsertedIDs), len(pendingRows))
+		}
+		for i, id := range res.InsertedIDs {
+			model[id] = pendingRows[i]
+		}
+		live = live[:0]
+		for id := range model {
+			live = append(live, id)
+		}
+
+		// Exactness: engine FDs == oracle FDs of the current rows.
+		rows := make([][]string, 0, len(model))
+		for _, row := range model {
+			rows = append(rows, row)
+		}
+		want := oracle.MinimalFDs(rows, attrs)
+		got := e.FDs()
+		if !fd.Equal(got, want) {
+			t.Fatalf("batch %d (cfg %+v): FDs diverged\n got  %v\n want %v\n rows %v",
+				b, cfg, got, want, rows)
+		}
+		// Negative cover exactness.
+		wantNeg := oracle.MaximalNonFDs(rows, attrs)
+		gotNeg := e.NonFDs()
+		if !fd.Equal(gotNeg, wantNeg) {
+			t.Fatalf("batch %d (cfg %+v): non-FDs diverged\n got  %v\n want %v\n rows %v",
+				b, cfg, gotNeg, wantNeg, rows)
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("batch %d (cfg %+v): %v", b, cfg, err)
+		}
+	}
+}
+
+func TestRandomWorkloadDefaultConfig(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		runWorkload(t, DefaultConfig(), seed, 4, 10, 12, 6, 3)
+	}
+}
+
+func TestRandomWorkloadWiderSchema(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		runWorkload(t, DefaultConfig(), 100+seed, 6, 20, 8, 10, 3)
+	}
+}
+
+func TestRandomWorkloadLargeBatches(t *testing.T) {
+	runWorkload(t, DefaultConfig(), 7, 5, 5, 5, 40, 4)
+}
+
+func TestRandomWorkloadTinyDomainForcesChurn(t *testing.T) {
+	// Domain 2 produces many FD flips per batch, stressing the violation
+	// search and the depth-first searches.
+	runWorkload(t, DefaultConfig(), 21, 5, 15, 10, 8, 2)
+}
+
+func TestRandomWorkloadAllConfigs(t *testing.T) {
+	for i, cfg := range allConfigs() {
+		cfg.Seed = int64(i)
+		runWorkload(t, cfg, int64(40+i), 4, 8, 8, 6, 3)
+	}
+}
+
+func TestRandomWorkloadFromEmpty(t *testing.T) {
+	runWorkload(t, DefaultConfig(), 99, 4, 0, 10, 8, 3)
+}
+
+func TestRandomWorkloadDeleteHeavy(t *testing.T) {
+	// Start large, then delete-heavy batches shrink the relation, forcing
+	// many non-FD -> FD transitions.
+	r := rand.New(rand.NewSource(3))
+	const attrs = 5
+	cols := make([]string, attrs)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i)
+	}
+	rel := dataset.New("t", cols)
+	for i := 0; i < 60; i++ {
+		row := make([]string, attrs)
+		for a := range row {
+			row[a] = fmt.Sprint(r.Intn(3))
+		}
+		_ = rel.Append(row)
+	}
+	e, err := Bootstrap(rel, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := make(map[int64][]string)
+	for i := range rel.Rows {
+		model[int64(i)] = rel.Rows[i]
+	}
+	for len(model) > 0 {
+		var changes []stream.Change
+		n := 0
+		for id := range model {
+			changes = append(changes, stream.Change{Kind: stream.Delete, ID: id})
+			delete(model, id)
+			if n++; n >= 7 {
+				break
+			}
+		}
+		if _, err := e.ApplyBatch(stream.Batch{Changes: changes}); err != nil {
+			t.Fatal(err)
+		}
+		rows := make([][]string, 0, len(model))
+		for _, row := range model {
+			rows = append(rows, row)
+		}
+		if got, want := e.FDs(), oracle.MinimalFDs(rows, attrs); !fd.Equal(got, want) {
+			t.Fatalf("delete-heavy: FDs diverged with %d rows left\n got  %v\n want %v", len(rows), got, want)
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCoverDualityMaintained double-checks that the maintained negative
+// cover always equals the inversion of the maintained positive cover —
+// even in the middle of long workloads (CheckInvariants does this too; the
+// explicit test documents the invariant).
+func TestCoverDualityMaintained(t *testing.T) {
+	e := mustBootstrap(t, DefaultConfig())
+	batches := []stream.Batch{
+		{Changes: []stream.Change{{Kind: stream.Insert, Values: []string{"A", "B", "14482", "Potsdam"}}}},
+		{Changes: []stream.Change{{Kind: stream.Delete, ID: 1}}},
+		{Changes: []stream.Change{{Kind: stream.Update, ID: 3, Values: []string{"Anna", "Scott", "14482", "Potsdam"}}}},
+	}
+	for i, b := range batches {
+		if _, err := e.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		want := induct.Invert(e.fds, e.numAttrs).All()
+		if got := e.NonFDs(); !fd.Equal(got, want) {
+			t.Fatalf("batch %d: duality broken", i)
+		}
+	}
+}

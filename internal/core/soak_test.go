@@ -1,0 +1,22 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSoakLongWorkload runs a long mixed workload on a wider schema with
+// periodic oracle checks — slower than the focused property tests, so it
+// is skipped in -short mode.
+func TestSoakLongWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	// Larger relation, more batches, all strategies on, checking exactness
+	// against the oracle every batch and engine invariants throughout.
+	runWorkload(t, DefaultConfig(), 123456, 6, 40, 30, 12, 3)
+	runWorkload(t, DefaultConfig(), 654321, 7, 25, 20, 15, 4)
+	// Extensions enabled under the same scrutiny.
+	cfg := DefaultConfig()
+	cfg.UpdateColumnPruning = true
+	runWorkload(t, cfg, 111, 6, 30, 20, 10, 3)
+}

@@ -1,0 +1,528 @@
+// Package datagen synthesizes the six evaluation datasets of the DynFD
+// paper (§6.1, Table 3) together with their change histories. The original
+// data — MusicBrainz artist, TSA baggage claims, and the Wikipedia infobox
+// relations cpu, disease, actor, and single — is not redistributable, so
+// the generators reproduce the properties that drive FD maintenance cost
+// instead: column count, (scaled) row count, change count, the
+// insert/delete/update mix, and an FD landscape of keys, hierarchy chains
+// (zip→city-style many-to-one mappings), correlated categories, and noisy
+// free-value columns whose dependencies drift as the history progresses.
+// See DESIGN.md §2 for the substitution rationale.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dynfd/internal/dataset"
+	"dynfd/internal/stream"
+)
+
+// Profile describes one dataset to synthesize.
+type Profile struct {
+	Name        string
+	Columns     int
+	InitialRows int
+	Changes     int
+	// Operation mix; must sum to 1 (within rounding).
+	PctInserts, PctDeletes, PctUpdates float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Profiles returns the six evaluation datasets with the characteristics of
+// Table 3. Row and change counts of the very large histories are scaled
+// down to laptop size by default; use Scaled to change the factor.
+func Profiles() []Profile {
+	return []Profile{
+		// cpu: short and update-heavy (95.5% updates on 62 rows).
+		{Name: "cpu", Columns: 15, InitialRows: 62, Changes: 1463,
+			PctInserts: 0.043, PctDeletes: 0.002, PctUpdates: 0.955, Seed: 1},
+		// disease: many changes, almost all updates.
+		{Name: "disease", Columns: 13, InitialRows: 1600, Changes: 20000,
+			PctInserts: 0.010, PctDeletes: 0.006, PctUpdates: 0.984, Seed: 2},
+		// actor: wide (83 columns), insert-leaning mix.
+		{Name: "actor", Columns: 83, InitialRows: 3655, Changes: 5647,
+			PctInserts: 0.649, PctDeletes: 0.005, PctUpdates: 0.346, Seed: 3},
+		// single: insert-heavy (96.1%).
+		{Name: "single", Columns: 26, InitialRows: 12451, Changes: 12614,
+			PctInserts: 0.961, PctDeletes: 0.000, PctUpdates: 0.039, Seed: 4},
+		// artist: long relation (1.12M rows in the paper; scaled to 50k).
+		{Name: "artist", Columns: 18, InitialRows: 50000, Changes: 25470,
+			PctInserts: 0.618, PctDeletes: 0.037, PctUpdates: 0.345, Seed: 5},
+		// claims: pure insert stream.
+		{Name: "claims", Columns: 8, InitialRows: 1054, Changes: 20000,
+			PctInserts: 1.000, PctDeletes: 0.000, PctUpdates: 0.000, Seed: 6},
+	}
+}
+
+// ByName returns the profile with the given dataset name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("datagen: unknown dataset %q", name)
+}
+
+// Scaled returns a copy with InitialRows and Changes multiplied by factor.
+// The row count is floored at four rows per column: below that, the twin
+// mechanism (see newRow) cannot cover all columns and the synthesized data
+// degenerates into an every-column-pair-is-a-key artifact that no real
+// dataset exhibits.
+func (p Profile) Scaled(factor float64) Profile {
+	scale := func(n, floor int) int {
+		s := int(math.Round(float64(n) * factor))
+		if s < floor {
+			s = floor
+		}
+		return s
+	}
+	p.InitialRows = scale(p.InitialRows, 4*p.Columns)
+	p.Changes = scale(p.Changes, 1)
+	return p
+}
+
+// Dataset is a synthesized relation plus its change history. Delete and
+// update changes reference record ids exactly as a DynFD engine assigns
+// them: 0..InitialRows-1 for the bootstrap tuples, then sequentially for
+// every insert- or update-born tuple in history order, independent of how
+// the history is later cut into batches.
+type Dataset struct {
+	Profile  Profile
+	Relation *dataset.Relation
+	Changes  []stream.Change
+}
+
+// column models one attribute's value distribution.
+type column struct {
+	kind   columnKind
+	domain int // category/child domain size
+	parent int // for kindChild: the column whose value determines ours
+	// mapping holds the current parent-value -> child-value assignment of
+	// hierarchy columns; rewired occasionally to make FDs drift.
+	mapping map[string]string
+}
+
+type columnKind int
+
+const (
+	kindKey      columnKind = iota // unique serial values (candidate key)
+	kindCategory                   // independent categorical values
+	kindChild                      // functionally derived from a parent column
+	kindNumeric                    // wide-domain numeric values with duplicates
+	kindFlag                       // tiny domain (2-3 values)
+)
+
+// generator produces rows and change operations for one profile.
+type generator struct {
+	p      Profile
+	r      *rand.Rand
+	cols   []column
+	serial int // for kindKey
+	nextID int64
+	live   []int64
+	rows   map[int64][]string
+	// twinIDs marks records created as twins; mutating updates avoid them
+	// so the standing twin pairs (and with them the FD landscape) survive
+	// long update-heavy histories.
+	twinIDs map[int64]bool
+	// Twin-pair accounting: coverage[t] counts the live twin pairs of
+	// twinTargets[t]; memberPairs lets record deaths decrement it. New
+	// twins always reinforce the thinnest target, so no column's coverage
+	// silently decays to zero during long histories.
+	coverage    []int
+	memberPairs map[int64][]*twinPair
+	rewires     int
+	rewireProb  float64
+	twinProb    float64
+	// twinTargets cycles over what a twin row may differ in: the key only
+	// (pure duplicate modulo key), one independent column, or the first
+	// depth+1 levels of one hierarchy chain (deeper levels stay identical
+	// through a consistent fresh mapping).
+	twinTargets []twinTarget
+	twinNext    int
+	// chains lists every hierarchy chain as column indexes, root first.
+	chains [][]int
+	// freshSerial feeds guaranteed-new values per column for chain twins.
+	freshSerial []int
+}
+
+// twinPair is one standing near-duplicate pair for a twin target.
+type twinPair struct {
+	target int
+	dead   bool
+}
+
+// twinTarget describes one way a twin row differs from its base.
+type twinTarget struct {
+	col   int   // independent column to vary; -1 for chain targets
+	chain []int // hierarchy chain to vary (root first); nil for column targets
+	depth int   // vary chain levels 0..depth, keep deeper levels identical
+}
+
+// Generate synthesizes the dataset for a profile.
+func Generate(p Profile) (*Dataset, error) {
+	if p.Columns < 2 {
+		return nil, fmt.Errorf("datagen: profile %q needs at least 2 columns", p.Name)
+	}
+	g := &generator{
+		p:           p,
+		r:           rand.New(rand.NewSource(p.Seed)),
+		rows:        make(map[int64][]string),
+		twinIDs:     make(map[int64]bool),
+		memberPairs: make(map[int64][]*twinPair),
+	}
+	g.buildSchema()
+	g.coverage = make([]int, len(g.twinTargets))
+
+	colNames := make([]string, p.Columns)
+	for i := range colNames {
+		colNames[i] = fmt.Sprintf("%s_c%02d", p.Name, i)
+	}
+	rel := dataset.New(p.Name, colNames)
+	for i := 0; i < p.InitialRows; i++ {
+		row, twin := g.newRow()
+		if err := rel.Append(row); err != nil {
+			return nil, err
+		}
+		g.rows[g.nextID] = row
+		if twin != nil {
+			g.registerTwin(twin, g.nextID)
+		}
+		g.live = append(g.live, g.nextID)
+		g.nextID++
+	}
+
+	changes := make([]stream.Change, 0, p.Changes)
+	for i := 0; i < p.Changes; i++ {
+		changes = append(changes, g.nextChange())
+	}
+	return &Dataset{Profile: p, Relation: rel, Changes: changes}, nil
+}
+
+// buildSchema assigns column kinds: one key column, hierarchy chains of
+// length 3 (an FD parent → child → grandchild), and a majority of sparse,
+// near-unique columns — the shape of the original datasets (ids, zip→city
+// chains, names, free text, counters). Low-cardinality columns are kept
+// rare and never below domain ~5: wide random data with many binary
+// columns would have combinatorially many maximal non-FDs, which no real
+// infobox-style relation exhibits.
+func (g *generator) buildSchema() {
+	m := g.p.Columns
+	g.cols = make([]column, m)
+	g.cols[0] = column{kind: kindKey}
+	// Domain sizes scale with the relation so clusters keep realistic sizes.
+	base := int(math.Sqrt(float64(g.p.InitialRows+2))) + 3
+	for i := 1; i < m; i++ {
+		switch {
+		case i%7 == 1:
+			g.cols[i] = column{kind: kindCategory, domain: base * 2}
+		case i%7 == 2:
+			// Child of the previous category: an FD parent -> child.
+			g.cols[i] = column{kind: kindChild, parent: i - 1, mapping: map[string]string{}, domain: base}
+		case i%7 == 3:
+			// Grandchild: child -> grandchild, so parent -> grandchild too.
+			g.cols[i] = column{kind: kindChild, parent: i - 1, mapping: map[string]string{}, domain: base/2 + 4}
+		case i%19 == 4:
+			// A rare small-domain column (genre flags, status codes).
+			g.cols[i] = column{kind: kindFlag, domain: 5 + g.r.Intn(3)}
+		default:
+			// Sparse free values: mostly unique, occasional duplicates.
+			g.cols[i] = column{kind: kindNumeric, domain: g.p.InitialRows*3 + 16}
+		}
+	}
+	// Collect hierarchy chains (root category followed by its child and
+	// grandchild columns).
+	g.freshSerial = make([]int, m)
+	for i := 0; i < m; i++ {
+		if g.cols[i].kind != kindCategory {
+			continue
+		}
+		chain := []int{i}
+		for j := i + 1; j < m && g.cols[j].kind == kindChild && g.cols[j].parent == j-1; j++ {
+			chain = append(chain, j)
+		}
+		g.chains = append(g.chains, chain)
+	}
+	// Twin targets: the key alone, each independent column, and each
+	// (chain, depth) combination.
+	g.twinTargets = append(g.twinTargets, twinTarget{col: 0})
+	for i := 1; i < m; i++ {
+		if g.cols[i].kind == kindNumeric || g.cols[i].kind == kindFlag {
+			g.twinTargets = append(g.twinTargets, twinTarget{col: i})
+		}
+	}
+	for _, chain := range g.chains {
+		for depth := range chain {
+			g.twinTargets = append(g.twinTargets, twinTarget{col: -1, chain: chain, depth: depth})
+		}
+	}
+	// Enough twins that every target column gets standing twin pairs; at
+	// least ~2.5 per target, bounded to keep most rows organic.
+	rows := g.p.InitialRows + 1
+	g.twinProb = 3.5 * float64(len(g.twinTargets)) / float64(rows)
+	if g.twinProb < 0.15 {
+		g.twinProb = 0.15
+	}
+	if g.twinProb > 0.7 {
+		g.twinProb = 0.7
+	}
+	// Aim for ~2 rewire events over the dataset's whole lifetime.
+	childCols := 0
+	for _, c := range g.cols {
+		if c.kind == kindChild {
+			childCols++
+		}
+	}
+	if childCols > 0 {
+		draws := float64((g.p.InitialRows + g.p.Changes) * childCols)
+		g.rewireProb = 2.0 / draws
+	}
+}
+
+// refreshDescendants recomputes all hierarchy columns below a changed
+// ancestor so parent -> child mappings stay consistent. Columns are
+// ordered parent-before-child, so one ascending pass suffices.
+func (g *generator) refreshDescendants(row []string, changed int) {
+	dirty := map[int]bool{changed: true}
+	for i := changed + 1; i < len(g.cols); i++ {
+		if g.cols[i].kind == kindChild && dirty[g.cols[i].parent] {
+			row[i] = g.value(i, row)
+			dirty[i] = true
+		}
+	}
+}
+
+// value draws a fresh value for column i, given the (partially filled) row.
+func (g *generator) value(i int, row []string) string {
+	c := &g.cols[i]
+	switch c.kind {
+	case kindKey:
+		g.serial++
+		return fmt.Sprintf("k%07d", g.serial)
+	case kindCategory:
+		return fmt.Sprintf("v%d", g.r.Intn(c.domain))
+	case kindChild:
+		parent := row[c.parent]
+		child, ok := c.mapping[parent]
+		if !ok {
+			child = fmt.Sprintf("d%d", g.r.Intn(c.domain))
+			c.mapping[parent] = child
+		}
+		// Rarely rewire a mapping entry: the functional relationship
+		// parent -> child briefly breaks (old rows keep the old value) and
+		// re-forms as old rows churn out — exactly the FD drift the paper
+		// observes in real change histories. The rate is normalized so a
+		// handful of rewires happen per dataset lifetime regardless of size.
+		if g.r.Float64() < g.rewireProb {
+			c.mapping[parent] = fmt.Sprintf("d%d", g.r.Intn(c.domain))
+			g.rewires++
+		}
+		return child
+	case kindNumeric:
+		return fmt.Sprintf("%d", g.r.Intn(c.domain))
+	case kindFlag:
+		return fmt.Sprintf("f%d", g.r.Intn(c.domain))
+	default:
+		panic("datagen: unknown column kind")
+	}
+}
+
+// newRow produces either an organic fresh row or, with twinProb, a twin of
+// a live row. A twin copies an existing tuple, takes a fresh key, and
+// differs in exactly one target column (or one hierarchy chain, updated
+// consistently). Twins are what keeps the FD landscape realistic: the
+// standing near-duplicate pairs rule out the combinatorially many
+// accidental "every few columns form a key" dependencies that purely
+// random wide data would otherwise exhibit.
+// pendingTwin carries a freshly built twin row until its record id is
+// known and the pair can be registered.
+type pendingTwin struct {
+	row    []string
+	baseID int64
+	target int
+}
+
+func (g *generator) newRow() (row []string, twin *pendingTwin) {
+	if len(g.live) > 0 && g.r.Float64() < g.twinProb {
+		t := g.twinRow()
+		return t.row, t
+	}
+	row = make([]string, g.p.Columns)
+	for i := range row {
+		row[i] = g.value(i, row)
+	}
+	return row, nil
+}
+
+// thinnestTarget returns the twin target with the fewest live pairs,
+// breaking ties round-robin.
+func (g *generator) thinnestTarget() int {
+	best, bestCov := -1, int(^uint(0)>>1)
+	n := len(g.twinTargets)
+	for off := 0; off < n; off++ {
+		i := (g.twinNext + off) % n
+		if g.coverage[i] < bestCov {
+			best, bestCov = i, g.coverage[i]
+			if bestCov == 0 {
+				break
+			}
+		}
+	}
+	g.twinNext++
+	return best
+}
+
+func (g *generator) twinRow() *pendingTwin {
+	baseID := g.live[g.r.Intn(len(g.live))]
+	base := g.rows[baseID]
+	row := append([]string(nil), base...)
+	ti := g.thinnestTarget()
+	target := g.twinTargets[ti]
+	row[0] = g.value(0, row) // fresh key
+	switch {
+	case target.chain != nil:
+		g.chainTwin(row, target.chain, target.depth)
+	case target.col != 0:
+		old := row[target.col]
+		for tries := 0; tries < 8 && row[target.col] == old; tries++ {
+			row[target.col] = g.value(target.col, row)
+		}
+	}
+	return &pendingTwin{row: row, baseID: baseID, target: ti}
+}
+
+// registerTwin records the standing pair once the twin's id is assigned.
+func (g *generator) registerTwin(t *pendingTwin, twinID int64) {
+	g.twinIDs[twinID] = true
+	pair := &twinPair{target: t.target}
+	g.coverage[t.target]++
+	g.memberPairs[t.baseID] = append(g.memberPairs[t.baseID], pair)
+	g.memberPairs[twinID] = append(g.memberPairs[twinID], pair)
+}
+
+// recordDied invalidates every twin pair the record participated in.
+func (g *generator) recordDied(id int64) {
+	for _, pair := range g.memberPairs[id] {
+		if !pair.dead {
+			pair.dead = true
+			g.coverage[pair.target]--
+		}
+	}
+	delete(g.memberPairs, id)
+	delete(g.twinIDs, id)
+}
+
+// chainTwin varies the first depth+1 levels of a hierarchy chain with
+// guaranteed-fresh values whose mappings are set up consistently, keeping
+// every deeper level identical to the base row. The resulting twin pair
+// disagrees exactly on {key} ∪ chain[0..depth] — the standing violation
+// that rules out accidental FDs with those columns as right-hand sides —
+// while every parent → child FD of the chain remains intact.
+func (g *generator) chainTwin(row []string, chain []int, depth int) {
+	for l := 0; l <= depth && l < len(chain); l++ {
+		col := chain[l]
+		g.freshSerial[col]++
+		fresh := fmt.Sprintf("n%d", g.freshSerial[col])
+		row[col] = fresh
+		if l > 0 {
+			// The fresh parent value maps to this fresh child value.
+			g.cols[col].mapping[row[chain[l-1]]] = fresh
+		}
+	}
+	if depth+1 < len(chain) {
+		// The first untouched level keeps its old value: register it as
+		// the image of the new deepest-changed value.
+		col := chain[depth+1]
+		g.cols[col].mapping[row[chain[depth]]] = row[col]
+	}
+}
+
+// nextChange draws one change operation following the profile's mix.
+func (g *generator) nextChange() stream.Change {
+	x := g.r.Float64()
+	switch {
+	case x < g.p.PctDeletes && len(g.live) > 1:
+		return g.deleteChange()
+	case x < g.p.PctDeletes+g.p.PctUpdates && len(g.live) > 0:
+		return g.updateChange()
+	default:
+		return g.insertChange()
+	}
+}
+
+func (g *generator) insertChange() stream.Change {
+	row, twin := g.newRow()
+	g.rows[g.nextID] = row
+	if twin != nil {
+		g.registerTwin(twin, g.nextID)
+	}
+	g.live = append(g.live, g.nextID)
+	g.nextID++
+	return stream.Change{Kind: stream.Insert, Values: row}
+}
+
+func (g *generator) deleteChange() stream.Change {
+	i := g.r.Intn(len(g.live))
+	id := g.live[i]
+	g.live[i] = g.live[len(g.live)-1]
+	g.live = g.live[:len(g.live)-1]
+	delete(g.rows, id)
+	g.recordDied(id)
+	return stream.Change{Kind: stream.Delete, ID: id}
+}
+
+// updateChange replaces a live record. Most updates mutate 1-3 attribute
+// values — real updates rarely rewrite whole tuples (paper §8, open
+// question 3) — while a share of them rewrites the tuple as a twin of
+// another live record. The twin-updates matter in update-heavy histories:
+// without them the bootstrap's twin pairs would churn away and the FD
+// landscape would degenerate (see newRow).
+func (g *generator) updateChange() stream.Change {
+	i := g.r.Intn(len(g.live))
+	id := g.live[i]
+	twinUpdate := g.r.Float64() < 0.5 && len(g.live) > 1
+	if !twinUpdate {
+		// Mutating updates prefer organic rows: consuming a twin would
+		// erode the standing twin pairs that shape the FD landscape.
+		for tries := 0; tries < 4 && g.twinIDs[id]; tries++ {
+			i = g.r.Intn(len(g.live))
+			id = g.live[i]
+		}
+	}
+	old := g.rows[id]
+	var row []string
+	var twin *pendingTwin
+	if twinUpdate {
+		twin = g.twinRow()
+		row = twin.row
+	} else {
+		row = append([]string(nil), old...)
+		n := 1 + g.r.Intn(3)
+		for j := 0; j < n; j++ {
+			col := g.r.Intn(g.p.Columns)
+			row[col] = g.value(col, row)
+			// When a hierarchy ancestor changes, usually repair the chain
+			// below it; leaving it stale now and then plants the temporary
+			// FD violations that real erroneous updates cause (paper §1).
+			if g.cols[col].kind == kindCategory && g.r.Float64() < 0.97 {
+				g.refreshDescendants(row, col)
+			}
+		}
+	}
+	// The update consumes the old id and produces a fresh one.
+	g.live[i] = g.live[len(g.live)-1]
+	g.live = g.live[:len(g.live)-1]
+	delete(g.rows, id)
+	g.recordDied(id)
+	g.rows[g.nextID] = row
+	if twin != nil {
+		g.registerTwin(twin, g.nextID)
+	}
+	g.live = append(g.live, g.nextID)
+	g.nextID++
+	return stream.Change{Kind: stream.Update, ID: id, Values: row}
+}

@@ -1,0 +1,169 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+
+	"dynfd/internal/core"
+	"dynfd/internal/stream"
+)
+
+func TestProfilesMatchTable3Shape(t *testing.T) {
+	want := map[string]struct{ cols, rows int }{
+		"cpu":     {15, 62},
+		"disease": {13, 1600},
+		"actor":   {83, 3655},
+		"single":  {26, 12451},
+		"artist":  {18, 50000}, // scaled from 1,122,887 (see DESIGN.md)
+		"claims":  {8, 1054},
+	}
+	ps := Profiles()
+	if len(ps) != 6 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	for _, p := range ps {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Errorf("unexpected profile %q", p.Name)
+			continue
+		}
+		if p.Columns != w.cols || p.InitialRows != w.rows {
+			t.Errorf("%s: %d cols %d rows, want %d/%d", p.Name, p.Columns, p.InitialRows, w.cols, w.rows)
+		}
+		sum := p.PctInserts + p.PctDeletes + p.PctUpdates
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("%s: mix sums to %f", p.Name, sum)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("cpu")
+	if err != nil || p.Name != "cpu" {
+		t.Errorf("ByName(cpu) = %v, %v", p, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := Profile{Name: "x", Columns: 2, InitialRows: 100, Changes: 1000}
+	s := p.Scaled(0.1)
+	if s.InitialRows != 10 || s.Changes != 100 {
+		t.Errorf("Scaled = %+v", s)
+	}
+	// The row count is floored at 4 rows per column so the twin mechanism
+	// keeps working; the change count is floored at 1.
+	tiny := p.Scaled(0.00001)
+	if tiny.InitialRows != 4*p.Columns || tiny.Changes != 1 {
+		t.Errorf("Scaled floor = %+v", tiny)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ByName("cpu")
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Relation.Rows, b.Relation.Rows) {
+		t.Error("initial rows not deterministic")
+	}
+	if !reflect.DeepEqual(a.Changes, b.Changes) {
+		t.Error("changes not deterministic")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p, _ := ByName("cpu")
+	d, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Relation.NumRows() != p.InitialRows || d.Relation.NumColumns() != p.Columns {
+		t.Fatalf("relation %dx%d", d.Relation.NumRows(), d.Relation.NumColumns())
+	}
+	if len(d.Changes) != p.Changes {
+		t.Fatalf("changes = %d", len(d.Changes))
+	}
+	ins, del, upd := stream.Batch{Changes: d.Changes}.Counts()
+	total := float64(len(d.Changes))
+	if got := float64(upd) / total; got < p.PctUpdates-0.05 || got > p.PctUpdates+0.05 {
+		t.Errorf("update fraction = %f, want ≈ %f", got, p.PctUpdates)
+	}
+	if got := float64(ins) / total; got < p.PctInserts-0.05 || got > p.PctInserts+0.05 {
+		t.Errorf("insert fraction = %f, want ≈ %f", got, p.PctInserts)
+	}
+	_ = del
+	for i, c := range d.Changes {
+		if err := c.Validate(p.Columns); err != nil {
+			t.Fatalf("change %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateTooFewColumns(t *testing.T) {
+	if _, err := Generate(Profile{Name: "x", Columns: 1}); err == nil {
+		t.Error("1-column profile accepted")
+	}
+}
+
+// TestHistoryReplaysThroughEngine is the crucial integration property: the
+// generated change history must replay cleanly through a DynFD engine —
+// every referenced id resolves, for any batch size.
+func TestHistoryReplaysThroughEngine(t *testing.T) {
+	p, _ := ByName("cpu")
+	p = p.Scaled(0.3)
+	d, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batchSize := range []int{1, 7, 100, len(d.Changes)} {
+		eng, err := core.Bootstrap(d.Relation, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for bi, b := range stream.FixedBatches(d.Changes, batchSize) {
+			if _, err := eng.ApplyBatch(b); err != nil {
+				t.Fatalf("batch size %d, batch %d: %v", batchSize, bi, err)
+			}
+		}
+		if err := eng.CheckInvariants(); err != nil {
+			t.Fatalf("batch size %d: %v", batchSize, err)
+		}
+	}
+}
+
+// TestHistoryCausesFDChurn checks that the synthesized history actually
+// flips FDs over time — the property that makes the maintenance problem
+// non-trivial (runtime spikes of Figure 5).
+func TestHistoryCausesFDChurn(t *testing.T) {
+	p, _ := ByName("cpu")
+	d, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Bootstrap(d.Relation, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn := 0
+	for _, b := range stream.FixedBatches(d.Changes, 50) {
+		res, err := eng.ApplyBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		churn += len(res.Added) + len(res.Removed)
+	}
+	if churn == 0 {
+		t.Error("change history never changed any FD; generator too static")
+	}
+	if eng.Stats().FDsAdded == 0 {
+		t.Error("no FDs ever added")
+	}
+}

@@ -1,0 +1,141 @@
+// Package dataset models a single relational table — a schema plus string
+// rows — and provides CSV input/output. It is the static snapshot format
+// consumed by the static discovery algorithms and by DynFD's bootstrap.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Relation is an instance of a relational schema. Rows hold raw string
+// values; NULLs are represented as empty strings and compare equal to each
+// other (the common convention of FD profiling tools such as Metanome).
+type Relation struct {
+	Name    string
+	Columns []string
+	Rows    [][]string
+}
+
+// New returns an empty relation with the given schema.
+func New(name string, columns []string) *Relation {
+	return &Relation{Name: name, Columns: append([]string(nil), columns...)}
+}
+
+// NumColumns returns the attribute count of the schema.
+func (r *Relation) NumColumns() int { return len(r.Columns) }
+
+// NumRows returns the current tuple count.
+func (r *Relation) NumRows() int { return len(r.Rows) }
+
+// Append adds a row after verifying its arity.
+func (r *Relation) Append(row []string) error {
+	if len(row) != len(r.Columns) {
+		return fmt.Errorf("dataset: row has %d values, schema %q has %d columns",
+			len(row), r.Name, len(r.Columns))
+	}
+	r.Rows = append(r.Rows, append([]string(nil), row...))
+	return nil
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := New(r.Name, r.Columns)
+	c.Rows = make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		c.Rows[i] = append([]string(nil), row...)
+	}
+	return c
+}
+
+// Validate checks structural consistency: non-empty schema, unique column
+// names, and uniform row arity.
+func (r *Relation) Validate() error {
+	if len(r.Columns) == 0 {
+		return fmt.Errorf("dataset: relation %q has no columns", r.Name)
+	}
+	seen := make(map[string]bool, len(r.Columns))
+	for _, c := range r.Columns {
+		if seen[c] {
+			return fmt.Errorf("dataset: relation %q has duplicate column %q", r.Name, c)
+		}
+		seen[c] = true
+	}
+	for i, row := range r.Rows {
+		if len(row) != len(r.Columns) {
+			return fmt.Errorf("dataset: relation %q row %d has %d values, want %d",
+				r.Name, i, len(row), len(r.Columns))
+		}
+	}
+	return nil
+}
+
+// ReadCSV parses a relation from CSV data. The first record is the header.
+func ReadCSV(name string, rd io.Reader) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	rel := New(name, header)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV row: %w", err)
+		}
+		if err := rel.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// ReadCSVFile parses a relation from the CSV file at path, using the file
+// name as the relation name.
+func ReadCSVFile(path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(path, f)
+}
+
+// WriteCSV serializes the relation as CSV, header first. A row consisting
+// of a single empty field is written as `""`: encoding/csv would emit a
+// blank line, which its reader then skips, silently dropping the row.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	writeRecord := func(rec []string, what string) error {
+		if len(rec) == 1 && rec[0] == "" {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return fmt.Errorf("dataset: writing CSV %s: %w", what, err)
+			}
+			if _, err := io.WriteString(w, "\"\"\n"); err != nil {
+				return fmt.Errorf("dataset: writing CSV %s: %w", what, err)
+			}
+			return nil
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV %s: %w", what, err)
+		}
+		return nil
+	}
+	if err := writeRecord(r.Columns, "header"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := writeRecord(row, "row"); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAppendChecksArity(t *testing.T) {
+	r := New("t", []string{"a", "b"})
+	if err := r.Append([]string{"1", "2"}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := r.Append([]string{"1"}); err == nil {
+		t.Error("Append with wrong arity succeeded")
+	}
+	if r.NumRows() != 1 || r.NumColumns() != 2 {
+		t.Errorf("counts = %d rows %d cols", r.NumRows(), r.NumColumns())
+	}
+}
+
+func TestAppendCopiesRow(t *testing.T) {
+	r := New("t", []string{"a"})
+	row := []string{"x"}
+	if err := r.Append(row); err != nil {
+		t.Fatal(err)
+	}
+	row[0] = "mutated"
+	if r.Rows[0][0] != "x" {
+		t.Error("Append aliased caller slice")
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := New("t", []string{"a", "b"})
+	_ = r.Append([]string{"1", "2"})
+	c := r.Clone()
+	c.Rows[0][0] = "9"
+	c.Columns[0] = "z"
+	if r.Rows[0][0] != "1" || r.Columns[0] != "a" {
+		t.Error("Clone is shallow")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	r := New("t", []string{"a", "b"})
+	_ = r.Append([]string{"1", "2"})
+	if err := r.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	bad := &Relation{Name: "x", Columns: []string{"a", "a"}}
+	if bad.Validate() == nil {
+		t.Error("duplicate columns not detected")
+	}
+	empty := &Relation{Name: "x"}
+	if empty.Validate() == nil {
+		t.Error("empty schema not detected")
+	}
+	ragged := &Relation{Name: "x", Columns: []string{"a"}, Rows: [][]string{{"1", "2"}}}
+	if ragged.Validate() == nil {
+		t.Error("ragged row not detected")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := "a,b,c\n1,2,3\n4,,6\n"
+	r, err := ReadCSV("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !reflect.DeepEqual(r.Columns, []string{"a", "b", "c"}) {
+		t.Errorf("Columns = %v", r.Columns)
+	}
+	if r.NumRows() != 2 || r.Rows[1][1] != "" {
+		t.Errorf("rows = %v", r.Rows)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	r2, err := ReadCSV("t", &buf)
+	if err != nil {
+		t.Fatalf("ReadCSV round trip: %v", err)
+	}
+	if !reflect.DeepEqual(r.Rows, r2.Rows) || !reflect.DeepEqual(r.Columns, r2.Columns) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSV("t", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged CSV accepted")
+	}
+}
+
+func TestReadCSVFileMissing(t *testing.T) {
+	if _, err := ReadCSVFile("/nonexistent/file.csv"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,238 @@
+// Package extract derives change histories from a series of relation
+// snapshots — the preprocessing step the DynFD paper applies to its
+// datasets (§6.1: "Because DynFD requires the individual change operations
+// that transformed one version into its successor version, we extracted
+// all inserts, deletes, and updates from the change history of each
+// dataset").
+//
+// An Extractor tracks the surrogate ids a DynFD engine would assign, so
+// the emitted deletes and updates reference the right records when the
+// history is replayed: the initial snapshot's rows get ids 0..n-1 in
+// order, and every insert or update allocates the next id.
+package extract
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dynfd/internal/dataset"
+	"dynfd/internal/stream"
+)
+
+// Extractor diffs successive versions of one relation into change
+// operations. Create it with New on the initial version, then call Diff
+// once per successor version, in order.
+type Extractor struct {
+	columns []string
+	keyCols []int
+	byKey   map[string]int64 // key -> current record id (keyed mode)
+	rows    map[int64][]string
+	nextID  int64
+}
+
+// New returns an extractor seeded with the initial relation version.
+//
+// keyColumns name the columns that identify a logical row across versions;
+// they enable update detection and must be unique within every version.
+// With no key columns the extractor falls back to whole-row multiset
+// diffing, which can only produce inserts and deletes.
+func New(initial *dataset.Relation, keyColumns []string) (*Extractor, error) {
+	if err := initial.Validate(); err != nil {
+		return nil, err
+	}
+	x := &Extractor{
+		columns: append([]string(nil), initial.Columns...),
+		rows:    make(map[int64][]string, initial.NumRows()),
+	}
+	for _, name := range keyColumns {
+		idx := -1
+		for i, c := range initial.Columns {
+			if c == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("extract: key column %q not in schema", name)
+		}
+		x.keyCols = append(x.keyCols, idx)
+	}
+	if len(x.keyCols) > 0 {
+		x.byKey = make(map[string]int64, initial.NumRows())
+	}
+	for _, row := range x.copyRows(initial) {
+		id := x.nextID
+		x.nextID++
+		x.rows[id] = row
+		if x.byKey != nil {
+			k := x.key(row)
+			if _, dup := x.byKey[k]; dup {
+				return nil, fmt.Errorf("extract: duplicate key %q in initial version", k)
+			}
+			x.byKey[k] = id
+		}
+	}
+	return x, nil
+}
+
+func (x *Extractor) copyRows(rel *dataset.Relation) [][]string {
+	rows := make([][]string, len(rel.Rows))
+	for i, row := range rel.Rows {
+		rows[i] = append([]string(nil), row...)
+	}
+	return rows
+}
+
+func (x *Extractor) key(row []string) string {
+	var b strings.Builder
+	for _, c := range x.keyCols {
+		b.WriteString(row[c])
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// NumRows returns the current (last-seen version's) row count.
+func (x *Extractor) NumRows() int { return len(x.rows) }
+
+// Diff compares the next version against the tracked state and returns the
+// change operations that transform the former into the latter. The
+// extractor state advances to the new version.
+func (x *Extractor) Diff(next *dataset.Relation) ([]stream.Change, error) {
+	if err := next.Validate(); err != nil {
+		return nil, err
+	}
+	if len(next.Columns) != len(x.columns) {
+		return nil, fmt.Errorf("extract: version has %d columns, want %d", len(next.Columns), len(x.columns))
+	}
+	for i, c := range next.Columns {
+		if c != x.columns[i] {
+			return nil, fmt.Errorf("extract: column %d is %q, want %q", i, c, x.columns[i])
+		}
+	}
+	if x.byKey != nil {
+		return x.diffKeyed(next)
+	}
+	return x.diffMultiset(next)
+}
+
+// diffKeyed matches logical rows by key: vanished keys delete, new keys
+// insert, value changes update.
+func (x *Extractor) diffKeyed(next *dataset.Relation) ([]stream.Change, error) {
+	newRows := x.copyRows(next)
+	seen := make(map[string]bool, len(newRows))
+	var changes []stream.Change
+
+	// Pass 1: updates and inserts against the tracked state.
+	for _, row := range newRows {
+		k := x.key(row)
+		if seen[k] {
+			return nil, fmt.Errorf("extract: duplicate key %q in next version", k)
+		}
+		seen[k] = true
+		id, ok := x.byKey[k]
+		if !ok {
+			changes = append(changes, stream.Change{Kind: stream.Insert, Values: row})
+			continue
+		}
+		if !equalRows(x.rows[id], row) {
+			changes = append(changes, stream.Change{Kind: stream.Update, ID: id, Values: row})
+		}
+	}
+	// Pass 2: deletes for vanished keys, ordered by id for determinism.
+	var deadIDs []int64
+	for k, id := range x.byKey {
+		if !seen[k] {
+			deadIDs = append(deadIDs, id)
+		}
+	}
+	sort.Slice(deadIDs, func(i, j int) bool { return deadIDs[i] < deadIDs[j] })
+	for _, id := range deadIDs {
+		changes = append(changes, stream.Change{Kind: stream.Delete, ID: id})
+	}
+	return x.apply(changes), nil
+}
+
+// diffMultiset matches rows by full content with multiplicity: surplus
+// copies on the old side delete, surplus copies on the new side insert.
+func (x *Extractor) diffMultiset(next *dataset.Relation) ([]stream.Change, error) {
+	newCount := make(map[string][][]string)
+	for _, row := range x.copyRows(next) {
+		k := strings.Join(row, "\x00")
+		newCount[k] = append(newCount[k], row)
+	}
+	oldIDs := make(map[string][]int64)
+	for id, row := range x.rows {
+		k := strings.Join(row, "\x00")
+		oldIDs[k] = append(oldIDs[k], id)
+	}
+	var changes []stream.Change
+	var deadIDs []int64
+	for k, ids := range oldIDs {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		surplus := len(ids) - len(newCount[k])
+		for i := 0; i < surplus; i++ {
+			deadIDs = append(deadIDs, ids[i])
+		}
+	}
+	sort.Slice(deadIDs, func(i, j int) bool { return deadIDs[i] < deadIDs[j] })
+	for _, id := range deadIDs {
+		changes = append(changes, stream.Change{Kind: stream.Delete, ID: id})
+	}
+	newKeys := make([]string, 0, len(newCount))
+	for k := range newCount {
+		newKeys = append(newKeys, k)
+	}
+	sort.Strings(newKeys)
+	for _, k := range newKeys {
+		rows := newCount[k]
+		surplus := len(rows) - len(oldIDs[k])
+		for i := 0; i < surplus; i++ {
+			changes = append(changes, stream.Change{Kind: stream.Insert, Values: rows[i]})
+		}
+	}
+	return x.apply(changes), nil
+}
+
+func equalRows(a, b []string) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// apply advances the tracked state over the emitted changes, mirroring the
+// engine's id assignment, and returns the changes unchanged.
+func (x *Extractor) apply(changes []stream.Change) []stream.Change {
+	for _, c := range changes {
+		switch c.Kind {
+		case stream.Delete:
+			if x.byKey != nil {
+				delete(x.byKey, x.key(x.rows[c.ID]))
+			}
+			delete(x.rows, c.ID)
+		case stream.Update:
+			if x.byKey != nil {
+				delete(x.byKey, x.key(x.rows[c.ID]))
+			}
+			delete(x.rows, c.ID)
+			id := x.nextID
+			x.nextID++
+			x.rows[id] = c.Values
+			if x.byKey != nil {
+				x.byKey[x.key(c.Values)] = id
+			}
+		case stream.Insert:
+			id := x.nextID
+			x.nextID++
+			x.rows[id] = c.Values
+			if x.byKey != nil {
+				x.byKey[x.key(c.Values)] = id
+			}
+		}
+	}
+	return changes
+}

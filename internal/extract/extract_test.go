@@ -1,0 +1,194 @@
+package extract
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dynfd/internal/core"
+	"dynfd/internal/dataset"
+	"dynfd/internal/stream"
+)
+
+func rel(t *testing.T, cols []string, rows ...[]string) *dataset.Relation {
+	t.Helper()
+	r := dataset.New("v", cols)
+	for _, row := range rows {
+		if err := r.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestKeyedDiff(t *testing.T) {
+	cols := []string{"id", "city"}
+	v1 := rel(t, cols, []string{"1", "Potsdam"}, []string{"2", "Berlin"}, []string{"3", "Hamburg"})
+	v2 := rel(t, cols, []string{"1", "Potsdam"}, []string{"2", "Leipzig"}, []string{"4", "Bremen"})
+
+	x, err := New(v1, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes, err := x.Diff(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []stream.Change{
+		{Kind: stream.Update, ID: 1, Values: []string{"2", "Leipzig"}},
+		{Kind: stream.Insert, Values: []string{"4", "Bremen"}},
+		{Kind: stream.Delete, ID: 2},
+	}
+	if !reflect.DeepEqual(changes, want) {
+		t.Errorf("Diff = %+v, want %+v", changes, want)
+	}
+	if x.NumRows() != 3 {
+		t.Errorf("NumRows = %d", x.NumRows())
+	}
+}
+
+func TestKeyedDiffChained(t *testing.T) {
+	// The ids in a second diff must account for the first diff's inserts.
+	cols := []string{"id", "v"}
+	v1 := rel(t, cols, []string{"a", "1"})
+	v2 := rel(t, cols, []string{"a", "1"}, []string{"b", "2"})
+	v3 := rel(t, cols, []string{"a", "1"}) // b vanishes again
+
+	x, err := New(v1, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Diff(v2); err != nil {
+		t.Fatal(err)
+	}
+	changes, err := x.Diff(v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b was inserted with id 1 (after bootstrap id 0), so its delete must
+	// reference id 1.
+	want := []stream.Change{{Kind: stream.Delete, ID: 1}}
+	if !reflect.DeepEqual(changes, want) {
+		t.Errorf("Diff = %+v, want %+v", changes, want)
+	}
+}
+
+func TestMultisetDiff(t *testing.T) {
+	cols := []string{"a", "b"}
+	v1 := rel(t, cols, []string{"x", "1"}, []string{"x", "1"}, []string{"y", "2"})
+	v2 := rel(t, cols, []string{"x", "1"}, []string{"z", "3"})
+
+	x, err := New(v1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes, err := x.Diff(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, del, upd := stream.Batch{Changes: changes}.Counts()
+	if ins != 1 || del != 2 || upd != 0 {
+		t.Errorf("counts = %d/%d/%d: %+v", ins, del, upd, changes)
+	}
+	if x.NumRows() != 2 {
+		t.Errorf("NumRows = %d", x.NumRows())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cols := []string{"id", "v"}
+	v1 := rel(t, cols, []string{"a", "1"})
+	if _, err := New(v1, []string{"nope"}); err == nil {
+		t.Error("unknown key column accepted")
+	}
+	dup := rel(t, cols, []string{"a", "1"}, []string{"a", "2"})
+	if _, err := New(dup, []string{"id"}); err == nil {
+		t.Error("duplicate key in initial version accepted")
+	}
+	x, _ := New(v1, []string{"id"})
+	if _, err := x.Diff(dup); err == nil {
+		t.Error("duplicate key in next version accepted")
+	}
+	other := rel(t, []string{"id"}, []string{"a"})
+	if _, err := x.Diff(other); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+	renamed := rel(t, []string{"id", "w"}, []string{"a", "1"})
+	if _, err := x.Diff(renamed); err == nil {
+		t.Error("renamed column accepted")
+	}
+	bad := &dataset.Relation{Name: "bad", Columns: []string{"id", "id"}}
+	if _, err := New(bad, nil); err == nil {
+		t.Error("invalid relation accepted")
+	}
+}
+
+// TestQuickExtractReplaysThroughEngine is the end-to-end property: diffing
+// random version sequences yields change streams that replay cleanly
+// through a DynFD engine and end at exactly the final version's rows.
+func TestQuickExtractReplaysThroughEngine(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	cols := []string{"id", "a", "b"}
+	f := func() bool {
+		// Random initial version with unique keys.
+		mkVersion := func(keys map[string]bool) *dataset.Relation {
+			v := dataset.New("v", cols)
+			for k := range keys {
+				_ = v.Append([]string{k, fmt.Sprint(r.Intn(3)), fmt.Sprint(r.Intn(3))})
+			}
+			return v
+		}
+		keys := map[string]bool{}
+		for i := 0; i < 5+r.Intn(10); i++ {
+			keys[fmt.Sprintf("k%d", i)] = true
+		}
+		v0 := mkVersion(keys)
+		x, err := New(v0, []string{"id"})
+		if err != nil {
+			return false
+		}
+		eng, err := core.Bootstrap(v0, core.DefaultConfig())
+		if err != nil {
+			return false
+		}
+		var final *dataset.Relation
+		for step := 0; step < 4; step++ {
+			// Mutate the key set and regenerate values.
+			for i := 0; i < 3; i++ {
+				k := fmt.Sprintf("k%d", r.Intn(20))
+				if keys[k] && len(keys) > 1 && r.Intn(2) == 0 {
+					delete(keys, k)
+				} else {
+					keys[k] = true
+				}
+			}
+			final = mkVersion(keys)
+			changes, err := x.Diff(final)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if _, err := eng.ApplyBatch(stream.Batch{Changes: changes}); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		// The engine's live rows must equal the final version's rows.
+		if eng.NumRecords() != final.NumRows() {
+			return false
+		}
+		for _, row := range final.Rows {
+			ids, err := eng.Lookup(row)
+			if err != nil || len(ids) == 0 {
+				t.Logf("row %v missing after replay", row)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

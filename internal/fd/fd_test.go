@@ -1,0 +1,187 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynfd/internal/attrset"
+)
+
+func TestString(t *testing.T) {
+	f := FD{Lhs: attrset.Of(0, 2), Rhs: 4}
+	if got := f.String(); got != "{0, 2} -> 4" {
+		t.Errorf("String = %q", got)
+	}
+	cols := []string{"a", "b", "c", "d", "e"}
+	if got := f.Names(cols); got != "[a, c] -> e" {
+		t.Errorf("Names = %q", got)
+	}
+	if got := (FD{Lhs: attrset.Of(0), Rhs: 9}).Names(cols); got != "[a] -> col9" {
+		t.Errorf("Names out of range = %q", got)
+	}
+}
+
+func TestSortDeterministic(t *testing.T) {
+	fds := []FD{
+		{Lhs: attrset.Of(1, 2), Rhs: 0},
+		{Lhs: attrset.Of(3), Rhs: 0},
+		{Lhs: attrset.Of(1), Rhs: 0},
+		{Lhs: attrset.Of(0), Rhs: 2},
+	}
+	Sort(fds)
+	want := []FD{
+		{Lhs: attrset.Of(1), Rhs: 0},
+		{Lhs: attrset.Of(3), Rhs: 0},
+		{Lhs: attrset.Of(1, 2), Rhs: 0},
+		{Lhs: attrset.Of(0), Rhs: 2},
+	}
+	for i := range want {
+		if fds[i] != want[i] {
+			t.Fatalf("Sort[%d] = %v, want %v", i, fds[i], want[i])
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := []FD{{Lhs: attrset.Of(1), Rhs: 0}, {Lhs: attrset.Of(2), Rhs: 3}}
+	b := []FD{{Lhs: attrset.Of(2), Rhs: 3}, {Lhs: attrset.Of(1), Rhs: 0}}
+	if !Equal(a, b) {
+		t.Error("Equal = false for permuted slices")
+	}
+	c := []FD{{Lhs: attrset.Of(1), Rhs: 0}}
+	if Equal(a, c) {
+		t.Error("Equal = true for different lengths")
+	}
+	d := []FD{{Lhs: attrset.Of(1), Rhs: 0}, {Lhs: attrset.Of(2), Rhs: 4}}
+	if Equal(a, d) {
+		t.Error("Equal = true for different FDs")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	fds := []FD{
+		{Lhs: attrset.Of(1), Rhs: 0},
+		{Lhs: attrset.Of(1, 2), Rhs: 0}, // specialization of {1}->0
+		{Lhs: attrset.Of(2, 3), Rhs: 0},
+		{Lhs: attrset.Of(1), Rhs: 0}, // duplicate
+		{Lhs: attrset.Of(4), Rhs: 5},
+	}
+	got := Minimize(fds)
+	want := []FD{
+		{Lhs: attrset.Of(1), Rhs: 0},
+		{Lhs: attrset.Of(2, 3), Rhs: 0},
+		{Lhs: attrset.Of(4), Rhs: 5},
+	}
+	if !Equal(got, want) {
+		t.Errorf("Minimize = %v, want %v", got, want)
+	}
+}
+
+func TestFollows(t *testing.T) {
+	valid := []FD{{Lhs: attrset.Of(1), Rhs: 0}}
+	if !Follows(valid, FD{Lhs: attrset.Of(1, 2), Rhs: 0}) {
+		t.Error("specialization does not follow")
+	}
+	if Follows(valid, FD{Lhs: attrset.Of(2), Rhs: 0}) {
+		t.Error("unrelated FD follows")
+	}
+	if !Follows(nil, FD{Lhs: attrset.Of(0), Rhs: 0}) {
+		t.Error("trivial FD does not follow")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	oldFDs := []FD{{Lhs: attrset.Of(1), Rhs: 0}, {Lhs: attrset.Of(2), Rhs: 3}}
+	newFDs := []FD{{Lhs: attrset.Of(1), Rhs: 0}, {Lhs: attrset.Of(4), Rhs: 3}}
+	added, removed := Diff(oldFDs, newFDs)
+	if len(added) != 1 || added[0] != (FD{Lhs: attrset.Of(4), Rhs: 3}) {
+		t.Errorf("added = %v", added)
+	}
+	if len(removed) != 1 || removed[0] != (FD{Lhs: attrset.Of(2), Rhs: 3}) {
+		t.Errorf("removed = %v", removed)
+	}
+}
+
+func randomFDs(r *rand.Rand, n int) []FD {
+	fds := make([]FD, 0, n)
+	for i := 0; i < n; i++ {
+		var lhs attrset.Set
+		for j := 0; j < r.Intn(4); j++ {
+			lhs = lhs.With(r.Intn(6))
+		}
+		rhs := r.Intn(6)
+		if lhs.Contains(rhs) {
+			lhs = lhs.Without(rhs)
+		}
+		fds = append(fds, FD{Lhs: lhs, Rhs: rhs})
+	}
+	return fds
+}
+
+func TestQuickMinimizeIdempotentAndSound(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		fds := randomFDs(r, r.Intn(15))
+		m := Minimize(fds)
+		// Idempotent.
+		if !Equal(Minimize(append([]FD(nil), m...)), append([]FD(nil), m...)) {
+			return false
+		}
+		// Every original FD follows from the minimized set, and no minimized
+		// FD is implied by another minimized FD.
+		for _, x := range fds {
+			if !Follows(m, x) {
+				return false
+			}
+		}
+		for i, x := range m {
+			rest := append(append([]FD(nil), m[:i]...), m[i+1:]...)
+			if Follows(rest, x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDiffRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	f := func() bool {
+		a := Minimize(randomFDs(r, r.Intn(12)))
+		b := Minimize(randomFDs(r, r.Intn(12)))
+		added, removed := Diff(a, b)
+		// applying diff to a yields b
+		got := map[FD]bool{}
+		for _, x := range a {
+			got[x] = true
+		}
+		for _, x := range removed {
+			if !got[x] {
+				return false
+			}
+			delete(got, x)
+		}
+		for _, x := range added {
+			if got[x] {
+				return false
+			}
+			got[x] = true
+		}
+		if len(got) != len(b) {
+			return false
+		}
+		for _, x := range b {
+			if !got[x] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+// Package fdep implements the row-based FDEP algorithm (Flach & Savnik
+// 1999, paper §7.1 [6]). FDEP compares every pair of records, derives the
+// agree-set non-FDs, keeps the maximal ones as the negative cover, and
+// obtains the minimal FDs via dependency induction. It is exact but
+// quadratic in the number of records, which makes it the reference
+// implementation for tests and small inputs.
+package fdep
+
+import (
+	"dynfd/internal/dataset"
+	"dynfd/internal/fd"
+	"dynfd/internal/induct"
+	"dynfd/internal/lattice"
+	"dynfd/internal/pli"
+	"dynfd/internal/validate"
+)
+
+// Discover returns all minimal, non-trivial FDs of the relation.
+func Discover(rel *dataset.Relation) ([]fd.FD, error) {
+	neg, numAttrs, err := NegativeCover(rel)
+	if err != nil {
+		return nil, err
+	}
+	return induct.BuildPositive(neg.All(), numAttrs).All(), nil
+}
+
+// NegativeCover computes the maximal non-FDs of the relation by pairwise
+// record comparison. It is exported for reuse by tests and by the
+// benchmark harness.
+func NegativeCover(rel *dataset.Relation) (*lattice.Flipped, int, error) {
+	if err := rel.Validate(); err != nil {
+		return nil, 0, err
+	}
+	numAttrs := rel.NumColumns()
+	store := pli.NewStore(numAttrs)
+	records := make([]pli.Record, 0, rel.NumRows())
+	for _, row := range rel.Rows {
+		id, err := store.Insert(row)
+		if err != nil {
+			return nil, 0, err
+		}
+		rec, _ := store.Record(id)
+		records = append(records, rec)
+	}
+	neg := lattice.NewFlipped(numAttrs)
+	for i := range records {
+		for j := i + 1; j < len(records); j++ {
+			agree := validate.AgreeSet(records[i], records[j])
+			for a := 0; a < numAttrs; a++ {
+				if agree.Contains(a) {
+					continue
+				}
+				induct.AddMaximalNonFD(neg, agree, a)
+			}
+		}
+	}
+	return neg, numAttrs, nil
+}

@@ -1,0 +1,135 @@
+package fdep
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/dataset"
+	"dynfd/internal/fd"
+	"dynfd/internal/oracle"
+)
+
+func paperRelation() *dataset.Relation {
+	rel := dataset.New("people", []string{"firstname", "lastname", "zip", "city"})
+	for _, row := range [][]string{
+		{"Max", "Jones", "14482", "Potsdam"},
+		{"Max", "Miller", "14482", "Potsdam"},
+		{"Max", "Jones", "10115", "Berlin"},
+		{"Anna", "Scott", "13591", "Berlin"},
+	} {
+		if err := rel.Append(row); err != nil {
+			panic(err)
+		}
+	}
+	return rel
+}
+
+func TestDiscoverPaperExample(t *testing.T) {
+	got, err := Discover(paperRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fd.FD{
+		{Lhs: attrset.Of(1), Rhs: 0},
+		{Lhs: attrset.Of(2), Rhs: 0},
+		{Lhs: attrset.Of(2), Rhs: 3},
+		{Lhs: attrset.Of(0, 3), Rhs: 2},
+		{Lhs: attrset.Of(1, 3), Rhs: 2},
+	}
+	if !fd.Equal(got, want) {
+		t.Errorf("Discover = %v, want %v", got, want)
+	}
+}
+
+func TestNegativeCoverPaperExample(t *testing.T) {
+	neg, n, err := NegativeCover(paperRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("numAttrs = %d", n)
+	}
+	got := neg.All()
+	want := oracle.MaximalNonFDs(paperRelation().Rows, 4)
+	if !fd.Equal(got, want) {
+		t.Errorf("NegativeCover = %v, want %v", got, want)
+	}
+}
+
+func TestDiscoverEmptyAndSingle(t *testing.T) {
+	rel := dataset.New("t", []string{"a", "b"})
+	got, err := Discover(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fd.FD{{Rhs: 0}, {Rhs: 1}}
+	if !fd.Equal(got, want) {
+		t.Errorf("empty relation FDs = %v", got)
+	}
+	_ = rel.Append([]string{"x", "y"})
+	got, err = Discover(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fd.Equal(got, append([]fd.FD(nil), want...)) {
+		t.Errorf("single-row FDs = %v", got)
+	}
+}
+
+func TestDiscoverInvalidRelation(t *testing.T) {
+	rel := &dataset.Relation{Name: "bad", Columns: []string{"a", "a"}}
+	if _, err := Discover(rel); err == nil {
+		t.Error("invalid relation accepted")
+	}
+}
+
+func TestDiscoverDuplicateRows(t *testing.T) {
+	rel := dataset.New("t", []string{"a", "b"})
+	_ = rel.Append([]string{"1", "2"})
+	_ = rel.Append([]string{"1", "2"})
+	got, err := Discover(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.MinimalFDs(rel.Rows, 2)
+	if !fd.Equal(got, want) {
+		t.Errorf("Discover = %v, want %v", got, want)
+	}
+}
+
+func TestQuickAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	f := func() bool {
+		attrs := 2 + r.Intn(4)
+		cols := make([]string, attrs)
+		for i := range cols {
+			cols[i] = fmt.Sprintf("c%d", i)
+		}
+		rel := dataset.New("t", cols)
+		for i := 0; i < r.Intn(25); i++ {
+			row := make([]string, attrs)
+			for a := range row {
+				row[a] = fmt.Sprint(r.Intn(3))
+			}
+			if err := rel.Append(row); err != nil {
+				return false
+			}
+		}
+		got, err := Discover(rel)
+		if err != nil {
+			return false
+		}
+		want := oracle.MinimalFDs(rel.Rows, attrs)
+		if !fd.Equal(got, want) {
+			t.Logf("rows %v: got %v want %v", rel.Rows, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

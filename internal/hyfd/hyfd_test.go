@@ -1,0 +1,178 @@
+package hyfd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/dataset"
+	"dynfd/internal/fd"
+	"dynfd/internal/oracle"
+	"dynfd/internal/pli"
+)
+
+func paperRelation() *dataset.Relation {
+	rel := dataset.New("people", []string{"firstname", "lastname", "zip", "city"})
+	for _, row := range [][]string{
+		{"Max", "Jones", "14482", "Potsdam"},
+		{"Max", "Miller", "14482", "Potsdam"},
+		{"Max", "Jones", "10115", "Berlin"},
+		{"Anna", "Scott", "13591", "Berlin"},
+	} {
+		if err := rel.Append(row); err != nil {
+			panic(err)
+		}
+	}
+	return rel
+}
+
+func TestDiscoverPaperExample(t *testing.T) {
+	res, err := Discover(paperRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fd.FD{
+		{Lhs: attrset.Of(1), Rhs: 0},
+		{Lhs: attrset.Of(2), Rhs: 0},
+		{Lhs: attrset.Of(2), Rhs: 3},
+		{Lhs: attrset.Of(0, 3), Rhs: 2},
+		{Lhs: attrset.Of(1, 3), Rhs: 2},
+	}
+	if got := res.FDs.All(); !fd.Equal(got, want) {
+		t.Errorf("Discover = %v, want %v", got, want)
+	}
+	if res.Store.NumRecords() != 4 {
+		t.Errorf("store records = %d", res.Store.NumRecords())
+	}
+	if err := res.FDs.CheckMinimal(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscoverEmptyRelation(t *testing.T) {
+	rel := dataset.New("t", []string{"a", "b", "c"})
+	res, err := Discover(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fd.FD{{Rhs: 0}, {Rhs: 1}, {Rhs: 2}}
+	if got := res.FDs.All(); !fd.Equal(got, want) {
+		t.Errorf("empty relation FDs = %v", got)
+	}
+}
+
+func TestDiscoverInvalidRelation(t *testing.T) {
+	rel := &dataset.Relation{Name: "bad", Columns: nil}
+	if _, err := Discover(rel); err == nil {
+		t.Error("invalid relation accepted")
+	}
+}
+
+func TestDiscoverConstantAndKeyColumns(t *testing.T) {
+	rel := dataset.New("t", []string{"id", "const", "payload"})
+	for i := 0; i < 10; i++ {
+		_ = rel.Append([]string{fmt.Sprint(i), "k", fmt.Sprint(i % 3)})
+	}
+	got, err := DiscoverFDs(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.MinimalFDs(rel.Rows, 3)
+	if !fd.Equal(got, want) {
+		t.Errorf("Discover = %v, want %v", got, want)
+	}
+	// ∅ -> const must be among them.
+	if !fd.Follows(want, fd.FD{Lhs: attrset.Set{}, Rhs: 1}) {
+		t.Fatal("oracle sanity: const column not constant")
+	}
+}
+
+func TestDiscoverStoreDoesNotMutate(t *testing.T) {
+	store := pli.NewStore(2)
+	for i := 0; i < 6; i++ {
+		if _, err := store.Insert([]string{fmt.Sprint(i % 2), fmt.Sprint(i % 3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := store.NumRecords()
+	res := DiscoverStore(store)
+	if store.NumRecords() != before {
+		t.Error("DiscoverStore changed the store")
+	}
+	if err := store.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+	if res.FDs == nil {
+		t.Fatal("nil cover")
+	}
+}
+
+// TestQuickAgainstOracle is the main exactness property: HyFD must return
+// exactly the oracle's minimal FDs on random relations of varying shape.
+func TestQuickAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(20190326))
+	f := func() bool {
+		attrs := 2 + r.Intn(5)
+		cols := make([]string, attrs)
+		for i := range cols {
+			cols[i] = fmt.Sprintf("c%d", i)
+		}
+		rel := dataset.New("t", cols)
+		n := r.Intn(40)
+		domain := 1 + r.Intn(4)
+		for i := 0; i < n; i++ {
+			row := make([]string, attrs)
+			for a := range row {
+				row[a] = fmt.Sprint(r.Intn(domain))
+			}
+			if err := rel.Append(row); err != nil {
+				return false
+			}
+		}
+		got, err := DiscoverFDs(rel)
+		if err != nil {
+			return false
+		}
+		want := oracle.MinimalFDs(rel.Rows, attrs)
+		if !fd.Equal(got, want) {
+			t.Logf("rows %v\ngot  %v\nwant %v", rel.Rows, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWideRelations exercises wider schemas where sampling and the
+// hybrid switch-over actually engage.
+func TestQuickWideRelations(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	f := func() bool {
+		attrs := 6 + r.Intn(3)
+		cols := make([]string, attrs)
+		for i := range cols {
+			cols[i] = fmt.Sprintf("c%d", i)
+		}
+		rel := dataset.New("t", cols)
+		for i := 0; i < 30+r.Intn(30); i++ {
+			row := make([]string, attrs)
+			for a := range row {
+				row[a] = fmt.Sprint(r.Intn(2 + a%3))
+			}
+			_ = rel.Append(row)
+		}
+		got, err := DiscoverFDs(rel)
+		if err != nil {
+			return false
+		}
+		want := oracle.MinimalFDs(rel.Rows, attrs)
+		return fd.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package ind maintains the unary inclusion dependencies (INDs) of a
+// dynamic relation: column pairs A ⊆ B where every value of column A also
+// occurs in column B. It follows the attribute-clustering idea of Shaabani
+// & Meinel (SSDBM 2017), the incremental IND algorithm the DynFD paper
+// reviews as related work (§7.2): every distinct value is annotated with
+// the set of attributes it occurs in, and A ⊆ B holds iff no value's
+// attribute set contains A without B. The engine keeps, for every ordered
+// column pair, the count of such offending values, so IND validity is a
+// zero test and every batch only touches the values it changes.
+package ind
+
+import (
+	"fmt"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/dataset"
+	"dynfd/internal/stream"
+)
+
+// IND is a unary inclusion dependency: values(Lhs) ⊆ values(Rhs).
+type IND struct {
+	Lhs, Rhs int
+}
+
+// String renders the IND with column indexes, e.g. "3 ⊆ 1".
+func (d IND) String() string { return fmt.Sprintf("%d ⊆ %d", d.Lhs, d.Rhs) }
+
+// valueEntry tracks one distinct value across the relation's columns.
+type valueEntry struct {
+	attrs  attrset.Set // columns currently containing the value
+	counts map[int]int // per-column occurrence count
+}
+
+// Engine maintains all valid unary INDs of a single relation under
+// batches of inserts, updates, and deletes. It is not safe for concurrent
+// use.
+type Engine struct {
+	numAttrs int
+	values   map[string]*valueEntry
+	// missing[i][j] counts the distinct values that occur in column i but
+	// not in column j; the IND i ⊆ j holds iff missing[i][j] == 0.
+	missing [][]int
+	rows    map[int64][]string
+	nextID  int64
+	batches int
+}
+
+// NewEmpty returns an engine for an initially empty relation, on which
+// every IND holds vacuously.
+func NewEmpty(numAttrs int) *Engine {
+	if numAttrs <= 0 || numAttrs > attrset.MaxAttrs {
+		panic(fmt.Sprintf("ind: invalid attribute count %d", numAttrs))
+	}
+	missing := make([][]int, numAttrs)
+	for i := range missing {
+		missing[i] = make([]int, numAttrs)
+	}
+	return &Engine{
+		numAttrs: numAttrs,
+		values:   make(map[string]*valueEntry),
+		missing:  missing,
+		rows:     make(map[int64][]string),
+	}
+}
+
+// Bootstrap profiles an initial relation.
+func Bootstrap(rel *dataset.Relation) (*Engine, error) {
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	e := NewEmpty(rel.NumColumns())
+	for _, row := range rel.Rows {
+		e.insert(row)
+	}
+	return e, nil
+}
+
+// NumAttrs returns the schema width.
+func (e *Engine) NumAttrs() int { return e.numAttrs }
+
+// NumRecords returns the current tuple count.
+func (e *Engine) NumRecords() int { return len(e.rows) }
+
+// Batches returns the number of processed batches.
+func (e *Engine) Batches() int { return e.batches }
+
+// Holds reports whether the IND lhs ⊆ rhs is currently valid. Trivial
+// INDs (lhs == rhs) always hold.
+func (e *Engine) Holds(lhs, rhs int) bool {
+	if lhs == rhs {
+		return true
+	}
+	return e.missing[lhs][rhs] == 0
+}
+
+// INDs returns all valid non-trivial unary INDs in deterministic order.
+func (e *Engine) INDs() []IND {
+	var out []IND
+	for i := 0; i < e.numAttrs; i++ {
+		for j := 0; j < e.numAttrs; j++ {
+			if i != j && e.missing[i][j] == 0 {
+				out = append(out, IND{Lhs: i, Rhs: j})
+			}
+		}
+	}
+	return out
+}
+
+// Result describes the effect of one batch.
+type Result struct {
+	InsertedIDs    []int64
+	Added, Removed []IND
+}
+
+// ApplyBatch incorporates one batch of change operations.
+func (e *Engine) ApplyBatch(batch stream.Batch) (Result, error) {
+	for i, c := range batch.Changes {
+		if err := c.Validate(e.numAttrs); err != nil {
+			return Result{}, fmt.Errorf("ind: batch change %d: %w", i, err)
+		}
+	}
+	before := e.INDs()
+	var ids []int64
+	for i, c := range batch.Changes {
+		switch c.Kind {
+		case stream.Delete:
+			if err := e.delete(c.ID); err != nil {
+				return Result{}, fmt.Errorf("ind: batch change %d: %w", i, err)
+			}
+		case stream.Update:
+			if err := e.delete(c.ID); err != nil {
+				return Result{}, fmt.Errorf("ind: batch change %d: %w", i, err)
+			}
+			ids = append(ids, e.insert(c.Values))
+		case stream.Insert:
+			ids = append(ids, e.insert(c.Values))
+		}
+	}
+	e.batches++
+	added, removed := diff(before, e.INDs())
+	return Result{InsertedIDs: ids, Added: added, Removed: removed}, nil
+}
+
+// insert adds a tuple, updating the value annotations and missing counts.
+func (e *Engine) insert(row []string) int64 {
+	id := e.nextID
+	e.nextID++
+	e.rows[id] = append([]string(nil), row...)
+	for col, v := range row {
+		e.addOccurrence(v, col)
+	}
+	return id
+}
+
+func (e *Engine) delete(id int64) error {
+	row, ok := e.rows[id]
+	if !ok {
+		return fmt.Errorf("ind: record %d not found", id)
+	}
+	delete(e.rows, id)
+	for col, v := range row {
+		e.removeOccurrence(v, col)
+	}
+	return nil
+}
+
+// addOccurrence registers one more occurrence of value v in column col,
+// updating the missing counters when the value enters the column.
+func (e *Engine) addOccurrence(v string, col int) {
+	entry, ok := e.values[v]
+	if !ok {
+		entry = &valueEntry{counts: make(map[int]int)}
+		e.values[v] = entry
+	}
+	entry.counts[col]++
+	if entry.counts[col] > 1 {
+		return // column membership unchanged
+	}
+	// col joined attrs(v): v no longer misses from col for any i ∈ attrs,
+	// and v now misses from every j ∉ attrs ∪ {col} for i = col.
+	old := entry.attrs
+	entry.attrs = old.With(col)
+	for i := old.First(); i >= 0; i = old.Next(i) {
+		e.missing[i][col]--
+	}
+	for j := 0; j < e.numAttrs; j++ {
+		if j != col && !entry.attrs.Contains(j) {
+			e.missing[col][j]++
+		}
+	}
+}
+
+// removeOccurrence unregisters one occurrence, updating the counters when
+// the value leaves the column entirely (and dropping the entry when it
+// leaves the relation).
+func (e *Engine) removeOccurrence(v string, col int) {
+	entry := e.values[v]
+	entry.counts[col]--
+	if entry.counts[col] > 0 {
+		return
+	}
+	delete(entry.counts, col)
+	entry.attrs = entry.attrs.Without(col)
+	// v now misses from col for every remaining i ∈ attrs, and col's own
+	// missing contributions toward all j disappear.
+	for i := entry.attrs.First(); i >= 0; i = entry.attrs.Next(i) {
+		e.missing[i][col]++
+	}
+	for j := 0; j < e.numAttrs; j++ {
+		if j != col && !entry.attrs.Contains(j) {
+			e.missing[col][j]--
+		}
+	}
+	if entry.attrs.IsEmpty() {
+		delete(e.values, v)
+	}
+}
+
+// CheckInvariants recomputes the missing counters from scratch and
+// compares them with the maintained ones. Intended for tests.
+func (e *Engine) CheckInvariants() error {
+	want := make([][]int, e.numAttrs)
+	for i := range want {
+		want[i] = make([]int, e.numAttrs)
+	}
+	for v, entry := range e.values {
+		if entry.attrs.IsEmpty() {
+			return fmt.Errorf("ind: dangling value %q", v)
+		}
+		for i := entry.attrs.First(); i >= 0; i = entry.attrs.Next(i) {
+			if entry.counts[i] <= 0 {
+				return fmt.Errorf("ind: value %q column %d count %d", v, i, entry.counts[i])
+			}
+			for j := 0; j < e.numAttrs; j++ {
+				if j != i && !entry.attrs.Contains(j) {
+					want[i][j]++
+				}
+			}
+		}
+	}
+	for i := range want {
+		for j := range want[i] {
+			if want[i][j] != e.missing[i][j] {
+				return fmt.Errorf("ind: missing[%d][%d] = %d, want %d", i, j, e.missing[i][j], want[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+func diff(before, after []IND) (added, removed []IND) {
+	seen := make(map[IND]bool, len(before))
+	for _, d := range before {
+		seen[d] = true
+	}
+	for _, d := range after {
+		if !seen[d] {
+			added = append(added, d)
+		}
+		delete(seen, d)
+	}
+	for _, d := range before {
+		if seen[d] {
+			removed = append(removed, d)
+		}
+	}
+	return added, removed
+}

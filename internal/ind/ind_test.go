@@ -1,0 +1,271 @@
+package ind
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dynfd/internal/dataset"
+	"dynfd/internal/stream"
+)
+
+// bruteINDs is the oracle: direct set-containment checks per column pair.
+func bruteINDs(rows [][]string, numAttrs int) []IND {
+	colValues := make([]map[string]bool, numAttrs)
+	for a := range colValues {
+		colValues[a] = map[string]bool{}
+	}
+	for _, row := range rows {
+		for a, v := range row {
+			colValues[a][v] = true
+		}
+	}
+	var out []IND
+	for i := 0; i < numAttrs; i++ {
+		for j := 0; j < numAttrs; j++ {
+			if i == j {
+				continue
+			}
+			ok := true
+			for v := range colValues[i] {
+				if !colValues[j][v] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, IND{Lhs: i, Rhs: j})
+			}
+		}
+	}
+	return out
+}
+
+func relOf(t *testing.T, rows [][]string, attrs int) *dataset.Relation {
+	t.Helper()
+	cols := make([]string, attrs)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i)
+	}
+	r := dataset.New("t", cols)
+	for _, row := range rows {
+		if err := r.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestBootstrapSimple(t *testing.T) {
+	rows := [][]string{
+		{"a", "a", "x"},
+		{"b", "b", "a"},
+		{"a", "c", "b"},
+	}
+	e, err := Bootstrap(relOf(t, rows, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.INDs()
+	want := bruteINDs(rows, 3)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("INDs = %v, want %v", got, want)
+	}
+	// col0 {a,b} ⊆ col1 {a,b,c} and col0 ⊆ col2 {x,a,b}.
+	if !e.Holds(0, 1) || !e.Holds(0, 2) {
+		t.Error("expected INDs missing")
+	}
+	if e.Holds(1, 0) {
+		t.Error("false IND reported")
+	}
+	if !e.Holds(2, 2) {
+		t.Error("trivial IND does not hold")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyRelationAllINDsHold(t *testing.T) {
+	e := NewEmpty(3)
+	if got := e.INDs(); len(got) != 6 {
+		t.Errorf("INDs on empty relation = %v", got)
+	}
+	if e.NumRecords() != 0 {
+		t.Error("records on empty engine")
+	}
+}
+
+func TestInsertBreaksAndDeleteRepairs(t *testing.T) {
+	e, err := Bootstrap(relOf(t, [][]string{{"a", "a"}}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Holds(0, 1) || !e.Holds(1, 0) {
+		t.Fatal("INDs missing on symmetric start")
+	}
+	res, err := e.ApplyBatch(stream.Batch{Changes: []stream.Change{
+		{Kind: stream.Insert, Values: []string{"b", "a"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Holds(0, 1) {
+		t.Error("0 ⊆ 1 should have broken (b missing from col 1)")
+	}
+	if !e.Holds(1, 0) {
+		t.Error("1 ⊆ 0 should still hold")
+	}
+	if len(res.Removed) != 1 || res.Removed[0] != (IND{Lhs: 0, Rhs: 1}) {
+		t.Errorf("Removed = %v", res.Removed)
+	}
+	// Deleting the offending record restores the IND.
+	res, err = e.ApplyBatch(stream.Batch{Changes: []stream.Change{
+		{Kind: stream.Delete, ID: res.InsertedIDs[0]},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 1 || res.Added[0] != (IND{Lhs: 0, Rhs: 1}) {
+		t.Errorf("Added = %v", res.Added)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e := NewEmpty(2)
+	if _, err := e.ApplyBatch(stream.Batch{Changes: []stream.Change{
+		{Kind: stream.Insert, Values: []string{"x"}},
+	}}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := e.ApplyBatch(stream.Batch{Changes: []stream.Change{
+		{Kind: stream.Delete, ID: 5},
+	}}); err == nil {
+		t.Error("dangling delete accepted")
+	}
+	bad := &dataset.Relation{Name: "x", Columns: []string{"a", "a"}}
+	if _, err := Bootstrap(bad); err == nil {
+		t.Error("invalid relation accepted")
+	}
+}
+
+func TestNewEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEmpty(0) did not panic")
+		}
+	}()
+	NewEmpty(0)
+}
+
+func TestINDString(t *testing.T) {
+	if got := (IND{Lhs: 3, Rhs: 1}).String(); got != "3 ⊆ 1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestQuickAgainstBruteForce replays random workloads and compares the
+// maintained INDs with the brute-force oracle after every batch.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1618))
+	f := func() bool {
+		attrs := 2 + r.Intn(4)
+		domain := 2 + r.Intn(4)
+		var rows [][]string
+		for i := 0; i < r.Intn(12); i++ {
+			row := make([]string, attrs)
+			for a := range row {
+				row[a] = fmt.Sprint(r.Intn(domain))
+			}
+			rows = append(rows, row)
+		}
+		rel := dataset.New("t", make([]string, attrs))
+		for i := range rel.Columns {
+			rel.Columns[i] = fmt.Sprintf("c%d", i)
+		}
+		rel.Rows = rows
+		e, err := Bootstrap(rel)
+		if err != nil {
+			return false
+		}
+		model := map[int64][]string{}
+		var live []int64
+		for i := range rows {
+			model[int64(i)] = rows[i]
+			live = append(live, int64(i))
+		}
+		for batch := 0; batch < 10; batch++ {
+			var changes []stream.Change
+			used := map[int64]bool{}
+			var newRows [][]string
+			for c := 0; c < 3; c++ {
+				op := r.Intn(3)
+				if len(live) == 0 {
+					op = 0
+				}
+				switch op {
+				case 0:
+					row := make([]string, attrs)
+					for a := range row {
+						row[a] = fmt.Sprint(r.Intn(domain))
+					}
+					changes = append(changes, stream.Change{Kind: stream.Insert, Values: row})
+					newRows = append(newRows, row)
+				case 1:
+					id := live[r.Intn(len(live))]
+					if used[id] {
+						continue
+					}
+					used[id] = true
+					changes = append(changes, stream.Change{Kind: stream.Delete, ID: id})
+				case 2:
+					id := live[r.Intn(len(live))]
+					if used[id] {
+						continue
+					}
+					used[id] = true
+					row := make([]string, attrs)
+					for a := range row {
+						row[a] = fmt.Sprint(r.Intn(domain))
+					}
+					changes = append(changes, stream.Change{Kind: stream.Update, ID: id, Values: row})
+					newRows = append(newRows, row)
+				}
+			}
+			res, err := e.ApplyBatch(stream.Batch{Changes: changes})
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			for id := range used {
+				delete(model, id)
+			}
+			for i, id := range res.InsertedIDs {
+				model[id] = newRows[i]
+			}
+			live = live[:0]
+			var cur [][]string
+			for id, row := range model {
+				live = append(live, id)
+				cur = append(cur, row)
+			}
+			if got, want := e.INDs(), bruteINDs(cur, attrs); !reflect.DeepEqual(got, want) {
+				t.Logf("batch %d: INDs = %v, want %v (rows %v)", batch, got, want, cur)
+				return false
+			}
+			if err := e.CheckInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

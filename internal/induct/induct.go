@@ -1,0 +1,125 @@
+// Package induct implements the cover-update operations that DynFD and the
+// static discovery algorithms share:
+//
+//   - Specialize (paper Algorithm 3, positive-cover part): incorporate a
+//     newly discovered non-FD into a positive cover by removing every
+//     violated generalization and adding its minimal specializations.
+//   - Generalize (paper Algorithm 6, negative-cover part): incorporate a
+//     newly discovered valid FD into a negative cover by removing every
+//     de-facto-valid specialization and adding its maximal generalizations.
+//   - Invert (paper Algorithm 1): compute the negative cover (all maximal
+//     non-FDs) from a positive cover (all minimal FDs). The paper presents
+//     this direction for the first time; the classic "cover inversion" of
+//     FDEP is the Specialize loop in the other direction.
+package induct
+
+import (
+	"dynfd/internal/attrset"
+	"dynfd/internal/fd"
+	"dynfd/internal/lattice"
+)
+
+// Specialize updates the positive cover fds for the discovered non-FD
+// (lhs → rhs): every cover member that generalizes it is invalid and is
+// replaced by its direct specializations that extend the Lhs with an
+// attribute outside lhs ∪ {rhs} (extensions inside lhs would still be
+// violated by the same record pair) and that are minimal with respect to
+// the remaining cover. It returns the removed (invalidated) members.
+//
+// numAttrs bounds the attribute universe of the schema.
+func Specialize(fds *lattice.Cover, lhs attrset.Set, rhs int, numAttrs int) []fd.FD {
+	gens := fds.Generalizations(lhs, rhs)
+	if len(gens) == 0 {
+		return nil
+	}
+	removed := make([]fd.FD, 0, len(gens))
+	outside := attrset.Full(numAttrs).Diff(lhs).Without(rhs)
+	for _, g := range gens {
+		fds.Remove(g, rhs)
+		removed = append(removed, fd.FD{Lhs: g, Rhs: rhs})
+	}
+	for _, g := range gens {
+		outside.ForEach(func(r int) bool {
+			spec := g.With(r)
+			if !fds.ContainsGeneralization(spec, rhs) {
+				fds.Add(spec, rhs)
+			}
+			return true
+		})
+	}
+	return removed
+}
+
+// Generalize updates the negative cover nonFds for the discovered valid FD
+// (lhs → rhs): every cover member that specializes it is in fact valid and
+// is replaced by its direct generalizations that drop one attribute of lhs
+// (dropping attributes outside lhs keeps the Lhs a superset of lhs, hence
+// valid) and that are maximal with respect to the remaining cover. It
+// returns the removed (now valid) members.
+func Generalize(nonFds lattice.View, lhs attrset.Set, rhs int) []fd.FD {
+	specs := nonFds.Specializations(lhs, rhs)
+	if len(specs) == 0 {
+		return nil
+	}
+	removed := make([]fd.FD, 0, len(specs))
+	for _, s := range specs {
+		nonFds.Remove(s, rhs)
+		removed = append(removed, fd.FD{Lhs: s, Rhs: rhs})
+	}
+	for _, s := range specs {
+		lhs.ForEach(func(l int) bool {
+			gen := s.Without(l)
+			if !nonFds.ContainsSpecialization(gen, rhs) {
+				nonFds.Add(gen, rhs)
+			}
+			return true
+		})
+	}
+	return removed
+}
+
+// AddMaximalNonFD inserts (lhs → rhs) into a negative cover, keeping only
+// maximal members: the insert is skipped when a specialization is already
+// present, and it evicts all generalizations otherwise. It reports whether
+// the cover changed.
+func AddMaximalNonFD(nonFds lattice.View, lhs attrset.Set, rhs int) bool {
+	if nonFds.ContainsSpecialization(lhs, rhs) {
+		return false
+	}
+	nonFds.RemoveGeneralizations(lhs, rhs)
+	nonFds.Add(lhs, rhs)
+	return true
+}
+
+// Invert computes the negative cover — all maximal non-FDs — from the
+// positive cover of minimal FDs (paper Algorithm 1). It starts from the
+// most specific non-FD R\{A} → A for every attribute A and successively
+// refines it with every minimal FD via Generalize.
+func Invert(fds *lattice.Cover, numAttrs int) *lattice.Flipped {
+	nonFds := lattice.NewFlipped(numAttrs)
+	full := attrset.Full(numAttrs)
+	for a := 0; a < numAttrs; a++ {
+		nonFds.Add(full.Without(a), a)
+	}
+	for _, f := range fds.All() {
+		Generalize(nonFds, f.Lhs, f.Rhs)
+	}
+	return nonFds
+}
+
+// BuildPositive computes the positive cover — all minimal FDs — from a set
+// of known non-FDs (FDEP-style dependency induction). It starts from the
+// most general candidate ∅ → A for every attribute and successively
+// specializes with every non-FD via Specialize. The result is exact when
+// the non-FD set covers all violations in the data (e.g. all record-pair
+// agree sets).
+func BuildPositive(nonFds []fd.FD, numAttrs int) *lattice.Cover {
+	fds := lattice.New(numAttrs)
+	for a := 0; a < numAttrs; a++ {
+		fds.Add(attrset.Set{}, a)
+	}
+	for _, nf := range nonFds {
+		Specialize(fds, nf.Lhs, nf.Rhs, numAttrs)
+	}
+	return fds
+}

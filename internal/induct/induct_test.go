@@ -1,0 +1,254 @@
+package induct
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/fd"
+	"dynfd/internal/lattice"
+	"dynfd/internal/oracle"
+)
+
+const (
+	F = 0
+	L = 1
+	Z = 2
+	C = 3
+)
+
+var paperRows = [][]string{
+	{"Max", "Jones", "14482", "Potsdam"},
+	{"Max", "Miller", "14482", "Potsdam"},
+	{"Max", "Jones", "10115", "Berlin"},
+	{"Anna", "Scott", "13591", "Berlin"},
+}
+
+func paperPositive() *lattice.Cover {
+	c := lattice.New(4)
+	c.Add(attrset.Of(L), F)
+	c.Add(attrset.Of(Z), F)
+	c.Add(attrset.Of(Z), C)
+	c.Add(attrset.Of(F, C), Z)
+	c.Add(attrset.Of(L, C), Z)
+	return c
+}
+
+// TestInvertPaperExample reproduces the §3.2 walk-through: inverting the
+// five minimal FDs of Table 1 yields exactly the maximal non-FDs
+// fzc→l, fl→z, fl→c, c→f, c→z.
+func TestInvertPaperExample(t *testing.T) {
+	nonFds := Invert(paperPositive(), 4)
+	want := []fd.FD{
+		{Lhs: attrset.Of(F, Z, C), Rhs: L},
+		{Lhs: attrset.Of(F, L), Rhs: Z},
+		{Lhs: attrset.Of(F, L), Rhs: C},
+		{Lhs: attrset.Of(C), Rhs: F},
+		{Lhs: attrset.Of(C), Rhs: Z},
+	}
+	got := nonFds.All()
+	if !fd.Equal(got, want) {
+		t.Errorf("Invert = %v, want %v", got, want)
+	}
+	if err := nonFds.CheckMinimal(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertEmptyPositive(t *testing.T) {
+	// An empty relation has positive cover {∅→A}; inverting it must give an
+	// empty negative cover.
+	fds := lattice.New(3)
+	for a := 0; a < 3; a++ {
+		fds.Add(attrset.Set{}, a)
+	}
+	nonFds := Invert(fds, 3)
+	if nonFds.Size() != 0 {
+		t.Errorf("Invert of trivial cover = %v", nonFds.All())
+	}
+}
+
+func TestSpecializeRemovesAndAdds(t *testing.T) {
+	fds := lattice.New(4)
+	fds.Add(attrset.Of(L), F) // l -> f becomes invalid
+	removed := Specialize(fds, attrset.Of(L, Z, C), F, 4)
+	if len(removed) != 1 || removed[0] != (fd.FD{Lhs: attrset.Of(L), Rhs: F}) {
+		t.Fatalf("removed = %v", removed)
+	}
+	// Extensions must avoid the non-FD lhs {l,z,c} and the rhs f. With only
+	// four attributes there is no attribute left, so the cover empties.
+	if fds.Size() != 0 {
+		t.Errorf("cover = %v", fds.All())
+	}
+}
+
+func TestSpecializeKeepsMinimality(t *testing.T) {
+	fds := lattice.New(5)
+	fds.Add(attrset.Of(0), 4)
+	fds.Add(attrset.Of(1), 4)
+	// non-FD {0} -> 4: {0} is removed, {0,1} is a candidate extension but
+	// not minimal because {1} -> 4 survives.
+	Specialize(fds, attrset.Of(0), 4, 5)
+	for _, m := range fds.All() {
+		if m.Lhs == attrset.Of(0, 1) && m.Rhs == 4 {
+			t.Error("non-minimal specialization added")
+		}
+	}
+	if err := fds.CheckMinimal(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecializeNoGeneralizations(t *testing.T) {
+	fds := lattice.New(4)
+	fds.Add(attrset.Of(0, 1), 3)
+	if removed := Specialize(fds, attrset.Of(2), 3, 4); removed != nil {
+		t.Errorf("removed = %v", removed)
+	}
+	if fds.Size() != 1 {
+		t.Error("unrelated member disturbed")
+	}
+}
+
+func TestGeneralizeMirrors(t *testing.T) {
+	nonFds := lattice.New(4)
+	nonFds.Add(attrset.Of(F, Z, C), L)
+	// FD z -> l becomes valid: the non-FD fzc→l is its specialization.
+	removed := Generalize(nonFds, attrset.Of(Z), L)
+	if len(removed) != 1 {
+		t.Fatalf("removed = %v", removed)
+	}
+	// Generalizations drop attributes of {z}: fc -> l must be the new
+	// maximal non-FD candidate.
+	want := []fd.FD{{Lhs: attrset.Of(F, C), Rhs: L}}
+	if got := nonFds.All(); !fd.Equal(got, want) {
+		t.Errorf("nonFds = %v, want %v", got, want)
+	}
+}
+
+// TestQuickInductionMatchesOracle builds random small relations, derives
+// the non-FD set from all record pairs, runs BuildPositive, and compares
+// with the oracle's minimal FDs. It then inverts the result and compares
+// with the oracle's maximal non-FDs.
+func TestQuickInductionMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(31337))
+	f := func() bool {
+		attrs := 2 + r.Intn(4)
+		rows := make([][]string, r.Intn(16))
+		for i := range rows {
+			row := make([]string, attrs)
+			for a := range row {
+				row[a] = fmt.Sprint(r.Intn(3))
+			}
+			rows[i] = row
+		}
+		// Non-FDs from all pairs: agree(r1,r2) -> a for every differing a.
+		var nonFds []fd.FD
+		for i := range rows {
+			for j := i + 1; j < len(rows); j++ {
+				var agree attrset.Set
+				for a := 0; a < attrs; a++ {
+					if rows[i][a] == rows[j][a] {
+						agree = agree.With(a)
+					}
+				}
+				for a := 0; a < attrs; a++ {
+					if !agree.Contains(a) {
+						nonFds = append(nonFds, fd.FD{Lhs: agree, Rhs: a})
+					}
+				}
+			}
+		}
+		fds := BuildPositive(nonFds, attrs)
+		got := fds.All()
+		want := oracle.MinimalFDs(rows, attrs)
+		if !fd.Equal(got, want) {
+			t.Logf("BuildPositive mismatch\nrows: %v\ngot:  %v\nwant: %v", rows, got, want)
+			return false
+		}
+		if err := fds.CheckMinimal(); err != nil {
+			t.Log(err)
+			return false
+		}
+		gotNeg := Invert(fds, attrs).All()
+		wantNeg := oracle.MaximalNonFDs(rows, attrs)
+		if !fd.Equal(gotNeg, wantNeg) {
+			t.Logf("Invert mismatch\nrows: %v\ngot:  %v\nwant: %v", rows, gotNeg, wantNeg)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInvertRoundTrip checks that BuildPositive(Invert(fds)) = fds for
+// random antichain covers: the two cover representations are duals.
+func TestQuickInvertRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(555))
+	f := func() bool {
+		attrs := 3 + r.Intn(3)
+		fds := lattice.New(attrs)
+		// Random minimal cover: add random FDs keeping minimality.
+		for i := 0; i < r.Intn(8); i++ {
+			var lhs attrset.Set
+			for j := 0; j < r.Intn(3); j++ {
+				lhs = lhs.With(r.Intn(attrs))
+			}
+			rhs := r.Intn(attrs)
+			lhs = lhs.Without(rhs)
+			if !fds.ContainsGeneralization(lhs, rhs) {
+				fds.RemoveSpecializations(lhs, rhs)
+				fds.Add(lhs, rhs)
+			}
+		}
+		// The duality only holds for covers that describe a closed FD set;
+		// an arbitrary antichain need not be closed under transitivity
+		// (e.g. a→b, b→c imply a→c). Restrict to transitively closed
+		// covers by skipping inputs that are not.
+		if !transitivelyClosed(fds, attrs) {
+			return true
+		}
+		nonFds := Invert(fds, attrs)
+		back := BuildPositive(nonFds.All(), attrs)
+		if !fd.Equal(back.All(), fds.All()) {
+			t.Logf("round trip: fds %v -> nonFds %v -> %v", fds.All(), nonFds.All(), back.All())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// transitivelyClosed reports whether every FD implied by the cover through
+// Armstrong's axioms is already covered, approximated by checking closure
+// of every member's Lhs.
+func transitivelyClosed(fds *lattice.Cover, attrs int) bool {
+	all := fds.All()
+	closure := func(x attrset.Set) attrset.Set {
+		for changed := true; changed; {
+			changed = false
+			for _, f := range all {
+				if f.Lhs.IsSubsetOf(x) && !x.Contains(f.Rhs) {
+					x = x.With(f.Rhs)
+					changed = true
+				}
+			}
+		}
+		return x
+	}
+	for _, f := range all {
+		cl := closure(f.Lhs)
+		for a := cl.First(); a >= 0; a = cl.Next(a) {
+			if !f.Lhs.Contains(a) && !fds.ContainsGeneralization(f.Lhs, a) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,116 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynfd/internal/attrset"
+)
+
+// buildNegativeCoverLike fills a cover with the shape of a real negative
+// cover: an antichain of near-full Lhs sets (maximal non-FDs miss only a
+// few attributes).
+func buildNegativeCoverLike(v View, numAttrs, members int, r *rand.Rand) {
+	full := attrset.Full(numAttrs)
+	for i := 0; i < members; i++ {
+		lhs := full
+		// Remove 1-4 random attributes.
+		for j := 0; j < 1+r.Intn(4); j++ {
+			lhs = lhs.Without(r.Intn(numAttrs))
+		}
+		rhs := r.Intn(numAttrs)
+		lhs = lhs.Without(rhs)
+		v.Add(lhs, rhs)
+	}
+}
+
+// BenchmarkNegativeCoverOrientation quantifies the design choice DESIGN.md
+// documents: storing the negative cover complement-keyed (Flipped) versus
+// directly. The workload is the hot query of the violation search —
+// ContainsSpecialization with large agree sets.
+func BenchmarkNegativeCoverOrientation(b *testing.B) {
+	const numAttrs = 60
+	const members = 400
+	queries := make([]struct {
+		lhs attrset.Set
+		rhs int
+	}, 256)
+	r := rand.New(rand.NewSource(7))
+	full := attrset.Full(numAttrs)
+	for i := range queries {
+		lhs := full
+		for j := 0; j < 2+r.Intn(6); j++ {
+			lhs = lhs.Without(r.Intn(numAttrs))
+		}
+		rhs := r.Intn(numAttrs)
+		queries[i].lhs = lhs.Without(rhs)
+		queries[i].rhs = rhs
+	}
+	run := func(b *testing.B, v View) {
+		r := rand.New(rand.NewSource(7))
+		buildNegativeCoverLike(v, numAttrs, members, r)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			v.ContainsSpecialization(q.lhs, q.rhs)
+		}
+	}
+	b.Run("plain", func(b *testing.B) { run(b, New(numAttrs)) })
+	b.Run("flipped", func(b *testing.B) { run(b, NewFlipped(numAttrs)) })
+}
+
+// BenchmarkCoverOps measures the basic cover operations on a positive-
+// cover-shaped tree (small Lhs sets).
+func BenchmarkCoverOps(b *testing.B) {
+	const numAttrs = 30
+	r := rand.New(rand.NewSource(3))
+	mk := func() (*Cover, []struct {
+		lhs attrset.Set
+		rhs int
+	}) {
+		c := New(numAttrs)
+		members := make([]struct {
+			lhs attrset.Set
+			rhs int
+		}, 300)
+		for i := range members {
+			var lhs attrset.Set
+			for j := 0; j < 1+r.Intn(3); j++ {
+				lhs = lhs.With(r.Intn(numAttrs))
+			}
+			rhs := r.Intn(numAttrs)
+			lhs = lhs.Without(rhs)
+			members[i].lhs, members[i].rhs = lhs, rhs
+			c.Add(lhs, rhs)
+		}
+		return c, members
+	}
+	b.Run("ContainsGeneralization", func(b *testing.B) {
+		c, members := mk()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := members[i%len(members)]
+			c.ContainsGeneralization(m.lhs.With(i%numAttrs), m.rhs)
+		}
+	})
+	b.Run("AddRemove", func(b *testing.B) {
+		c, members := mk()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := members[i%len(members)]
+			c.Remove(m.lhs, m.rhs)
+			c.Add(m.lhs, m.rhs)
+		}
+	})
+	b.Run("Level", func(b *testing.B) {
+		c, _ := mk()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Level(2)
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package lattice
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/fd"
+)
+
+func TestFlippedBasicOps(t *testing.T) {
+	f := NewFlipped(5)
+	lhs := attrset.Of(0, 1, 3)
+	if !f.Add(lhs, 4) || f.Add(lhs, 4) {
+		t.Fatal("Add semantics wrong")
+	}
+	if !f.Contains(lhs, 4) || f.Contains(attrset.Of(0, 1), 4) {
+		t.Fatal("Contains wrong")
+	}
+	if f.Size() != 1 || f.LevelSize(3) != 1 || f.LevelSize(2) != 0 {
+		t.Fatalf("Size/LevelSize wrong: %d %d", f.Size(), f.LevelSize(3))
+	}
+	if f.MaxLevel() != 3 {
+		t.Fatalf("MaxLevel = %d", f.MaxLevel())
+	}
+	got := f.All()
+	if len(got) != 1 || got[0] != (fd.FD{Lhs: lhs, Rhs: 4}) {
+		t.Fatalf("All = %v", got)
+	}
+	if got := f.Level(3); len(got) != 1 || got[0].Lhs != lhs {
+		t.Fatalf("Level(3) = %v", got)
+	}
+	if !f.Remove(lhs, 4) || f.Remove(lhs, 4) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if f.MaxLevel() != -1 {
+		t.Fatalf("MaxLevel after empty = %d", f.MaxLevel())
+	}
+}
+
+func TestFlippedSubsetQueries(t *testing.T) {
+	f := NewFlipped(5)
+	f.Add(attrset.Of(0, 1, 2, 3), 4) // near-full lhs, the negative-cover shape
+	f.Add(attrset.Of(1, 2), 4)
+
+	if !f.ContainsGeneralization(attrset.Of(1, 2, 3), 4) {
+		t.Error("missing generalization {1,2}")
+	}
+	if f.ContainsGeneralization(attrset.Of(0, 3), 4) {
+		t.Error("false generalization")
+	}
+	if !f.ContainsSpecialization(attrset.Of(0, 3), 4) {
+		t.Error("missing specialization {0,1,2,3}")
+	}
+	if f.ContainsSpecialization(attrset.Of(0, 4), 4) {
+		t.Error("false specialization")
+	}
+	gens := f.Generalizations(attrset.Of(0, 1, 2, 3), 4)
+	if len(gens) != 2 {
+		t.Errorf("Generalizations = %v", gens)
+	}
+	specs := f.Specializations(attrset.Of(1), 4)
+	if len(specs) != 2 {
+		t.Errorf("Specializations = %v", specs)
+	}
+}
+
+func TestFlippedViolations(t *testing.T) {
+	f := NewFlipped(4)
+	lhs := attrset.Of(1, 2, 3)
+	if f.SetViolation(lhs, 0, Violation{A: 1, B: 2}) {
+		t.Error("SetViolation on absent member")
+	}
+	f.Add(lhs, 0)
+	if !f.SetViolation(lhs, 0, Violation{A: 1, B: 2}) {
+		t.Error("SetViolation failed")
+	}
+	if v, ok := f.Violation(lhs, 0); !ok || v != (Violation{A: 1, B: 2}) {
+		t.Errorf("Violation = %v %v", v, ok)
+	}
+	f.ClearViolation(lhs, 0)
+	if _, ok := f.Violation(lhs, 0); ok {
+		t.Error("ClearViolation did not clear")
+	}
+}
+
+func TestFlippedCheckMinimal(t *testing.T) {
+	f := NewFlipped(4)
+	f.Add(attrset.Of(1, 2, 3), 0)
+	f.Add(attrset.Of(2), 0)
+	if err := f.CheckMinimal(); err == nil {
+		t.Error("non-antichain accepted")
+	}
+}
+
+// TestQuickFlippedMatchesCover drives identical random operation sequences
+// against a Cover and a Flipped cover and demands identical observable
+// behaviour — the Flipped representation must be a pure change of key.
+func TestQuickFlippedMatchesCover(t *testing.T) {
+	const attrs = 6
+	r := rand.New(rand.NewSource(99))
+	randFD := func() fd.FD {
+		var lhs attrset.Set
+		for i := 0; i < r.Intn(5); i++ {
+			lhs = lhs.With(r.Intn(attrs))
+		}
+		rhs := r.Intn(attrs)
+		lhs = lhs.Without(rhs)
+		return fd.FD{Lhs: lhs, Rhs: rhs}
+	}
+	check := func() bool {
+		plain := New(attrs)
+		flip := NewFlipped(attrs)
+		for op := 0; op < 150; op++ {
+			x := randFD()
+			switch r.Intn(5) {
+			case 0, 1:
+				if plain.Add(x.Lhs, x.Rhs) != flip.Add(x.Lhs, x.Rhs) {
+					return false
+				}
+			case 2:
+				if plain.Remove(x.Lhs, x.Rhs) != flip.Remove(x.Lhs, x.Rhs) {
+					return false
+				}
+			case 3:
+				q := randFD()
+				if plain.Contains(q.Lhs, q.Rhs) != flip.Contains(q.Lhs, q.Rhs) ||
+					plain.ContainsGeneralization(q.Lhs, q.Rhs) != flip.ContainsGeneralization(q.Lhs, q.Rhs) ||
+					plain.ContainsSpecialization(q.Lhs, q.Rhs) != flip.ContainsSpecialization(q.Lhs, q.Rhs) {
+					return false
+				}
+				pg, fg := plain.Generalizations(q.Lhs, q.Rhs), flip.Generalizations(q.Lhs, q.Rhs)
+				sortSets(pg)
+				sortSets(fg)
+				if !reflect.DeepEqual(pg, fg) {
+					return false
+				}
+				ps, fs := plain.Specializations(q.Lhs, q.Rhs), flip.Specializations(q.Lhs, q.Rhs)
+				sortSets(ps)
+				sortSets(fs)
+				if !reflect.DeepEqual(ps, fs) {
+					return false
+				}
+			case 4:
+				q := randFD()
+				pr := plain.RemoveGeneralizations(q.Lhs, q.Rhs)
+				fr := flip.RemoveGeneralizations(q.Lhs, q.Rhs)
+				sortSets(pr)
+				sortSets(fr)
+				if !reflect.DeepEqual(pr, fr) {
+					return false
+				}
+			}
+			if plain.Size() != flip.Size() {
+				return false
+			}
+		}
+		if !fd.Equal(plain.All(), flip.All()) {
+			return false
+		}
+		for l := 0; l <= attrs; l++ {
+			if plain.LevelSize(l) != flip.LevelSize(l) {
+				return false
+			}
+			if !fd.Equal(plain.Level(l), flip.Level(l)) {
+				return false
+			}
+		}
+		return plain.MaxLevel() == flip.MaxLevel()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,338 @@
+package lattice
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/fd"
+)
+
+func TestAddRemoveContains(t *testing.T) {
+	c := New(5)
+	lhs := attrset.Of(0, 2)
+	if !c.Add(lhs, 4) {
+		t.Fatal("Add new = false")
+	}
+	if c.Add(lhs, 4) {
+		t.Fatal("Add duplicate = true")
+	}
+	if !c.Contains(lhs, 4) || c.Contains(lhs, 3) || c.Contains(attrset.Of(0), 4) {
+		t.Fatal("Contains wrong")
+	}
+	if c.Size() != 1 || c.LevelSize(2) != 1 || c.LevelSize(1) != 0 {
+		t.Fatalf("Size = %d, LevelSize(2) = %d", c.Size(), c.LevelSize(2))
+	}
+	if !c.Remove(lhs, 4) {
+		t.Fatal("Remove = false")
+	}
+	if c.Remove(lhs, 4) {
+		t.Fatal("double Remove = true")
+	}
+	if c.Size() != 0 || c.Contains(lhs, 4) {
+		t.Fatal("Remove left residue")
+	}
+}
+
+func TestEmptyLhsMember(t *testing.T) {
+	c := New(3)
+	c.Add(attrset.Set{}, 1)
+	if !c.Contains(attrset.Set{}, 1) {
+		t.Fatal("empty-lhs member missing")
+	}
+	if !c.ContainsGeneralization(attrset.Of(0, 2), 1) {
+		t.Fatal("empty lhs is a generalization of everything")
+	}
+	if !c.ContainsSpecialization(attrset.Set{}, 1) {
+		t.Fatal("member is a specialization of the empty lhs")
+	}
+	got := c.Level(0)
+	if len(got) != 1 || got[0] != (fd.FD{Rhs: 1}) {
+		t.Fatalf("Level(0) = %v", got)
+	}
+}
+
+func TestGeneralizationSpecializationSearch(t *testing.T) {
+	c := New(6)
+	c.Add(attrset.Of(0, 1), 5)
+	c.Add(attrset.Of(1, 2, 3), 5)
+	c.Add(attrset.Of(2), 4)
+
+	if !c.ContainsGeneralization(attrset.Of(0, 1, 2), 5) {
+		t.Error("missing generalization {0,1} of {0,1,2}")
+	}
+	if c.ContainsGeneralization(attrset.Of(0, 2), 5) {
+		t.Error("false generalization for {0,2}")
+	}
+	// Equality counts as both.
+	if !c.ContainsGeneralization(attrset.Of(0, 1), 5) {
+		t.Error("equal lhs not treated as generalization")
+	}
+	if !c.ContainsSpecialization(attrset.Of(0, 1), 5) {
+		t.Error("equal lhs not treated as specialization")
+	}
+	if !c.ContainsSpecialization(attrset.Of(1, 3), 5) {
+		t.Error("missing specialization {1,2,3} of {1,3}")
+	}
+	if c.ContainsSpecialization(attrset.Of(0, 3), 5) {
+		t.Error("false specialization for {0,3}")
+	}
+	// Rhs must match: {0,1}->5 exists, but nothing with rhs 4 below {0,1}.
+	if c.ContainsGeneralization(attrset.Of(0, 1), 4) {
+		t.Error("generalization ignored rhs")
+	}
+
+	gens := c.Generalizations(attrset.Of(0, 1, 2, 3), 5)
+	sortSets(gens)
+	want := []attrset.Set{attrset.Of(0, 1), attrset.Of(1, 2, 3)}
+	sortSets(want)
+	if !reflect.DeepEqual(gens, want) {
+		t.Errorf("Generalizations = %v, want %v", gens, want)
+	}
+
+	specs := c.Specializations(attrset.Of(1), 5)
+	sortSets(specs)
+	want = []attrset.Set{attrset.Of(0, 1), attrset.Of(1, 2, 3)}
+	sortSets(want)
+	if !reflect.DeepEqual(specs, want) {
+		t.Errorf("Specializations = %v, want %v", specs, want)
+	}
+}
+
+func TestRemoveGeneralizationsSpecializations(t *testing.T) {
+	c := New(6)
+	c.Add(attrset.Of(0), 5)
+	c.Add(attrset.Of(0, 1), 5)
+	c.Add(attrset.Of(2), 5)
+
+	removed := c.RemoveGeneralizations(attrset.Of(0, 1, 3), 5)
+	if len(removed) != 2 {
+		t.Fatalf("RemoveGeneralizations removed %v", removed)
+	}
+	if c.Size() != 1 || !c.Contains(attrset.Of(2), 5) {
+		t.Fatal("wrong survivor")
+	}
+
+	c.Add(attrset.Of(2, 3), 5)
+	c.Add(attrset.Of(2, 4), 5)
+	removed = c.RemoveSpecializations(attrset.Of(2), 5)
+	if len(removed) != 3 {
+		t.Fatalf("RemoveSpecializations removed %v", removed)
+	}
+	if c.Size() != 0 {
+		t.Fatal("cover not empty")
+	}
+}
+
+func TestLevelAndAll(t *testing.T) {
+	c := New(4)
+	members := []fd.FD{
+		{Lhs: attrset.Set{}, Rhs: 0},
+		{Lhs: attrset.Of(1), Rhs: 0},
+		{Lhs: attrset.Of(2), Rhs: 3},
+		{Lhs: attrset.Of(1, 2), Rhs: 3},
+		{Lhs: attrset.Of(0, 1, 2), Rhs: 3},
+	}
+	for _, m := range members {
+		c.Add(m.Lhs, m.Rhs)
+	}
+	if got := c.Level(1); len(got) != 2 {
+		t.Errorf("Level(1) = %v", got)
+	}
+	if got := c.Level(3); len(got) != 1 || got[0].Lhs != attrset.Of(0, 1, 2) {
+		t.Errorf("Level(3) = %v", got)
+	}
+	if got := c.Level(4); got != nil {
+		t.Errorf("Level(4) = %v", got)
+	}
+	if c.MaxLevel() != 3 {
+		t.Errorf("MaxLevel = %d", c.MaxLevel())
+	}
+	all := c.All()
+	if !fd.Equal(all, members) {
+		t.Errorf("All = %v", all)
+	}
+}
+
+func TestMaxLevelEmpty(t *testing.T) {
+	c := New(3)
+	if c.MaxLevel() != -1 {
+		t.Errorf("MaxLevel of empty = %d", c.MaxLevel())
+	}
+}
+
+func TestViolationAnnotations(t *testing.T) {
+	c := New(4)
+	lhs := attrset.Of(1, 2)
+	if c.SetViolation(lhs, 3, Violation{A: 1, B: 2}) {
+		t.Error("SetViolation on absent member = true")
+	}
+	c.Add(lhs, 3)
+	if !c.SetViolation(lhs, 3, Violation{A: 1, B: 2}) {
+		t.Error("SetViolation = false")
+	}
+	v, ok := c.Violation(lhs, 3)
+	if !ok || v != (Violation{A: 1, B: 2}) {
+		t.Errorf("Violation = %v, %v", v, ok)
+	}
+	if _, ok := c.Violation(attrset.Of(1), 3); ok {
+		t.Error("Violation for absent member = true")
+	}
+	c.ClearViolation(lhs, 3)
+	if _, ok := c.Violation(lhs, 3); ok {
+		t.Error("ClearViolation did not clear")
+	}
+	// Removing a member drops its annotation even after re-adding.
+	c.SetViolation(lhs, 3, Violation{A: 9, B: 8})
+	c.Remove(lhs, 3)
+	c.Add(lhs, 3)
+	if _, ok := c.Violation(lhs, 3); ok {
+		t.Error("annotation survived remove/add")
+	}
+}
+
+func TestCheckMinimal(t *testing.T) {
+	c := New(4)
+	c.Add(attrset.Of(0), 3)
+	c.Add(attrset.Of(1, 2), 3)
+	c.SetViolation(attrset.Of(0), 3, Violation{A: 5, B: 6})
+	if err := c.CheckMinimal(); err != nil {
+		t.Errorf("CheckMinimal on minimal cover: %v", err)
+	}
+	// Annotations must survive the check.
+	if v, ok := c.Violation(attrset.Of(0), 3); !ok || v != (Violation{A: 5, B: 6}) {
+		t.Error("CheckMinimal dropped annotation")
+	}
+	c.Add(attrset.Of(0, 1), 3) // specialization of {0}->3
+	if err := c.CheckMinimal(); err == nil {
+		t.Error("CheckMinimal missed non-minimal member")
+	}
+}
+
+func sortSets(s []attrset.Set) {
+	sort.Slice(s, func(i, j int) bool {
+		return fd.Less(fd.FD{Lhs: s[i]}, fd.FD{Lhs: s[j]})
+	})
+}
+
+// model is a brute-force reference implementation of the cover operations.
+type model map[fd.FD]bool
+
+func (m model) gens(lhs attrset.Set, rhs int) []attrset.Set {
+	var out []attrset.Set
+	for f := range m {
+		if f.Rhs == rhs && f.Lhs.IsSubsetOf(lhs) {
+			out = append(out, f.Lhs)
+		}
+	}
+	sortSets(out)
+	return out
+}
+
+func (m model) specs(lhs attrset.Set, rhs int) []attrset.Set {
+	var out []attrset.Set
+	for f := range m {
+		if f.Rhs == rhs && f.Lhs.IsSupersetOf(lhs) {
+			out = append(out, f.Lhs)
+		}
+	}
+	sortSets(out)
+	return out
+}
+
+// TestQuickAgainstBruteForce drives random add/remove operations and checks
+// every query against the brute-force model.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	const attrs = 6
+	r := rand.New(rand.NewSource(4711))
+	randFD := func() fd.FD {
+		var lhs attrset.Set
+		for i := 0; i < r.Intn(4); i++ {
+			lhs = lhs.With(r.Intn(attrs))
+		}
+		rhs := r.Intn(attrs)
+		lhs = lhs.Without(rhs)
+		return fd.FD{Lhs: lhs, Rhs: rhs}
+	}
+	f := func() bool {
+		c := New(attrs)
+		m := model{}
+		for op := 0; op < 120; op++ {
+			x := randFD()
+			switch r.Intn(4) {
+			case 0, 1:
+				if c.Add(x.Lhs, x.Rhs) == m[x] {
+					t.Logf("Add(%v) newness mismatch", x)
+					return false
+				}
+				m[x] = true
+			case 2:
+				if c.Remove(x.Lhs, x.Rhs) != m[x] {
+					t.Logf("Remove(%v) mismatch", x)
+					return false
+				}
+				delete(m, x)
+			case 3:
+				q := randFD()
+				if c.Contains(q.Lhs, q.Rhs) != m[q] {
+					t.Logf("Contains(%v) mismatch", q)
+					return false
+				}
+				wantG := m.gens(q.Lhs, q.Rhs)
+				gotG := c.Generalizations(q.Lhs, q.Rhs)
+				sortSets(gotG)
+				if !reflect.DeepEqual(gotG, wantG) {
+					t.Logf("Generalizations(%v) = %v, want %v", q, gotG, wantG)
+					return false
+				}
+				if c.ContainsGeneralization(q.Lhs, q.Rhs) != (len(wantG) > 0) {
+					t.Logf("ContainsGeneralization(%v) mismatch", q)
+					return false
+				}
+				wantS := m.specs(q.Lhs, q.Rhs)
+				gotS := c.Specializations(q.Lhs, q.Rhs)
+				sortSets(gotS)
+				if !reflect.DeepEqual(gotS, wantS) {
+					t.Logf("Specializations(%v) = %v, want %v", q, gotS, wantS)
+					return false
+				}
+				if c.ContainsSpecialization(q.Lhs, q.Rhs) != (len(wantS) > 0) {
+					t.Logf("ContainsSpecialization(%v) mismatch", q)
+					return false
+				}
+			}
+		}
+		// Final full-state comparison.
+		var want []fd.FD
+		for f := range m {
+			want = append(want, f)
+		}
+		got := c.All()
+		if !fd.Equal(got, want) {
+			t.Logf("All mismatch: got %v want %v", got, want)
+			return false
+		}
+		if c.Size() != len(m) {
+			return false
+		}
+		perLevel := make([]int, attrs+1)
+		for f := range m {
+			perLevel[f.Lhs.Count()]++
+		}
+		for l, n := range perLevel {
+			if c.LevelSize(l) != n {
+				return false
+			}
+			if len(c.Level(l)) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

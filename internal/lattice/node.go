@@ -1,0 +1,38 @@
+package lattice
+
+import "sort"
+
+// node children are stored as two parallel slices sorted by attribute.
+// Profiling showed map-based children dominating the cover searches (Go
+// map iteration cost, randomized start); sorted slices make the ascending
+// path searches cache-friendly and allow early termination.
+
+// child returns the child for attribute a, or nil.
+func (n *node) child(a int) *node {
+	i := sort.SearchInts(n.attrs, a)
+	if i < len(n.attrs) && n.attrs[i] == a {
+		return n.children[i]
+	}
+	return nil
+}
+
+// addChild inserts a child keeping the attribute order.
+func (n *node) addChild(a int, c *node) {
+	i := sort.SearchInts(n.attrs, a)
+	n.attrs = append(n.attrs, 0)
+	n.children = append(n.children, nil)
+	copy(n.attrs[i+1:], n.attrs[i:])
+	copy(n.children[i+1:], n.children[i:])
+	n.attrs[i] = a
+	n.children[i] = c
+}
+
+// removeChild drops the child for attribute a, if present.
+func (n *node) removeChild(a int) {
+	i := sort.SearchInts(n.attrs, a)
+	if i >= len(n.attrs) || n.attrs[i] != a {
+		return
+	}
+	n.attrs = append(n.attrs[:i], n.attrs[i+1:]...)
+	n.children = append(n.children[:i], n.children[i+1:]...)
+}

@@ -1,0 +1,305 @@
+// Package normalize implements the classic FD reasoning toolkit behind
+// schema normalization and query optimization — the first two applications
+// the DynFD paper lists for functional dependencies (§1): attribute
+// closures and implication (Armstrong's axioms), candidate key
+// enumeration, canonical covers, BCNF checking and lossless BCNF
+// decomposition, 3NF synthesis, and functional reduction of column lists
+// (the GROUP-BY pruning of Paulley's query-optimization work, paper
+// reference [14]).
+package normalize
+
+import (
+	"sort"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/fd"
+)
+
+// Closure returns the attribute closure of x under the given FDs: the
+// largest set X+ with x → X+ implied by Armstrong's axioms.
+func Closure(fds []fd.FD, x attrset.Set) attrset.Set {
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fds {
+			if f.Lhs.IsSubsetOf(x) && !x.Contains(f.Rhs) {
+				x = x.With(f.Rhs)
+				changed = true
+			}
+		}
+	}
+	return x
+}
+
+// Implies reports whether the candidate FD follows from the given FDs.
+func Implies(fds []fd.FD, cand fd.FD) bool {
+	return Closure(fds, cand.Lhs).Contains(cand.Rhs)
+}
+
+// CandidateKeys enumerates all minimal keys of a schema with numAttrs
+// attributes under the given FDs. Every key must contain the attributes
+// that appear on no right-hand side; the remaining search space is
+// explored breadth-first with subset pruning.
+func CandidateKeys(fds []fd.FD, numAttrs int) []attrset.Set {
+	full := attrset.Full(numAttrs)
+	// base: attributes that no FD can derive — they are in every key.
+	derivable := attrset.Set{}
+	for _, f := range fds {
+		derivable = derivable.With(f.Rhs)
+	}
+	base := full.Diff(derivable)
+	if Closure(fds, base) == full {
+		return []attrset.Set{base}
+	}
+	// BFS over extensions of base by candidate attributes, smallest first.
+	candidates := full.Diff(base).Slice()
+	var keys []attrset.Set
+	frontier := []attrset.Set{base}
+	for len(frontier) > 0 {
+		var next []attrset.Set
+		seen := make(map[attrset.Set]bool)
+		for _, cur := range frontier {
+			for _, a := range candidates {
+				if cur.Contains(a) {
+					continue
+				}
+				ext := cur.With(a)
+				if seen[ext] {
+					continue
+				}
+				seen[ext] = true
+				// Prune extensions of already-found keys.
+				covered := false
+				for _, k := range keys {
+					if k.IsSubsetOf(ext) {
+						covered = true
+						break
+					}
+				}
+				if covered {
+					continue
+				}
+				if Closure(fds, ext) == full {
+					keys = append(keys, ext)
+				} else {
+					next = append(next, ext)
+				}
+			}
+		}
+		frontier = next
+	}
+	sortSets(keys)
+	return keys
+}
+
+// IsKey reports whether x is a superkey.
+func IsKey(fds []fd.FD, numAttrs int, x attrset.Set) bool {
+	return Closure(fds, x) == attrset.Full(numAttrs)
+}
+
+// CanonicalCover reduces the FD set to a canonical cover: single-attribute
+// right-hand sides (given), no extraneous left-hand-side attributes, and
+// no redundant FDs. The result implies exactly the same FDs.
+func CanonicalCover(fds []fd.FD) []fd.FD {
+	cover := append([]fd.FD(nil), fds...)
+	// Remove extraneous lhs attributes: a ∈ X is extraneous in X → b if
+	// (X \ {a})+ under the current cover still contains b.
+	for i := range cover {
+		f := cover[i]
+		for a := f.Lhs.First(); a >= 0; a = f.Lhs.Next(a) {
+			reduced := f.Lhs.Without(a)
+			if Closure(cover, reduced).Contains(f.Rhs) {
+				f.Lhs = reduced
+				cover[i] = f
+			}
+		}
+	}
+	// Remove redundant FDs: f is redundant if the rest implies it.
+	out := cover[:0]
+	for i := range cover {
+		rest := append(append([]fd.FD(nil), out...), cover[i+1:]...)
+		if !Implies(rest, cover[i]) {
+			out = append(out, cover[i])
+		}
+	}
+	res := fd.Minimize(out)
+	return res
+}
+
+// BCNFViolations returns the FDs that violate Boyce-Codd normal form: the
+// non-trivial dependencies whose left-hand side is not a superkey.
+func BCNFViolations(fds []fd.FD, numAttrs int) []fd.FD {
+	var out []fd.FD
+	for _, f := range fds {
+		if f.Lhs.Contains(f.Rhs) {
+			continue
+		}
+		if !IsKey(fds, numAttrs, f.Lhs) {
+			out = append(out, f)
+		}
+	}
+	fd.Sort(out)
+	return out
+}
+
+// Relation is one decomposed relation schema: a set of attribute indexes.
+type Relation struct {
+	Attrs attrset.Set
+}
+
+// DecomposeBCNF losslessly decomposes the schema into BCNF relations by
+// repeatedly splitting on a violating FD X → A into (X ∪ {A}) and
+// (R \ {A}). FDs are projected onto fragments via closures, so the result
+// is guaranteed to be in BCNF (dependency preservation is not guaranteed —
+// it cannot be, in general).
+func DecomposeBCNF(fds []fd.FD, numAttrs int) []Relation {
+	full := attrset.Full(numAttrs)
+	var result []Relation
+	work := []attrset.Set{full}
+	for len(work) > 0 {
+		r := work[len(work)-1]
+		work = work[:len(work)-1]
+		proj := Project(fds, r)
+		viol := violating(proj, r)
+		if viol == nil {
+			result = append(result, Relation{Attrs: r})
+			continue
+		}
+		left := viol.Lhs.With(viol.Rhs)
+		right := r.Diff(left).Union(viol.Lhs)
+		work = append(work, left, right)
+	}
+	sort.Slice(result, func(i, j int) bool {
+		return fd.Less(fd.FD{Lhs: result[i].Attrs}, fd.FD{Lhs: result[j].Attrs})
+	})
+	return result
+}
+
+// violating returns a BCNF-violating FD within relation r, or nil.
+func violating(proj []fd.FD, r attrset.Set) *fd.FD {
+	for _, f := range proj {
+		if f.Lhs.Contains(f.Rhs) {
+			continue
+		}
+		if !Closure(proj, f.Lhs).IsSupersetOf(r) {
+			v := f
+			return &v
+		}
+	}
+	return nil
+}
+
+// Project computes the projection of the FDs onto the attribute set r:
+// all FDs X → a with X ⊆ r, a ∈ r implied by the originals, reduced to
+// minimal left-hand sides. Exponential in |r| in the worst case, as any
+// exact projection must be.
+func Project(fds []fd.FD, r attrset.Set) []fd.FD {
+	attrs := r.Slice()
+	var out []fd.FD
+	// Enumerate subsets of r by increasing size; record minimal FDs only.
+	n := len(attrs)
+	subsets := make([][]attrset.Set, n+1)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var s attrset.Set
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s = s.With(attrs[i])
+			}
+		}
+		c := s.Count()
+		subsets[c] = append(subsets[c], s)
+	}
+	for size := 0; size <= n; size++ {
+		for _, lhs := range subsets[size] {
+			cl := Closure(fds, lhs).Intersect(r)
+			for a := cl.First(); a >= 0; a = cl.Next(a) {
+				if lhs.Contains(a) {
+					continue
+				}
+				cand := fd.FD{Lhs: lhs, Rhs: a}
+				if !fd.Follows(out, cand) {
+					out = append(out, cand)
+				}
+			}
+		}
+	}
+	fd.Sort(out)
+	return out
+}
+
+// Synthesize3NF produces a lossless, dependency-preserving decomposition
+// into third normal form via the classic synthesis algorithm: one relation
+// per canonical-cover FD group, plus a key relation when no fragment
+// contains a key.
+func Synthesize3NF(fds []fd.FD, numAttrs int) []Relation {
+	cover := CanonicalCover(fds)
+	// Group FDs by Lhs.
+	groups := map[attrset.Set]attrset.Set{}
+	for _, f := range cover {
+		groups[f.Lhs] = groups[f.Lhs].With(f.Rhs)
+	}
+	var rels []Relation
+	for lhs, rhss := range groups {
+		rels = append(rels, Relation{Attrs: lhs.Union(rhss)})
+	}
+	// Drop fragments contained in others.
+	sort.Slice(rels, func(i, j int) bool { return rels[i].Attrs.Count() > rels[j].Attrs.Count() })
+	var kept []Relation
+	for _, r := range rels {
+		contained := false
+		for _, k := range kept {
+			if r.Attrs.IsSubsetOf(k.Attrs) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			kept = append(kept, r)
+		}
+	}
+	// Ensure some fragment contains a candidate key.
+	hasKey := false
+	for _, r := range kept {
+		if IsKey(fds, numAttrs, r.Attrs) {
+			hasKey = true
+			break
+		}
+	}
+	if !hasKey {
+		keys := CandidateKeys(fds, numAttrs)
+		if len(keys) > 0 {
+			kept = append(kept, Relation{Attrs: keys[0]})
+		} else {
+			kept = append(kept, Relation{Attrs: attrset.Full(numAttrs)})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		return fd.Less(fd.FD{Lhs: kept[i].Attrs}, fd.FD{Lhs: kept[j].Attrs})
+	})
+	return kept
+}
+
+// ReduceColumns removes from cols every attribute that is functionally
+// determined by the remaining ones — the FD-based GROUP BY / ORDER BY
+// pruning of query optimization (paper reference [14]). The scan removes
+// attributes greedily from the highest index down, so the result is a
+// minimal (not necessarily minimum) reduction.
+func ReduceColumns(fds []fd.FD, cols attrset.Set) attrset.Set {
+	attrs := cols.Slice()
+	for i := len(attrs) - 1; i >= 0; i-- {
+		a := attrs[i]
+		if !cols.Contains(a) {
+			continue
+		}
+		rest := cols.Without(a)
+		if Closure(fds, rest).Contains(a) {
+			cols = rest
+		}
+	}
+	return cols
+}
+
+func sortSets(s []attrset.Set) {
+	sort.Slice(s, func(i, j int) bool {
+		return fd.Less(fd.FD{Lhs: s[i]}, fd.FD{Lhs: s[j]})
+	})
+}

@@ -1,0 +1,264 @@
+package normalize
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/fd"
+	"dynfd/internal/oracle"
+)
+
+// The classic orders schema: order_id(0), customer(1), cust_city(2),
+// product(3), unit_price(4).
+var orderFDs = []fd.FD{
+	{Lhs: attrset.Of(0), Rhs: 1},
+	{Lhs: attrset.Of(0), Rhs: 3},
+	{Lhs: attrset.Of(1), Rhs: 2},
+	{Lhs: attrset.Of(3), Rhs: 4},
+}
+
+func TestClosure(t *testing.T) {
+	got := Closure(orderFDs, attrset.Of(0))
+	if got != attrset.Of(0, 1, 2, 3, 4) {
+		t.Errorf("Closure({0}) = %v", got)
+	}
+	if got := Closure(orderFDs, attrset.Of(1)); got != attrset.Of(1, 2) {
+		t.Errorf("Closure({1}) = %v", got)
+	}
+	if got := Closure(nil, attrset.Of(2)); got != attrset.Of(2) {
+		t.Errorf("Closure with no FDs = %v", got)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	if !Implies(orderFDs, fd.FD{Lhs: attrset.Of(0), Rhs: 4}) {
+		t.Error("transitive FD not implied")
+	}
+	if Implies(orderFDs, fd.FD{Lhs: attrset.Of(1), Rhs: 4}) {
+		t.Error("unrelated FD implied")
+	}
+}
+
+func TestCandidateKeys(t *testing.T) {
+	keys := CandidateKeys(orderFDs, 5)
+	if len(keys) != 1 || keys[0] != attrset.Of(0) {
+		t.Errorf("keys = %v", keys)
+	}
+	// Two keys: a→b, b→a over {a,b,c}: keys {a,c} and {b,c}.
+	fds := []fd.FD{
+		{Lhs: attrset.Of(0), Rhs: 1},
+		{Lhs: attrset.Of(1), Rhs: 0},
+	}
+	keys = CandidateKeys(fds, 3)
+	want := []attrset.Set{attrset.Of(0, 2), attrset.Of(1, 2)}
+	if !reflect.DeepEqual(keys, want) {
+		t.Errorf("keys = %v, want %v", keys, want)
+	}
+	// No FDs: the full set is the only key.
+	keys = CandidateKeys(nil, 3)
+	if len(keys) != 1 || keys[0] != attrset.Full(3) {
+		t.Errorf("keys without FDs = %v", keys)
+	}
+}
+
+func TestCanonicalCover(t *testing.T) {
+	// {0,1} -> 2 where {0} -> 2 already holds: 1 is extraneous; and a
+	// redundant transitive FD.
+	fds := []fd.FD{
+		{Lhs: attrset.Of(0), Rhs: 1},
+		{Lhs: attrset.Of(1), Rhs: 2},
+		{Lhs: attrset.Of(0), Rhs: 2},    // redundant (transitivity)
+		{Lhs: attrset.Of(0, 3), Rhs: 1}, // 3 extraneous, then redundant
+	}
+	got := CanonicalCover(fds)
+	want := []fd.FD{
+		{Lhs: attrset.Of(0), Rhs: 1},
+		{Lhs: attrset.Of(1), Rhs: 2},
+	}
+	if !fd.Equal(got, want) {
+		t.Errorf("CanonicalCover = %v, want %v", got, want)
+	}
+}
+
+func TestQuickCanonicalCoverEquivalent(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	f := func() bool {
+		const attrs = 5
+		var fds []fd.FD
+		for i := 0; i < r.Intn(10); i++ {
+			var lhs attrset.Set
+			for j := 0; j < 1+r.Intn(3); j++ {
+				lhs = lhs.With(r.Intn(attrs))
+			}
+			rhs := r.Intn(attrs)
+			fds = append(fds, fd.FD{Lhs: lhs.Without(rhs), Rhs: rhs})
+		}
+		cover := CanonicalCover(fds)
+		// Equivalence: same closures for every single attribute and a few
+		// random sets.
+		for a := 0; a < attrs; a++ {
+			if Closure(fds, attrset.Of(a)) != Closure(cover, attrset.Of(a)) {
+				return false
+			}
+		}
+		for trial := 0; trial < 8; trial++ {
+			var x attrset.Set
+			for j := 0; j < r.Intn(4); j++ {
+				x = x.With(r.Intn(attrs))
+			}
+			if Closure(fds, x) != Closure(cover, x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBCNFViolationsAndDecompose(t *testing.T) {
+	viol := BCNFViolations(orderFDs, 5)
+	// Every FD except those with a key lhs violates; {0} is the key.
+	want := []fd.FD{
+		{Lhs: attrset.Of(1), Rhs: 2},
+		{Lhs: attrset.Of(3), Rhs: 4},
+	}
+	if !fd.Equal(viol, want) {
+		t.Errorf("violations = %v, want %v", viol, want)
+	}
+
+	rels := DecomposeBCNF(orderFDs, 5)
+	// Every fragment must be in BCNF under its projected FDs.
+	for _, rel := range rels {
+		proj := Project(orderFDs, rel.Attrs)
+		if v := violating(proj, rel.Attrs); v != nil {
+			t.Errorf("fragment %v violates BCNF via %v", rel.Attrs, v)
+		}
+	}
+	// Attribute preservation: the union covers the schema.
+	var union attrset.Set
+	for _, rel := range rels {
+		union = union.Union(rel.Attrs)
+	}
+	if union != attrset.Full(5) {
+		t.Errorf("attributes lost: %v", union)
+	}
+}
+
+func TestProject(t *testing.T) {
+	// Project {0->1, 1->2} onto {0,2}: transitively 0->2.
+	fds := []fd.FD{
+		{Lhs: attrset.Of(0), Rhs: 1},
+		{Lhs: attrset.Of(1), Rhs: 2},
+	}
+	got := Project(fds, attrset.Of(0, 2))
+	want := []fd.FD{{Lhs: attrset.Of(0), Rhs: 2}}
+	if !fd.Equal(got, want) {
+		t.Errorf("Project = %v, want %v", got, want)
+	}
+}
+
+func TestSynthesize3NF(t *testing.T) {
+	rels := Synthesize3NF(orderFDs, 5)
+	// Dependency preservation: every original FD must be implied by the
+	// union of projections onto fragments.
+	var all []fd.FD
+	for _, rel := range rels {
+		all = append(all, Project(orderFDs, rel.Attrs)...)
+	}
+	for _, f := range orderFDs {
+		if !Implies(all, f) {
+			t.Errorf("FD %v lost by synthesis", f)
+		}
+	}
+	// Some fragment contains a candidate key.
+	hasKey := false
+	for _, rel := range rels {
+		if IsKey(orderFDs, 5, rel.Attrs) {
+			hasKey = true
+		}
+	}
+	if !hasKey {
+		t.Errorf("no fragment contains a key: %v", rels)
+	}
+}
+
+func TestSynthesize3NFNoFDs(t *testing.T) {
+	rels := Synthesize3NF(nil, 3)
+	if len(rels) != 1 || rels[0].Attrs != attrset.Full(3) {
+		t.Errorf("rels = %v", rels)
+	}
+}
+
+func TestReduceColumns(t *testing.T) {
+	// GROUP BY order_id, customer, cust_city reduces to GROUP BY order_id.
+	got := ReduceColumns(orderFDs, attrset.Of(0, 1, 2))
+	if got != attrset.Of(0) {
+		t.Errorf("ReduceColumns = %v", got)
+	}
+	// Nothing derivable: unchanged.
+	if got := ReduceColumns(orderFDs, attrset.Of(1, 3)); got != attrset.Of(1, 3) {
+		t.Errorf("ReduceColumns = %v", got)
+	}
+}
+
+// TestQuickKeysAgainstDiscoveredFDs ties the toolkit to discovery: for a
+// random relation, the candidate keys derived from its minimal FDs must be
+// exactly the minimal unique column combinations of the data... provided
+// the relation has no duplicate rows (duplicates break the equivalence).
+func TestQuickKeysAgainstDiscoveredFDs(t *testing.T) {
+	r := rand.New(rand.NewSource(5150))
+	f := func() bool {
+		attrs := 2 + r.Intn(3)
+		seen := map[string]bool{}
+		var rows [][]string
+		for i := 0; i < 4+r.Intn(12); i++ {
+			row := make([]string, attrs)
+			for a := range row {
+				row[a] = fmt.Sprint(r.Intn(3))
+			}
+			k := fmt.Sprint(row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			rows = append(rows, row)
+		}
+		fds := oracle.MinimalFDs(rows, attrs)
+		keys := CandidateKeys(fds, attrs)
+		// Verify each key is unique in the data and minimal.
+		unique := func(cols attrset.Set) bool {
+			g := map[string]bool{}
+			for _, row := range rows {
+				k := ""
+				cols.ForEach(func(a int) bool { k += row[a] + "\x00"; return true })
+				if g[k] {
+					return false
+				}
+				g[k] = true
+			}
+			return true
+		}
+		for _, k := range keys {
+			if !unique(k) {
+				t.Logf("key %v not unique in %v", k, rows)
+				return false
+			}
+			for a := k.First(); a >= 0; a = k.Next(a) {
+				if unique(k.Without(a)) {
+					t.Logf("key %v not minimal", k)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package oracle provides a brute-force functional dependency discoverer.
+// It enumerates the full candidate lattice and validates every candidate by
+// hashing, so it is exponential in the column count and quadratic-ish in the
+// row count — usable only for small relations. Its sole purpose is to serve
+// as ground truth for the tests of the real algorithms (DynFD, HyFD, TANE,
+// FDEP).
+package oracle
+
+import (
+	"strings"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/fd"
+)
+
+// Valid reports whether lhs → rhs holds on the given rows: whenever two
+// rows agree on all lhs attributes they also agree on rhs.
+func Valid(rows [][]string, lhs attrset.Set, rhs int) bool {
+	seen := make(map[string]string, len(rows))
+	var key strings.Builder
+	for _, row := range rows {
+		key.Reset()
+		lhs.ForEach(func(a int) bool {
+			key.WriteString(row[a])
+			key.WriteByte(0)
+			return true
+		})
+		k := key.String()
+		if prev, ok := seen[k]; ok {
+			if prev != row[rhs] {
+				return false
+			}
+		} else {
+			seen[k] = row[rhs]
+		}
+	}
+	return true
+}
+
+// MinimalFDs returns all minimal, non-trivial FDs of the relation with
+// numAttrs columns, by exhaustive lattice enumeration. It panics when
+// numAttrs exceeds 20 — the oracle is a test fixture, not a discoverer.
+func MinimalFDs(rows [][]string, numAttrs int) []fd.FD {
+	if numAttrs > 20 {
+		panic("oracle: too many attributes for brute force")
+	}
+	var out []fd.FD
+	// Enumerate lhs subsets in ascending cardinality order so minimality
+	// can be checked against already-found FDs.
+	subsets := make([][]attrset.Set, numAttrs+1)
+	for mask := 0; mask < 1<<uint(numAttrs); mask++ {
+		var s attrset.Set
+		for a := 0; a < numAttrs; a++ {
+			if mask&(1<<uint(a)) != 0 {
+				s = s.With(a)
+			}
+		}
+		c := s.Count()
+		subsets[c] = append(subsets[c], s)
+	}
+	for size := 0; size <= numAttrs; size++ {
+		for _, lhs := range subsets[size] {
+			for rhs := 0; rhs < numAttrs; rhs++ {
+				if lhs.Contains(rhs) {
+					continue
+				}
+				cand := fd.FD{Lhs: lhs, Rhs: rhs}
+				if fd.Follows(out, cand) {
+					continue // a generalization already holds; not minimal
+				}
+				if Valid(rows, lhs, rhs) {
+					out = append(out, cand)
+				}
+			}
+		}
+	}
+	fd.Sort(out)
+	return out
+}
+
+// MaximalNonFDs returns all maximal non-FDs of the relation: the invalid
+// candidates X → A for which every proper specialization X∪{B} → A is
+// valid. Like MinimalFDs it is exhaustive and intended for tests only.
+func MaximalNonFDs(rows [][]string, numAttrs int) []fd.FD {
+	minimal := MinimalFDs(rows, numAttrs)
+	var out []fd.FD
+	full := attrset.Full(numAttrs)
+	for mask := 0; mask < 1<<uint(numAttrs); mask++ {
+		var lhs attrset.Set
+		for a := 0; a < numAttrs; a++ {
+			if mask&(1<<uint(a)) != 0 {
+				lhs = lhs.With(a)
+			}
+		}
+		for rhs := 0; rhs < numAttrs; rhs++ {
+			if lhs.Contains(rhs) {
+				continue
+			}
+			cand := fd.FD{Lhs: lhs, Rhs: rhs}
+			if fd.Follows(minimal, cand) {
+				continue // valid, not a non-FD
+			}
+			// Maximal iff every direct specialization is valid.
+			maximal := true
+			rest := full.Diff(lhs).Without(rhs)
+			rest.ForEach(func(b int) bool {
+				if !fd.Follows(minimal, fd.FD{Lhs: lhs.With(b), Rhs: rhs}) {
+					maximal = false
+					return false
+				}
+				return true
+			})
+			if maximal {
+				out = append(out, cand)
+			}
+		}
+	}
+	fd.Sort(out)
+	return out
+}

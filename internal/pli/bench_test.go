@@ -1,0 +1,74 @@
+package pli
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	const attrs = 10
+	s := NewStore(attrs)
+	row := make([]string, attrs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for a := range row {
+			row[a] = fmt.Sprint((i * (a + 3)) % 1000)
+		}
+		if _, err := s.Insert(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertDeleteCycle(b *testing.B) {
+	const attrs = 10
+	s := NewStore(attrs)
+	row := make([]string, attrs)
+	// Steady state: keep ~1000 records alive.
+	var ids []int64
+	for i := 0; i < 1000; i++ {
+		for a := range row {
+			row[a] = fmt.Sprint((i * (a + 3)) % 200)
+		}
+		id, _ := s.Insert(row)
+		ids = append(ids, id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Delete(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+		for a := range row {
+			row[a] = fmt.Sprint((i * (a + 7)) % 200)
+		}
+		id, err := s.Insert(row)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i%len(ids)] = id
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	const attrs = 6
+	s := NewStore(attrs)
+	row := make([]string, attrs)
+	for i := 0; i < 5000; i++ {
+		for a := range row {
+			row[a] = fmt.Sprint((i * (a + 3)) % 500)
+		}
+		_, _ = s.Insert(row)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for a := range row {
+			row[a] = fmt.Sprint((i * (a + 3)) % 500)
+		}
+		if _, err := s.Lookup(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package pli
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests tamper with the store's internals and assert that
+// CheckConsistency pinpoints each class of corruption — the checker is
+// what the engine's invariant tests and the snapshot loader lean on.
+
+func corruptibleStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore(2)
+	for _, row := range [][]string{{"a", "1"}, {"a", "2"}, {"b", "1"}} {
+		if _, err := s.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatalf("precondition: %v", err)
+	}
+	return s
+}
+
+func TestDetectsDanglingClusterMember(t *testing.T) {
+	s := corruptibleStore(t)
+	// Add a ghost id to a cluster without a backing record.
+	cid, _ := s.Index(0).ClusterOf("a")
+	c := s.Index(0).Cluster(cid)
+	c.IDs = append(c.IDs, 999)
+	err := s.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "dangling") {
+		t.Errorf("CheckConsistency = %v", err)
+	}
+}
+
+func TestDetectsUnsortedCluster(t *testing.T) {
+	s := corruptibleStore(t)
+	cid, _ := s.Index(0).ClusterOf("a")
+	c := s.Index(0).Cluster(cid)
+	c.IDs[0], c.IDs[1] = c.IDs[1], c.IDs[0]
+	err := s.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "ascending") {
+		t.Errorf("CheckConsistency = %v", err)
+	}
+}
+
+func TestDetectsWrongClusterPointer(t *testing.T) {
+	s := corruptibleStore(t)
+	rec, _ := s.Record(0)
+	rec[0] = rec[0] + 100 // point at a non-existent cluster
+	if err := s.CheckConsistency(); err == nil {
+		t.Error("wrong cluster pointer not detected")
+	}
+}
+
+func TestDetectsInvertedIndexDrift(t *testing.T) {
+	s := corruptibleStore(t)
+	ix := s.Index(1)
+	// Rename a value in the inverted index so it no longer matches its
+	// cluster's Value.
+	cid, _ := ix.ClusterOf("1")
+	delete(ix.inverted, "1")
+	ix.inverted["ghost"] = cid
+	err := s.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "inverted") {
+		t.Errorf("CheckConsistency = %v", err)
+	}
+}
+
+func TestDetectsEmptyCluster(t *testing.T) {
+	s := corruptibleStore(t)
+	ix := s.Index(0)
+	cid, _ := ix.ClusterOf("b")
+	ix.clusters[cid].IDs = nil
+	err := s.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("CheckConsistency = %v", err)
+	}
+}
+
+func TestDetectsArityDrift(t *testing.T) {
+	s := corruptibleStore(t)
+	s.records[0] = s.records[0][:1]
+	err := s.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Errorf("CheckConsistency = %v", err)
+	}
+}

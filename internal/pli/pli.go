@@ -1,0 +1,356 @@
+// Package pli implements DynFD's runtime representation of a relation
+// (paper §3.1): one position list index (Pli, also known as a stripped
+// partition) per attribute, an inverted value index per attribute that maps
+// values to their Pli clusters, dictionary-encoded ("compressed") records,
+// and a hash index from surrogate record ids to compressed records.
+//
+// Unlike the static setting, records are identified by a monotonically
+// increasing surrogate key instead of a row number, so the structures stay
+// valid while the relation grows and shrinks. All four structures are
+// updated incrementally on insert and delete, without re-reading the data.
+//
+// Deviation from the paper: compressed records store a real cluster id for
+// every value, including values that occur only once. The paper's "-1 for
+// unique values" trick is an optimization for the static case; in the
+// dynamic case a second occurrence of a formerly unique value must locate
+// its cluster through the inverted index anyway. Validation obtains the
+// same pruning by skipping size-1 pivot clusters (see DESIGN.md §2.3).
+package pli
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Record is a dictionary-encoded tuple: Record[a] is the id of the cluster
+// in attribute a's Pli that contains this tuple.
+type Record []int32
+
+// Cluster is one equivalence class of a Pli: the ids of all current records
+// that share Value in the Pli's attribute. IDs are kept in ascending order;
+// because surrogate ids grow monotonically, an append preserves the order.
+type Cluster struct {
+	Value string
+	IDs   []int64
+}
+
+// Size returns the number of records in the cluster.
+func (c *Cluster) Size() int { return len(c.IDs) }
+
+// MaxID returns the largest (newest) record id in the cluster, or -1 if the
+// cluster is empty. Because IDs are sorted this is a constant-time lookup —
+// it drives the cluster pruning of paper §4.2.
+func (c *Cluster) MaxID() int64 {
+	if len(c.IDs) == 0 {
+		return -1
+	}
+	return c.IDs[len(c.IDs)-1]
+}
+
+// Contains reports whether id is a member of the cluster.
+func (c *Cluster) Contains(id int64) bool {
+	i := sort.Search(len(c.IDs), func(i int) bool { return c.IDs[i] >= id })
+	return i < len(c.IDs) && c.IDs[i] == id
+}
+
+// remove deletes id from the cluster and reports whether it was present.
+func (c *Cluster) remove(id int64) bool {
+	i := sort.Search(len(c.IDs), func(i int) bool { return c.IDs[i] >= id })
+	if i >= len(c.IDs) || c.IDs[i] != id {
+		return false
+	}
+	c.IDs = append(c.IDs[:i], c.IDs[i+1:]...)
+	return true
+}
+
+// Index is the Pli of a single attribute plus its inverted value index.
+type Index struct {
+	clusters map[int32]*Cluster
+	inverted map[string]int32
+	next     int32
+}
+
+func newIndex() *Index {
+	return &Index{
+		clusters: make(map[int32]*Cluster),
+		inverted: make(map[string]int32),
+	}
+}
+
+// NumClusters returns the number of distinct values currently present.
+func (ix *Index) NumClusters() int { return len(ix.clusters) }
+
+// Cluster returns the cluster with the given id, or nil if it was deleted.
+func (ix *Index) Cluster(cid int32) *Cluster { return ix.clusters[cid] }
+
+// ClusterOf returns the cluster id for a value via the inverted index.
+func (ix *Index) ClusterOf(value string) (int32, bool) {
+	cid, ok := ix.inverted[value]
+	return cid, ok
+}
+
+// ForEachCluster calls fn for every cluster. Iteration order is unspecified.
+func (ix *Index) ForEachCluster(fn func(cid int32, c *Cluster) bool) {
+	for cid, c := range ix.clusters {
+		if !fn(cid, c) {
+			return
+		}
+	}
+}
+
+// add registers id under value and returns the cluster id used.
+func (ix *Index) add(value string, id int64) int32 {
+	cid, ok := ix.inverted[value]
+	if !ok {
+		cid = ix.next
+		ix.next++
+		ix.inverted[value] = cid
+		ix.clusters[cid] = &Cluster{Value: value}
+	}
+	c := ix.clusters[cid]
+	c.IDs = append(c.IDs, id) // ids are monotonic, order preserved
+	return cid
+}
+
+// drop removes id from cluster cid, deleting the cluster when it empties.
+func (ix *Index) drop(cid int32, id int64) error {
+	c, ok := ix.clusters[cid]
+	if !ok {
+		return fmt.Errorf("pli: cluster %d not found", cid)
+	}
+	if !c.remove(id) {
+		return fmt.Errorf("pli: record %d not in cluster %d", id, cid)
+	}
+	if c.Size() == 0 {
+		delete(ix.clusters, cid)
+		delete(ix.inverted, c.Value)
+	}
+	return nil
+}
+
+// Store bundles the per-attribute indexes with the compressed records and
+// the record hash index. It is the single mutable representation of the
+// profiled relation inside DynFD.
+type Store struct {
+	numAttrs int
+	indexes  []*Index
+	records  map[int64]Record
+	nextID   int64
+}
+
+// NewStore returns an empty store for a schema with numAttrs attributes.
+func NewStore(numAttrs int) *Store {
+	if numAttrs <= 0 {
+		panic(fmt.Sprintf("pli: invalid attribute count %d", numAttrs))
+	}
+	s := &Store{
+		numAttrs: numAttrs,
+		indexes:  make([]*Index, numAttrs),
+		records:  make(map[int64]Record),
+	}
+	for a := range s.indexes {
+		s.indexes[a] = newIndex()
+	}
+	return s
+}
+
+// NumAttrs returns the schema width.
+func (s *Store) NumAttrs() int { return s.numAttrs }
+
+// NumRecords returns the current tuple count.
+func (s *Store) NumRecords() int { return len(s.records) }
+
+// NextID returns the surrogate key the next insert will receive.
+func (s *Store) NextID() int64 { return s.nextID }
+
+// Index returns the Pli of attribute a.
+func (s *Store) Index(a int) *Index { return s.indexes[a] }
+
+// Record returns the compressed record for id. The returned slice is owned
+// by the store and must not be modified.
+func (s *Store) Record(id int64) (Record, bool) {
+	r, ok := s.records[id]
+	return r, ok
+}
+
+// ForEachRecord calls fn for every record. Iteration order is unspecified.
+func (s *Store) ForEachRecord(fn func(id int64, rec Record) bool) {
+	for id, rec := range s.records {
+		if !fn(id, rec) {
+			return
+		}
+	}
+}
+
+// Insert adds a tuple and returns its surrogate id. For every attribute the
+// record id is appended to the value's cluster (creating the cluster if the
+// value is new), and the resulting cluster-id vector becomes the compressed
+// record, reachable through the hash index.
+func (s *Store) Insert(values []string) (int64, error) {
+	if len(values) != s.numAttrs {
+		return 0, fmt.Errorf("pli: insert has %d values, schema has %d attributes",
+			len(values), s.numAttrs)
+	}
+	id := s.nextID
+	s.nextID++
+	rec := make(Record, s.numAttrs)
+	for a, v := range values {
+		rec[a] = s.indexes[a].add(v, id)
+	}
+	s.records[id] = rec
+	return id, nil
+}
+
+// InsertWithID adds a tuple under a caller-chosen surrogate id, used to
+// restore persisted stores. Ids must arrive in strictly ascending order
+// (they are, in a store dump) so cluster id lists stay sorted; the next
+// automatic id becomes id+1.
+func (s *Store) InsertWithID(id int64, values []string) error {
+	if id < s.nextID {
+		return fmt.Errorf("pli: restore id %d not ascending (next %d)", id, s.nextID)
+	}
+	if len(values) != s.numAttrs {
+		return fmt.Errorf("pli: insert has %d values, schema has %d attributes",
+			len(values), s.numAttrs)
+	}
+	s.nextID = id + 1
+	rec := make(Record, s.numAttrs)
+	for a, v := range values {
+		rec[a] = s.indexes[a].add(v, id)
+	}
+	s.records[id] = rec
+	return nil
+}
+
+// SetNextID raises the next automatic surrogate id, used to restore stores
+// whose newest records had been deleted before the dump.
+func (s *Store) SetNextID(next int64) error {
+	if next < s.nextID {
+		return fmt.Errorf("pli: next id %d below current %d", next, s.nextID)
+	}
+	s.nextID = next
+	return nil
+}
+
+// Delete removes the tuple with the given surrogate id from all Plis, the
+// inverted indexes (when a cluster empties), and the hash index.
+func (s *Store) Delete(id int64) error {
+	rec, ok := s.records[id]
+	if !ok {
+		return fmt.Errorf("pli: record %d not found", id)
+	}
+	for a, cid := range rec {
+		if err := s.indexes[a].drop(cid, id); err != nil {
+			return fmt.Errorf("pli: deleting record %d attribute %d: %w", id, a, err)
+		}
+	}
+	delete(s.records, id)
+	return nil
+}
+
+// Values reconstructs the original string tuple of a record from the
+// cluster value dictionary.
+func (s *Store) Values(id int64) ([]string, bool) {
+	rec, ok := s.records[id]
+	if !ok {
+		return nil, false
+	}
+	out := make([]string, s.numAttrs)
+	for a, cid := range rec {
+		c := s.indexes[a].Cluster(cid)
+		if c == nil {
+			return nil, false
+		}
+		out[a] = c.Value
+	}
+	return out, true
+}
+
+// Lookup returns the ids of all records whose values equal the given tuple,
+// in ascending order. It intersects the matching clusters, starting from
+// the smallest, so the cost is proportional to the smallest cluster.
+func (s *Store) Lookup(values []string) ([]int64, error) {
+	if len(values) != s.numAttrs {
+		return nil, fmt.Errorf("pli: lookup has %d values, schema has %d attributes",
+			len(values), s.numAttrs)
+	}
+	cids := make([]int32, s.numAttrs)
+	smallest, smallestAttr := -1, -1
+	for a, v := range values {
+		cid, ok := s.indexes[a].ClusterOf(v)
+		if !ok {
+			return nil, nil
+		}
+		cids[a] = cid
+		size := s.indexes[a].Cluster(cid).Size()
+		if smallest < 0 || size < smallest {
+			smallest, smallestAttr = size, a
+		}
+	}
+	var out []int64
+	for _, id := range s.indexes[smallestAttr].Cluster(cids[smallestAttr]).IDs {
+		rec := s.records[id]
+		match := true
+		for a, cid := range cids {
+			if rec[a] != cid {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// CheckConsistency verifies the cross-structure invariants: every record id
+// appears in exactly the clusters its compressed record names, every cluster
+// member has a record, clusters are sorted and non-empty, and the inverted
+// index is the exact inverse of the cluster dictionary. It is used by tests
+// and failure-injection suites; it runs in O(data) time.
+func (s *Store) CheckConsistency() error {
+	// Arity first: the cluster checks below index records by attribute.
+	for id, rec := range s.records {
+		if len(rec) != s.numAttrs {
+			return fmt.Errorf("pli: record %d has arity %d", id, len(rec))
+		}
+	}
+	for a, ix := range s.indexes {
+		for cid, c := range ix.clusters {
+			if c.Size() == 0 {
+				return fmt.Errorf("pli: attr %d cluster %d is empty", a, cid)
+			}
+			if got, ok := ix.inverted[c.Value]; !ok || got != cid {
+				return fmt.Errorf("pli: attr %d cluster %d value %q missing from inverted index", a, cid, c.Value)
+			}
+			for i, id := range c.IDs {
+				if i > 0 && c.IDs[i-1] >= id {
+					return fmt.Errorf("pli: attr %d cluster %d ids not strictly ascending", a, cid)
+				}
+				rec, ok := s.records[id]
+				if !ok {
+					return fmt.Errorf("pli: attr %d cluster %d contains dangling record %d", a, cid, id)
+				}
+				if rec[a] != cid {
+					return fmt.Errorf("pli: record %d attr %d points to cluster %d, found in %d", id, a, rec[a], cid)
+				}
+			}
+		}
+		if len(ix.inverted) != len(ix.clusters) {
+			return fmt.Errorf("pli: attr %d inverted index size %d != clusters %d", a, len(ix.inverted), len(ix.clusters))
+		}
+	}
+	for id, rec := range s.records {
+		if len(rec) != s.numAttrs {
+			return fmt.Errorf("pli: record %d has arity %d", id, len(rec))
+		}
+		for a, cid := range rec {
+			c := s.indexes[a].Cluster(cid)
+			if c == nil || !c.Contains(id) {
+				return fmt.Errorf("pli: record %d missing from attr %d cluster %d", id, a, cid)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package pli
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustInsert(t *testing.T, s *Store, values ...string) int64 {
+	t.Helper()
+	id, err := s.Insert(values)
+	if err != nil {
+		t.Fatalf("Insert(%v): %v", values, err)
+	}
+	return id
+}
+
+func TestInsertBuildsClusters(t *testing.T) {
+	s := NewStore(2)
+	a := mustInsert(t, s, "x", "1")
+	b := mustInsert(t, s, "x", "2")
+	c := mustInsert(t, s, "y", "1")
+
+	if s.NumRecords() != 3 {
+		t.Fatalf("NumRecords = %d", s.NumRecords())
+	}
+	ix := s.Index(0)
+	if ix.NumClusters() != 2 {
+		t.Fatalf("attr 0 clusters = %d", ix.NumClusters())
+	}
+	cid, ok := ix.ClusterOf("x")
+	if !ok {
+		t.Fatal("no cluster for x")
+	}
+	cl := ix.Cluster(cid)
+	if !reflect.DeepEqual(cl.IDs, []int64{a, b}) {
+		t.Errorf("cluster x ids = %v", cl.IDs)
+	}
+	if cl.MaxID() != b {
+		t.Errorf("MaxID = %d, want %d", cl.MaxID(), b)
+	}
+	if !cl.Contains(a) || cl.Contains(c) {
+		t.Error("Contains wrong")
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertArityError(t *testing.T) {
+	s := NewStore(2)
+	if _, err := s.Insert([]string{"only-one"}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestNewStorePanicsOnZeroAttrs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewStore(0) did not panic")
+		}
+	}()
+	NewStore(0)
+}
+
+func TestDelete(t *testing.T) {
+	s := NewStore(2)
+	a := mustInsert(t, s, "x", "1")
+	b := mustInsert(t, s, "x", "2")
+
+	if err := s.Delete(a); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if s.NumRecords() != 1 {
+		t.Fatalf("NumRecords = %d", s.NumRecords())
+	}
+	if _, ok := s.Record(a); ok {
+		t.Error("deleted record still in hash index")
+	}
+	// Cluster for value "1" (attr 1) must be gone entirely.
+	if _, ok := s.Index(1).ClusterOf("1"); ok {
+		t.Error("empty cluster not removed from inverted index")
+	}
+	// Cluster for "x" must still hold b.
+	cid, _ := s.Index(0).ClusterOf("x")
+	if ids := s.Index(0).Cluster(cid).IDs; !reflect.DeepEqual(ids, []int64{b}) {
+		t.Errorf("cluster x ids = %v", ids)
+	}
+	if err := s.Delete(a); err == nil {
+		t.Error("double delete accepted")
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueReuseAfterClusterDeath(t *testing.T) {
+	s := NewStore(1)
+	a := mustInsert(t, s, "v")
+	if err := s.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	b := mustInsert(t, s, "v")
+	if b <= a {
+		t.Errorf("ids not monotonic: %d then %d", a, b)
+	}
+	cid, ok := s.Index(0).ClusterOf("v")
+	if !ok {
+		t.Fatal("cluster not recreated")
+	}
+	if !reflect.DeepEqual(s.Index(0).Cluster(cid).IDs, []int64{b}) {
+		t.Error("recreated cluster wrong")
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValues(t *testing.T) {
+	s := NewStore(3)
+	id := mustInsert(t, s, "a", "", "c")
+	got, ok := s.Values(id)
+	if !ok || !reflect.DeepEqual(got, []string{"a", "", "c"}) {
+		t.Errorf("Values = %v, %v", got, ok)
+	}
+	if _, ok := s.Values(999); ok {
+		t.Error("Values for unknown id succeeded")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s := NewStore(2)
+	a := mustInsert(t, s, "x", "1")
+	_ = mustInsert(t, s, "x", "2")
+	c := mustInsert(t, s, "x", "1")
+
+	got, err := s.Lookup([]string{"x", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int64{a, c}) {
+		t.Errorf("Lookup = %v, want [%d %d]", got, a, c)
+	}
+	got, err = s.Lookup([]string{"zz", "1"})
+	if err != nil || got != nil {
+		t.Errorf("Lookup miss = %v, %v", got, err)
+	}
+	if _, err := s.Lookup([]string{"x"}); err == nil {
+		t.Error("wrong arity lookup accepted")
+	}
+}
+
+func TestRecordEncodingEquality(t *testing.T) {
+	// Two records share a cluster id exactly when they share the value.
+	s := NewStore(1)
+	a := mustInsert(t, s, "same")
+	b := mustInsert(t, s, "same")
+	c := mustInsert(t, s, "different")
+	ra, _ := s.Record(a)
+	rb, _ := s.Record(b)
+	rc, _ := s.Record(c)
+	if ra[0] != rb[0] {
+		t.Error("equal values got different cluster ids")
+	}
+	if ra[0] == rc[0] {
+		t.Error("different values got equal cluster ids")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := NewStore(1)
+	for i := 0; i < 5; i++ {
+		mustInsert(t, s, fmt.Sprint(i))
+	}
+	n := 0
+	s.ForEachRecord(func(int64, Record) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("ForEachRecord visited %d", n)
+	}
+	m := 0
+	s.Index(0).ForEachCluster(func(int32, *Cluster) bool { m++; return false })
+	if m != 1 {
+		t.Errorf("ForEachCluster visited %d", m)
+	}
+}
+
+// TestQuickRandomOpsConsistent drives a random insert/delete workload and
+// checks the structural invariants plus agreement with a naive model.
+func TestQuickRandomOpsConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	f := func() bool {
+		const attrs = 3
+		s := NewStore(attrs)
+		model := make(map[int64][]string)
+		var live []int64
+		for op := 0; op < 200; op++ {
+			if len(live) > 0 && r.Intn(3) == 0 {
+				i := r.Intn(len(live))
+				id := live[i]
+				if err := s.Delete(id); err != nil {
+					t.Logf("delete: %v", err)
+					return false
+				}
+				delete(model, id)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				vals := make([]string, attrs)
+				for a := range vals {
+					vals[a] = fmt.Sprint(r.Intn(4)) // small domain forces sharing
+				}
+				id, err := s.Insert(vals)
+				if err != nil {
+					t.Logf("insert: %v", err)
+					return false
+				}
+				model[id] = vals
+				live = append(live, id)
+			}
+		}
+		if s.NumRecords() != len(model) {
+			return false
+		}
+		for id, vals := range model {
+			got, ok := s.Values(id)
+			if !ok || !reflect.DeepEqual(got, vals) {
+				return false
+			}
+		}
+		return s.CheckConsistency() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

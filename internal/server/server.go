@@ -1,0 +1,272 @@
+// Package server exposes a DynFD engine over a line-oriented TCP protocol,
+// so the FDs of a relation can be maintained as a long-running service fed
+// by a live change stream — the deployment scenario the paper sketches in
+// Figure 1, where DynFD monitors the change feed of a database.
+//
+// Protocol: every request is one JSON object per line.
+//
+//	{"op":"insert","values":["14482","Potsdam"]}   stage an insert
+//	{"op":"delete","id":3}                         stage a delete
+//	{"op":"update","id":4,"values":[...]}          stage an update
+//	{"op":"commit"}                                apply staged changes as one batch
+//	{"op":"fds"}                                   list current minimal FDs
+//	{"op":"stats"}                                 maintenance counters
+//
+// Staged changes also auto-commit when they reach the server's batch size.
+// Every commit/fds/stats request receives exactly one JSON response line;
+// staging requests are acknowledged only on error. Batches from concurrent
+// connections serialize on the shared engine.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dynfd/internal/core"
+	"dynfd/internal/dataset"
+	"dynfd/internal/fd"
+	"dynfd/internal/stream"
+)
+
+// Server maintains one relation's FDs and serves the wire protocol.
+type Server struct {
+	columns   []string
+	batchSize int
+
+	mu     sync.Mutex
+	engine *core.Engine
+
+	listenerMu sync.Mutex
+	listener   net.Listener
+	conns      map[net.Conn]bool
+	closed     bool
+	wg         sync.WaitGroup
+}
+
+// New creates a server for the given schema. If initial rows are provided
+// they are profiled with HyFD; batchSize bounds the auto-commit batch.
+func New(columns []string, initial [][]string, batchSize int, cfg core.Config) (*Server, error) {
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("server: batch size must be positive")
+	}
+	rel := dataset.New("relation", columns)
+	for _, row := range initial {
+		if err := rel.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		engine *core.Engine
+		err    error
+	)
+	if len(initial) > 0 {
+		engine, err = core.Bootstrap(rel, cfg)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		engine = core.NewEmpty(len(columns), cfg)
+	}
+	return &Server{
+		columns:   append([]string(nil), columns...),
+		batchSize: batchSize,
+		engine:    engine,
+		conns:     make(map[net.Conn]bool),
+	}, nil
+}
+
+// Serve accepts connections until the listener is closed (via Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.listenerMu.Lock()
+	if s.closed {
+		s.listenerMu.Unlock()
+		return fmt.Errorf("server: already closed")
+	}
+	s.listener = l
+	s.listenerMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.listenerMu.Lock()
+			closed := s.closed
+			s.listenerMu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.listenerMu.Lock()
+		s.conns[conn] = true
+		s.listenerMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.listenerMu.Lock()
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.listenerMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// request is the wire format of one protocol line.
+type request struct {
+	Op     string   `json:"op"`
+	ID     *int64   `json:"id,omitempty"`
+	Values []string `json:"values,omitempty"`
+}
+
+// response is the wire format of one reply line.
+type response struct {
+	OK          bool     `json:"ok"`
+	Error       string   `json:"error,omitempty"`
+	InsertedIDs []int64  `json:"inserted_ids,omitempty"`
+	Added       []string `json:"added,omitempty"`
+	Removed     []string `json:"removed,omitempty"`
+	FDs         []string `json:"fds,omitempty"`
+	Records     *int     `json:"records,omitempty"`
+	Batches     *int     `json:"batches,omitempty"`
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.listenerMu.Lock()
+		delete(s.conns, conn)
+		s.listenerMu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	enc := json.NewEncoder(conn)
+	enc.SetEscapeHTML(false) // keep "->" readable in FD renderings
+	var pending []stream.Change
+	reply := func(r response) bool { return enc.Encode(r) == nil }
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req request
+		if err := json.Unmarshal(line, &req); err != nil {
+			if !reply(response{Error: fmt.Sprintf("bad request: %v", err)}) {
+				return
+			}
+			continue
+		}
+		switch req.Op {
+		case "insert", "delete", "update":
+			c, err := toChange(req)
+			if err != nil {
+				if !reply(response{Error: err.Error()}) {
+					return
+				}
+				continue
+			}
+			pending = append(pending, c)
+			if len(pending) < s.batchSize {
+				continue
+			}
+			fallthrough
+		case "commit":
+			resp := s.commit(&pending)
+			if !reply(resp) {
+				return
+			}
+		case "fds":
+			s.mu.Lock()
+			fds := s.renderFDs(s.engine.FDs())
+			s.mu.Unlock()
+			if !reply(response{OK: true, FDs: fds}) {
+				return
+			}
+		case "stats":
+			s.mu.Lock()
+			records := s.engine.NumRecords()
+			batches := s.engine.Stats().Batches
+			s.mu.Unlock()
+			if !reply(response{OK: true, Records: &records, Batches: &batches}) {
+				return
+			}
+		default:
+			if !reply(response{Error: fmt.Sprintf("unknown op %q", req.Op)}) {
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		// Connection-level failures end the session silently; the client
+		// observes the closed socket.
+		return
+	}
+}
+
+func toChange(req request) (stream.Change, error) {
+	c := stream.Change{Values: req.Values}
+	switch req.Op {
+	case "insert":
+		c.Kind = stream.Insert
+	case "delete":
+		c.Kind = stream.Delete
+	case "update":
+		c.Kind = stream.Update
+	}
+	if req.Op != "insert" {
+		if req.ID == nil {
+			return c, fmt.Errorf("%s requires an id", req.Op)
+		}
+		c.ID = *req.ID
+	}
+	return c, nil
+}
+
+// commit applies the staged changes as one batch on the shared engine. A
+// batch from the network is prechecked first: a bad change must reject the
+// whole batch without poisoning the shared engine state.
+func (s *Server) commit(pending *[]stream.Change) response {
+	batch := stream.Batch{Changes: *pending}
+	*pending = (*pending)[:0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.engine.CheckBatch(batch); err != nil {
+		return response{Error: err.Error()}
+	}
+	res, err := s.engine.ApplyBatch(batch)
+	if err != nil {
+		return response{Error: err.Error()}
+	}
+	return response{
+		OK:          true,
+		InsertedIDs: res.InsertedIDs,
+		Added:       s.renderFDs(res.Added),
+		Removed:     s.renderFDs(res.Removed),
+	}
+}
+
+func (s *Server) renderFDs(fds []fd.FD) []string {
+	out := make([]string, len(fds))
+	for i, f := range fds {
+		out[i] = f.Names(s.columns)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// wireChange is the JSON-lines wire format of a change operation:
+//
+//	{"op":"insert","values":["14482","Potsdam"]}
+//	{"op":"delete","id":3}
+//	{"op":"update","id":3,"values":["14482","Berlin"]}
+//
+// An optional "time" field carries an RFC 3339 timestamp.
+type wireChange struct {
+	Op     string   `json:"op"`
+	ID     *int64   `json:"id,omitempty"`
+	Values []string `json:"values,omitempty"`
+	Time   string   `json:"time,omitempty"`
+}
+
+// ReadChanges parses a JSON-lines change stream. Blank lines and lines
+// starting with '#' are skipped.
+func ReadChanges(r io.Reader) ([]Change, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var out []Change
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		var wc wireChange
+		if err := json.Unmarshal(line, &wc); err != nil {
+			return nil, fmt.Errorf("stream: line %d: %w", lineNo, err)
+		}
+		c := Change{Values: wc.Values}
+		switch wc.Op {
+		case "insert":
+			c.Kind = Insert
+		case "delete":
+			c.Kind = Delete
+		case "update":
+			c.Kind = Update
+		default:
+			return nil, fmt.Errorf("stream: line %d: unknown op %q", lineNo, wc.Op)
+		}
+		if c.Kind != Insert {
+			if wc.ID == nil {
+				return nil, fmt.Errorf("stream: line %d: %s requires an id", lineNo, wc.Op)
+			}
+			c.ID = *wc.ID
+		}
+		if wc.Time != "" {
+			ts, err := time.Parse(time.RFC3339, wc.Time)
+			if err != nil {
+				return nil, fmt.Errorf("stream: line %d: %w", lineNo, err)
+			}
+			c.Time = ts
+		}
+		out = append(out, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	return out, nil
+}
+
+// WriteChanges serializes changes as JSON lines.
+func WriteChanges(w io.Writer, changes []Change) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, c := range changes {
+		wc := wireChange{Values: c.Values}
+		switch c.Kind {
+		case Insert:
+			wc.Op = "insert"
+		case Delete:
+			wc.Op = "delete"
+			id := c.ID
+			wc.ID = &id
+		case Update:
+			wc.Op = "update"
+			id := c.ID
+			wc.ID = &id
+		default:
+			return fmt.Errorf("stream: change %d: unknown kind %d", i, int(c.Kind))
+		}
+		if !c.Time.IsZero() {
+			wc.Time = c.Time.Format(time.RFC3339)
+		}
+		if err := enc.Encode(wc); err != nil {
+			return fmt.Errorf("stream: change %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,80 @@
+package stream
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReadChanges(t *testing.T) {
+	in := `# comment
+{"op":"insert","values":["a","b"]}
+
+{"op":"delete","id":3}
+{"op":"update","id":4,"values":["x","y"],"time":"2019-03-26T10:00:00Z"}
+`
+	got, err := ReadChanges(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Change{
+		{Kind: Insert, Values: []string{"a", "b"}},
+		{Kind: Delete, ID: 3},
+		{Kind: Update, ID: 4, Values: []string{"x", "y"},
+			Time: time.Date(2019, 3, 26, 10, 0, 0, 0, time.UTC)},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReadChanges = %+v, want %+v", got, want)
+	}
+}
+
+func TestReadChangesErrors(t *testing.T) {
+	cases := []string{
+		`{"op":"teleport"}`,
+		`{"op":"delete"}`,                // missing id
+		`{"op":"update","values":["x"]}`, // missing id
+		`not json`,
+		`{"op":"insert","values":["a"],"time":"yesterday"}`,
+	}
+	for _, in := range cases {
+		if _, err := ReadChanges(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	changes := []Change{
+		{Kind: Insert, Values: []string{"a", "b"}},
+		{Kind: Delete, ID: 7},
+		{Kind: Update, ID: 8, Values: []string{"c", "d"},
+			Time: time.Date(2020, 1, 2, 3, 4, 5, 0, time.UTC)},
+	}
+	var buf bytes.Buffer
+	if err := WriteChanges(&buf, changes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChanges(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, changes) {
+		t.Errorf("round trip = %+v, want %+v", got, changes)
+	}
+}
+
+func TestWriteChangesUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChanges(&buf, []Change{{Kind: Kind(9)}}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestReadChangesEmpty(t *testing.T) {
+	got, err := ReadChanges(strings.NewReader(""))
+	if err != nil || got != nil {
+		t.Errorf("empty input = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,40 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadChanges asserts the codec never panics and that anything it
+// accepts round-trips through WriteChanges.
+func FuzzReadChanges(f *testing.F) {
+	f.Add(`{"op":"insert","values":["a","b"]}`)
+	f.Add(`{"op":"delete","id":3}`)
+	f.Add(`{"op":"update","id":4,"values":["x"],"time":"2019-03-26T10:00:00Z"}`)
+	f.Add("# comment\n\n{\"op\":\"insert\",\"values\":[]}")
+	f.Add(`{"op":"delete"}`)
+	f.Add(`{"op":`)
+	f.Fuzz(func(t *testing.T, input string) {
+		changes, err := ReadChanges(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteChanges(&buf, changes); err != nil {
+			t.Fatalf("accepted changes failed to serialize: %v", err)
+		}
+		back, err := ReadChanges(&buf)
+		if err != nil {
+			t.Fatalf("serialized changes failed to parse: %v", err)
+		}
+		if len(back) != len(changes) {
+			t.Fatalf("round trip changed length: %d -> %d", len(changes), len(back))
+		}
+		for i := range back {
+			if back[i].Kind != changes[i].Kind || back[i].ID != changes[i].ID {
+				t.Fatalf("round trip changed change %d", i)
+			}
+		}
+	})
+}

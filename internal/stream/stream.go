@@ -1,0 +1,138 @@
+// Package stream models the dynamic input of DynFD: a sequence of change
+// operations (inserts, deletes, and updates) arriving over time, grouped
+// into non-overlapping batches. Batch boundaries are at the discretion of
+// the user (paper §2): the package offers fixed-size batching and
+// tumbling-time-window batching.
+package stream
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind enumerates the change operation types.
+type Kind int
+
+const (
+	// Insert adds a new tuple; Values carries the tuple.
+	Insert Kind = iota
+	// Delete removes the tuple identified by ID.
+	Delete
+	// Update replaces the tuple identified by ID with Values. DynFD
+	// processes an update as a delete followed by an insert (paper §2);
+	// keeping it a single operation lets the engine order the two halves so
+	// the "almost duplicate" tuple never exists.
+	Update
+)
+
+// String returns the lower-case operation name.
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	case Update:
+		return "update"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Change is one modification of the profiled relation.
+type Change struct {
+	Kind   Kind
+	ID     int64     // target record for Delete and Update
+	Values []string  // tuple values for Insert and Update
+	Time   time.Time // optional arrival time, used by window batching
+}
+
+// Validate checks that the change carries the fields its kind requires.
+func (c Change) Validate(numAttrs int) error {
+	switch c.Kind {
+	case Insert:
+		if len(c.Values) != numAttrs {
+			return fmt.Errorf("stream: insert has %d values, want %d", len(c.Values), numAttrs)
+		}
+	case Delete:
+		if c.Values != nil {
+			return fmt.Errorf("stream: delete must not carry values")
+		}
+	case Update:
+		if len(c.Values) != numAttrs {
+			return fmt.Errorf("stream: update has %d values, want %d", len(c.Values), numAttrs)
+		}
+	default:
+		return fmt.Errorf("stream: unknown change kind %d", int(c.Kind))
+	}
+	return nil
+}
+
+// Batch is a non-overlapping group of changes that DynFD incorporates in
+// one maintenance step.
+type Batch struct {
+	Changes []Change
+}
+
+// Len returns the number of change operations in the batch.
+func (b Batch) Len() int { return len(b.Changes) }
+
+// Counts returns the number of insert, delete, and update operations.
+func (b Batch) Counts() (inserts, deletes, updates int) {
+	for _, c := range b.Changes {
+		switch c.Kind {
+		case Insert:
+			inserts++
+		case Delete:
+			deletes++
+		case Update:
+			updates++
+		}
+	}
+	return inserts, deletes, updates
+}
+
+// FixedBatches splits changes into consecutive batches of the given size;
+// the final batch may be smaller. It panics on a non-positive size.
+func FixedBatches(changes []Change, size int) []Batch {
+	if size <= 0 {
+		panic(fmt.Sprintf("stream: invalid batch size %d", size))
+	}
+	batches := make([]Batch, 0, (len(changes)+size-1)/size)
+	for start := 0; start < len(changes); start += size {
+		end := start + size
+		if end > len(changes) {
+			end = len(changes)
+		}
+		batches = append(batches, Batch{Changes: changes[start:end]})
+	}
+	return batches
+}
+
+// TumblingWindows groups changes into batches by consecutive time windows
+// of the given duration, anchored at the first change's timestamp. Changes
+// must be ordered by Time; it panics on a non-positive window.
+func TumblingWindows(changes []Change, window time.Duration) []Batch {
+	if window <= 0 {
+		panic(fmt.Sprintf("stream: invalid window %v", window))
+	}
+	if len(changes) == 0 {
+		return nil
+	}
+	var batches []Batch
+	start := 0
+	windowEnd := changes[0].Time.Add(window)
+	for i := 1; i < len(changes); i++ {
+		if changes[i].Time.Before(changes[i-1].Time) {
+			panic("stream: changes not ordered by time")
+		}
+		if !changes[i].Time.Before(windowEnd) {
+			batches = append(batches, Batch{Changes: changes[start:i]})
+			start = i
+			for !changes[i].Time.Before(windowEnd) {
+				windowEnd = windowEnd.Add(window)
+			}
+		}
+	}
+	return append(batches, Batch{Changes: changes[start:]})
+}

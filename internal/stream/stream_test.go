@@ -1,0 +1,104 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	if Insert.String() != "insert" || Delete.String() != "delete" || Update.String() != "update" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Errorf("unknown kind = %q", Kind(9).String())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		c  Change
+		ok bool
+	}{
+		{Change{Kind: Insert, Values: []string{"a", "b"}}, true},
+		{Change{Kind: Insert, Values: []string{"a"}}, false},
+		{Change{Kind: Delete, ID: 3}, true},
+		{Change{Kind: Delete, ID: 3, Values: []string{"a", "b"}}, false},
+		{Change{Kind: Update, ID: 3, Values: []string{"a", "b"}}, true},
+		{Change{Kind: Update, ID: 3}, false},
+		{Change{Kind: Kind(7)}, false},
+	}
+	for i, tc := range cases {
+		err := tc.c.Validate(2)
+		if (err == nil) != tc.ok {
+			t.Errorf("case %d: Validate = %v, want ok=%v", i, err, tc.ok)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	b := Batch{Changes: []Change{
+		{Kind: Insert}, {Kind: Insert}, {Kind: Delete}, {Kind: Update},
+	}}
+	ins, del, upd := b.Counts()
+	if ins != 2 || del != 1 || upd != 1 || b.Len() != 4 {
+		t.Errorf("Counts = %d,%d,%d Len=%d", ins, del, upd, b.Len())
+	}
+}
+
+func TestFixedBatches(t *testing.T) {
+	changes := make([]Change, 7)
+	batches := FixedBatches(changes, 3)
+	if len(batches) != 3 {
+		t.Fatalf("batches = %d", len(batches))
+	}
+	if batches[0].Len() != 3 || batches[1].Len() != 3 || batches[2].Len() != 1 {
+		t.Errorf("sizes = %d,%d,%d", batches[0].Len(), batches[1].Len(), batches[2].Len())
+	}
+	if got := FixedBatches(nil, 5); len(got) != 0 {
+		t.Errorf("empty input produced %d batches", len(got))
+	}
+}
+
+func TestFixedBatchesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for size 0")
+		}
+	}()
+	FixedBatches(nil, 0)
+}
+
+func TestTumblingWindows(t *testing.T) {
+	t0 := time.Date(2019, 3, 26, 0, 0, 0, 0, time.UTC)
+	mk := func(offset time.Duration) Change { return Change{Kind: Insert, Time: t0.Add(offset)} }
+	changes := []Change{
+		mk(0), mk(time.Second), // window 1
+		mk(10 * time.Second),                           // window 2 (gap skips empty windows)
+		mk(12 * time.Second), mk(14*time.Second + 999), // window 2
+		mk(15 * time.Second), // window 3
+	}
+	batches := TumblingWindows(changes, 5*time.Second)
+	if len(batches) != 3 {
+		t.Fatalf("windows = %d: %v", len(batches), batches)
+	}
+	if batches[0].Len() != 2 || batches[1].Len() != 3 || batches[2].Len() != 1 {
+		t.Errorf("sizes = %d,%d,%d", batches[0].Len(), batches[1].Len(), batches[2].Len())
+	}
+	if got := TumblingWindows(nil, time.Second); got != nil {
+		t.Error("empty input produced windows")
+	}
+}
+
+func TestTumblingWindowsPanicsOnDisorder(t *testing.T) {
+	t0 := time.Now()
+	changes := []Change{
+		{Time: t0.Add(time.Second)},
+		{Time: t0},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unordered changes")
+		}
+	}()
+	TumblingWindows(changes, time.Second)
+}

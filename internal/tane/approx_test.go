@@ -1,0 +1,155 @@
+package tane
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/dataset"
+	"dynfd/internal/fd"
+)
+
+// bruteG3 computes the g3 error of lhs -> rhs by direct grouping.
+func bruteG3(rows [][]string, lhs attrset.Set, rhs int) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	groups := map[string]map[string]int{}
+	var b strings.Builder
+	for _, row := range rows {
+		b.Reset()
+		lhs.ForEach(func(a int) bool {
+			b.WriteString(row[a])
+			b.WriteByte(0)
+			return true
+		})
+		k := b.String()
+		if groups[k] == nil {
+			groups[k] = map[string]int{}
+		}
+		groups[k][row[rhs]]++
+	}
+	removals := 0
+	for _, c := range groups {
+		total, largest := 0, 0
+		for _, n := range c {
+			total += n
+			if n > largest {
+				largest = n
+			}
+		}
+		removals += total - largest
+	}
+	return float64(removals) / float64(len(rows))
+}
+
+// bruteApproxFDs enumerates the minimal FDs with g3 <= eps exhaustively.
+func bruteApproxFDs(rows [][]string, attrs int, eps float64) []fd.FD {
+	var out []fd.FD
+	budget := float64(int(eps*float64(len(rows)))) / float64(max(len(rows), 1))
+	for size := 0; size <= attrs; size++ {
+		for mask := 0; mask < 1<<uint(attrs); mask++ {
+			var lhs attrset.Set
+			for a := 0; a < attrs; a++ {
+				if mask&(1<<uint(a)) != 0 {
+					lhs = lhs.With(a)
+				}
+			}
+			if lhs.Count() != size {
+				continue
+			}
+			for rhs := 0; rhs < attrs; rhs++ {
+				if lhs.Contains(rhs) {
+					continue
+				}
+				cand := fd.FD{Lhs: lhs, Rhs: rhs}
+				if fd.Follows(out, cand) {
+					continue
+				}
+				if bruteG3(rows, lhs, rhs) <= budget+1e-12 {
+					out = append(out, cand)
+				}
+			}
+		}
+	}
+	fd.Sort(out)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestDiscoverApproxEpsilonRange(t *testing.T) {
+	rel := dataset.New("t", []string{"a", "b"})
+	if _, err := DiscoverApprox(rel, -0.1); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if _, err := DiscoverApprox(rel, 1.0); err == nil {
+		t.Error("epsilon 1 accepted")
+	}
+}
+
+func TestDiscoverApproxTolerantOfOutliers(t *testing.T) {
+	// product -> price holds except for one bad row out of ten.
+	rel := dataset.New("t", []string{"product", "price"})
+	for i := 0; i < 9; i++ {
+		_ = rel.Append([]string{fmt.Sprintf("p%d", i%3), fmt.Sprintf("%d", i%3)})
+	}
+	_ = rel.Append([]string{"p0", "999"}) // outlier
+
+	exact, err := Discover(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.Follows(exact, fd.FD{Lhs: attrset.Of(0), Rhs: 1}) {
+		t.Fatal("precondition: exact FD should not hold")
+	}
+	approx, err := DiscoverApprox(rel, 0.15) // one removal out of ten allowed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fd.Follows(approx, fd.FD{Lhs: attrset.Of(0), Rhs: 1}) {
+		t.Errorf("approximate FD missing: %v", approx)
+	}
+}
+
+func TestQuickApproxAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	f := func() bool {
+		attrs := 2 + r.Intn(3)
+		cols := make([]string, attrs)
+		for i := range cols {
+			cols[i] = fmt.Sprintf("c%d", i)
+		}
+		rel := dataset.New("t", cols)
+		n := 4 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			row := make([]string, attrs)
+			for a := range row {
+				row[a] = fmt.Sprint(r.Intn(3))
+			}
+			_ = rel.Append(row)
+		}
+		eps := []float64{0, 0.1, 0.25}[r.Intn(3)]
+		got, err := DiscoverApprox(rel, eps)
+		if err != nil {
+			return false
+		}
+		want := bruteApproxFDs(rel.Rows, attrs, eps)
+		if !fd.Equal(got, want) {
+			t.Logf("eps=%v rows=%v\ngot  %v\nwant %v", eps, rel.Rows, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package tane implements the column-based TANE algorithm (Huhtala et al.
+// 1999 — paper reference [8]). TANE traverses the attribute-set lattice
+// level-wise bottom-up, validates candidates through stripped partitions
+// (the precursors of DynFD's position list indexes), and prunes with
+// right-hand-side candidate sets (C+) and the superkey rule. It serves as
+// the second static baseline next to HyFD and as an independent oracle for
+// cross-validating the other algorithms.
+package tane
+
+import (
+	"fmt"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/dataset"
+	"dynfd/internal/fd"
+)
+
+// partition is a stripped partition: the equivalence classes of row indexes
+// under "equal values in X", with singleton classes removed.
+type partition struct {
+	clusters [][]int
+	err      int // e(X) = Σ|c| - |clusters|, the minimum rows to remove for X to be a key
+}
+
+func (p *partition) isSuperkey() bool { return len(p.clusters) == 0 }
+
+// g3Removals computes the minimum number of rows to remove so that every
+// parent class maps into a single child class — n·g3 of the corresponding
+// FD. A nil parent stands for the empty attribute set (one class of all
+// rows).
+func g3Removals(parent, child *partition, n int) int {
+	if n == 0 {
+		return 0
+	}
+	childSize := make([]int, n)
+	for _, c := range child.clusters {
+		for _, row := range c {
+			childSize[row] = len(c)
+		}
+	}
+	if parent == nil {
+		largest := 1
+		for _, c := range child.clusters {
+			if len(c) > largest {
+				largest = len(c)
+			}
+		}
+		return n - largest
+	}
+	removals := 0
+	for _, c := range parent.clusters {
+		largest := 1
+		for _, row := range c {
+			if childSize[row] > largest {
+				largest = childSize[row]
+			}
+		}
+		removals += len(c) - largest
+	}
+	return removals
+}
+
+// stripped builds the partition of a single attribute from raw rows.
+func stripped(rows [][]string, attr int) *partition {
+	byValue := make(map[string][]int)
+	for i, row := range rows {
+		byValue[row[attr]] = append(byValue[row[attr]], i)
+	}
+	p := &partition{}
+	for _, c := range byValue {
+		if len(c) >= 2 {
+			p.clusters = append(p.clusters, c)
+			p.err += len(c) - 1
+		}
+	}
+	return p
+}
+
+// product computes the stripped partition of X∪Y from those of X and Y
+// using TANE's linear-time probe-table algorithm.
+func product(left, right *partition, n int) *partition {
+	t := make([]int, n)
+	for i := range t {
+		t[i] = -1
+	}
+	for i, c := range left.clusters {
+		for _, row := range c {
+			t[row] = i
+		}
+	}
+	s := make([][]int, len(left.clusters))
+	out := &partition{}
+	for _, c := range right.clusters {
+		for _, row := range c {
+			if t[row] >= 0 {
+				s[t[row]] = append(s[t[row]], row)
+			}
+		}
+		for _, row := range c {
+			if t[row] >= 0 {
+				if sub := s[t[row]]; len(sub) >= 2 {
+					out.clusters = append(out.clusters, sub)
+					out.err += len(sub) - 1
+				}
+				s[t[row]] = nil
+			}
+		}
+	}
+	return out
+}
+
+// candidate is one lattice node of the current level.
+type candidate struct {
+	set   attrset.Set
+	part  *partition
+	cplus attrset.Set // C+(X): still-possible rhs attributes
+}
+
+// Discover returns all minimal, non-trivial FDs of the relation.
+func Discover(rel *dataset.Relation) ([]fd.FD, error) {
+	return DiscoverApprox(rel, 0)
+}
+
+// DiscoverApprox returns all minimal, non-trivial approximate FDs whose g3
+// error does not exceed epsilon: X → A holds approximately when removing
+// at most ⌊epsilon·n⌋ rows makes it exact (Huhtala et al. 1999, §4).
+// epsilon 0 yields exact discovery. The error measure relates partition
+// errors: e(X→A) is bounded via e(X) - e(X∪A), which TANE derives from the
+// stripped partitions it materializes anyway.
+func DiscoverApprox(rel *dataset.Relation, epsilon float64) ([]fd.FD, error) {
+	if epsilon < 0 || epsilon >= 1 {
+		return nil, fmt.Errorf("tane: epsilon %v out of range [0,1)", epsilon)
+	}
+	return discover(rel, epsilon)
+}
+
+func discover(rel *dataset.Relation, epsilon float64) ([]fd.FD, error) {
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	m := rel.NumColumns()
+	n := rel.NumRows()
+	full := attrset.Full(m)
+	// maxRemovals is the absolute row budget of the g3 error bound.
+	maxRemovals := int(epsilon * float64(n))
+	var out []fd.FD
+
+	// e(∅): the empty partition has one cluster containing every row.
+	errEmpty := 0
+	if n > 1 {
+		errEmpty = n - 1
+	}
+
+	// Level 1.
+	level := make([]*candidate, 0, m)
+	prev := map[attrset.Set]*candidate{}
+	for a := 0; a < m; a++ {
+		level = append(level, &candidate{
+			set:   attrset.Of(a),
+			part:  stripped(rel.Rows, a),
+			cplus: full,
+		})
+	}
+
+	for len(level) > 0 {
+		// computeDependencies.
+		for _, x := range level {
+			rhsCands := x.set.Intersect(x.cplus)
+			rhsCands.ForEach(func(a int) bool {
+				var errSub int
+				var parentPart *partition
+				if sub := x.set.Without(a); sub.IsEmpty() {
+					errSub = errEmpty
+				} else {
+					parentPart = prev[sub].part
+					errSub = parentPart.err
+				}
+				valid := errSub == x.part.err // exact: X\{A} → A holds
+				if !valid && maxRemovals > 0 {
+					valid = g3Removals(parentPart, x.part, n) <= maxRemovals
+				}
+				if valid {
+					out = append(out, fd.FD{Lhs: x.set.Without(a), Rhs: a})
+					x.cplus = x.cplus.Without(a)
+					if maxRemovals == 0 {
+						// The stronger rule C+(X) \= R\X relies on exact-FD
+						// inference (transitivity), which approximate FDs
+						// lack; apply it only in exact mode.
+						x.cplus = x.cplus.Diff(full.Diff(x.set))
+					}
+				}
+				return true
+			})
+		}
+		// prune.
+		kept := make([]*candidate, 0, len(level))
+		for _, x := range level {
+			if x.cplus.IsEmpty() {
+				continue
+			}
+			if x.part.err <= maxRemovals {
+				// An (approximate) superkey X determines every attribute
+				// within the error budget, so X → A holds for all
+				// A ∈ C+(X)\X. The original TANE filters these with an
+				// ∩-of-C+ condition to emit only minimal FDs; that check
+				// fails spuriously when sibling candidates were already
+				// pruned from the level, so we emit all of them and let the
+				// final minimization remove the redundant ones.
+				x.cplus.Diff(x.set).ForEach(func(a int) bool {
+					out = append(out, fd.FD{Lhs: x.set, Rhs: a})
+					return true
+				})
+				// Exact superkeys never reach the next level. Approximate
+				// ones must: g3(X→A) can fit the budget while e(X) does
+				// not, so supersets of budget-keys may still carry minimal
+				// approximate FDs of their own.
+				if x.part.err == 0 {
+					continue
+				}
+			}
+			kept = append(kept, x)
+		}
+		level = kept
+
+		// generateNextLevel via prefix join.
+		byPrefix := map[attrset.Set][]*candidate{}
+		cur := map[attrset.Set]*candidate{}
+		for _, x := range level {
+			cur[x.set] = x
+			last := lastAttr(x.set)
+			byPrefix[x.set.Without(last)] = append(byPrefix[x.set.Without(last)], x)
+		}
+		var next []*candidate
+		for _, group := range byPrefix {
+			for i := 0; i < len(group); i++ {
+				for j := i + 1; j < len(group); j++ {
+					z := group[i].set.Union(group[j].set)
+					// All |Z|-1 subsets must be in the current level.
+					ok := true
+					cplus := full
+					z.ForEach(func(a int) bool {
+						sub, exists := cur[z.Without(a)]
+						if !exists {
+							ok = false
+							return false
+						}
+						cplus = cplus.Intersect(sub.cplus)
+						return true
+					})
+					if !ok || cplus.IsEmpty() {
+						continue
+					}
+					next = append(next, &candidate{
+						set:   z,
+						part:  product(group[i].part, group[j].part, n),
+						cplus: cplus,
+					})
+				}
+			}
+		}
+		prev = cur
+		level = next
+	}
+	return fd.Minimize(out), nil
+}
+
+func lastAttr(s attrset.Set) int {
+	last := -1
+	s.ForEach(func(a int) bool { last = a; return true })
+	return last
+}

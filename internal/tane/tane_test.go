@@ -1,0 +1,131 @@
+package tane
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/dataset"
+	"dynfd/internal/fd"
+	"dynfd/internal/oracle"
+)
+
+func paperRelation() *dataset.Relation {
+	rel := dataset.New("people", []string{"firstname", "lastname", "zip", "city"})
+	for _, row := range [][]string{
+		{"Max", "Jones", "14482", "Potsdam"},
+		{"Max", "Miller", "14482", "Potsdam"},
+		{"Max", "Jones", "10115", "Berlin"},
+		{"Anna", "Scott", "13591", "Berlin"},
+	} {
+		if err := rel.Append(row); err != nil {
+			panic(err)
+		}
+	}
+	return rel
+}
+
+func TestDiscoverPaperExample(t *testing.T) {
+	got, err := Discover(paperRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fd.FD{
+		{Lhs: attrset.Of(1), Rhs: 0},
+		{Lhs: attrset.Of(2), Rhs: 0},
+		{Lhs: attrset.Of(2), Rhs: 3},
+		{Lhs: attrset.Of(0, 3), Rhs: 2},
+		{Lhs: attrset.Of(1, 3), Rhs: 2},
+	}
+	if !fd.Equal(got, want) {
+		t.Errorf("Discover = %v, want %v", got, want)
+	}
+}
+
+func TestDiscoverEmptyRelation(t *testing.T) {
+	rel := dataset.New("t", []string{"a", "b"})
+	got, err := Discover(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fd.FD{{Rhs: 0}, {Rhs: 1}}
+	if !fd.Equal(got, want) {
+		t.Errorf("empty relation FDs = %v", got)
+	}
+}
+
+func TestDiscoverSingleRow(t *testing.T) {
+	rel := dataset.New("t", []string{"a", "b", "c"})
+	_ = rel.Append([]string{"1", "2", "3"})
+	got, err := Discover(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.MinimalFDs(rel.Rows, 3)
+	if !fd.Equal(got, want) {
+		t.Errorf("Discover = %v, want %v", got, want)
+	}
+}
+
+func TestDiscoverInvalidRelation(t *testing.T) {
+	rel := &dataset.Relation{Name: "bad"}
+	if _, err := Discover(rel); err == nil {
+		t.Error("invalid relation accepted")
+	}
+}
+
+func TestDiscoverKeyColumn(t *testing.T) {
+	rel := dataset.New("t", []string{"id", "a", "b"})
+	for i := 0; i < 8; i++ {
+		_ = rel.Append([]string{fmt.Sprint(i), fmt.Sprint(i % 2), fmt.Sprint(i % 4)})
+	}
+	got, err := Discover(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.MinimalFDs(rel.Rows, 3)
+	if !fd.Equal(got, want) {
+		t.Errorf("Discover = %v, want %v", got, want)
+	}
+	// id -> a and id -> b must be among them.
+	if !fd.Follows(got, fd.FD{Lhs: attrset.Of(0), Rhs: 1}) ||
+		!fd.Follows(got, fd.FD{Lhs: attrset.Of(0), Rhs: 2}) {
+		t.Error("key column FDs missing")
+	}
+}
+
+func TestQuickAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(1999))
+	f := func() bool {
+		attrs := 2 + r.Intn(5)
+		cols := make([]string, attrs)
+		for i := range cols {
+			cols[i] = fmt.Sprintf("c%d", i)
+		}
+		rel := dataset.New("t", cols)
+		n := r.Intn(40)
+		domain := 1 + r.Intn(4)
+		for i := 0; i < n; i++ {
+			row := make([]string, attrs)
+			for a := range row {
+				row[a] = fmt.Sprint(r.Intn(domain))
+			}
+			_ = rel.Append(row)
+		}
+		got, err := Discover(rel)
+		if err != nil {
+			return false
+		}
+		want := oracle.MinimalFDs(rel.Rows, attrs)
+		if !fd.Equal(got, want) {
+			t.Logf("rows %v\ngot  %v\nwant %v", rel.Rows, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

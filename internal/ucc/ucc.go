@@ -1,0 +1,401 @@
+// Package ucc maintains the minimal unique column combinations (UCCs, key
+// candidates) of a dynamic relation — a from-scratch implementation in the
+// spirit of the Swan algorithm (Abedjan, Quiané-Ruiz, Naumann, ICDE 2014),
+// which the DynFD paper discusses as the closest incremental-profiling
+// relative (§7.2).
+//
+// The structure deliberately mirrors DynFD: a positive cover holds all
+// minimal uniques and serves insert processing (inserts can only break
+// uniqueness), a negative cover holds all maximal non-uniques with
+// duplicate-pair witnesses and serves delete processing (deletes can only
+// create uniqueness). A column combination X is unique iff no Pli-group
+// over X has two records, which the shared validation primitive checks
+// with the same cluster pruning as FD validation.
+package ucc
+
+import (
+	"fmt"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/dataset"
+	"dynfd/internal/lattice"
+	"dynfd/internal/pli"
+	"dynfd/internal/stream"
+	"dynfd/internal/validate"
+)
+
+// rhsTag is the constant annotation under which column combinations are
+// stored in the FD prefix trees: UCCs have no right-hand side, so a single
+// label suffices.
+const rhsTag = 0
+
+// Engine maintains the exact set of minimal UCCs under batches of inserts,
+// updates, and deletes. It is not safe for concurrent use.
+type Engine struct {
+	numAttrs   int
+	store      *pli.Store
+	uniques    *lattice.Cover // minimal uniques (small sets)
+	nonUniques lattice.View   // maximal non-uniques (large sets, flipped)
+	stats      Stats
+}
+
+// Stats counts the work performed across batches.
+type Stats struct {
+	Batches            int
+	Validations        int
+	SkippedValidations int
+}
+
+// NewEmpty returns an engine for an initially empty relation: with at most
+// one record even the empty column set is unique, so the positive cover
+// starts as {∅}.
+func NewEmpty(numAttrs int) *Engine {
+	e := &Engine{
+		numAttrs:   numAttrs,
+		store:      pli.NewStore(numAttrs),
+		uniques:    lattice.New(numAttrs),
+		nonUniques: lattice.NewFlipped(numAttrs),
+	}
+	e.uniques.Add(attrset.Set{}, rhsTag)
+	return e
+}
+
+// Bootstrap profiles an initial relation and returns a ready engine. The
+// minimal uniques are discovered level-wise (Apriori-style: a candidate is
+// generated only if all its direct subsets are non-unique), and the
+// maximal non-uniques are derived by cover inversion, exactly as DynFD
+// derives its negative cover.
+func Bootstrap(rel *dataset.Relation) (*Engine, error) {
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	e := NewEmpty(rel.NumColumns())
+	for _, row := range rel.Rows {
+		if _, err := e.store.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	e.uniques = discover(e.store)
+	e.nonUniques = invert(e.uniques, e.numAttrs)
+	return e, nil
+}
+
+// discover computes the minimal uniques of the store in the hybrid style
+// of HyUCC (the UCC sibling of HyFD): duplicate-prone record pairs are
+// sampled from Pli cluster neighbourhoods to collect non-unique witness
+// sets, minimal unique candidates are induced from them, and a level-wise
+// validation pass over the (small) candidate cover is the exactness
+// authority. A purely level-wise lattice search would be exponential here:
+// on wide relations nearly every keyless column set is non-unique.
+func discover(store *pli.Store) *lattice.Cover {
+	numAttrs := store.NumAttrs()
+	uniques := lattice.New(numAttrs)
+	uniques.Add(attrset.Set{}, rhsTag)
+	if store.NumRecords() <= 1 {
+		return uniques
+	}
+	// Sampling: compare cluster neighbours per attribute; every pair's
+	// agree set is a non-unique witness that specializes the candidates.
+	seen := make(map[attrset.Set]bool)
+	for a := 0; a < numAttrs; a++ {
+		store.Index(a).ForEachCluster(func(_ int32, c *pli.Cluster) bool {
+			for i := 0; i+1 < len(c.IDs); i++ {
+				ra, _ := store.Record(c.IDs[i])
+				rb, _ := store.Record(c.IDs[i+1])
+				agree := validate.AgreeSet(ra, rb)
+				if seen[agree] {
+					continue
+				}
+				seen[agree] = true
+				uccSpecialize(uniques, agree, numAttrs)
+			}
+			return true
+		})
+	}
+	// Validation: level-wise over the candidate cover; invalid candidates
+	// are specialized with their witness pair's full agree set.
+	for level := 0; level <= numAttrs; level++ {
+		for _, cand := range uniques.Level(level) {
+			if !uniques.Contains(cand.Lhs, rhsTag) {
+				continue
+			}
+			ok, w := validate.Unique(store, cand.Lhs, validate.NoPruning)
+			if ok {
+				continue
+			}
+			ra, _ := store.Record(w.A)
+			rb, _ := store.Record(w.B)
+			uccSpecialize(uniques, validate.AgreeSet(ra, rb), numAttrs)
+		}
+	}
+	return uniques
+}
+
+// uccSpecialize incorporates one non-unique witness set into the candidate
+// cover: every candidate contained in the witness set cannot be unique and
+// is replaced by its minimal extensions with attributes outside the set.
+// The UCC analogue of Algorithm 3's positive-cover update, without a
+// right-hand side to exclude.
+func uccSpecialize(uniques *lattice.Cover, nonUnique attrset.Set, numAttrs int) {
+	gens := uniques.Generalizations(nonUnique, rhsTag)
+	if len(gens) == 0 {
+		return
+	}
+	for _, g := range gens {
+		uniques.Remove(g, rhsTag)
+	}
+	outside := attrset.Full(numAttrs).Diff(nonUnique)
+	for _, g := range gens {
+		outside.ForEach(func(r int) bool {
+			spec := g.With(r)
+			if !uniques.ContainsGeneralization(spec, rhsTag) {
+				uniques.Add(spec, rhsTag)
+			}
+			return true
+		})
+	}
+}
+
+// invert derives all maximal non-uniques from the minimal uniques: the
+// set-antichain analogue of DynFD's Algorithm 1, starting from the full
+// attribute set and generalizing with every minimal unique.
+func invert(uniques *lattice.Cover, numAttrs int) lattice.View {
+	nonUniques := lattice.NewFlipped(numAttrs)
+	nonUniques.Add(attrset.Full(numAttrs), rhsTag)
+	for _, u := range uniques.All() {
+		generalizeNonUniques(nonUniques, u.Lhs)
+	}
+	return nonUniques
+}
+
+// generalizeNonUniques removes every non-unique that contains the unique u
+// (it is in fact unique) and replaces it with its maximal generalizations
+// obtained by dropping one attribute of u.
+func generalizeNonUniques(nonUniques lattice.View, u attrset.Set) {
+	for _, s := range nonUniques.Specializations(u, rhsTag) {
+		nonUniques.Remove(s, rhsTag)
+		u.ForEach(func(l int) bool {
+			gen := s.Without(l)
+			if !nonUniques.ContainsSpecialization(gen, rhsTag) {
+				nonUniques.Add(gen, rhsTag)
+			}
+			return true
+		})
+	}
+}
+
+// NumAttrs returns the schema width.
+func (e *Engine) NumAttrs() int { return e.numAttrs }
+
+// NumRecords returns the current tuple count.
+func (e *Engine) NumRecords() int { return e.store.NumRecords() }
+
+// Stats returns the accumulated work counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// UCCs returns the current minimal unique column combinations in
+// deterministic order.
+func (e *Engine) UCCs() []attrset.Set {
+	all := e.uniques.All()
+	out := make([]attrset.Set, len(all))
+	for i, f := range all {
+		out[i] = f.Lhs
+	}
+	return out
+}
+
+// NonUCCs returns the current maximal non-unique column combinations.
+func (e *Engine) NonUCCs() []attrset.Set {
+	all := e.nonUniques.All()
+	out := make([]attrset.Set, len(all))
+	for i, f := range all {
+		out[i] = f.Lhs
+	}
+	return out
+}
+
+// IsUnique reports whether the column combination currently admits no
+// duplicate projections, i.e. whether it is implied by a minimal UCC.
+func (e *Engine) IsUnique(cols attrset.Set) bool {
+	return e.uniques.ContainsGeneralization(cols, rhsTag)
+}
+
+// Result describes the effect of one batch.
+type Result struct {
+	InsertedIDs []int64
+	// Added and Removed list the minimal-UCC changes.
+	Added, Removed []attrset.Set
+}
+
+// ApplyBatch incorporates one batch of change operations; the pipeline
+// mirrors DynFD's (structural updates, then deletes, then inserts).
+func (e *Engine) ApplyBatch(batch stream.Batch) (Result, error) {
+	for i, c := range batch.Changes {
+		if err := c.Validate(e.numAttrs); err != nil {
+			return Result{}, fmt.Errorf("ucc: batch change %d: %w", i, err)
+		}
+	}
+	before := e.UCCs()
+
+	minNewID := e.store.NextID()
+	deletes := 0
+	var ids []int64
+	for i, c := range batch.Changes {
+		switch c.Kind {
+		case stream.Delete:
+			if err := e.store.Delete(c.ID); err != nil {
+				return Result{}, fmt.Errorf("ucc: batch change %d: %w", i, err)
+			}
+			deletes++
+		case stream.Update:
+			if err := e.store.Delete(c.ID); err != nil {
+				return Result{}, fmt.Errorf("ucc: batch change %d: %w", i, err)
+			}
+			deletes++
+			id, err := e.store.Insert(c.Values)
+			if err != nil {
+				return Result{}, fmt.Errorf("ucc: batch change %d: %w", i, err)
+			}
+			ids = append(ids, id)
+		case stream.Insert:
+			id, err := e.store.Insert(c.Values)
+			if err != nil {
+				return Result{}, fmt.Errorf("ucc: batch change %d: %w", i, err)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	if deletes > 0 {
+		e.processDeletes()
+	}
+	if len(ids) > 0 {
+		e.processInserts(minNewID)
+	}
+
+	e.stats.Batches++
+	added, removed := diffSets(before, e.UCCs())
+	return Result{InsertedIDs: ids, Added: added, Removed: removed}, nil
+}
+
+// processInserts validates the minimal uniques level-wise from the most
+// general to the most specific: inserts can only break uniqueness, and a
+// break must involve a new record, so cluster pruning applies.
+func (e *Engine) processInserts(minNewID int64) {
+	for level := 0; level <= e.numAttrs; level++ {
+		for _, cand := range e.uniques.Level(level) {
+			if !e.uniques.Contains(cand.Lhs, rhsTag) {
+				continue
+			}
+			e.stats.Validations++
+			unique, w := validate.Unique(e.store, cand.Lhs, minNewID)
+			if unique {
+				continue
+			}
+			// The broken unique becomes a (maximal) non-unique with the
+			// collision as witness; its minimal extensions become the new
+			// candidates, validated on the next level.
+			e.uniques.Remove(cand.Lhs, rhsTag)
+			if !e.nonUniques.ContainsSpecialization(cand.Lhs, rhsTag) {
+				e.nonUniques.RemoveGeneralizations(cand.Lhs, rhsTag)
+				e.nonUniques.Add(cand.Lhs, rhsTag)
+				e.nonUniques.SetViolation(cand.Lhs, rhsTag, lattice.Violation{A: w.A, B: w.B})
+			}
+			outside := attrset.Full(e.numAttrs).Diff(cand.Lhs)
+			outside.ForEach(func(a int) bool {
+				spec := cand.Lhs.With(a)
+				if !e.uniques.ContainsGeneralization(spec, rhsTag) {
+					e.uniques.Add(spec, rhsTag)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// processDeletes validates the maximal non-uniques level-wise from the
+// most specific to the most general, skipping every non-unique whose
+// duplicate witness pair is still alive (validation pruning, as in DynFD
+// §5.2).
+func (e *Engine) processDeletes() {
+	for level := e.numAttrs; level >= 0; level-- {
+		for _, cand := range e.nonUniques.Level(level) {
+			if !e.nonUniques.Contains(cand.Lhs, rhsTag) {
+				continue
+			}
+			if v, ok := e.nonUniques.Violation(cand.Lhs, rhsTag); ok {
+				if _, aliveA := e.store.Record(v.A); aliveA {
+					if _, aliveB := e.store.Record(v.B); aliveB {
+						e.stats.SkippedValidations++
+						continue
+					}
+				}
+			}
+			e.stats.Validations++
+			unique, w := validate.Unique(e.store, cand.Lhs, validate.NoPruning)
+			if !unique {
+				e.nonUniques.SetViolation(cand.Lhs, rhsTag, lattice.Violation{A: w.A, B: w.B})
+				continue
+			}
+			// The non-unique became unique: move it to the positive cover
+			// and push its generalizations down for validation.
+			e.nonUniques.Remove(cand.Lhs, rhsTag)
+			if !e.uniques.ContainsGeneralization(cand.Lhs, rhsTag) {
+				e.uniques.RemoveSpecializations(cand.Lhs, rhsTag)
+				e.uniques.Add(cand.Lhs, rhsTag)
+			}
+			cand.Lhs.ForEach(func(a int) bool {
+				gen := cand.Lhs.Without(a)
+				if !e.nonUniques.ContainsSpecialization(gen, rhsTag) {
+					e.nonUniques.Add(gen, rhsTag)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// CheckInvariants verifies store consistency, cover antichain properties,
+// and positive/negative cover duality. Intended for tests.
+func (e *Engine) CheckInvariants() error {
+	if err := e.store.CheckConsistency(); err != nil {
+		return err
+	}
+	if err := e.uniques.CheckMinimal(); err != nil {
+		return fmt.Errorf("ucc: positive cover: %w", err)
+	}
+	if err := e.nonUniques.CheckMinimal(); err != nil {
+		return fmt.Errorf("ucc: negative cover: %w", err)
+	}
+	want := invert(e.uniques, e.numAttrs).All()
+	got := e.nonUniques.All()
+	if len(want) != len(got) {
+		return fmt.Errorf("ucc: cover duality violated: %v vs %v", got, want)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("ucc: cover duality violated: %v vs %v", got, want)
+		}
+	}
+	return nil
+}
+
+// diffSets computes added and removed sets between two sorted slices.
+func diffSets(before, after []attrset.Set) (added, removed []attrset.Set) {
+	seen := make(map[attrset.Set]bool, len(before))
+	for _, s := range before {
+		seen[s] = true
+	}
+	for _, s := range after {
+		if !seen[s] {
+			added = append(added, s)
+		}
+		delete(seen, s)
+	}
+	for _, s := range before {
+		if seen[s] {
+			removed = append(removed, s)
+		}
+	}
+	return added, removed
+}

@@ -1,0 +1,72 @@
+package validate
+
+import (
+	"fmt"
+	"testing"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/pli"
+)
+
+func benchStore(b *testing.B, rows, attrs, domain int) *pli.Store {
+	b.Helper()
+	s := pli.NewStore(attrs)
+	row := make([]string, attrs)
+	for i := 0; i < rows; i++ {
+		for a := range row {
+			row[a] = fmt.Sprint((i*(a+13) + a) % domain)
+		}
+		if _, err := s.Insert(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkFDValidation measures full candidate validation (the static /
+// delete-side cost).
+func BenchmarkFDValidation(b *testing.B) {
+	s := benchStore(b, 5000, 8, 50)
+	lhs := attrset.Of(0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FD(s, lhs, 2, NoPruning)
+	}
+}
+
+// BenchmarkFDValidationClusterPruned measures the insert-side validation
+// with cluster pruning when only the newest record is new — the common
+// steady-state case the paper's §4.2 targets. The pruned run should be
+// orders of magnitude cheaper than the full one above.
+func BenchmarkFDValidationClusterPruned(b *testing.B) {
+	s := benchStore(b, 5000, 8, 50)
+	minNew := s.NextID() - 1
+	lhs := attrset.Of(0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FD(s, lhs, 2, minNew)
+	}
+}
+
+func BenchmarkUniqueValidation(b *testing.B) {
+	s := benchStore(b, 5000, 8, 50)
+	cols := attrset.Of(0, 1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Unique(s, cols, NoPruning)
+	}
+}
+
+func BenchmarkAgreeSet(b *testing.B) {
+	s := benchStore(b, 2, 64, 3)
+	r0, _ := s.Record(0)
+	r1, _ := s.Record(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AgreeSet(r0, r1)
+	}
+}

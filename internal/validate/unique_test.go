@@ -1,0 +1,144 @@
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/pli"
+)
+
+func bruteUnique(rows [][]string, cols attrset.Set) bool {
+	seen := map[string]bool{}
+	var b strings.Builder
+	for _, row := range rows {
+		b.Reset()
+		cols.ForEach(func(a int) bool {
+			b.WriteString(row[a])
+			b.WriteByte(0)
+			return true
+		})
+		if seen[b.String()] {
+			return false
+		}
+		seen[b.String()] = true
+	}
+	return true
+}
+
+func TestUniqueBasics(t *testing.T) {
+	rows := [][]string{
+		{"1", "x"},
+		{"2", "x"},
+		{"2", "y"},
+	}
+	s := buildStore(t, rows, 2)
+	if ok, _ := Unique(s, attrset.Of(0, 1), NoPruning); !ok {
+		t.Error("full row combination should be unique")
+	}
+	ok, w := Unique(s, attrset.Of(0), NoPruning)
+	if ok {
+		t.Fatal("column 0 has duplicates")
+	}
+	ra, _ := s.Record(w.A)
+	rb, _ := s.Record(w.B)
+	if ra[0] != rb[0] {
+		t.Error("witness does not collide on column 0")
+	}
+	// Empty set: more than one record -> not unique.
+	if ok, _ := Unique(s, attrset.Set{}, NoPruning); ok {
+		t.Error("empty set unique on 3 records")
+	}
+}
+
+func TestUniqueTinyStores(t *testing.T) {
+	s := pli.NewStore(2)
+	if ok, _ := Unique(s, attrset.Of(0), NoPruning); !ok {
+		t.Error("empty store not unique")
+	}
+	_, _ = s.Insert([]string{"a", "b"})
+	if ok, _ := Unique(s, attrset.Set{}, NoPruning); !ok {
+		t.Error("single record: empty set should be unique")
+	}
+}
+
+func TestUniqueClusterPruning(t *testing.T) {
+	s := buildStore(t, [][]string{{"1", "a"}, {"2", "a"}}, 2)
+	minNew := s.NextID()
+	if _, err := s.Insert([]string{"1", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	// {0} was unique before; the new record collides with id 0.
+	ok, w := Unique(s, attrset.Of(0), minNew)
+	if ok {
+		t.Fatal("pruned check missed the new collision")
+	}
+	if w.A != 0 && w.B != 0 {
+		t.Errorf("witness %v does not involve record 0", w)
+	}
+	// An unrelated insert must not flag old clusters.
+	s2 := buildStore(t, [][]string{{"1", "a"}, {"2", "a"}}, 2)
+	minNew2 := s2.NextID()
+	_, _ = s2.Insert([]string{"3", "z"})
+	if ok, _ := Unique(s2, attrset.Of(0), minNew2); !ok {
+		t.Error("pruned check reported spurious collision")
+	}
+}
+
+func TestQuickUniqueAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(64))
+	f := func() bool {
+		attrs := 2 + r.Intn(4)
+		rows := make([][]string, r.Intn(25))
+		for i := range rows {
+			row := make([]string, attrs)
+			for a := range row {
+				row[a] = fmt.Sprint(r.Intn(4))
+			}
+			rows[i] = row
+		}
+		s := pli.NewStore(attrs)
+		for _, row := range rows {
+			if _, err := s.Insert(row); err != nil {
+				return false
+			}
+		}
+		for trial := 0; trial < 15; trial++ {
+			var cols attrset.Set
+			for j := 0; j < r.Intn(attrs+1); j++ {
+				cols = cols.With(r.Intn(attrs))
+			}
+			want := bruteUnique(rows, cols)
+			got, w := Unique(s, cols, NoPruning)
+			if got != want {
+				t.Logf("Unique(%v) = %v, want %v (rows %v)", cols, got, want, rows)
+				return false
+			}
+			if !got && len(rows) > 0 {
+				ra, okA := s.Record(w.A)
+				rb, okB := s.Record(w.B)
+				if !okA || !okB || w.A == w.B {
+					return false
+				}
+				collide := true
+				cols.ForEach(func(a int) bool {
+					if ra[a] != rb[a] {
+						collide = false
+						return false
+					}
+					return true
+				})
+				if !collide {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package validate implements the Pli-based FD validation primitive shared
+// by the static HyFD algorithm and the dynamic DynFD engine (paper §3.1,
+// §4.2). Given the Pli store, a candidate Lhs → Rhs is checked by using one
+// Lhs attribute's Pli as a pivot index into the compressed records, grouping
+// each pivot cluster by the remaining Lhs cluster ids, and probing the Rhs
+// cluster ids of each group. The check terminates at the first violation
+// and reports the violating record pair as a witness.
+//
+// The dynamic variant adds DynFD's cluster pruning: when only previously
+// valid FDs are re-validated after inserts, a violation must involve at
+// least one newly inserted record, so pivot clusters whose newest member
+// predates the batch can be skipped wholesale. Because cluster id slices
+// are sorted and surrogate ids grow monotonically, that test is a single
+// comparison against the cluster's last element.
+package validate
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/pli"
+)
+
+// Witness is a pair of record ids that violates a candidate FD.
+type Witness struct {
+	A, B int64
+}
+
+// NoPruning disables cluster pruning when passed as minNewID.
+const NoPruning int64 = -1
+
+// FD validates the candidate lhs → rhs against the store.
+//
+// If minNewID >= 0, cluster pruning is applied: only pivot clusters that
+// contain a record with id >= minNewID are checked. This is sound exactly
+// when the candidate was valid before the records with ids >= minNewID
+// were inserted (paper §4.2).
+//
+// On failure it returns valid == false and a violating record pair.
+func FD(s *pli.Store, lhs attrset.Set, rhs int, minNewID int64) (valid bool, w Witness) {
+	if s.NumRecords() <= 1 {
+		return true, Witness{}
+	}
+	if lhs.IsEmpty() {
+		return constantColumn(s, rhs)
+	}
+	pivot := pickPivot(s, lhs)
+	rest := lhs.Without(pivot)
+	restAttrs := rest.Slice()
+	key := make([]byte, 0, 4*len(restAttrs))
+
+	ix := s.Index(pivot)
+	invalid := false
+	var witness Witness
+	type groupRep struct {
+		rhsCid int32
+		id     int64
+	}
+	groups := make(map[string]groupRep)
+	ix.ForEachCluster(func(_ int32, c *pli.Cluster) bool {
+		if c.Size() < 2 {
+			return true // a single record cannot violate anything
+		}
+		if minNewID >= 0 && c.MaxID() < minNewID {
+			return true // cluster pruning: no new record in this cluster
+		}
+		clear(groups)
+		for _, id := range c.IDs {
+			rec, _ := s.Record(id)
+			key = key[:0]
+			for _, a := range restAttrs {
+				key = binary.LittleEndian.AppendUint32(key, uint32(rec[a]))
+			}
+			g, ok := groups[string(key)]
+			if !ok {
+				groups[string(key)] = groupRep{rhsCid: rec[rhs], id: id}
+				continue
+			}
+			if g.rhsCid != rec[rhs] {
+				invalid = true
+				witness = Witness{A: g.id, B: id}
+				return false
+			}
+		}
+		return true
+	})
+	if invalid {
+		return false, witness
+	}
+	return true, Witness{}
+}
+
+// constantColumn checks the empty-Lhs candidate ∅ → rhs, which holds iff
+// the rhs column is constant over all records.
+func constantColumn(s *pli.Store, rhs int) (bool, Witness) {
+	ix := s.Index(rhs)
+	if ix.NumClusters() <= 1 {
+		return true, Witness{}
+	}
+	// Pick one representative from two different clusters as the witness.
+	var ids []int64
+	ix.ForEachCluster(func(_ int32, c *pli.Cluster) bool {
+		ids = append(ids, c.IDs[0])
+		return len(ids) < 2
+	})
+	return false, Witness{A: ids[0], B: ids[1]}
+}
+
+// pickPivot returns the lhs attribute with the most clusters. More clusters
+// mean smaller clusters, hence cheaper grouping and better cluster pruning;
+// this implements the "fixed ordering of attributes by their respective Pli
+// sizes" of paper §4.2.
+func pickPivot(s *pli.Store, lhs attrset.Set) int {
+	best, bestClusters := -1, -1
+	lhs.ForEach(func(a int) bool {
+		if n := s.Index(a).NumClusters(); n > bestClusters {
+			best, bestClusters = a, n
+		}
+		return true
+	})
+	return best
+}
+
+// ViolationGroup is one set of records that agree on a candidate's Lhs but
+// carry at least two distinct Rhs values — the concrete evidence an FD
+// violation inspection reports.
+type ViolationGroup struct {
+	// IDs are the records of the group, ascending.
+	IDs []int64
+	// RhsValues counts the distinct Rhs cluster ids in the group.
+	RhsValues int
+}
+
+// Violations collects up to max groups of records violating lhs → rhs
+// (max <= 0 means all). It also returns the g3 error: the minimum fraction
+// of records that must be removed for the FD to hold (Huhtala et al. 1999),
+// which is the standard approximate-FD measure. A valid FD yields no
+// groups and error 0.
+func Violations(s *pli.Store, lhs attrset.Set, rhs int, max int) (groups []ViolationGroup, g3 float64) {
+	n := s.NumRecords()
+	if n <= 1 {
+		return nil, 0
+	}
+	removals := 0
+	collect := func(ids []int64, rhsCounts map[int32]int) {
+		if len(rhsCounts) < 2 {
+			return
+		}
+		// g3: keep the plurality Rhs value, remove the rest.
+		largest := 0
+		for _, c := range rhsCounts {
+			if c > largest {
+				largest = c
+			}
+		}
+		removals += len(ids) - largest
+		sorted := append([]int64(nil), ids...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		groups = append(groups, ViolationGroup{IDs: sorted, RhsValues: len(rhsCounts)})
+	}
+	if lhs.IsEmpty() {
+		var ids []int64
+		rhsCounts := make(map[int32]int)
+		s.ForEachRecord(func(id int64, rec pli.Record) bool {
+			ids = append(ids, id)
+			rhsCounts[rec[rhs]]++
+			return true
+		})
+		collect(ids, rhsCounts)
+		return trimGroups(groups, max), float64(removals) / float64(n)
+	}
+	pivot := pickPivot(s, lhs)
+	rest := lhs.Without(pivot)
+	restAttrs := rest.Slice()
+	key := make([]byte, 0, 4*len(restAttrs))
+	type group struct {
+		ids       []int64
+		rhsCounts map[int32]int
+	}
+	s.Index(pivot).ForEachCluster(func(_ int32, c *pli.Cluster) bool {
+		if c.Size() < 2 {
+			return true
+		}
+		byKey := make(map[string]*group)
+		for _, id := range c.IDs {
+			rec, _ := s.Record(id)
+			key = key[:0]
+			for _, a := range restAttrs {
+				key = binary.LittleEndian.AppendUint32(key, uint32(rec[a]))
+			}
+			g, ok := byKey[string(key)]
+			if !ok {
+				g = &group{rhsCounts: make(map[int32]int)}
+				byKey[string(key)] = g
+			}
+			g.ids = append(g.ids, id)
+			g.rhsCounts[rec[rhs]]++
+		}
+		for _, g := range byKey {
+			collect(g.ids, g.rhsCounts)
+		}
+		return true
+	})
+	return trimGroups(groups, max), float64(removals) / float64(n)
+}
+
+// trimGroups orders groups deterministically (by first record id) and
+// applies the caller's cap.
+func trimGroups(groups []ViolationGroup, max int) []ViolationGroup {
+	sort.Slice(groups, func(i, j int) bool { return groups[i].IDs[0] < groups[j].IDs[0] })
+	if max > 0 && len(groups) > max {
+		groups = groups[:max]
+	}
+	return groups
+}
+
+// Unique checks whether the column combination cols is unique: no two
+// records agree on all of cols. Like FD it supports cluster pruning via
+// minNewID (sound when cols was unique before the records with ids >=
+// minNewID arrived) and returns a colliding record pair on failure.
+func Unique(s *pli.Store, cols attrset.Set, minNewID int64) (unique bool, w Witness) {
+	if s.NumRecords() <= 1 {
+		return true, Witness{}
+	}
+	if cols.IsEmpty() {
+		// ∅ is unique only for relations with at most one record.
+		var ids []int64
+		s.ForEachRecord(func(id int64, _ pli.Record) bool {
+			ids = append(ids, id)
+			return len(ids) < 2
+		})
+		return false, Witness{A: ids[0], B: ids[1]}
+	}
+	pivot := pickPivot(s, cols)
+	rest := cols.Without(pivot)
+	restAttrs := rest.Slice()
+	key := make([]byte, 0, 4*len(restAttrs))
+
+	ix := s.Index(pivot)
+	collided := false
+	var witness Witness
+	groups := make(map[string]int64)
+	ix.ForEachCluster(func(_ int32, c *pli.Cluster) bool {
+		if c.Size() < 2 {
+			return true
+		}
+		if minNewID >= 0 && c.MaxID() < minNewID {
+			return true // cluster pruning
+		}
+		clear(groups)
+		for _, id := range c.IDs {
+			rec, _ := s.Record(id)
+			key = key[:0]
+			for _, a := range restAttrs {
+				key = binary.LittleEndian.AppendUint32(key, uint32(rec[a]))
+			}
+			if prev, ok := groups[string(key)]; ok {
+				collided = true
+				witness = Witness{A: prev, B: id}
+				return false
+			}
+			groups[string(key)] = id
+		}
+		return true
+	})
+	if collided {
+		return false, witness
+	}
+	return true, Witness{}
+}
+
+// AgreeSet returns the set of attributes on which the two compressed
+// records hold equal values. Records encode equal values as equal cluster
+// ids, so this is a plain element-wise comparison.
+func AgreeSet(a, b pli.Record) attrset.Set {
+	var s attrset.Set
+	for i := range a {
+		if a[i] == b[i] {
+			s = s.With(i)
+		}
+	}
+	return s
+}

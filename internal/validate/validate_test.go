@@ -1,0 +1,179 @@
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/oracle"
+	"dynfd/internal/pli"
+)
+
+func buildStore(t *testing.T, rows [][]string, attrs int) *pli.Store {
+	t.Helper()
+	s := pli.NewStore(attrs)
+	for _, r := range rows {
+		if _, err := s.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+var paperRows = [][]string{
+	{"Max", "Jones", "14482", "Potsdam"},
+	{"Max", "Miller", "14482", "Potsdam"},
+	{"Max", "Jones", "10115", "Berlin"},
+	{"Anna", "Scott", "13591", "Berlin"},
+}
+
+func TestPaperFDs(t *testing.T) {
+	s := buildStore(t, paperRows, 4)
+	cases := []struct {
+		lhs   attrset.Set
+		rhs   int
+		valid bool
+	}{
+		{attrset.Of(2), 3, true},  // z -> c
+		{attrset.Of(1), 0, true},  // l -> f
+		{attrset.Of(3), 2, false}, // c -> z
+		{attrset.Of(0, 3), 2, true},
+		{attrset.Of(0, 1), 2, false}, // fl -> z
+		{attrset.Set{}, 0, false},    // f not constant
+	}
+	for _, tc := range cases {
+		valid, w := FD(s, tc.lhs, tc.rhs, NoPruning)
+		if valid != tc.valid {
+			t.Errorf("FD(%v -> %d) = %v, want %v", tc.lhs, tc.rhs, valid, tc.valid)
+		}
+		if !valid {
+			// The witness must actually violate the candidate.
+			ra, _ := s.Record(w.A)
+			rb, _ := s.Record(w.B)
+			agree := AgreeSet(ra, rb)
+			if !tc.lhs.IsSubsetOf(agree) || agree.Contains(tc.rhs) {
+				t.Errorf("FD(%v -> %d): witness (%d,%d) does not violate", tc.lhs, tc.rhs, w.A, w.B)
+			}
+		}
+	}
+}
+
+func TestEmptyAndTinyStore(t *testing.T) {
+	s := pli.NewStore(2)
+	if valid, _ := FD(s, attrset.Of(0), 1, NoPruning); !valid {
+		t.Error("FD on empty store invalid")
+	}
+	if _, err := s.Insert([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if valid, _ := FD(s, attrset.Of(0), 1, NoPruning); !valid {
+		t.Error("FD on single record invalid")
+	}
+	if valid, _ := FD(s, attrset.Set{}, 1, NoPruning); !valid {
+		t.Error("constant check on single record invalid")
+	}
+}
+
+func TestConstantColumn(t *testing.T) {
+	s := buildStore(t, [][]string{{"x", "1"}, {"y", "1"}, {"z", "1"}}, 2)
+	if valid, _ := FD(s, attrset.Set{}, 1, NoPruning); !valid {
+		t.Error("constant column not recognized")
+	}
+	valid, w := FD(s, attrset.Set{}, 0, NoPruning)
+	if valid {
+		t.Error("non-constant column accepted")
+	}
+	if w.A == w.B {
+		t.Error("degenerate witness")
+	}
+}
+
+func TestClusterPruningSoundness(t *testing.T) {
+	// Build a store where the FD a -> b holds, then insert a violating
+	// record. With pruning at the new record's id the violation must still
+	// be found (the pivot cluster contains the new record).
+	s := buildStore(t, [][]string{{"k1", "v1"}, {"k2", "v2"}, {"k1", "v1"}}, 2)
+	if valid, _ := FD(s, attrset.Of(0), 1, NoPruning); !valid {
+		t.Fatal("precondition: a -> b should hold")
+	}
+	newID := s.NextID()
+	if _, err := s.Insert([]string{"k1", "v9"}); err != nil {
+		t.Fatal(err)
+	}
+	valid, w := FD(s, attrset.Of(0), 1, newID)
+	if valid {
+		t.Fatal("pruned validation missed violation involving new record")
+	}
+	if w.A != 0 && w.B != 0 && w.A != 2 && w.B != 2 {
+		t.Errorf("unexpected witness %v", w)
+	}
+	// An unrelated new record must not flag old clusters.
+	s2 := buildStore(t, [][]string{{"k1", "v1"}, {"k1", "v1"}}, 2)
+	newID2 := s2.NextID()
+	if _, err := s2.Insert([]string{"other", "zz"}); err != nil {
+		t.Fatal(err)
+	}
+	if valid, _ := FD(s2, attrset.Of(0), 1, newID2); !valid {
+		t.Error("pruned validation reported spurious violation")
+	}
+}
+
+// TestQuickAgainstOracle compares FD validation against the brute-force
+// oracle over random relations with small value domains.
+func TestQuickAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	f := func() bool {
+		attrs := 2 + r.Intn(4)
+		rows := make([][]string, r.Intn(30))
+		for i := range rows {
+			row := make([]string, attrs)
+			for a := range row {
+				row[a] = fmt.Sprint(r.Intn(3))
+			}
+			rows[i] = row
+		}
+		s := pli.NewStore(attrs)
+		for _, row := range rows {
+			if _, err := s.Insert(row); err != nil {
+				return false
+			}
+		}
+		for trial := 0; trial < 20; trial++ {
+			var lhs attrset.Set
+			for i := 0; i < r.Intn(3); i++ {
+				lhs = lhs.With(r.Intn(attrs))
+			}
+			rhs := r.Intn(attrs)
+			lhs = lhs.Without(rhs)
+			want := oracle.Valid(rows, lhs, rhs)
+			got, w := FD(s, lhs, rhs, NoPruning)
+			if got != want {
+				t.Logf("FD(%v->%d) = %v, oracle %v (rows %v)", lhs, rhs, got, want, rows)
+				return false
+			}
+			if !got {
+				ra, _ := s.Record(w.A)
+				rb, _ := s.Record(w.B)
+				agree := AgreeSet(ra, rb)
+				if !lhs.IsSubsetOf(agree) || agree.Contains(rhs) {
+					t.Logf("bad witness for %v->%d", lhs, rhs)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgreeSet(t *testing.T) {
+	a := pli.Record{1, 2, 3, 4}
+	b := pli.Record{1, 9, 3, 8}
+	if got := AgreeSet(a, b); got != attrset.Of(0, 2) {
+		t.Errorf("AgreeSet = %v", got)
+	}
+}

@@ -1,0 +1,157 @@
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/oracle"
+	"dynfd/internal/pli"
+)
+
+// bruteG3 computes the g3 error by direct grouping on raw rows.
+func bruteG3(rows [][]string, lhs attrset.Set, rhs int) float64 {
+	if len(rows) <= 1 {
+		return 0
+	}
+	type counts map[string]int
+	groups := map[string]counts{}
+	var b strings.Builder
+	for _, row := range rows {
+		b.Reset()
+		lhs.ForEach(func(a int) bool {
+			b.WriteString(row[a])
+			b.WriteByte(0)
+			return true
+		})
+		k := b.String()
+		if groups[k] == nil {
+			groups[k] = counts{}
+		}
+		groups[k][row[rhs]]++
+	}
+	removals := 0
+	for _, c := range groups {
+		total, largest := 0, 0
+		for _, n := range c {
+			total += n
+			if n > largest {
+				largest = n
+			}
+		}
+		removals += total - largest
+	}
+	return float64(removals) / float64(len(rows))
+}
+
+func TestViolationsPaperExample(t *testing.T) {
+	s := buildStore(t, paperRows, 4)
+	// c -> z is violated: Potsdam has zip 14482 twice (ok), Berlin has
+	// zips 10115 and 13591 (violation).
+	groups, g3 := Violations(s, attrset.Of(3), 2, 0)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if got := groups[0].IDs; len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("group ids = %v", got)
+	}
+	if groups[0].RhsValues != 2 {
+		t.Errorf("RhsValues = %d", groups[0].RhsValues)
+	}
+	if g3 != 0.25 { // remove one of the two Berlin rows out of four
+		t.Errorf("g3 = %f", g3)
+	}
+	// A valid FD yields nothing.
+	groups, g3 = Violations(s, attrset.Of(2), 3, 0)
+	if len(groups) != 0 || g3 != 0 {
+		t.Errorf("valid FD: groups=%v g3=%f", groups, g3)
+	}
+}
+
+func TestViolationsEmptyLhs(t *testing.T) {
+	s := buildStore(t, [][]string{{"a"}, {"a"}, {"b"}, {"c"}}, 1)
+	groups, g3 := Violations(s, attrset.Set{}, 0, 0)
+	if len(groups) != 1 || groups[0].RhsValues != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if g3 != 0.5 { // keep the two "a" rows, remove "b" and "c"
+		t.Errorf("g3 = %f", g3)
+	}
+}
+
+func TestViolationsMaxCap(t *testing.T) {
+	rows := [][]string{
+		{"k1", "a"}, {"k1", "b"},
+		{"k2", "a"}, {"k2", "b"},
+		{"k3", "a"}, {"k3", "b"},
+	}
+	s := buildStore(t, rows, 2)
+	groups, _ := Violations(s, attrset.Of(0), 1, 2)
+	if len(groups) != 2 {
+		t.Errorf("capped groups = %v", groups)
+	}
+	all, _ := Violations(s, attrset.Of(0), 1, 0)
+	if len(all) != 3 {
+		t.Errorf("all groups = %v", all)
+	}
+	// Deterministic order by first id.
+	if all[0].IDs[0] > all[1].IDs[0] || all[1].IDs[0] > all[2].IDs[0] {
+		t.Errorf("groups unordered: %v", all)
+	}
+}
+
+func TestViolationsTinyStore(t *testing.T) {
+	s := pli.NewStore(2)
+	if g, g3 := Violations(s, attrset.Of(0), 1, 0); len(g) != 0 || g3 != 0 {
+		t.Error("empty store produced violations")
+	}
+}
+
+// TestQuickG3AgainstBruteForce cross-checks the g3 error and the validity
+// correspondence (g3 == 0 ⟺ FD valid) on random relations.
+func TestQuickG3AgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	f := func() bool {
+		attrs := 2 + r.Intn(4)
+		rows := make([][]string, r.Intn(30))
+		for i := range rows {
+			row := make([]string, attrs)
+			for a := range row {
+				row[a] = fmt.Sprint(r.Intn(3))
+			}
+			rows[i] = row
+		}
+		s := pli.NewStore(attrs)
+		for _, row := range rows {
+			if _, err := s.Insert(row); err != nil {
+				return false
+			}
+		}
+		for trial := 0; trial < 12; trial++ {
+			var lhs attrset.Set
+			for j := 0; j < r.Intn(3); j++ {
+				lhs = lhs.With(r.Intn(attrs))
+			}
+			rhs := r.Intn(attrs)
+			lhs = lhs.Without(rhs)
+			groups, g3 := Violations(s, lhs, rhs, 0)
+			want := bruteG3(rows, lhs, rhs)
+			if diff := g3 - want; diff > 1e-12 || diff < -1e-12 {
+				t.Logf("g3(%v->%d) = %f, want %f (rows %v)", lhs, rhs, g3, want, rows)
+				return false
+			}
+			valid := oracle.Valid(rows, lhs, rhs)
+			if valid != (len(groups) == 0) || valid != (g3 == 0) {
+				t.Logf("validity mismatch for %v->%d", lhs, rhs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package dynfd
+
+import (
+	"fmt"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/dataset"
+	"dynfd/internal/stream"
+	"dynfd/internal/ucc"
+)
+
+// KeyMonitor maintains the minimal unique column combinations (candidate
+// keys) of a dynamic relation, in the spirit of the Swan algorithm
+// (Abedjan et al., ICDE 2014) that the DynFD paper discusses as related
+// work. It shares DynFD's machinery: a positive cover of minimal uniques
+// answers insert batches, a negative cover of maximal non-uniques with
+// duplicate witnesses answers delete batches.
+//
+// A KeyMonitor is not safe for concurrent use.
+type KeyMonitor struct {
+	columns   []string
+	engine    *ucc.Engine
+	booted    bool
+	batchSeen bool
+}
+
+// NewKeyMonitor returns a key monitor for a relation with the given
+// column names.
+func NewKeyMonitor(columns []string) (*KeyMonitor, error) {
+	rel := dataset.New("relation", columns)
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	return &KeyMonitor{
+		columns: append([]string(nil), columns...),
+		engine:  ucc.NewEmpty(len(columns)),
+	}, nil
+}
+
+// Bootstrap loads and profiles initial tuples; it must precede the first
+// Apply and may run at most once. Rows receive ids 0..len(rows)-1.
+func (m *KeyMonitor) Bootstrap(rows [][]string) error {
+	if m.booted || m.batchSeen {
+		return fmt.Errorf("dynfd: Bootstrap must be the first operation on a KeyMonitor")
+	}
+	rel := dataset.New("relation", m.columns)
+	for _, row := range rows {
+		if err := rel.Append(row); err != nil {
+			return err
+		}
+	}
+	engine, err := ucc.Bootstrap(rel)
+	if err != nil {
+		return err
+	}
+	m.engine = engine
+	m.booted = true
+	return nil
+}
+
+// KeyDiff reports the effect of one batch on the candidate keys.
+type KeyDiff struct {
+	InsertedIDs []int64
+	// Added and Removed are minimal unique column combinations, as column
+	// index slices.
+	Added, Removed [][]int
+}
+
+// Apply incorporates one batch of changes.
+func (m *KeyMonitor) Apply(changes ...Change) (KeyDiff, error) {
+	b := stream.Batch{Changes: make([]stream.Change, len(changes))}
+	for i, c := range changes {
+		sc := stream.Change{ID: c.ID, Values: c.Values, Time: c.Time}
+		switch c.Kind {
+		case KindInsert:
+			sc.Kind = stream.Insert
+		case KindDelete:
+			sc.Kind = stream.Delete
+		case KindUpdate:
+			sc.Kind = stream.Update
+		default:
+			return KeyDiff{}, fmt.Errorf("dynfd: change %d: unknown kind %d", i, int(c.Kind))
+		}
+		b.Changes[i] = sc
+	}
+	res, err := m.engine.ApplyBatch(b)
+	if err != nil {
+		return KeyDiff{}, err
+	}
+	m.batchSeen = true
+	return KeyDiff{
+		InsertedIDs: res.InsertedIDs,
+		Added:       setsToSlices(res.Added),
+		Removed:     setsToSlices(res.Removed),
+	}, nil
+}
+
+// Keys returns the current minimal unique column combinations as column
+// index slices, in deterministic order.
+func (m *KeyMonitor) Keys() [][]int {
+	return setsToSlices(m.engine.UCCs())
+}
+
+// IsUnique reports whether the named columns currently form a unique
+// combination (a superkey).
+func (m *KeyMonitor) IsUnique(columns ...string) (bool, error) {
+	var s attrset.Set
+	for _, name := range columns {
+		idx := -1
+		for i, c := range m.columns {
+			if c == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return false, fmt.Errorf("dynfd: unknown column %q", name)
+		}
+		s = s.With(idx)
+	}
+	return m.engine.IsUnique(s), nil
+}
+
+// NumRecords returns the current tuple count.
+func (m *KeyMonitor) NumRecords() int { return m.engine.NumRecords() }
+
+// FormatKey renders a key as column names, e.g. "[zip, street]".
+func (m *KeyMonitor) FormatKey(key []int) string {
+	var s attrset.Set
+	for _, a := range key {
+		s = s.With(a)
+	}
+	return s.Names(m.columns)
+}
+
+func setsToSlices(in []attrset.Set) [][]int {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([][]int, len(in))
+	for i, s := range in {
+		out[i] = s.Slice()
+	}
+	return out
+}

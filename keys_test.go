@@ -1,0 +1,82 @@
+package dynfd
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestKeyMonitorLifecycle(t *testing.T) {
+	m, err := NewKeyMonitor([]string{"id", "room", "floor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bootstrap([][]string{
+		{"1", "r1", "f1"},
+		{"2", "r1", "f1"},
+		{"3", "r2", "f1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	keys := m.Keys()
+	if !reflect.DeepEqual(keys, [][]int{{0}}) {
+		t.Fatalf("Keys = %v", keys)
+	}
+	ok, err := m.IsUnique("id", "room")
+	if err != nil || !ok {
+		t.Error("superset of key not unique")
+	}
+	ok, err = m.IsUnique("room")
+	if err != nil || ok {
+		t.Error("duplicate column unique")
+	}
+	if _, err := m.IsUnique("nope"); err == nil {
+		t.Error("unknown column accepted")
+	}
+
+	// Insert a duplicate id: {id} breaks, {id, room} becomes minimal.
+	diff, err := m.Apply(Insert("1", "r2", "f1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Removed) != 1 || !reflect.DeepEqual(diff.Removed[0], []int{0}) {
+		t.Errorf("Removed = %v", diff.Removed)
+	}
+	if m.NumRecords() != 4 {
+		t.Errorf("NumRecords = %d", m.NumRecords())
+	}
+	if got := m.FormatKey([]int{0, 1}); got != "[id, room]" {
+		t.Errorf("FormatKey = %q", got)
+	}
+}
+
+func TestKeyMonitorBootstrapRules(t *testing.T) {
+	m, _ := NewKeyMonitor([]string{"a", "b"})
+	if _, err := m.Apply(Insert("1", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bootstrap(nil); err == nil {
+		t.Error("Bootstrap after Apply accepted")
+	}
+	if _, err := NewKeyMonitor(nil); err == nil {
+		t.Error("empty schema accepted")
+	}
+	m2, _ := NewKeyMonitor([]string{"a", "b"})
+	if _, err := m2.Apply(Change{Kind: ChangeKind(7)}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func ExampleKeyMonitor() {
+	m, _ := NewKeyMonitor([]string{"email", "name"})
+	_ = m.Bootstrap([][]string{
+		{"ada@example.com", "Ada"},
+		{"bob@example.com", "Bob"},
+	})
+	diff, _ := m.Apply(Insert("ada@example.com", "Ada L."))
+	for _, k := range diff.Removed {
+		fmt.Println("key lost:", m.FormatKey(k))
+	}
+	// Output:
+	// key lost: [email]
+}

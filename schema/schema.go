@@ -1,0 +1,185 @@
+// Package schema turns discovered functional dependencies into schema
+// design and query optimization decisions — the applications the DynFD
+// paper motivates FD discovery with (§1): candidate keys, normal form
+// checks, lossless BCNF decomposition, dependency-preserving 3NF
+// synthesis, canonical covers, and FD-based column-list reduction for
+// GROUP BY / ORDER BY pruning.
+//
+//	fds, _ := dynfd.Discover(columns, rows, dynfd.AlgorithmHyFD)
+//	s, _ := schema.New(columns, fds)
+//	fmt.Println(s.CandidateKeys())   // e.g. [[order_id]]
+//	fmt.Println(s.DecomposeBCNF())   // normalized fragments
+package schema
+
+import (
+	"fmt"
+
+	"dynfd"
+	"dynfd/internal/attrset"
+	"dynfd/internal/fd"
+	"dynfd/internal/normalize"
+)
+
+// Schema couples a column list with the functional dependencies that hold
+// on it. FDs typically come from dynfd.Discover or a dynfd.Monitor.
+type Schema struct {
+	columns  []string
+	colIndex map[string]int
+	fds      []fd.FD
+}
+
+// New builds a schema from column names and FDs over their indexes.
+func New(columns []string, fds []dynfd.FD) (*Schema, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("schema: no columns")
+	}
+	s := &Schema{
+		columns:  append([]string(nil), columns...),
+		colIndex: make(map[string]int, len(columns)),
+	}
+	for i, c := range columns {
+		if _, dup := s.colIndex[c]; dup {
+			return nil, fmt.Errorf("schema: duplicate column %q", c)
+		}
+		s.colIndex[c] = i
+	}
+	for _, f := range fds {
+		conv := fd.FD{Rhs: f.Rhs}
+		if f.Rhs < 0 || f.Rhs >= len(columns) {
+			return nil, fmt.Errorf("schema: FD rhs %d out of range", f.Rhs)
+		}
+		for _, a := range f.Lhs {
+			if a < 0 || a >= len(columns) {
+				return nil, fmt.Errorf("schema: FD lhs attribute %d out of range", a)
+			}
+			conv.Lhs = conv.Lhs.With(a)
+		}
+		s.fds = append(s.fds, conv)
+	}
+	return s, nil
+}
+
+// FromData discovers the FDs of a snapshot (with HyFD) and builds the
+// schema in one step.
+func FromData(columns []string, rows [][]string) (*Schema, error) {
+	fds, err := dynfd.Discover(columns, rows, dynfd.AlgorithmHyFD)
+	if err != nil {
+		return nil, err
+	}
+	return New(columns, fds)
+}
+
+// Columns returns the schema's column names.
+func (s *Schema) Columns() []string { return append([]string(nil), s.columns...) }
+
+func (s *Schema) set(cols []string) (attrset.Set, error) {
+	var x attrset.Set
+	for _, c := range cols {
+		i, ok := s.colIndex[c]
+		if !ok {
+			return x, fmt.Errorf("schema: unknown column %q", c)
+		}
+		x = x.With(i)
+	}
+	return x, nil
+}
+
+func (s *Schema) names(x attrset.Set) []string {
+	out := make([]string, 0, x.Count())
+	x.ForEach(func(a int) bool {
+		out = append(out, s.columns[a])
+		return true
+	})
+	return out
+}
+
+// Closure returns all columns functionally determined by the given ones
+// (including themselves).
+func (s *Schema) Closure(cols ...string) ([]string, error) {
+	x, err := s.set(cols)
+	if err != nil {
+		return nil, err
+	}
+	return s.names(normalize.Closure(s.fds, x)), nil
+}
+
+// Implies reports whether lhs → rhs follows from the schema's FDs.
+func (s *Schema) Implies(lhs []string, rhs string) (bool, error) {
+	x, err := s.set(lhs)
+	if err != nil {
+		return false, err
+	}
+	r, ok := s.colIndex[rhs]
+	if !ok {
+		return false, fmt.Errorf("schema: unknown column %q", rhs)
+	}
+	return normalize.Implies(s.fds, fd.FD{Lhs: x, Rhs: r}), nil
+}
+
+// CandidateKeys returns all minimal keys, as column-name lists.
+func (s *Schema) CandidateKeys() [][]string {
+	keys := normalize.CandidateKeys(s.fds, len(s.columns))
+	out := make([][]string, len(keys))
+	for i, k := range keys {
+		out[i] = s.names(k)
+	}
+	return out
+}
+
+// IsBCNF reports whether the schema is in Boyce-Codd normal form.
+func (s *Schema) IsBCNF() bool {
+	return len(normalize.BCNFViolations(s.fds, len(s.columns))) == 0
+}
+
+// BCNFViolations returns the FDs whose left-hand side is not a superkey.
+func (s *Schema) BCNFViolations() []dynfd.FD {
+	viol := normalize.BCNFViolations(s.fds, len(s.columns))
+	out := make([]dynfd.FD, len(viol))
+	for i, f := range viol {
+		out[i] = dynfd.FD{Lhs: f.Lhs.Slice(), Rhs: f.Rhs}
+	}
+	return out
+}
+
+// DecomposeBCNF returns a lossless BCNF decomposition as column-name
+// fragments. Dependency preservation is not guaranteed (it cannot be).
+func (s *Schema) DecomposeBCNF() [][]string {
+	rels := normalize.DecomposeBCNF(s.fds, len(s.columns))
+	out := make([][]string, len(rels))
+	for i, r := range rels {
+		out[i] = s.names(r.Attrs)
+	}
+	return out
+}
+
+// Synthesize3NF returns a lossless, dependency-preserving 3NF
+// decomposition as column-name fragments.
+func (s *Schema) Synthesize3NF() [][]string {
+	rels := normalize.Synthesize3NF(s.fds, len(s.columns))
+	out := make([][]string, len(rels))
+	for i, r := range rels {
+		out[i] = s.names(r.Attrs)
+	}
+	return out
+}
+
+// CanonicalCover returns a minimal FD set equivalent to the schema's FDs.
+func (s *Schema) CanonicalCover() []dynfd.FD {
+	cover := normalize.CanonicalCover(s.fds)
+	out := make([]dynfd.FD, len(cover))
+	for i, f := range cover {
+		out[i] = dynfd.FD{Lhs: f.Lhs.Slice(), Rhs: f.Rhs}
+	}
+	return out
+}
+
+// ReduceGroupBy removes columns that are functionally determined by the
+// remaining ones — the FD-based GROUP BY / ORDER BY pruning of query
+// optimization (paper reference [14]).
+func (s *Schema) ReduceGroupBy(cols ...string) ([]string, error) {
+	x, err := s.set(cols)
+	if err != nil {
+		return nil, err
+	}
+	return s.names(normalize.ReduceColumns(s.fds, x)), nil
+}

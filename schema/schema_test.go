@@ -1,0 +1,168 @@
+package schema
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dynfd"
+)
+
+var orderColumns = []string{"order_id", "customer", "cust_city", "product", "unit_price"}
+
+var orderFDs = []dynfd.FD{
+	{Lhs: []int{0}, Rhs: 1},
+	{Lhs: []int{0}, Rhs: 3},
+	{Lhs: []int{1}, Rhs: 2},
+	{Lhs: []int{3}, Rhs: 4},
+}
+
+func orders(t *testing.T) *Schema {
+	t.Helper()
+	s, err := New(orderColumns, orderFDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("empty columns accepted")
+	}
+	if _, err := New([]string{"a", "a"}, nil); err == nil {
+		t.Error("duplicate columns accepted")
+	}
+	if _, err := New([]string{"a"}, []dynfd.FD{{Lhs: []int{5}, Rhs: 0}}); err == nil {
+		t.Error("out-of-range lhs accepted")
+	}
+	if _, err := New([]string{"a"}, []dynfd.FD{{Rhs: 9}}); err == nil {
+		t.Error("out-of-range rhs accepted")
+	}
+}
+
+func TestClosureAndImplies(t *testing.T) {
+	s := orders(t)
+	got, err := s.Closure("order_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, orderColumns) {
+		t.Errorf("Closure(order_id) = %v", got)
+	}
+	ok, err := s.Implies([]string{"order_id"}, "unit_price")
+	if err != nil || !ok {
+		t.Error("transitive implication missed")
+	}
+	ok, err = s.Implies([]string{"customer"}, "product")
+	if err != nil || ok {
+		t.Error("false implication")
+	}
+	if _, err := s.Closure("nope"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := s.Implies([]string{"order_id"}, "nope"); err == nil {
+		t.Error("unknown rhs accepted")
+	}
+}
+
+func TestCandidateKeys(t *testing.T) {
+	s := orders(t)
+	keys := s.CandidateKeys()
+	if !reflect.DeepEqual(keys, [][]string{{"order_id"}}) {
+		t.Errorf("CandidateKeys = %v", keys)
+	}
+}
+
+func TestBCNF(t *testing.T) {
+	s := orders(t)
+	if s.IsBCNF() {
+		t.Error("orders schema reported as BCNF")
+	}
+	viol := s.BCNFViolations()
+	if len(viol) != 2 {
+		t.Errorf("violations = %v", viol)
+	}
+	frags := s.DecomposeBCNF()
+	if len(frags) < 2 {
+		t.Errorf("DecomposeBCNF = %v", frags)
+	}
+	// All columns preserved.
+	seen := map[string]bool{}
+	for _, f := range frags {
+		for _, c := range f {
+			seen[c] = true
+		}
+	}
+	if len(seen) != len(orderColumns) {
+		t.Errorf("columns lost in %v", frags)
+	}
+}
+
+func TestSynthesize3NFAndCover(t *testing.T) {
+	s := orders(t)
+	frags := s.Synthesize3NF()
+	if len(frags) == 0 {
+		t.Fatal("no fragments")
+	}
+	cover := s.CanonicalCover()
+	if len(cover) != len(orderFDs) {
+		t.Errorf("CanonicalCover = %v", cover)
+	}
+}
+
+func TestReduceGroupBy(t *testing.T) {
+	s := orders(t)
+	got, err := s.ReduceGroupBy("order_id", "customer", "cust_city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"order_id"}) {
+		t.Errorf("ReduceGroupBy = %v", got)
+	}
+	if _, err := s.ReduceGroupBy("nope"); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestFromData(t *testing.T) {
+	rows := [][]string{
+		{"o1", "ada", "Berlin", "bolt", "0.10"},
+		{"o2", "ada", "Berlin", "nut", "0.05"},
+		{"o3", "bob", "Potsdam", "bolt", "0.10"},
+		{"o4", "cid", "Berlin", "washer", "0.02"},
+		{"o5", "bob", "Potsdam", "nut", "0.05"},
+		{"o6", "cid", "Berlin", "bolt", "0.10"},
+	}
+	s, err := FromData(orderColumns, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Columns()) != 5 {
+		t.Error("columns lost")
+	}
+	ok, err := s.Implies([]string{"customer"}, "cust_city")
+	if err != nil || !ok {
+		t.Error("discovered FD customer -> cust_city missing")
+	}
+	if _, err := FromData([]string{"a"}, [][]string{{"1", "2"}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func ExampleSchema() {
+	rows := [][]string{
+		{"o1", "ada", "Berlin"},
+		{"o2", "ada", "Berlin"},
+		{"o3", "bob", "Potsdam"},
+	}
+	s, _ := FromData([]string{"order_id", "customer", "cust_city"}, rows)
+	fmt.Println("keys:", s.CandidateKeys())
+	fmt.Println("BCNF:", s.IsBCNF())
+	reduced, _ := s.ReduceGroupBy("order_id", "customer", "cust_city")
+	fmt.Println("group by:", reduced)
+	// Output:
+	// keys: [[order_id]]
+	// BCNF: false
+	// group by: [order_id]
+}

@@ -1,0 +1,53 @@
+package dynfd
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMonitorViolations(t *testing.T) {
+	m := newPaperMonitor(t)
+	// city -> zip is violated by the two Berlin rows (ids 2 and 3).
+	groups, g3, err := m.Violations([]string{"city"}, "zip", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0].IDs) != 2 || groups[0].RhsValues != 2 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if g3 != 0.25 {
+		t.Errorf("g3 = %f", g3)
+	}
+	// zip -> city is valid.
+	groups, g3, err = m.Violations([]string{"zip"}, "city", 0)
+	if err != nil || len(groups) != 0 || g3 != 0 {
+		t.Errorf("valid FD: %v %f %v", groups, g3, err)
+	}
+	if _, _, err := m.Violations([]string{"nope"}, "city", 0); err == nil {
+		t.Error("unknown lhs column accepted")
+	}
+	if _, _, err := m.Violations([]string{"zip"}, "nope", 0); err == nil {
+		t.Error("unknown rhs column accepted")
+	}
+}
+
+func ExampleMonitor_Violations() {
+	mon, _ := NewMonitor([]string{"product", "price"})
+	_ = mon.Bootstrap([][]string{
+		{"apple", "1.00"},
+		{"apple", "1.05"}, // conflicting price
+		{"pear", "1.50"},
+	})
+	groups, g3, _ := mon.Violations([]string{"product"}, "price", 0)
+	for _, g := range groups {
+		for _, id := range g.IDs {
+			row, _ := mon.Record(id)
+			fmt.Println(row)
+		}
+	}
+	fmt.Printf("g3 error: %.2f\n", g3)
+	// Output:
+	// [apple 1.00]
+	// [apple 1.05]
+	// g3 error: 0.33
+}
