@@ -131,6 +131,38 @@ func BenchmarkApplyBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkApplyBatchParallel measures the same batch workload as
+// BenchmarkApplyBatch under increasing worker budgets of the parallel
+// validation engine (Config.Workers). The workers=1 variant isolates the
+// scan/merge restructuring overhead against the serial baseline above;
+// higher budgets show the fan-out headroom on multi-core machines.
+// Baseline numbers are recorded in BENCH_parallel.json.
+func BenchmarkApplyBatchParallel(b *testing.B) {
+	d := generated(b, "disease", 0.25)
+	batches := stream.FixedBatches(d.Changes, 50)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng, err := core.Bootstrap(d.Relation, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, batch := range batches {
+					if _, err := eng.ApplyBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStaticDiscovery compares the three static algorithms on the
 // same snapshot.
 func BenchmarkStaticDiscovery(b *testing.B) {

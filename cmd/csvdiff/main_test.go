@@ -17,6 +17,7 @@ func write(t *testing.T, name, content string) string {
 }
 
 func TestRunKeyed(t *testing.T) {
+	t.Parallel()
 	v1 := write(t, "v1.csv", "id,city\n1,Potsdam\n2,Berlin\n")
 	v2 := write(t, "v2.csv", "id,city\n1,Leipzig\n3,Bremen\n")
 	out, err := os.CreateTemp(t.TempDir(), "out")
@@ -40,6 +41,7 @@ func TestRunKeyed(t *testing.T) {
 }
 
 func TestRunMultiset(t *testing.T) {
+	t.Parallel()
 	v1 := write(t, "v1.csv", "a\nx\nx\n")
 	v2 := write(t, "v2.csv", "a\nx\ny\n")
 	out, err := os.CreateTemp(t.TempDir(), "out")
@@ -57,6 +59,7 @@ func TestRunMultiset(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
+	t.Parallel()
 	v1 := write(t, "v1.csv", "id,city\n1,Potsdam\n")
 	if err := run([]string{"/nonexistent.csv", v1}, nil, os.Stdout); err == nil {
 		t.Error("missing first version accepted")

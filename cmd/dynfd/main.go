@@ -33,6 +33,7 @@ func main() {
 	initial := flag.String("initial", "", "CSV file with the initial relation (header = schema)")
 	columns := flag.String("columns", "", "comma-separated schema when no -initial file is given")
 	quiet := flag.Bool("quiet", false, "suppress per-batch FD changes; print only the final FDs")
+	workers := flag.Int("workers", 0, "parallel validations per lattice level (0 = serial, -1 = all CPUs)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: dynfd [flags] changes.jsonl\n")
 		flag.PrintDefaults()
@@ -42,13 +43,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *initial, *columns, *batchSize, *quiet, os.Stdout); err != nil {
+	if err := run(flag.Arg(0), *initial, *columns, *batchSize, *workers, *quiet, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dynfd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(changesPath, initial, columns string, batchSize int, quiet bool, out io.Writer) error {
+func run(changesPath, initial, columns string, batchSize, workers int, quiet bool, out io.Writer) error {
 	if batchSize <= 0 {
 		return fmt.Errorf("batch size must be positive")
 	}
@@ -69,7 +70,7 @@ func run(changesPath, initial, columns string, batchSize int, quiet bool, out io
 		return fmt.Errorf("either -initial or -columns is required")
 	}
 
-	mon, err := dynfd.NewMonitor(cols)
+	mon, err := dynfd.NewMonitor(cols, dynfd.WithWorkers(workers))
 	if err != nil {
 		return err
 	}

@@ -30,10 +30,11 @@ const paperChanges = `{"op":"delete","id":2}
 `
 
 func TestRunWithInitialCSV(t *testing.T) {
+	t.Parallel()
 	csv := writeFile(t, "people.csv", peopleCSV)
 	changes := writeFile(t, "changes.jsonl", paperChanges)
 	var out bytes.Buffer
-	if err := run(changes, csv, "", 100, false, &out); err != nil {
+	if err := run(changes, csv, "", 100, 2, false, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -51,10 +52,11 @@ func TestRunWithInitialCSV(t *testing.T) {
 }
 
 func TestRunQuietMode(t *testing.T) {
+	t.Parallel()
 	csv := writeFile(t, "people.csv", peopleCSV)
 	changes := writeFile(t, "changes.jsonl", paperChanges)
 	var out bytes.Buffer
-	if err := run(changes, csv, "", 1, true, &out); err != nil {
+	if err := run(changes, csv, "", 1, 2, true, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -67,9 +69,10 @@ func TestRunQuietMode(t *testing.T) {
 }
 
 func TestRunColumnsOnly(t *testing.T) {
+	t.Parallel()
 	changes := writeFile(t, "c.jsonl", `{"op":"insert","values":["a","b"]}`+"\n")
 	var out bytes.Buffer
-	if err := run(changes, "", "x,y", 10, false, &out); err != nil {
+	if err := run(changes, "", "x,y", 10, 0, false, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "final: 1 rows") {
@@ -78,23 +81,24 @@ func TestRunColumnsOnly(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
+	t.Parallel()
 	changes := writeFile(t, "c.jsonl", "")
 	var out bytes.Buffer
-	if err := run(changes, "", "", 10, false, &out); err == nil {
+	if err := run(changes, "", "", 10, 0, false, &out); err == nil {
 		t.Error("missing schema accepted")
 	}
-	if err := run(changes, "", "a,b", 0, false, &out); err == nil {
+	if err := run(changes, "", "a,b", 0, 0, false, &out); err == nil {
 		t.Error("batch size 0 accepted")
 	}
-	if err := run("/nonexistent.jsonl", "", "a,b", 10, false, &out); err == nil {
+	if err := run("/nonexistent.jsonl", "", "a,b", 10, 0, false, &out); err == nil {
 		t.Error("missing changes file accepted")
 	}
 	bad := writeFile(t, "bad.jsonl", `{"op":"delete","id":999}`+"\n")
-	if err := run(bad, "", "a,b", 10, false, &out); err == nil {
+	if err := run(bad, "", "a,b", 10, 0, false, &out); err == nil {
 		t.Error("dangling delete accepted")
 	}
 	badCSV := writeFile(t, "bad.csv", "a,a\n1,2\n")
-	if err := run(changes, badCSV, "", 10, false, &out); err == nil {
+	if err := run(changes, badCSV, "", 10, 0, false, &out); err == nil {
 		t.Error("duplicate-column CSV accepted")
 	}
 }

@@ -39,9 +39,10 @@ func main() {
 	initial := flag.String("initial", "", "CSV file with the initial relation (header = schema)")
 	columns := flag.String("columns", "", "comma-separated schema when no -initial file is given")
 	batch := flag.Int("batch", 100, "auto-commit batch size")
+	workers := flag.Int("workers", 0, "parallel validations per lattice level (0 = serial, -1 = all CPUs)")
 	flag.Parse()
 
-	srv, l, err := setup(*listen, *initial, *columns, *batch)
+	srv, l, err := setup(*listen, *initial, *columns, *batch, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynfdd:", err)
 		os.Exit(1)
@@ -53,7 +54,7 @@ func main() {
 	}
 }
 
-func setup(listen, initial, columns string, batch int) (*server.Server, net.Listener, error) {
+func setup(listen, initial, columns string, batch, workers int) (*server.Server, net.Listener, error) {
 	var (
 		cols []string
 		rows [][]string
@@ -70,7 +71,9 @@ func setup(listen, initial, columns string, batch int) (*server.Server, net.List
 	default:
 		return nil, nil, fmt.Errorf("either -initial or -columns is required")
 	}
-	srv, err := server.New(cols, rows, batch, core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	srv, err := server.New(cols, rows, batch, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

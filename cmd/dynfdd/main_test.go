@@ -10,11 +10,12 @@ import (
 )
 
 func TestSetupAndRoundTrip(t *testing.T) {
+	t.Parallel()
 	csv := filepath.Join(t.TempDir(), "d.csv")
 	if err := os.WriteFile(csv, []byte("zip,city\n14482,Potsdam\n10115,Berlin\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv, l, err := setup("127.0.0.1:0", csv, "", 10)
+	srv, l, err := setup("127.0.0.1:0", csv, "", 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,16 +41,17 @@ func TestSetupAndRoundTrip(t *testing.T) {
 }
 
 func TestSetupErrors(t *testing.T) {
-	if _, _, err := setup("127.0.0.1:0", "", "", 10); err == nil {
+	t.Parallel()
+	if _, _, err := setup("127.0.0.1:0", "", "", 10, 0); err == nil {
 		t.Error("missing schema accepted")
 	}
-	if _, _, err := setup("127.0.0.1:0", "/nonexistent.csv", "", 10); err == nil {
+	if _, _, err := setup("127.0.0.1:0", "/nonexistent.csv", "", 10, 0); err == nil {
 		t.Error("missing CSV accepted")
 	}
-	if _, _, err := setup("127.0.0.1:0", "", "a,b", 0); err == nil {
+	if _, _, err := setup("127.0.0.1:0", "", "a,b", 0, 0); err == nil {
 		t.Error("batch size 0 accepted")
 	}
-	if _, _, err := setup("notanaddress", "", "a,b", 10); err == nil {
+	if _, _, err := setup("notanaddress", "", "a,b", 10, 0); err == nil {
 		t.Error("bad listen address accepted")
 	}
 }

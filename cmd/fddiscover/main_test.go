@@ -9,6 +9,7 @@ import (
 )
 
 func TestRunAlgorithms(t *testing.T) {
+	t.Parallel()
 	path := filepath.Join(t.TempDir(), "people.csv")
 	csv := "zip,city\n14482,Potsdam\n14467,Potsdam\n10115,Berlin\n"
 	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
@@ -25,6 +26,7 @@ func TestRunAlgorithms(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
+	t.Parallel()
 	if err := run("/nonexistent.csv", "hyfd", false); err == nil {
 		t.Error("missing file accepted")
 	}
@@ -36,6 +38,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestFormat(t *testing.T) {
+	t.Parallel()
 	got := format([]string{"zip", "city"}, dynfd.FD{Lhs: []int{0}, Rhs: 1})
 	if got != "[zip] -> city" {
 		t.Errorf("format = %q", got)

@@ -96,6 +96,7 @@ type options struct {
 	seed          int64
 	keyColumns    []string
 	updatePruning bool
+	workers       int
 }
 
 // WithPruning selects the pruning strategies (default: AllPruning).
@@ -120,6 +121,18 @@ func WithKeyColumns(columns ...string) Option {
 // the paper proposes as future work (§8).
 func WithUpdateColumnPruning() Option {
 	return func(o *options) { o.updatePruning = true }
+}
+
+// WithWorkers bounds the number of concurrent candidate validations per
+// lattice level during batch maintenance. 0 (the default) keeps
+// validation fully serial; n >= 1 fans each level's validations across up
+// to n workers; n < 0 uses one worker per available CPU. Worker count
+// affects wall-clock time only: parallel and serial monitors are
+// guaranteed to report identical FDs after every batch. The Monitor
+// itself remains single-caller — the parallelism never escapes an Apply
+// call.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
 }
 
 // Diff reports the effects of one applied batch.
@@ -177,6 +190,7 @@ func coreConfig(o options, colIndex map[string]int) (core.Config, error) {
 	cfg.DepthFirstSearch = o.pruning.DepthFirstSearch
 	cfg.Seed = o.seed
 	cfg.UpdateColumnPruning = o.updatePruning
+	cfg.Workers = o.workers
 	for _, c := range o.keyColumns {
 		i, ok := colIndex[c]
 		if !ok {
@@ -335,6 +349,7 @@ type Stats struct {
 	Comparisons          int
 	ViolationSearchRuns  int
 	DepthFirstSearchRuns int
+	ParallelLevels       int
 	FDsAdded             int
 	FDsRemoved           int
 
@@ -355,6 +370,7 @@ func (m *Monitor) Stats() Stats {
 		Comparisons:          s.Comparisons,
 		ViolationSearchRuns:  s.ViolationSearchRuns,
 		DepthFirstSearchRuns: s.DepthFirstSearchRuns,
+		ParallelLevels:       s.ParallelLevels,
 		FDsAdded:             s.FDsAdded,
 		FDsRemoved:           s.FDsRemoved,
 		StructureTime:        s.StructureTime,

@@ -28,6 +28,7 @@ func newPaperMonitor(t *testing.T, opts ...Option) *Monitor {
 }
 
 func TestMonitorLifecycle(t *testing.T) {
+	t.Parallel()
 	m := newPaperMonitor(t)
 	if m.NumRecords() != 4 {
 		t.Fatalf("NumRecords = %d", m.NumRecords())
@@ -62,6 +63,7 @@ func TestMonitorLifecycle(t *testing.T) {
 }
 
 func TestMonitorHoldsValidation(t *testing.T) {
+	t.Parallel()
 	m := newPaperMonitor(t)
 	if _, err := m.Holds([]string{"nope"}, "city"); err == nil {
 		t.Error("unknown lhs column accepted")
@@ -82,6 +84,7 @@ func TestMonitorHoldsValidation(t *testing.T) {
 }
 
 func TestBootstrapOrderingRules(t *testing.T) {
+	t.Parallel()
 	m, err := NewMonitor([]string{"a", "b"})
 	if err != nil {
 		t.Fatal(err)
@@ -102,6 +105,7 @@ func TestBootstrapOrderingRules(t *testing.T) {
 }
 
 func TestMonitorWithoutBootstrap(t *testing.T) {
+	t.Parallel()
 	m, err := NewMonitor([]string{"k", "v"})
 	if err != nil {
 		t.Fatal(err)
@@ -127,6 +131,7 @@ func TestMonitorWithoutBootstrap(t *testing.T) {
 }
 
 func TestMonitorErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := NewMonitor(nil); err == nil {
 		t.Error("empty schema accepted")
 	}
@@ -146,6 +151,7 @@ func TestMonitorErrors(t *testing.T) {
 }
 
 func TestMonitorUpdateAndLookup(t *testing.T) {
+	t.Parallel()
 	m := newPaperMonitor(t)
 	ids, err := m.Lookup([]string{"Anna", "Scott", "13591", "Berlin"})
 	if err != nil || len(ids) != 1 {
@@ -165,6 +171,7 @@ func TestMonitorUpdateAndLookup(t *testing.T) {
 }
 
 func TestFormatFD(t *testing.T) {
+	t.Parallel()
 	m := newPaperMonitor(t)
 	got := m.FormatFD(FD{Lhs: []int{2}, Rhs: 3})
 	if got != "[zip] -> city" {
@@ -176,6 +183,7 @@ func TestFormatFD(t *testing.T) {
 }
 
 func TestMonitorStats(t *testing.T) {
+	t.Parallel()
 	m := newPaperMonitor(t)
 	if m.Stats().Batches != 0 {
 		t.Error("fresh monitor has batches")
@@ -188,6 +196,7 @@ func TestMonitorStats(t *testing.T) {
 }
 
 func TestDiscoverAlgorithmsAgree(t *testing.T) {
+	t.Parallel()
 	var results [][]FD
 	for _, algo := range []Algorithm{AlgorithmHyFD, AlgorithmTANE, AlgorithmFDEP} {
 		got, err := Discover(paperColumns, paperRows, algo)
@@ -205,6 +214,7 @@ func TestDiscoverAlgorithmsAgree(t *testing.T) {
 }
 
 func TestDiscoverErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := Discover([]string{"a"}, [][]string{{"1", "2"}}, AlgorithmHyFD); err == nil {
 		t.Error("ragged rows accepted")
 	}
@@ -214,6 +224,7 @@ func TestDiscoverErrors(t *testing.T) {
 }
 
 func TestParseAlgorithm(t *testing.T) {
+	t.Parallel()
 	for _, name := range []string{"hyfd", "tane", "fdep"} {
 		a, err := ParseAlgorithm(name)
 		if err != nil || a.String() != name {
@@ -229,6 +240,7 @@ func TestParseAlgorithm(t *testing.T) {
 }
 
 func TestPruningOptionsRespected(t *testing.T) {
+	t.Parallel()
 	// All pruning combinations must agree on the resulting FDs.
 	var want []FD
 	combos := []Pruning{
@@ -298,6 +310,7 @@ func ExampleDiscover() {
 }
 
 func TestDiscoverApprox(t *testing.T) {
+	t.Parallel()
 	columns := []string{"product", "price"}
 	rows := [][]string{
 		{"p0", "1"}, {"p0", "1"}, {"p1", "2"}, {"p1", "2"},

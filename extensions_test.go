@@ -6,6 +6,7 @@ import (
 )
 
 func TestWithKeyColumns(t *testing.T) {
+	t.Parallel()
 	m, err := NewMonitor([]string{"id", "a", "b"}, WithKeyColumns("id"))
 	if err != nil {
 		t.Fatal(err)
@@ -35,12 +36,14 @@ func TestWithKeyColumns(t *testing.T) {
 }
 
 func TestWithKeyColumnsUnknown(t *testing.T) {
+	t.Parallel()
 	if _, err := NewMonitor([]string{"a"}, WithKeyColumns("nope")); err == nil {
 		t.Error("unknown key column accepted")
 	}
 }
 
 func TestWithUpdateColumnPruning(t *testing.T) {
+	t.Parallel()
 	mk := func(opts ...Option) *Monitor {
 		m, err := NewMonitor([]string{"id", "a", "b"}, opts...)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 )
 
 func TestINDMonitorLifecycle(t *testing.T) {
+	t.Parallel()
 	m, err := NewINDMonitor([]string{"ship_city", "city"})
 	if err != nil {
 		t.Fatal(err)
@@ -55,6 +56,7 @@ func TestINDMonitorLifecycle(t *testing.T) {
 }
 
 func TestINDMonitorRules(t *testing.T) {
+	t.Parallel()
 	if _, err := NewINDMonitor(nil); err == nil {
 		t.Error("empty schema accepted")
 	}

@@ -8,6 +8,7 @@ import (
 )
 
 func TestOfAndContains(t *testing.T) {
+	t.Parallel()
 	s := Of(0, 3, 63, 64, 129, 255)
 	for _, a := range []int{0, 3, 63, 64, 129, 255} {
 		if !s.Contains(a) {
@@ -22,6 +23,7 @@ func TestOfAndContains(t *testing.T) {
 }
 
 func TestZeroValueIsEmpty(t *testing.T) {
+	t.Parallel()
 	var s Set
 	if !s.IsEmpty() {
 		t.Error("zero Set is not empty")
@@ -38,6 +40,7 @@ func TestZeroValueIsEmpty(t *testing.T) {
 }
 
 func TestFull(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{0, 1, 5, 63, 64, 65, 127, 128, 200, 256} {
 		s := Full(n)
 		if s.Count() != n {
@@ -53,6 +56,7 @@ func TestFull(t *testing.T) {
 }
 
 func TestFullPanicsOutOfRange(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("Full(257) did not panic")
@@ -62,6 +66,7 @@ func TestFullPanicsOutOfRange(t *testing.T) {
 }
 
 func TestContainsPanicsOutOfRange(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("Contains(-1) did not panic")
@@ -72,6 +77,7 @@ func TestContainsPanicsOutOfRange(t *testing.T) {
 }
 
 func TestWithWithout(t *testing.T) {
+	t.Parallel()
 	s := Of(1, 2)
 	s2 := s.With(100)
 	if s.Contains(100) {
@@ -90,6 +96,7 @@ func TestWithWithout(t *testing.T) {
 }
 
 func TestSetOperations(t *testing.T) {
+	t.Parallel()
 	a := Of(1, 2, 3, 70)
 	b := Of(2, 3, 4, 200)
 	if got, want := a.Union(b), Of(1, 2, 3, 4, 70, 200); got != want {
@@ -110,6 +117,7 @@ func TestSetOperations(t *testing.T) {
 }
 
 func TestSubsetRelations(t *testing.T) {
+	t.Parallel()
 	sub := Of(1, 70)
 	sup := Of(1, 2, 70, 200)
 	if !sub.IsSubsetOf(sup) || !sup.IsSupersetOf(sub) {
@@ -130,6 +138,7 @@ func TestSubsetRelations(t *testing.T) {
 }
 
 func TestNextIteration(t *testing.T) {
+	t.Parallel()
 	attrs := []int{0, 5, 63, 64, 65, 127, 128, 255}
 	s := Of(attrs...)
 	var got []int
@@ -145,6 +154,7 @@ func TestNextIteration(t *testing.T) {
 }
 
 func TestForEachEarlyStop(t *testing.T) {
+	t.Parallel()
 	s := Of(1, 2, 3, 4)
 	n := 0
 	s.ForEach(func(a int) bool {
@@ -157,6 +167,7 @@ func TestForEachEarlyStop(t *testing.T) {
 }
 
 func TestString(t *testing.T) {
+	t.Parallel()
 	if got := Of(0, 3, 7).String(); got != "{0, 3, 7}" {
 		t.Errorf("String = %q", got)
 	}
@@ -166,6 +177,7 @@ func TestString(t *testing.T) {
 }
 
 func TestNames(t *testing.T) {
+	t.Parallel()
 	cols := []string{"zip", "city"}
 	if got := Of(0, 1).Names(cols); got != "[zip, city]" {
 		t.Errorf("Names = %q", got)
@@ -185,6 +197,7 @@ func randomSet(r *rand.Rand) Set {
 }
 
 func TestQuickSetAlgebra(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(42))
 	f := func() bool {
 		a, b := randomSet(r), randomSet(r)
@@ -216,6 +229,7 @@ func TestQuickSetAlgebra(t *testing.T) {
 }
 
 func TestQuickSliceRoundTrip(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(7))
 	f := func() bool {
 		s := randomSet(r)

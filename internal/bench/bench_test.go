@@ -16,6 +16,7 @@ func smallOpts(buf *bytes.Buffer) Options {
 }
 
 func TestTimingsStats(t *testing.T) {
+	t.Parallel()
 	ts := Timings{4 * time.Millisecond, 1 * time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond}
 	if ts.Total() != 10*time.Millisecond {
 		t.Errorf("Total = %v", ts.Total())
@@ -36,6 +37,7 @@ func TestTimingsStats(t *testing.T) {
 }
 
 func TestReplayDynFDAndHyFDAgree(t *testing.T) {
+	t.Parallel()
 	p, _ := datagen.ByName("cpu")
 	d, err := datagen.Generate(p.Scaled(0.2))
 	if err != nil {
@@ -58,6 +60,7 @@ func TestReplayDynFDAndHyFDAgree(t *testing.T) {
 }
 
 func TestSnapshotTracksIDsLikeEngine(t *testing.T) {
+	t.Parallel()
 	// The snapshot's final state must match the engine's record values.
 	p, _ := datagen.ByName("disease")
 	d, err := datagen.Generate(p.Scaled(0.02))
@@ -91,6 +94,7 @@ func TestSnapshotTracksIDsLikeEngine(t *testing.T) {
 }
 
 func TestRunAllExperimentsSmoke(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("experiment smoke test skipped in -short mode")
 	}
@@ -110,12 +114,14 @@ func TestRunAllExperimentsSmoke(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
+	t.Parallel()
 	if err := Run("nope", Options{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestExperimentCatalog(t *testing.T) {
+	t.Parallel()
 	ids := ExperimentIDs()
 	if len(ids) != 11 {
 		t.Errorf("experiments = %v", ids)
@@ -128,6 +134,7 @@ func TestExperimentCatalog(t *testing.T) {
 }
 
 func TestCompositionsMatchPaper(t *testing.T) {
+	t.Parallel()
 	comps := Compositions()
 	if len(comps) != 8 {
 		t.Fatalf("compositions = %d", len(comps))
@@ -148,6 +155,7 @@ func TestCompositionsMatchPaper(t *testing.T) {
 }
 
 func TestParseDatasets(t *testing.T) {
+	t.Parallel()
 	got, err := ParseDatasets("cpu,single")
 	if err != nil || len(got) != 2 {
 		t.Errorf("ParseDatasets = %v, %v", got, err)
@@ -161,6 +169,7 @@ func TestParseDatasets(t *testing.T) {
 }
 
 func TestTable4Output(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	opts := Options{Scale: 0.02, MaxBatches: 2, Datasets: []string{"cpu"}, Out: &buf}
 	if err := Table4(opts); err != nil {

@@ -12,6 +12,7 @@ import (
 
 // TestTimeReplays is a manually-invoked timing aid (not part of CI runs).
 func TestTimeReplays(t *testing.T) {
+	t.Parallel()
 	if os.Getenv("DYNFD_TIMING") == "" {
 		t.Skip("set DYNFD_TIMING=1 to run")
 	}

@@ -49,6 +49,19 @@ type Config struct {
 	// that real updates rarely alter all attribute values — open question
 	// 3 of the paper's §8.
 	UpdateColumnPruning bool
+
+	// Workers bounds the number of concurrent candidate validations per
+	// lattice level. 0 (the default) keeps validation fully serial —
+	// today's single-threaded behaviour; n >= 1 fans each level's
+	// validations across up to n pool workers; n < 0 uses one worker per
+	// available CPU (GOMAXPROCS). Parallel and serial runs produce
+	// identical FD and non-FD covers after every batch — the serial-
+	// equivalence guarantee of DESIGN.md §8, asserted by the equivalence
+	// property tests. (Work counters may drift between any two runs,
+	// serial or not, because validation witnesses follow Go's random map
+	// iteration order and witnesses steer the result-neutral validation
+	// pruning.) The knob changes wall-clock time only.
+	Workers int
 }
 
 // DefaultConfig returns the paper's configuration: all four pruning
@@ -85,6 +98,7 @@ type Stats struct {
 	Comparisons          int // record pairs compared by the violation search
 	ViolationSearchRuns  int // times the progressive search was triggered
 	DepthFirstSearchRuns int // times the optimistic DFS was triggered
+	ParallelLevels       int // lattice levels whose validations fanned out across workers
 	FDsAdded             int // cumulative minimal FDs added
 	FDsRemoved           int // cumulative minimal FDs removed
 

@@ -17,38 +17,51 @@ import (
 // is still alive. When a level yields too many newly valid FDs, optimistic
 // depth-first searches (§5.3) chase the generalizations ahead of the
 // level-wise sweep.
+//
+// Like the insert side, each level runs as a read-only scan phase (fanned
+// across the worker pool when Config.Workers allows) followed by a serial
+// merge phase that refreshes witnesses and promotes newly valid FDs in
+// candidate order — see parallel.go for the equivalence argument.
 func (e *Engine) processDeletes(touched attrset.Set) {
 	for level := e.numAttrs; level >= 0; level-- {
 		candidates := e.nonFds.Level(level)
 		if len(candidates) == 0 {
 			continue
 		}
-		var validFds []fd.FD
-		for _, nonFd := range candidates {
+		// Scan: classify and validate without mutating any engine state.
+		outcomes := e.scanLevel(candidates, validate.NoPruning, func(nonFd fd.FD) scanKind {
 			if !e.nonFds.Contains(nonFd.Lhs, nonFd.Rhs) {
-				continue // removed by a depth-first search in this level
+				return scanStale // removed by a depth-first search in this level
 			}
 			if !nonFd.Lhs.With(nonFd.Rhs).Intersects(touched) {
 				// No involved column changed; the non-FD's violations over
 				// these columns survive in the updated tuple versions
 				// (§8 ext. 3).
-				e.stats.SkippedValidations++
-				continue
+				return scanSkipped
 			}
 			if !e.needsValidation(nonFd) {
+				return scanSkipped
+			}
+			return scanEligible
+		})
+		// Merge: account the work, refresh the witnesses of still-invalid
+		// non-FDs, and collect the newly valid FDs in candidate order.
+		var validFds []fd.FD
+		for i, nonFd := range candidates {
+			switch outcomes[i].kind {
+			case scanSkipped:
 				e.stats.SkippedValidations++
-				continue
-			}
-			e.stats.Validations++
-			valid, w := validate.FD(e.store, nonFd.Lhs, nonFd.Rhs, validate.NoPruning)
-			if valid {
+			case scanValid:
+				e.stats.Validations++
 				validFds = append(validFds, nonFd)
-				continue
-			}
-			if e.cfg.ValidationPruning {
-				// Attach the fresh witness so future batches can skip this
-				// non-FD again.
-				e.nonFds.SetViolation(nonFd.Lhs, nonFd.Rhs, lattice.Violation{A: w.A, B: w.B})
+			case scanInvalid:
+				e.stats.Validations++
+				if e.cfg.ValidationPruning {
+					// Attach the fresh witness so future batches can skip
+					// this non-FD again.
+					e.nonFds.SetViolation(nonFd.Lhs, nonFd.Rhs,
+						lattice.Violation{A: outcomes[i].witness.A, B: outcomes[i].witness.B})
+				}
 			}
 		}
 		for _, f := range validFds {

@@ -29,7 +29,10 @@ import (
 
 // Engine maintains the exact set of minimal, non-trivial FDs of a single
 // relation under batches of inserts, updates, and deletes. An Engine is not
-// safe for concurrent use.
+// safe for concurrent use: callers must serialize access. Internally,
+// ApplyBatch may fan candidate validations out across a bounded worker
+// pool (Config.Workers, see parallel.go); that parallelism never escapes a
+// call.
 type Engine struct {
 	cfg      Config
 	numAttrs int
@@ -37,18 +40,21 @@ type Engine struct {
 	fds      *lattice.Cover // positive cover: all minimal FDs
 	nonFds   lattice.View   // negative cover: all maximal non-FDs (complement-keyed)
 	keySet   attrset.Set    // declared unique columns (Config.KeyColumns)
+	workers  int            // resolved per-level validation worker budget
 	rng      *rand.Rand
 	stats    Stats
 }
 
-// initExtras finishes construction: declared key columns and the seeded
-// random source for the depth-first-search sampling.
+// initExtras finishes construction: declared key columns, the resolved
+// validation worker budget, and the seeded random source for the
+// depth-first-search sampling.
 func (e *Engine) initExtras() {
 	for _, a := range e.cfg.KeyColumns {
 		if a >= 0 && a < e.numAttrs {
 			e.keySet = e.keySet.With(a)
 		}
 	}
+	e.workers = resolveWorkers(e.cfg.Workers)
 	e.rng = rand.New(rand.NewSource(e.cfg.Seed))
 }
 

@@ -43,6 +43,7 @@ func mustBootstrap(t *testing.T, cfg Config) *Engine {
 }
 
 func TestBootstrapPaperExample(t *testing.T) {
+	t.Parallel()
 	e := mustBootstrap(t, DefaultConfig())
 	want := []fd.FD{
 		{Lhs: attrset.Of(L), Rhs: F},
@@ -73,6 +74,7 @@ func TestBootstrapPaperExample(t *testing.T) {
 // tuples 5 and 6 — and checks the evolved FDs against Figure 4: six
 // minimal FDs, f→c newly minimal, fc→z no longer an FD, z→c retained.
 func TestPaperBatch(t *testing.T) {
+	t.Parallel()
 	e := mustBootstrap(t, DefaultConfig())
 	res, err := e.ApplyBatch(stream.Batch{Changes: []stream.Change{
 		{Kind: stream.Delete, ID: 2}, // tuple 3
@@ -121,6 +123,7 @@ func TestPaperBatch(t *testing.T) {
 }
 
 func TestEmptyEngineGrowsFromNothing(t *testing.T) {
+	t.Parallel()
 	e := NewEmpty(3, DefaultConfig())
 	want := []fd.FD{{Rhs: 0}, {Rhs: 1}, {Rhs: 2}}
 	if got := e.FDs(); !fd.Equal(got, want) {
@@ -152,6 +155,7 @@ func TestEmptyEngineGrowsFromNothing(t *testing.T) {
 }
 
 func TestUpdateIsDeletePlusInsert(t *testing.T) {
+	t.Parallel()
 	e := mustBootstrap(t, DefaultConfig())
 	// Update tuple 1 (id 0) to new values; the old version must be gone.
 	res, err := e.ApplyBatch(stream.Batch{Changes: []stream.Change{
@@ -188,6 +192,7 @@ func TestUpdateIsDeletePlusInsert(t *testing.T) {
 }
 
 func TestDeleteToEmpty(t *testing.T) {
+	t.Parallel()
 	e := mustBootstrap(t, DefaultConfig())
 	_, err := e.ApplyBatch(stream.Batch{Changes: []stream.Change{
 		{Kind: stream.Delete, ID: 0},
@@ -215,6 +220,7 @@ func TestDeleteToEmpty(t *testing.T) {
 }
 
 func TestBatchErrors(t *testing.T) {
+	t.Parallel()
 	e := mustBootstrap(t, DefaultConfig())
 	if _, err := e.ApplyBatch(stream.Batch{Changes: []stream.Change{
 		{Kind: stream.Insert, Values: []string{"too", "short"}},
@@ -230,6 +236,7 @@ func TestBatchErrors(t *testing.T) {
 }
 
 func TestEmptyBatchIsNoOp(t *testing.T) {
+	t.Parallel()
 	e := mustBootstrap(t, DefaultConfig())
 	before := e.FDs()
 	res, err := e.ApplyBatch(stream.Batch{})
@@ -245,6 +252,7 @@ func TestEmptyBatchIsNoOp(t *testing.T) {
 }
 
 func TestStatsAccumulate(t *testing.T) {
+	t.Parallel()
 	e := mustBootstrap(t, DefaultConfig())
 	if e.Stats().Batches != 0 {
 		t.Error("fresh engine has batches")
@@ -275,6 +283,7 @@ func allConfigs() []Config {
 // TestPruningNeutralityPaperBatch asserts invariant 5 of DESIGN.md: all 16
 // strategy combinations produce identical covers on the paper's batch.
 func TestPruningNeutralityPaperBatch(t *testing.T) {
+	t.Parallel()
 	var wantFDs, wantNonFDs []fd.FD
 	for i, cfg := range allConfigs() {
 		e := mustBootstrap(t, cfg)
@@ -299,6 +308,7 @@ func TestPruningNeutralityPaperBatch(t *testing.T) {
 }
 
 func TestLookupAfterChanges(t *testing.T) {
+	t.Parallel()
 	e := mustBootstrap(t, DefaultConfig())
 	ids, err := e.Lookup([]string{"Max", "Jones", "14482", "Potsdam"})
 	if err != nil || len(ids) != 1 || ids[0] != 0 {

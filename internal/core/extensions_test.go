@@ -15,6 +15,7 @@ import (
 // the §8-extension pruning enabled and checks exactness against the oracle
 // after every batch: the pruning must never change results.
 func TestUpdateColumnPruningExact(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(2))
 	const attrs = 5
 	cols := make([]string, attrs)
@@ -92,6 +93,7 @@ func TestUpdateColumnPruningExact(t *testing.T) {
 // TestKeyColumnPruningExact declares the (actually unique) first column as
 // a key and checks that results stay exact while validations are skipped.
 func TestKeyColumnPruningExact(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(5))
 	const attrs = 4
 	cols := []string{"id", "a", "b", "c"}
@@ -140,6 +142,7 @@ func TestKeyColumnPruningExact(t *testing.T) {
 
 // TestKeyColumnsOutOfRangeIgnored ensures sloppy configs do not panic.
 func TestKeyColumnsOutOfRangeIgnored(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig()
 	cfg.KeyColumns = []int{-3, 99}
 	e := NewEmpty(3, cfg)

@@ -17,59 +17,66 @@ import (
 // invalid candidates, the progressive violation search (§4.3) takes over
 // the hunt for further violations.
 //
+// Each level runs as a scan phase (read-only candidate validations, fanned
+// across the worker pool when Config.Workers allows) followed by a serial
+// merge phase that applies the cover updates in candidate order — see
+// parallel.go for the equivalence argument.
+//
 // minNewID is the smallest surrogate id assigned in this batch; newIDs are
 // all ids inserted by the batch; touched holds the columns the batch may
 // have changed (all columns unless update-column pruning narrowed it).
 func (e *Engine) processInserts(minNewID int64, newIDs []int64, touched attrset.Set) {
+	prune := validate.NoPruning
+	if e.cfg.ClusterPruning {
+		prune = minNewID
+	}
 	for level := 0; level <= e.numAttrs; level++ {
 		candidates := e.fds.Level(level)
 		if len(candidates) == 0 {
 			continue
 		}
-		type invalidFD struct {
-			cand    fd.FD
-			witness validate.Witness
-		}
-		var invalid []invalidFD
-		for _, cand := range candidates {
+		// Scan: classify and validate without mutating any engine state.
+		outcomes := e.scanLevel(candidates, prune, func(cand fd.FD) scanKind {
 			if !e.fds.Contains(cand.Lhs, cand.Rhs) {
-				continue // removed by an earlier specialization or search
+				return scanStale // removed by an earlier specialization or search
 			}
 			if e.keySet.Intersects(cand.Lhs) {
 				// A declared key in the Lhs makes every Lhs group a single
 				// record; the FD can never be invalidated (§8 ext. 2).
-				e.stats.SkippedValidations++
-				continue
+				return scanSkipped
 			}
 			if !cand.Lhs.With(cand.Rhs).Intersects(touched) {
 				// No involved column changed, so the FD's validity cannot
 				// have changed either (§8 ext. 3).
+				return scanSkipped
+			}
+			return scanEligible
+		})
+		// Merge: account the work, then fold every invalidated candidate
+		// into the covers in candidate order (Algorithm 2 lines 6-15:
+		// remove the non-FD from the positive cover, record it as a
+		// maximal non-FD, and add its minimal specializations for
+		// validation on the next level).
+		invalid := 0
+		for i, cand := range candidates {
+			switch outcomes[i].kind {
+			case scanSkipped:
 				e.stats.SkippedValidations++
-				continue
+			case scanValid:
+				e.stats.Validations++
+			case scanInvalid:
+				e.stats.Validations++
+				invalid++
+				if !e.fds.Contains(cand.Lhs, cand.Rhs) {
+					continue
+				}
+				induct.Specialize(e.fds, cand.Lhs, cand.Rhs, e.numAttrs)
+				e.addNonFD(cand.Lhs, cand.Rhs, lattice.Violation{A: outcomes[i].witness.A, B: outcomes[i].witness.B})
 			}
-			prune := validate.NoPruning
-			if e.cfg.ClusterPruning {
-				prune = minNewID
-			}
-			e.stats.Validations++
-			valid, w := validate.FD(e.store, cand.Lhs, cand.Rhs, prune)
-			if !valid {
-				invalid = append(invalid, invalidFD{cand: cand, witness: w})
-			}
-		}
-		for _, inv := range invalid {
-			if !e.fds.Contains(inv.cand.Lhs, inv.cand.Rhs) {
-				continue
-			}
-			// Algorithm 2 lines 6-15: remove the non-FD from the positive
-			// cover, record it as a maximal non-FD, and add its minimal
-			// specializations for validation on the next level.
-			induct.Specialize(e.fds, inv.cand.Lhs, inv.cand.Rhs, e.numAttrs)
-			e.addNonFD(inv.cand.Lhs, inv.cand.Rhs, lattice.Violation{A: inv.witness.A, B: inv.witness.B})
 		}
 		// Lines 16-17: switch to the violation search when the traversal
 		// becomes inefficient.
-		if float64(len(invalid)) > e.cfg.EfficiencyThreshold*float64(len(candidates)) {
+		if float64(invalid) > e.cfg.EfficiencyThreshold*float64(len(candidates)) {
 			e.violationSearch(newIDs)
 		}
 	}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"runtime"
+
+	"dynfd/internal/fd"
+	"dynfd/internal/validate"
+)
+
+// Level-synchronized parallel validation (DESIGN.md §8).
+//
+// Both lattice sweeps — the insert-side top-down walk over the positive
+// cover (Algorithm 2) and the delete-side bottom-up walk over the negative
+// cover (Algorithm 4) — spend nearly all of their time in candidate
+// validations, which are pure reads of the Pli store. Each level is
+// therefore processed in two phases:
+//
+//   - scan: classify every candidate of the level (cover membership and
+//     pruning checks, cheap reads of the mutable covers, done on the
+//     engine goroutine) and validate the eligible ones against the store,
+//     fanned across the worker budget via validate.Fan. No engine state is
+//     mutated during the scan, and workers touch only the read-only store.
+//   - merge: on the engine goroutine, walk the outcomes in candidate order
+//     and apply all stats updates and cover mutations.
+//
+// Because outcomes land in per-candidate slots and the merge consumes them
+// in candidate order, dependency induction sees the exact same non-FD
+// order as a serial run: Workers: 4 and Workers: 0 produce byte-identical
+// covers (the serial-equivalence guarantee, asserted by the equivalence
+// property tests). The level boundary is a synchronization barrier, which
+// the level-wise algorithms require anyway — a level's candidates are
+// derived from the previous level's merge.
+
+// scanKind classifies one candidate of a lattice level during the scan
+// phase.
+type scanKind uint8
+
+const (
+	// scanStale: the candidate is no longer a cover member; no work, no
+	// stats.
+	scanStale scanKind = iota
+	// scanSkipped: a pruning rule discharged the candidate without
+	// validating (counted as a skipped validation).
+	scanSkipped
+	// scanEligible: the candidate must be validated against the store
+	// (transient; replaced by scanValid/scanInvalid after validation).
+	scanEligible
+	// scanValid: validation confirmed the candidate holds.
+	scanValid
+	// scanInvalid: validation found a violating record pair.
+	scanInvalid
+)
+
+// scanOutcome is the per-candidate result of a level scan. For
+// scanInvalid, witness holds the violating record pair.
+type scanOutcome struct {
+	kind    scanKind
+	witness validate.Witness
+}
+
+// resolveWorkers maps the Config.Workers knob to the effective per-level
+// worker budget: 0 keeps validation serial, n >= 1 allows n concurrent
+// validations, and n < 0 uses one worker per available CPU.
+func resolveWorkers(n int) int {
+	if n < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// scanLevel runs the scan phase for one lattice level: classify every
+// candidate, then validate the eligible ones — in parallel when the engine
+// has a worker budget — and return the outcomes in candidate order.
+// classify must only read engine state; prune is the cluster-pruning bound
+// passed to the validations (validate.NoPruning to disable).
+func (e *Engine) scanLevel(candidates []fd.FD, prune int64, classify func(fd.FD) scanKind) []scanOutcome {
+	outcomes := make([]scanOutcome, len(candidates))
+	var reqs []validate.Request
+	var slots []int
+	for i, cand := range candidates {
+		kind := classify(cand)
+		outcomes[i].kind = kind
+		if kind == scanEligible {
+			reqs = append(reqs, validate.Request{Lhs: cand.Lhs, Rhs: cand.Rhs, MinNewID: prune})
+			slots = append(slots, i)
+		}
+	}
+	if len(reqs) == 0 {
+		return outcomes
+	}
+	results, fanned := validate.Fan(e.store, reqs, e.workers)
+	if fanned {
+		e.stats.ParallelLevels++
+	}
+	for k, r := range results {
+		o := &outcomes[slots[k]]
+		if r.Valid {
+			o.kind = scanValid
+		} else {
+			o.kind = scanInvalid
+			o.witness = r.Witness
+		}
+	}
+	return outcomes
+}

@@ -123,28 +123,33 @@ func runWorkload(t *testing.T, cfg Config, seed int64, attrs, initialRows, batch
 }
 
 func TestRandomWorkloadDefaultConfig(t *testing.T) {
+	t.Parallel()
 	for seed := int64(0); seed < 8; seed++ {
 		runWorkload(t, DefaultConfig(), seed, 4, 10, 12, 6, 3)
 	}
 }
 
 func TestRandomWorkloadWiderSchema(t *testing.T) {
+	t.Parallel()
 	for seed := int64(0); seed < 4; seed++ {
 		runWorkload(t, DefaultConfig(), 100+seed, 6, 20, 8, 10, 3)
 	}
 }
 
 func TestRandomWorkloadLargeBatches(t *testing.T) {
+	t.Parallel()
 	runWorkload(t, DefaultConfig(), 7, 5, 5, 5, 40, 4)
 }
 
 func TestRandomWorkloadTinyDomainForcesChurn(t *testing.T) {
+	t.Parallel()
 	// Domain 2 produces many FD flips per batch, stressing the violation
 	// search and the depth-first searches.
 	runWorkload(t, DefaultConfig(), 21, 5, 15, 10, 8, 2)
 }
 
 func TestRandomWorkloadAllConfigs(t *testing.T) {
+	t.Parallel()
 	for i, cfg := range allConfigs() {
 		cfg.Seed = int64(i)
 		runWorkload(t, cfg, int64(40+i), 4, 8, 8, 6, 3)
@@ -152,10 +157,12 @@ func TestRandomWorkloadAllConfigs(t *testing.T) {
 }
 
 func TestRandomWorkloadFromEmpty(t *testing.T) {
+	t.Parallel()
 	runWorkload(t, DefaultConfig(), 99, 4, 0, 10, 8, 3)
 }
 
 func TestRandomWorkloadDeleteHeavy(t *testing.T) {
+	t.Parallel()
 	// Start large, then delete-heavy batches shrink the relation, forcing
 	// many non-FD -> FD transitions.
 	r := rand.New(rand.NewSource(3))
@@ -206,11 +213,159 @@ func TestRandomWorkloadDeleteHeavy(t *testing.T) {
 	}
 }
 
+// runEquivalence drives one random batch sequence through a serial
+// (Workers: 0) engine and a parallel engine simultaneously and asserts
+// both produce identical FD and non-FD covers after every batch — the
+// serial-equivalence guarantee of the parallel validation engine
+// (DESIGN.md §8). Both engines see byte-identical batches; surrogate ids
+// are assigned deterministically, so the id streams must agree too.
+func runEquivalence(t *testing.T, seed int64, workers, attrs, initialRows, batches, batchSize, domain int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	cols := make([]string, attrs)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i)
+	}
+	randRow := func() []string {
+		row := make([]string, attrs)
+		for a := range row {
+			row[a] = fmt.Sprint(r.Intn(domain))
+		}
+		return row
+	}
+	rel := dataset.New("t", cols)
+	for i := 0; i < initialRows; i++ {
+		if err := rel.Append(randRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serialCfg := DefaultConfig()
+	parallelCfg := DefaultConfig()
+	parallelCfg.Workers = workers
+	serial, err := Bootstrap(rel, serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Bootstrap(rel, parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []int64
+	for i := 0; i < initialRows; i++ {
+		live = append(live, int64(i))
+	}
+	for b := 0; b < batches; b++ {
+		var changes []stream.Change
+		pendingDeletes := map[int64]bool{}
+		for c := 0; c < batchSize; c++ {
+			op := r.Intn(4)
+			if len(live) == 0 {
+				op = 0
+			}
+			switch op {
+			case 0, 1:
+				changes = append(changes, stream.Change{Kind: stream.Insert, Values: randRow()})
+			case 2:
+				id := live[r.Intn(len(live))]
+				if pendingDeletes[id] {
+					continue
+				}
+				pendingDeletes[id] = true
+				changes = append(changes, stream.Change{Kind: stream.Delete, ID: id})
+			case 3:
+				id := live[r.Intn(len(live))]
+				if pendingDeletes[id] {
+					continue
+				}
+				pendingDeletes[id] = true
+				changes = append(changes, stream.Change{Kind: stream.Update, ID: id, Values: randRow()})
+			}
+		}
+		batch := stream.Batch{Changes: changes}
+		resS, err := serial.ApplyBatch(batch)
+		if err != nil {
+			t.Fatalf("batch %d (serial): %v", b, err)
+		}
+		resP, err := parallel.ApplyBatch(batch)
+		if err != nil {
+			t.Fatalf("batch %d (workers=%d): %v", b, workers, err)
+		}
+		if fmt.Sprint(resS.InsertedIDs) != fmt.Sprint(resP.InsertedIDs) {
+			t.Fatalf("batch %d: id streams diverged: serial %v, parallel %v",
+				b, resS.InsertedIDs, resP.InsertedIDs)
+		}
+		if got, want := parallel.FDs(), serial.FDs(); !fd.Equal(got, want) {
+			t.Fatalf("batch %d (seed %d, workers %d): FD covers diverged\n serial   %v\n parallel %v",
+				b, seed, workers, want, got)
+		}
+		if got, want := parallel.NonFDs(), serial.NonFDs(); !fd.Equal(got, want) {
+			t.Fatalf("batch %d (seed %d, workers %d): non-FD covers diverged\n serial   %v\n parallel %v",
+			b, seed, workers, want, got)
+		}
+		if !fd.Equal(resS.Added, resP.Added) || !fd.Equal(resS.Removed, resP.Removed) {
+			t.Fatalf("batch %d: diffs diverged: serial +%v -%v, parallel +%v -%v",
+				b, resS.Added, resS.Removed, resP.Added, resP.Removed)
+		}
+		for id := range pendingDeletes {
+			for i, l := range live {
+				if l == id {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+		}
+		live = append(live, resS.InsertedIDs...)
+	}
+	if err := parallel.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSerialParallelEquivalence is the acceptance property of the
+// parallel validation engine: across at least 50 randomized batch
+// sequences, a Workers: 4 engine yields identical FD covers to a
+// Workers: 0 engine after every single batch.
+func TestSerialParallelEquivalence(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("long equivalence sweep; run without -short")
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		// Vary the workload shape with the seed: schema width 4-6,
+		// 0-24 initial rows, domain 2-4 (small domains maximize FD churn).
+		attrs := 4 + int(seed%3)
+		initialRows := int(seed%5) * 6
+		domain := 2 + int(seed%3)
+		runEquivalence(t, 1000+seed, 4, attrs, initialRows, 5, 8, domain)
+	}
+}
+
+// TestSerialParallelEquivalenceShort is the -short variant of the sweep:
+// a handful of sequences so `go test -race -short` still exercises the
+// scan/merge pipeline cross-checked against the serial engine.
+func TestSerialParallelEquivalenceShort(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 6; seed++ {
+		runEquivalence(t, 2000+seed, 4, 4+int(seed%3), int(seed%3)*8, 4, 6, 2+int(seed%3))
+	}
+}
+
+// TestEquivalenceAcrossWorkerCounts pins the guarantee for other worker
+// budgets, including the GOMAXPROCS default (-1) and an oversubscribed
+// pool.
+func TestEquivalenceAcrossWorkerCounts(t *testing.T) {
+	t.Parallel()
+	for i, workers := range []int{1, 2, 8, -1} {
+		runEquivalence(t, int64(3000+i), workers, 5, 12, 5, 8, 3)
+	}
+}
+
 // TestCoverDualityMaintained double-checks that the maintained negative
 // cover always equals the inversion of the maintained positive cover —
 // even in the middle of long workloads (CheckInvariants does this too; the
 // explicit test documents the invariant).
 func TestCoverDualityMaintained(t *testing.T) {
+	t.Parallel()
 	e := mustBootstrap(t, DefaultConfig())
 	batches := []stream.Batch{
 		{Changes: []stream.Change{{Kind: stream.Insert, Values: []string{"A", "B", "14482", "Potsdam"}}}},

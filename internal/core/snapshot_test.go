@@ -12,6 +12,7 @@ import (
 )
 
 func TestSnapshotRoundTrip(t *testing.T) {
+	t.Parallel()
 	e := mustBootstrap(t, DefaultConfig())
 	if _, err := e.ApplyBatch(stream.Batch{Changes: []stream.Change{
 		{Kind: stream.Delete, ID: 2},
@@ -51,6 +52,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 }
 
 func TestSnapshotPreservesNextIDAcrossDeletes(t *testing.T) {
+	t.Parallel()
 	// If the newest records were deleted, the restored engine must not
 	// reuse their ids.
 	e := mustBootstrap(t, DefaultConfig())
@@ -82,6 +84,7 @@ func TestSnapshotPreservesNextIDAcrossDeletes(t *testing.T) {
 }
 
 func TestRestoreRejectsInvalidSnapshots(t *testing.T) {
+	t.Parallel()
 	if _, err := Restore(&Snapshot{NumAttrs: 0}); err == nil {
 		t.Error("zero attrs accepted")
 	}
@@ -110,6 +113,7 @@ func TestRestoreRejectsInvalidSnapshots(t *testing.T) {
 // TestSnapshotMidWorkload snapshots at random points of a random workload
 // and verifies the restored engine stays exact.
 func TestSnapshotMidWorkload(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(77))
 	const attrs = 4
 	cols := make([]string, attrs)

@@ -8,6 +8,7 @@ import (
 // periodic oracle checks — slower than the focused property tests, so it
 // is skipped in -short mode.
 func TestSoakLongWorkload(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}

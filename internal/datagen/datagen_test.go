@@ -9,6 +9,7 @@ import (
 )
 
 func TestProfilesMatchTable3Shape(t *testing.T) {
+	t.Parallel()
 	want := map[string]struct{ cols, rows int }{
 		"cpu":     {15, 62},
 		"disease": {13, 1600},
@@ -38,6 +39,7 @@ func TestProfilesMatchTable3Shape(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
+	t.Parallel()
 	p, err := ByName("cpu")
 	if err != nil || p.Name != "cpu" {
 		t.Errorf("ByName(cpu) = %v, %v", p, err)
@@ -48,6 +50,7 @@ func TestByName(t *testing.T) {
 }
 
 func TestScaled(t *testing.T) {
+	t.Parallel()
 	p := Profile{Name: "x", Columns: 2, InitialRows: 100, Changes: 1000}
 	s := p.Scaled(0.1)
 	if s.InitialRows != 10 || s.Changes != 100 {
@@ -62,6 +65,7 @@ func TestScaled(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
 	p, _ := ByName("cpu")
 	a, err := Generate(p)
 	if err != nil {
@@ -80,6 +84,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestGenerateShape(t *testing.T) {
+	t.Parallel()
 	p, _ := ByName("cpu")
 	d, err := Generate(p)
 	if err != nil {
@@ -108,6 +113,7 @@ func TestGenerateShape(t *testing.T) {
 }
 
 func TestGenerateTooFewColumns(t *testing.T) {
+	t.Parallel()
 	if _, err := Generate(Profile{Name: "x", Columns: 1}); err == nil {
 		t.Error("1-column profile accepted")
 	}
@@ -117,6 +123,7 @@ func TestGenerateTooFewColumns(t *testing.T) {
 // generated change history must replay cleanly through a DynFD engine —
 // every referenced id resolves, for any batch size.
 func TestHistoryReplaysThroughEngine(t *testing.T) {
+	t.Parallel()
 	p, _ := ByName("cpu")
 	p = p.Scaled(0.3)
 	d, err := Generate(p)
@@ -143,6 +150,7 @@ func TestHistoryReplaysThroughEngine(t *testing.T) {
 // flips FDs over time — the property that makes the maintenance problem
 // non-trivial (runtime spikes of Figure 5).
 func TestHistoryCausesFDChurn(t *testing.T) {
+	t.Parallel()
 	p, _ := ByName("cpu")
 	d, err := Generate(p)
 	if err != nil {

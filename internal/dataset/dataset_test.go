@@ -8,6 +8,7 @@ import (
 )
 
 func TestAppendChecksArity(t *testing.T) {
+	t.Parallel()
 	r := New("t", []string{"a", "b"})
 	if err := r.Append([]string{"1", "2"}); err != nil {
 		t.Fatalf("Append: %v", err)
@@ -21,6 +22,7 @@ func TestAppendChecksArity(t *testing.T) {
 }
 
 func TestAppendCopiesRow(t *testing.T) {
+	t.Parallel()
 	r := New("t", []string{"a"})
 	row := []string{"x"}
 	if err := r.Append(row); err != nil {
@@ -33,6 +35,7 @@ func TestAppendCopiesRow(t *testing.T) {
 }
 
 func TestClone(t *testing.T) {
+	t.Parallel()
 	r := New("t", []string{"a", "b"})
 	_ = r.Append([]string{"1", "2"})
 	c := r.Clone()
@@ -44,6 +47,7 @@ func TestClone(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
+	t.Parallel()
 	r := New("t", []string{"a", "b"})
 	_ = r.Append([]string{"1", "2"})
 	if err := r.Validate(); err != nil {
@@ -64,6 +68,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestCSVRoundTrip(t *testing.T) {
+	t.Parallel()
 	in := "a,b,c\n1,2,3\n4,,6\n"
 	r, err := ReadCSV("t", strings.NewReader(in))
 	if err != nil {
@@ -89,6 +94,7 @@ func TestCSVRoundTrip(t *testing.T) {
 }
 
 func TestReadCSVErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := ReadCSV("t", strings.NewReader("")); err == nil {
 		t.Error("empty input accepted")
 	}
@@ -98,6 +104,7 @@ func TestReadCSVErrors(t *testing.T) {
 }
 
 func TestReadCSVFileMissing(t *testing.T) {
+	t.Parallel()
 	if _, err := ReadCSVFile("/nonexistent/file.csv"); err == nil {
 		t.Error("missing file accepted")
 	}

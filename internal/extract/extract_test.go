@@ -24,6 +24,7 @@ func rel(t *testing.T, cols []string, rows ...[]string) *dataset.Relation {
 }
 
 func TestKeyedDiff(t *testing.T) {
+	t.Parallel()
 	cols := []string{"id", "city"}
 	v1 := rel(t, cols, []string{"1", "Potsdam"}, []string{"2", "Berlin"}, []string{"3", "Hamburg"})
 	v2 := rel(t, cols, []string{"1", "Potsdam"}, []string{"2", "Leipzig"}, []string{"4", "Bremen"})
@@ -50,6 +51,7 @@ func TestKeyedDiff(t *testing.T) {
 }
 
 func TestKeyedDiffChained(t *testing.T) {
+	t.Parallel()
 	// The ids in a second diff must account for the first diff's inserts.
 	cols := []string{"id", "v"}
 	v1 := rel(t, cols, []string{"a", "1"})
@@ -76,6 +78,7 @@ func TestKeyedDiffChained(t *testing.T) {
 }
 
 func TestMultisetDiff(t *testing.T) {
+	t.Parallel()
 	cols := []string{"a", "b"}
 	v1 := rel(t, cols, []string{"x", "1"}, []string{"x", "1"}, []string{"y", "2"})
 	v2 := rel(t, cols, []string{"x", "1"}, []string{"z", "3"})
@@ -98,6 +101,7 @@ func TestMultisetDiff(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
+	t.Parallel()
 	cols := []string{"id", "v"}
 	v1 := rel(t, cols, []string{"a", "1"})
 	if _, err := New(v1, []string{"nope"}); err == nil {
@@ -129,6 +133,7 @@ func TestErrors(t *testing.T) {
 // random version sequences yields change streams that replay cleanly
 // through a DynFD engine and end at exactly the final version's rows.
 func TestQuickExtractReplaysThroughEngine(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(12))
 	cols := []string{"id", "a", "b"}
 	f := func() bool {

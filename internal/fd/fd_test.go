@@ -9,6 +9,7 @@ import (
 )
 
 func TestString(t *testing.T) {
+	t.Parallel()
 	f := FD{Lhs: attrset.Of(0, 2), Rhs: 4}
 	if got := f.String(); got != "{0, 2} -> 4" {
 		t.Errorf("String = %q", got)
@@ -23,6 +24,7 @@ func TestString(t *testing.T) {
 }
 
 func TestSortDeterministic(t *testing.T) {
+	t.Parallel()
 	fds := []FD{
 		{Lhs: attrset.Of(1, 2), Rhs: 0},
 		{Lhs: attrset.Of(3), Rhs: 0},
@@ -44,6 +46,7 @@ func TestSortDeterministic(t *testing.T) {
 }
 
 func TestEqual(t *testing.T) {
+	t.Parallel()
 	a := []FD{{Lhs: attrset.Of(1), Rhs: 0}, {Lhs: attrset.Of(2), Rhs: 3}}
 	b := []FD{{Lhs: attrset.Of(2), Rhs: 3}, {Lhs: attrset.Of(1), Rhs: 0}}
 	if !Equal(a, b) {
@@ -60,6 +63,7 @@ func TestEqual(t *testing.T) {
 }
 
 func TestMinimize(t *testing.T) {
+	t.Parallel()
 	fds := []FD{
 		{Lhs: attrset.Of(1), Rhs: 0},
 		{Lhs: attrset.Of(1, 2), Rhs: 0}, // specialization of {1}->0
@@ -79,6 +83,7 @@ func TestMinimize(t *testing.T) {
 }
 
 func TestFollows(t *testing.T) {
+	t.Parallel()
 	valid := []FD{{Lhs: attrset.Of(1), Rhs: 0}}
 	if !Follows(valid, FD{Lhs: attrset.Of(1, 2), Rhs: 0}) {
 		t.Error("specialization does not follow")
@@ -92,6 +97,7 @@ func TestFollows(t *testing.T) {
 }
 
 func TestDiff(t *testing.T) {
+	t.Parallel()
 	oldFDs := []FD{{Lhs: attrset.Of(1), Rhs: 0}, {Lhs: attrset.Of(2), Rhs: 3}}
 	newFDs := []FD{{Lhs: attrset.Of(1), Rhs: 0}, {Lhs: attrset.Of(4), Rhs: 3}}
 	added, removed := Diff(oldFDs, newFDs)
@@ -120,6 +126,7 @@ func randomFDs(r *rand.Rand, n int) []FD {
 }
 
 func TestQuickMinimizeIdempotentAndSound(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(11))
 	f := func() bool {
 		fds := randomFDs(r, r.Intn(15))
@@ -149,6 +156,7 @@ func TestQuickMinimizeIdempotentAndSound(t *testing.T) {
 }
 
 func TestQuickDiffRoundTrip(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(13))
 	f := func() bool {
 		a := Minimize(randomFDs(r, r.Intn(12)))

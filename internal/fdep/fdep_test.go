@@ -28,6 +28,7 @@ func paperRelation() *dataset.Relation {
 }
 
 func TestDiscoverPaperExample(t *testing.T) {
+	t.Parallel()
 	got, err := Discover(paperRelation())
 	if err != nil {
 		t.Fatal(err)
@@ -45,6 +46,7 @@ func TestDiscoverPaperExample(t *testing.T) {
 }
 
 func TestNegativeCoverPaperExample(t *testing.T) {
+	t.Parallel()
 	neg, n, err := NegativeCover(paperRelation())
 	if err != nil {
 		t.Fatal(err)
@@ -60,6 +62,7 @@ func TestNegativeCoverPaperExample(t *testing.T) {
 }
 
 func TestDiscoverEmptyAndSingle(t *testing.T) {
+	t.Parallel()
 	rel := dataset.New("t", []string{"a", "b"})
 	got, err := Discover(rel)
 	if err != nil {
@@ -80,6 +83,7 @@ func TestDiscoverEmptyAndSingle(t *testing.T) {
 }
 
 func TestDiscoverInvalidRelation(t *testing.T) {
+	t.Parallel()
 	rel := &dataset.Relation{Name: "bad", Columns: []string{"a", "a"}}
 	if _, err := Discover(rel); err == nil {
 		t.Error("invalid relation accepted")
@@ -87,6 +91,7 @@ func TestDiscoverInvalidRelation(t *testing.T) {
 }
 
 func TestDiscoverDuplicateRows(t *testing.T) {
+	t.Parallel()
 	rel := dataset.New("t", []string{"a", "b"})
 	_ = rel.Append([]string{"1", "2"})
 	_ = rel.Append([]string{"1", "2"})
@@ -101,6 +106,7 @@ func TestDiscoverDuplicateRows(t *testing.T) {
 }
 
 func TestQuickAgainstOracle(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(77))
 	f := func() bool {
 		attrs := 2 + r.Intn(4)

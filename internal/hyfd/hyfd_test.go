@@ -29,6 +29,7 @@ func paperRelation() *dataset.Relation {
 }
 
 func TestDiscoverPaperExample(t *testing.T) {
+	t.Parallel()
 	res, err := Discover(paperRelation())
 	if err != nil {
 		t.Fatal(err)
@@ -52,6 +53,7 @@ func TestDiscoverPaperExample(t *testing.T) {
 }
 
 func TestDiscoverEmptyRelation(t *testing.T) {
+	t.Parallel()
 	rel := dataset.New("t", []string{"a", "b", "c"})
 	res, err := Discover(rel)
 	if err != nil {
@@ -64,6 +66,7 @@ func TestDiscoverEmptyRelation(t *testing.T) {
 }
 
 func TestDiscoverInvalidRelation(t *testing.T) {
+	t.Parallel()
 	rel := &dataset.Relation{Name: "bad", Columns: nil}
 	if _, err := Discover(rel); err == nil {
 		t.Error("invalid relation accepted")
@@ -71,6 +74,7 @@ func TestDiscoverInvalidRelation(t *testing.T) {
 }
 
 func TestDiscoverConstantAndKeyColumns(t *testing.T) {
+	t.Parallel()
 	rel := dataset.New("t", []string{"id", "const", "payload"})
 	for i := 0; i < 10; i++ {
 		_ = rel.Append([]string{fmt.Sprint(i), "k", fmt.Sprint(i % 3)})
@@ -90,6 +94,7 @@ func TestDiscoverConstantAndKeyColumns(t *testing.T) {
 }
 
 func TestDiscoverStoreDoesNotMutate(t *testing.T) {
+	t.Parallel()
 	store := pli.NewStore(2)
 	for i := 0; i < 6; i++ {
 		if _, err := store.Insert([]string{fmt.Sprint(i % 2), fmt.Sprint(i % 3)}); err != nil {
@@ -112,6 +117,7 @@ func TestDiscoverStoreDoesNotMutate(t *testing.T) {
 // TestQuickAgainstOracle is the main exactness property: HyFD must return
 // exactly the oracle's minimal FDs on random relations of varying shape.
 func TestQuickAgainstOracle(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(20190326))
 	f := func() bool {
 		attrs := 2 + r.Intn(5)
@@ -150,6 +156,7 @@ func TestQuickAgainstOracle(t *testing.T) {
 // TestQuickWideRelations exercises wider schemas where sampling and the
 // hybrid switch-over actually engage.
 func TestQuickWideRelations(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(8))
 	f := func() bool {
 		attrs := 6 + r.Intn(3)

@@ -59,6 +59,7 @@ func relOf(t *testing.T, rows [][]string, attrs int) *dataset.Relation {
 }
 
 func TestBootstrapSimple(t *testing.T) {
+	t.Parallel()
 	rows := [][]string{
 		{"a", "a", "x"},
 		{"b", "b", "a"},
@@ -89,6 +90,7 @@ func TestBootstrapSimple(t *testing.T) {
 }
 
 func TestEmptyRelationAllINDsHold(t *testing.T) {
+	t.Parallel()
 	e := NewEmpty(3)
 	if got := e.INDs(); len(got) != 6 {
 		t.Errorf("INDs on empty relation = %v", got)
@@ -99,6 +101,7 @@ func TestEmptyRelationAllINDsHold(t *testing.T) {
 }
 
 func TestInsertBreaksAndDeleteRepairs(t *testing.T) {
+	t.Parallel()
 	e, err := Bootstrap(relOf(t, [][]string{{"a", "a"}}, 2))
 	if err != nil {
 		t.Fatal(err)
@@ -137,6 +140,7 @@ func TestInsertBreaksAndDeleteRepairs(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
+	t.Parallel()
 	e := NewEmpty(2)
 	if _, err := e.ApplyBatch(stream.Batch{Changes: []stream.Change{
 		{Kind: stream.Insert, Values: []string{"x"}},
@@ -155,6 +159,7 @@ func TestErrors(t *testing.T) {
 }
 
 func TestNewEmptyPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("NewEmpty(0) did not panic")
@@ -164,6 +169,7 @@ func TestNewEmptyPanics(t *testing.T) {
 }
 
 func TestINDString(t *testing.T) {
+	t.Parallel()
 	if got := (IND{Lhs: 3, Rhs: 1}).String(); got != "3 ⊆ 1" {
 		t.Errorf("String = %q", got)
 	}
@@ -172,6 +178,7 @@ func TestINDString(t *testing.T) {
 // TestQuickAgainstBruteForce replays random workloads and compares the
 // maintained INDs with the brute-force oracle after every batch.
 func TestQuickAgainstBruteForce(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(1618))
 	f := func() bool {
 		attrs := 2 + r.Intn(4)

@@ -40,6 +40,7 @@ func paperPositive() *lattice.Cover {
 // five minimal FDs of Table 1 yields exactly the maximal non-FDs
 // fzc→l, fl→z, fl→c, c→f, c→z.
 func TestInvertPaperExample(t *testing.T) {
+	t.Parallel()
 	nonFds := Invert(paperPositive(), 4)
 	want := []fd.FD{
 		{Lhs: attrset.Of(F, Z, C), Rhs: L},
@@ -58,6 +59,7 @@ func TestInvertPaperExample(t *testing.T) {
 }
 
 func TestInvertEmptyPositive(t *testing.T) {
+	t.Parallel()
 	// An empty relation has positive cover {∅→A}; inverting it must give an
 	// empty negative cover.
 	fds := lattice.New(3)
@@ -71,6 +73,7 @@ func TestInvertEmptyPositive(t *testing.T) {
 }
 
 func TestSpecializeRemovesAndAdds(t *testing.T) {
+	t.Parallel()
 	fds := lattice.New(4)
 	fds.Add(attrset.Of(L), F) // l -> f becomes invalid
 	removed := Specialize(fds, attrset.Of(L, Z, C), F, 4)
@@ -85,6 +88,7 @@ func TestSpecializeRemovesAndAdds(t *testing.T) {
 }
 
 func TestSpecializeKeepsMinimality(t *testing.T) {
+	t.Parallel()
 	fds := lattice.New(5)
 	fds.Add(attrset.Of(0), 4)
 	fds.Add(attrset.Of(1), 4)
@@ -102,6 +106,7 @@ func TestSpecializeKeepsMinimality(t *testing.T) {
 }
 
 func TestSpecializeNoGeneralizations(t *testing.T) {
+	t.Parallel()
 	fds := lattice.New(4)
 	fds.Add(attrset.Of(0, 1), 3)
 	if removed := Specialize(fds, attrset.Of(2), 3, 4); removed != nil {
@@ -113,6 +118,7 @@ func TestSpecializeNoGeneralizations(t *testing.T) {
 }
 
 func TestGeneralizeMirrors(t *testing.T) {
+	t.Parallel()
 	nonFds := lattice.New(4)
 	nonFds.Add(attrset.Of(F, Z, C), L)
 	// FD z -> l becomes valid: the non-FD fzc→l is its specialization.
@@ -133,6 +139,7 @@ func TestGeneralizeMirrors(t *testing.T) {
 // with the oracle's minimal FDs. It then inverts the result and compares
 // with the oracle's maximal non-FDs.
 func TestQuickInductionMatchesOracle(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(31337))
 	f := func() bool {
 		attrs := 2 + r.Intn(4)
@@ -188,6 +195,7 @@ func TestQuickInductionMatchesOracle(t *testing.T) {
 // TestQuickInvertRoundTrip checks that BuildPositive(Invert(fds)) = fds for
 // random antichain covers: the two cover representations are duals.
 func TestQuickInvertRoundTrip(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(555))
 	f := func() bool {
 		attrs := 3 + r.Intn(3)

@@ -1,0 +1,93 @@
+package lattice
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dynfd/internal/attrset"
+)
+
+// TestCoverConcurrentReaders exercises the cover's documented concurrency
+// contract: concurrent read-only queries are safe while no mutator runs.
+// The parallel validation engine classifies candidates against the covers
+// on the engine goroutine, but the contract keeps the door open for
+// read-side fan-out, and -race verifies the query paths are genuinely
+// side-effect free (unlike CheckMinimal, which temporarily mutates).
+func TestCoverConcurrentReaders(t *testing.T) {
+	t.Parallel()
+	const (
+		attrs   = 6
+		entries = 120
+		readers = 8
+	)
+	r := rand.New(rand.NewSource(7))
+	c := New(attrs)
+	type entry struct {
+		lhs attrset.Set
+		rhs int
+	}
+	var added []entry
+	for i := 0; i < entries; i++ {
+		var lhs attrset.Set
+		for a := 0; a < attrs; a++ {
+			if r.Intn(3) == 0 {
+				lhs = lhs.With(a)
+			}
+		}
+		rhs := r.Intn(attrs)
+		if lhs.Contains(rhs) {
+			continue
+		}
+		if c.Add(lhs, rhs) {
+			added = append(added, entry{lhs, rhs})
+			c.SetViolation(lhs, rhs, Violation{A: int64(i), B: int64(i + 1)})
+		}
+	}
+	if len(added) == 0 {
+		t.Fatal("no entries added")
+	}
+	size, maxLevel := c.Size(), c.MaxLevel()
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, e := range added {
+				if !c.Contains(e.lhs, e.rhs) {
+					t.Errorf("reader %d: lost %v -> %d", w, e.lhs.Slice(), e.rhs)
+					return
+				}
+				if !c.ContainsGeneralization(e.lhs, e.rhs) {
+					t.Errorf("reader %d: no generalization of %v -> %d", w, e.lhs.Slice(), e.rhs)
+				}
+				if !c.ContainsSpecialization(e.lhs, e.rhs) {
+					t.Errorf("reader %d: no specialization of %v -> %d", w, e.lhs.Slice(), e.rhs)
+				}
+				if gens := c.Generalizations(e.lhs, e.rhs); len(gens) == 0 {
+					t.Errorf("reader %d: Generalizations(%v -> %d) empty", w, e.lhs.Slice(), e.rhs)
+				}
+				if specs := c.Specializations(e.lhs, e.rhs); len(specs) == 0 {
+					t.Errorf("reader %d: Specializations(%v -> %d) empty", w, e.lhs.Slice(), e.rhs)
+				}
+				if _, ok := c.Violation(e.lhs, e.rhs); !ok {
+					t.Errorf("reader %d: violation of %v -> %d missing", w, e.lhs.Slice(), e.rhs)
+				}
+			}
+			if got := len(c.All()); got != size {
+				t.Errorf("reader %d: All() returned %d entries, want %d", w, got, size)
+			}
+			total := 0
+			for l := 0; l <= maxLevel; l++ {
+				total += len(c.Level(l))
+				if c.LevelSize(l) != len(c.Level(l)) {
+					t.Errorf("reader %d: LevelSize(%d) disagrees with Level(%d)", w, l, l)
+				}
+			}
+			if total != size {
+				t.Errorf("reader %d: levels sum to %d entries, want %d", w, total, size)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

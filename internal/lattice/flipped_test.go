@@ -11,6 +11,7 @@ import (
 )
 
 func TestFlippedBasicOps(t *testing.T) {
+	t.Parallel()
 	f := NewFlipped(5)
 	lhs := attrset.Of(0, 1, 3)
 	if !f.Add(lhs, 4) || f.Add(lhs, 4) {
@@ -41,6 +42,7 @@ func TestFlippedBasicOps(t *testing.T) {
 }
 
 func TestFlippedSubsetQueries(t *testing.T) {
+	t.Parallel()
 	f := NewFlipped(5)
 	f.Add(attrset.Of(0, 1, 2, 3), 4) // near-full lhs, the negative-cover shape
 	f.Add(attrset.Of(1, 2), 4)
@@ -68,6 +70,7 @@ func TestFlippedSubsetQueries(t *testing.T) {
 }
 
 func TestFlippedViolations(t *testing.T) {
+	t.Parallel()
 	f := NewFlipped(4)
 	lhs := attrset.Of(1, 2, 3)
 	if f.SetViolation(lhs, 0, Violation{A: 1, B: 2}) {
@@ -87,6 +90,7 @@ func TestFlippedViolations(t *testing.T) {
 }
 
 func TestFlippedCheckMinimal(t *testing.T) {
+	t.Parallel()
 	f := NewFlipped(4)
 	f.Add(attrset.Of(1, 2, 3), 0)
 	f.Add(attrset.Of(2), 0)
@@ -99,6 +103,7 @@ func TestFlippedCheckMinimal(t *testing.T) {
 // against a Cover and a Flipped cover and demands identical observable
 // behaviour — the Flipped representation must be a pure change of key.
 func TestQuickFlippedMatchesCover(t *testing.T) {
+	t.Parallel()
 	const attrs = 6
 	r := rand.New(rand.NewSource(99))
 	randFD := func() fd.FD {

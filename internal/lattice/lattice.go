@@ -54,6 +54,16 @@ func (n *node) setViolation(rhs int, v Violation) {
 
 // Cover is an FD prefix tree over a fixed schema width. The zero value is
 // not usable; construct covers with New.
+//
+// Concurrency contract: a Cover is safe for any number of concurrent
+// readers (Contains, ContainsGeneralization/-Specialization, the
+// collection methods, Level, All, Violation) as long as no goroutine
+// mutates it; Add, Remove, the Remove* sweeps, SetViolation,
+// ClearViolation, and CheckMinimal (which temporarily mutates) require
+// exclusive access. DynFD's parallel validation engine keeps all cover
+// access on the engine goroutine — workers only read the Pli store — but
+// the read-only guarantee is part of the package's API surface and is
+// exercised under the race detector by TestCoverConcurrentReaders.
 type Cover struct {
 	numAttrs int
 	root     *node

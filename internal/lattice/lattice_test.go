@@ -12,6 +12,7 @@ import (
 )
 
 func TestAddRemoveContains(t *testing.T) {
+	t.Parallel()
 	c := New(5)
 	lhs := attrset.Of(0, 2)
 	if !c.Add(lhs, 4) {
@@ -38,6 +39,7 @@ func TestAddRemoveContains(t *testing.T) {
 }
 
 func TestEmptyLhsMember(t *testing.T) {
+	t.Parallel()
 	c := New(3)
 	c.Add(attrset.Set{}, 1)
 	if !c.Contains(attrset.Set{}, 1) {
@@ -56,6 +58,7 @@ func TestEmptyLhsMember(t *testing.T) {
 }
 
 func TestGeneralizationSpecializationSearch(t *testing.T) {
+	t.Parallel()
 	c := New(6)
 	c.Add(attrset.Of(0, 1), 5)
 	c.Add(attrset.Of(1, 2, 3), 5)
@@ -103,6 +106,7 @@ func TestGeneralizationSpecializationSearch(t *testing.T) {
 }
 
 func TestRemoveGeneralizationsSpecializations(t *testing.T) {
+	t.Parallel()
 	c := New(6)
 	c.Add(attrset.Of(0), 5)
 	c.Add(attrset.Of(0, 1), 5)
@@ -128,6 +132,7 @@ func TestRemoveGeneralizationsSpecializations(t *testing.T) {
 }
 
 func TestLevelAndAll(t *testing.T) {
+	t.Parallel()
 	c := New(4)
 	members := []fd.FD{
 		{Lhs: attrset.Set{}, Rhs: 0},
@@ -158,6 +163,7 @@ func TestLevelAndAll(t *testing.T) {
 }
 
 func TestMaxLevelEmpty(t *testing.T) {
+	t.Parallel()
 	c := New(3)
 	if c.MaxLevel() != -1 {
 		t.Errorf("MaxLevel of empty = %d", c.MaxLevel())
@@ -165,6 +171,7 @@ func TestMaxLevelEmpty(t *testing.T) {
 }
 
 func TestViolationAnnotations(t *testing.T) {
+	t.Parallel()
 	c := New(4)
 	lhs := attrset.Of(1, 2)
 	if c.SetViolation(lhs, 3, Violation{A: 1, B: 2}) {
@@ -195,6 +202,7 @@ func TestViolationAnnotations(t *testing.T) {
 }
 
 func TestCheckMinimal(t *testing.T) {
+	t.Parallel()
 	c := New(4)
 	c.Add(attrset.Of(0), 3)
 	c.Add(attrset.Of(1, 2), 3)
@@ -246,6 +254,7 @@ func (m model) specs(lhs attrset.Set, rhs int) []attrset.Set {
 // TestQuickAgainstBruteForce drives random add/remove operations and checks
 // every query against the brute-force model.
 func TestQuickAgainstBruteForce(t *testing.T) {
+	t.Parallel()
 	const attrs = 6
 	r := rand.New(rand.NewSource(4711))
 	randFD := func() fd.FD {

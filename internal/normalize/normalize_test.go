@@ -22,6 +22,7 @@ var orderFDs = []fd.FD{
 }
 
 func TestClosure(t *testing.T) {
+	t.Parallel()
 	got := Closure(orderFDs, attrset.Of(0))
 	if got != attrset.Of(0, 1, 2, 3, 4) {
 		t.Errorf("Closure({0}) = %v", got)
@@ -35,6 +36,7 @@ func TestClosure(t *testing.T) {
 }
 
 func TestImplies(t *testing.T) {
+	t.Parallel()
 	if !Implies(orderFDs, fd.FD{Lhs: attrset.Of(0), Rhs: 4}) {
 		t.Error("transitive FD not implied")
 	}
@@ -44,6 +46,7 @@ func TestImplies(t *testing.T) {
 }
 
 func TestCandidateKeys(t *testing.T) {
+	t.Parallel()
 	keys := CandidateKeys(orderFDs, 5)
 	if len(keys) != 1 || keys[0] != attrset.Of(0) {
 		t.Errorf("keys = %v", keys)
@@ -66,6 +69,7 @@ func TestCandidateKeys(t *testing.T) {
 }
 
 func TestCanonicalCover(t *testing.T) {
+	t.Parallel()
 	// {0,1} -> 2 where {0} -> 2 already holds: 1 is extraneous; and a
 	// redundant transitive FD.
 	fds := []fd.FD{
@@ -85,6 +89,7 @@ func TestCanonicalCover(t *testing.T) {
 }
 
 func TestQuickCanonicalCoverEquivalent(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(8))
 	f := func() bool {
 		const attrs = 5
@@ -122,6 +127,7 @@ func TestQuickCanonicalCoverEquivalent(t *testing.T) {
 }
 
 func TestBCNFViolationsAndDecompose(t *testing.T) {
+	t.Parallel()
 	viol := BCNFViolations(orderFDs, 5)
 	// Every FD except those with a key lhs violates; {0} is the key.
 	want := []fd.FD{
@@ -151,6 +157,7 @@ func TestBCNFViolationsAndDecompose(t *testing.T) {
 }
 
 func TestProject(t *testing.T) {
+	t.Parallel()
 	// Project {0->1, 1->2} onto {0,2}: transitively 0->2.
 	fds := []fd.FD{
 		{Lhs: attrset.Of(0), Rhs: 1},
@@ -164,6 +171,7 @@ func TestProject(t *testing.T) {
 }
 
 func TestSynthesize3NF(t *testing.T) {
+	t.Parallel()
 	rels := Synthesize3NF(orderFDs, 5)
 	// Dependency preservation: every original FD must be implied by the
 	// union of projections onto fragments.
@@ -189,6 +197,7 @@ func TestSynthesize3NF(t *testing.T) {
 }
 
 func TestSynthesize3NFNoFDs(t *testing.T) {
+	t.Parallel()
 	rels := Synthesize3NF(nil, 3)
 	if len(rels) != 1 || rels[0].Attrs != attrset.Full(3) {
 		t.Errorf("rels = %v", rels)
@@ -196,6 +205,7 @@ func TestSynthesize3NFNoFDs(t *testing.T) {
 }
 
 func TestReduceColumns(t *testing.T) {
+	t.Parallel()
 	// GROUP BY order_id, customer, cust_city reduces to GROUP BY order_id.
 	got := ReduceColumns(orderFDs, attrset.Of(0, 1, 2))
 	if got != attrset.Of(0) {
@@ -212,6 +222,7 @@ func TestReduceColumns(t *testing.T) {
 // exactly the minimal unique column combinations of the data... provided
 // the relation has no duplicate rows (duplicates break the equivalence).
 func TestQuickKeysAgainstDiscoveredFDs(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(5150))
 	f := func() bool {
 		attrs := 2 + r.Intn(3)

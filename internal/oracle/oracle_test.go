@@ -24,6 +24,7 @@ const (
 )
 
 func TestValid(t *testing.T) {
+	t.Parallel()
 	if !Valid(paperRows, attrset.Of(Z), C) {
 		t.Error("z -> c should hold")
 	}
@@ -47,6 +48,7 @@ func TestValid(t *testing.T) {
 // TestPaperExample checks the exact minimal FDs the paper states for the
 // initial relation of Table 1 (§3.2): l→f, z→f, z→c, fc→z, lc→z.
 func TestPaperExample(t *testing.T) {
+	t.Parallel()
 	got := MinimalFDs(paperRows, 4)
 	want := []fd.FD{
 		{Lhs: attrset.Of(L), Rhs: F},
@@ -63,6 +65,7 @@ func TestPaperExample(t *testing.T) {
 // TestPaperExampleNonFDs checks the maximal non-FDs derived in §3.2:
 // fzc→l, fl→z, fl→c, c→f, c→z.
 func TestPaperExampleNonFDs(t *testing.T) {
+	t.Parallel()
 	got := MaximalNonFDs(paperRows, 4)
 	want := []fd.FD{
 		{Lhs: attrset.Of(F, Z, C), Rhs: L},
@@ -80,6 +83,7 @@ func TestPaperExampleNonFDs(t *testing.T) {
 // insert tuples 5 and 6) and checks the FDs shown in Figure 4: six minimal
 // FDs with f→c newly minimal and fc→z gone.
 func TestPaperExampleAfterBatch(t *testing.T) {
+	t.Parallel()
 	rows := [][]string{
 		paperRows[0],                           // 1
 		paperRows[1],                           // 2
@@ -109,6 +113,7 @@ func TestPaperExampleAfterBatch(t *testing.T) {
 }
 
 func TestMinimalFDsEmptyRelation(t *testing.T) {
+	t.Parallel()
 	got := MinimalFDs(nil, 3)
 	want := []fd.FD{{Rhs: 0}, {Rhs: 1}, {Rhs: 2}} // ∅ -> A for every A
 	if !fd.Equal(got, want) {
@@ -120,6 +125,7 @@ func TestMinimalFDsEmptyRelation(t *testing.T) {
 }
 
 func TestMinimalFDsMinimality(t *testing.T) {
+	t.Parallel()
 	got := MinimalFDs(paperRows, 4)
 	for i, f := range got {
 		rest := append(append([]fd.FD(nil), got[:i]...), got[i+1:]...)
@@ -130,6 +136,7 @@ func TestMinimalFDsMinimality(t *testing.T) {
 }
 
 func TestPanicsOnTooManyAttrs(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("no panic for 21 attributes")

@@ -1,0 +1,78 @@
+package pli
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestStoreConcurrentReaders exercises the store's documented concurrency
+// contract: any number of goroutines may call the read-only accessors
+// concurrently as long as no writer runs. The parallel validation engine
+// relies on exactly this window. Run with -race this test proves the
+// reader paths share no hidden mutable state.
+func TestStoreConcurrentReaders(t *testing.T) {
+	t.Parallel()
+	const (
+		attrs   = 4
+		records = 300
+		readers = 8
+	)
+	r := rand.New(rand.NewSource(42))
+	s := NewStore(attrs)
+	rows := make([][]string, records)
+	for i := range rows {
+		row := make([]string, attrs)
+		for a := range row {
+			row[a] = fmt.Sprint(r.Intn(5))
+		}
+		rows[i] = row
+		if _, err := s.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each reader walks a different mix of the read API.
+			for id := int64(0); id < records; id++ {
+				rec, ok := s.Record(id)
+				if !ok {
+					t.Errorf("reader %d: record %d missing", w, id)
+					return
+				}
+				vals, ok := s.Values(id)
+				if !ok || len(vals) != attrs {
+					t.Errorf("reader %d: Values(%d) = %v, %v", w, id, vals, ok)
+					return
+				}
+				for a := 0; a < attrs; a++ {
+					ix := s.Index(a)
+					cid := rec[a]
+					if c := ix.Cluster(cid); !c.Contains(id) {
+						t.Errorf("reader %d: cluster %d of attr %d misses id %d", w, cid, a, id)
+						return
+					}
+				}
+			}
+			count := 0
+			s.ForEachRecord(func(id int64, rec Record) bool {
+				count++
+				return true
+			})
+			if count != records {
+				t.Errorf("reader %d: ForEachRecord saw %d records", w, count)
+			}
+			if ids, err := s.Lookup(rows[w*records/readers]); err != nil || len(ids) == 0 {
+				t.Errorf("reader %d: Lookup = %v, %v", w, ids, err)
+			}
+			if err := s.CheckConsistency(); err != nil {
+				t.Errorf("reader %d: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

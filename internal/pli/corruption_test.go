@@ -24,6 +24,7 @@ func corruptibleStore(t *testing.T) *Store {
 }
 
 func TestDetectsDanglingClusterMember(t *testing.T) {
+	t.Parallel()
 	s := corruptibleStore(t)
 	// Add a ghost id to a cluster without a backing record.
 	cid, _ := s.Index(0).ClusterOf("a")
@@ -36,6 +37,7 @@ func TestDetectsDanglingClusterMember(t *testing.T) {
 }
 
 func TestDetectsUnsortedCluster(t *testing.T) {
+	t.Parallel()
 	s := corruptibleStore(t)
 	cid, _ := s.Index(0).ClusterOf("a")
 	c := s.Index(0).Cluster(cid)
@@ -47,6 +49,7 @@ func TestDetectsUnsortedCluster(t *testing.T) {
 }
 
 func TestDetectsWrongClusterPointer(t *testing.T) {
+	t.Parallel()
 	s := corruptibleStore(t)
 	rec, _ := s.Record(0)
 	rec[0] = rec[0] + 100 // point at a non-existent cluster
@@ -56,6 +59,7 @@ func TestDetectsWrongClusterPointer(t *testing.T) {
 }
 
 func TestDetectsInvertedIndexDrift(t *testing.T) {
+	t.Parallel()
 	s := corruptibleStore(t)
 	ix := s.Index(1)
 	// Rename a value in the inverted index so it no longer matches its
@@ -70,6 +74,7 @@ func TestDetectsInvertedIndexDrift(t *testing.T) {
 }
 
 func TestDetectsEmptyCluster(t *testing.T) {
+	t.Parallel()
 	s := corruptibleStore(t)
 	ix := s.Index(0)
 	cid, _ := ix.ClusterOf("b")
@@ -81,6 +86,7 @@ func TestDetectsEmptyCluster(t *testing.T) {
 }
 
 func TestDetectsArityDrift(t *testing.T) {
+	t.Parallel()
 	s := corruptibleStore(t)
 	s.records[0] = s.records[0][:1]
 	err := s.CheckConsistency()

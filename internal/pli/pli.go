@@ -131,6 +131,16 @@ func (ix *Index) drop(cid int32, id int64) error {
 // Store bundles the per-attribute indexes with the compressed records and
 // the record hash index. It is the single mutable representation of the
 // profiled relation inside DynFD.
+//
+// Concurrency contract: a Store is safe for any number of concurrent
+// readers (Record, Values, Lookup, Index and the cluster accessors,
+// ForEachRecord, CheckConsistency) as long as no goroutine mutates it;
+// Insert, InsertWithID, SetNextID, and Delete require exclusive access.
+// The parallel validation engine relies on this reader-only window:
+// ApplyBatch applies all structural mutations in its first phase and only
+// then fans read-only candidate validations out across workers (see
+// internal/core/parallel.go). The contract is exercised under the race
+// detector by TestStoreConcurrentReaders.
 type Store struct {
 	numAttrs int
 	indexes  []*Index

@@ -18,6 +18,7 @@ func mustInsert(t *testing.T, s *Store, values ...string) int64 {
 }
 
 func TestInsertBuildsClusters(t *testing.T) {
+	t.Parallel()
 	s := NewStore(2)
 	a := mustInsert(t, s, "x", "1")
 	b := mustInsert(t, s, "x", "2")
@@ -50,6 +51,7 @@ func TestInsertBuildsClusters(t *testing.T) {
 }
 
 func TestInsertArityError(t *testing.T) {
+	t.Parallel()
 	s := NewStore(2)
 	if _, err := s.Insert([]string{"only-one"}); err == nil {
 		t.Error("wrong arity accepted")
@@ -57,6 +59,7 @@ func TestInsertArityError(t *testing.T) {
 }
 
 func TestNewStorePanicsOnZeroAttrs(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("NewStore(0) did not panic")
@@ -66,6 +69,7 @@ func TestNewStorePanicsOnZeroAttrs(t *testing.T) {
 }
 
 func TestDelete(t *testing.T) {
+	t.Parallel()
 	s := NewStore(2)
 	a := mustInsert(t, s, "x", "1")
 	b := mustInsert(t, s, "x", "2")
@@ -97,6 +101,7 @@ func TestDelete(t *testing.T) {
 }
 
 func TestValueReuseAfterClusterDeath(t *testing.T) {
+	t.Parallel()
 	s := NewStore(1)
 	a := mustInsert(t, s, "v")
 	if err := s.Delete(a); err != nil {
@@ -119,6 +124,7 @@ func TestValueReuseAfterClusterDeath(t *testing.T) {
 }
 
 func TestValues(t *testing.T) {
+	t.Parallel()
 	s := NewStore(3)
 	id := mustInsert(t, s, "a", "", "c")
 	got, ok := s.Values(id)
@@ -131,6 +137,7 @@ func TestValues(t *testing.T) {
 }
 
 func TestLookup(t *testing.T) {
+	t.Parallel()
 	s := NewStore(2)
 	a := mustInsert(t, s, "x", "1")
 	_ = mustInsert(t, s, "x", "2")
@@ -153,6 +160,7 @@ func TestLookup(t *testing.T) {
 }
 
 func TestRecordEncodingEquality(t *testing.T) {
+	t.Parallel()
 	// Two records share a cluster id exactly when they share the value.
 	s := NewStore(1)
 	a := mustInsert(t, s, "same")
@@ -170,6 +178,7 @@ func TestRecordEncodingEquality(t *testing.T) {
 }
 
 func TestForEachEarlyStop(t *testing.T) {
+	t.Parallel()
 	s := NewStore(1)
 	for i := 0; i < 5; i++ {
 		mustInsert(t, s, fmt.Sprint(i))
@@ -189,6 +198,7 @@ func TestForEachEarlyStop(t *testing.T) {
 // TestQuickRandomOpsConsistent drives a random insert/delete workload and
 // checks the structural invariants plus agreement with a naive model.
 func TestQuickRandomOpsConsistent(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(99))
 	f := func() bool {
 		const attrs = 3

@@ -80,6 +80,7 @@ var paperRows = [][]string{
 }
 
 func TestServerPaperScenario(t *testing.T) {
+	t.Parallel()
 	addr, _ := startServer(t, paperRows, 100)
 	c := dial(t, addr)
 
@@ -119,6 +120,7 @@ func TestServerPaperScenario(t *testing.T) {
 }
 
 func TestServerAutoCommit(t *testing.T) {
+	t.Parallel()
 	addr, _ := startServer(t, nil, 2)
 	c := dial(t, addr)
 	c.send(`{"op":"insert","values":["a","b","c","d"]}`)
@@ -130,6 +132,7 @@ func TestServerAutoCommit(t *testing.T) {
 }
 
 func TestServerRejectsBadBatchesAtomically(t *testing.T) {
+	t.Parallel()
 	addr, _ := startServer(t, paperRows, 100)
 	c := dial(t, addr)
 	// A batch with one good insert and one dangling delete must be
@@ -150,6 +153,7 @@ func TestServerRejectsBadBatchesAtomically(t *testing.T) {
 }
 
 func TestServerProtocolErrors(t *testing.T) {
+	t.Parallel()
 	addr, _ := startServer(t, nil, 10)
 	c := dial(t, addr)
 	c.send(`not json`)
@@ -172,6 +176,7 @@ func TestServerProtocolErrors(t *testing.T) {
 }
 
 func TestServerConcurrentClients(t *testing.T) {
+	t.Parallel()
 	addr, _ := startServer(t, nil, 1000)
 	const clients = 4
 	const perClient = 25
@@ -212,6 +217,7 @@ func TestServerConcurrentClients(t *testing.T) {
 }
 
 func TestServerConstruction(t *testing.T) {
+	t.Parallel()
 	if _, err := New([]string{"a"}, nil, 0, core.DefaultConfig()); err == nil {
 		t.Error("batch size 0 accepted")
 	}

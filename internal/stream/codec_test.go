@@ -9,6 +9,7 @@ import (
 )
 
 func TestReadChanges(t *testing.T) {
+	t.Parallel()
 	in := `# comment
 {"op":"insert","values":["a","b"]}
 
@@ -31,6 +32,7 @@ func TestReadChanges(t *testing.T) {
 }
 
 func TestReadChangesErrors(t *testing.T) {
+	t.Parallel()
 	cases := []string{
 		`{"op":"teleport"}`,
 		`{"op":"delete"}`,                // missing id
@@ -46,6 +48,7 @@ func TestReadChangesErrors(t *testing.T) {
 }
 
 func TestWriteReadRoundTrip(t *testing.T) {
+	t.Parallel()
 	changes := []Change{
 		{Kind: Insert, Values: []string{"a", "b"}},
 		{Kind: Delete, ID: 7},
@@ -66,6 +69,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 }
 
 func TestWriteChangesUnknownKind(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := WriteChanges(&buf, []Change{{Kind: Kind(9)}}); err == nil {
 		t.Error("unknown kind accepted")
@@ -73,6 +77,7 @@ func TestWriteChangesUnknownKind(t *testing.T) {
 }
 
 func TestReadChangesEmpty(t *testing.T) {
+	t.Parallel()
 	got, err := ReadChanges(strings.NewReader(""))
 	if err != nil || got != nil {
 		t.Errorf("empty input = %v, %v", got, err)

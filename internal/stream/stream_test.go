@@ -6,6 +6,7 @@ import (
 )
 
 func TestKindString(t *testing.T) {
+	t.Parallel()
 	if Insert.String() != "insert" || Delete.String() != "delete" || Update.String() != "update" {
 		t.Error("Kind.String wrong")
 	}
@@ -15,6 +16,7 @@ func TestKindString(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		c  Change
 		ok bool
@@ -36,6 +38,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestCounts(t *testing.T) {
+	t.Parallel()
 	b := Batch{Changes: []Change{
 		{Kind: Insert}, {Kind: Insert}, {Kind: Delete}, {Kind: Update},
 	}}
@@ -46,6 +49,7 @@ func TestCounts(t *testing.T) {
 }
 
 func TestFixedBatches(t *testing.T) {
+	t.Parallel()
 	changes := make([]Change, 7)
 	batches := FixedBatches(changes, 3)
 	if len(batches) != 3 {
@@ -60,6 +64,7 @@ func TestFixedBatches(t *testing.T) {
 }
 
 func TestFixedBatchesPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("no panic for size 0")
@@ -69,6 +74,7 @@ func TestFixedBatchesPanics(t *testing.T) {
 }
 
 func TestTumblingWindows(t *testing.T) {
+	t.Parallel()
 	t0 := time.Date(2019, 3, 26, 0, 0, 0, 0, time.UTC)
 	mk := func(offset time.Duration) Change { return Change{Kind: Insert, Time: t0.Add(offset)} }
 	changes := []Change{
@@ -90,6 +96,7 @@ func TestTumblingWindows(t *testing.T) {
 }
 
 func TestTumblingWindowsPanicsOnDisorder(t *testing.T) {
+	t.Parallel()
 	t0 := time.Now()
 	changes := []Change{
 		{Time: t0.Add(time.Second)},

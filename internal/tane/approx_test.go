@@ -87,6 +87,7 @@ func max(a, b int) int {
 }
 
 func TestDiscoverApproxEpsilonRange(t *testing.T) {
+	t.Parallel()
 	rel := dataset.New("t", []string{"a", "b"})
 	if _, err := DiscoverApprox(rel, -0.1); err == nil {
 		t.Error("negative epsilon accepted")
@@ -97,6 +98,7 @@ func TestDiscoverApproxEpsilonRange(t *testing.T) {
 }
 
 func TestDiscoverApproxTolerantOfOutliers(t *testing.T) {
+	t.Parallel()
 	// product -> price holds except for one bad row out of ten.
 	rel := dataset.New("t", []string{"product", "price"})
 	for i := 0; i < 9; i++ {
@@ -121,6 +123,7 @@ func TestDiscoverApproxTolerantOfOutliers(t *testing.T) {
 }
 
 func TestQuickApproxAgainstBruteForce(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(321))
 	f := func() bool {
 		attrs := 2 + r.Intn(3)

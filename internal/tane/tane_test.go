@@ -28,6 +28,7 @@ func paperRelation() *dataset.Relation {
 }
 
 func TestDiscoverPaperExample(t *testing.T) {
+	t.Parallel()
 	got, err := Discover(paperRelation())
 	if err != nil {
 		t.Fatal(err)
@@ -45,6 +46,7 @@ func TestDiscoverPaperExample(t *testing.T) {
 }
 
 func TestDiscoverEmptyRelation(t *testing.T) {
+	t.Parallel()
 	rel := dataset.New("t", []string{"a", "b"})
 	got, err := Discover(rel)
 	if err != nil {
@@ -57,6 +59,7 @@ func TestDiscoverEmptyRelation(t *testing.T) {
 }
 
 func TestDiscoverSingleRow(t *testing.T) {
+	t.Parallel()
 	rel := dataset.New("t", []string{"a", "b", "c"})
 	_ = rel.Append([]string{"1", "2", "3"})
 	got, err := Discover(rel)
@@ -70,6 +73,7 @@ func TestDiscoverSingleRow(t *testing.T) {
 }
 
 func TestDiscoverInvalidRelation(t *testing.T) {
+	t.Parallel()
 	rel := &dataset.Relation{Name: "bad"}
 	if _, err := Discover(rel); err == nil {
 		t.Error("invalid relation accepted")
@@ -77,6 +81,7 @@ func TestDiscoverInvalidRelation(t *testing.T) {
 }
 
 func TestDiscoverKeyColumn(t *testing.T) {
+	t.Parallel()
 	rel := dataset.New("t", []string{"id", "a", "b"})
 	for i := 0; i < 8; i++ {
 		_ = rel.Append([]string{fmt.Sprint(i), fmt.Sprint(i % 2), fmt.Sprint(i % 4)})
@@ -97,6 +102,7 @@ func TestDiscoverKeyColumn(t *testing.T) {
 }
 
 func TestQuickAgainstOracle(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(1999))
 	f := func() bool {
 		attrs := 2 + r.Intn(5)

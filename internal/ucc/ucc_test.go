@@ -87,6 +87,7 @@ func relOf(rows [][]string, attrs int) *dataset.Relation {
 }
 
 func TestBootstrapSimple(t *testing.T) {
+	t.Parallel()
 	rows := [][]string{
 		{"1", "x", "p"},
 		{"2", "x", "p"},
@@ -112,6 +113,7 @@ func TestBootstrapSimple(t *testing.T) {
 }
 
 func TestEmptyEngine(t *testing.T) {
+	t.Parallel()
 	e := NewEmpty(3)
 	if got := e.UCCs(); len(got) != 1 || !got[0].IsEmpty() {
 		t.Fatalf("UCCs = %v", got)
@@ -144,6 +146,7 @@ func TestEmptyEngine(t *testing.T) {
 }
 
 func TestDeleteRestoresUniqueness(t *testing.T) {
+	t.Parallel()
 	rows := [][]string{
 		{"1", "x"},
 		{"2", "x"},
@@ -179,6 +182,7 @@ func TestDeleteRestoresUniqueness(t *testing.T) {
 }
 
 func TestValidationPruningSkips(t *testing.T) {
+	t.Parallel()
 	rows := [][]string{
 		{"1", "x"},
 		{"2", "x"},
@@ -212,6 +216,7 @@ func TestValidationPruningSkips(t *testing.T) {
 }
 
 func TestBatchErrors(t *testing.T) {
+	t.Parallel()
 	e := NewEmpty(2)
 	if _, err := e.ApplyBatch(stream.Batch{Changes: []stream.Change{
 		{Kind: stream.Insert, Values: []string{"only"}},
@@ -228,6 +233,7 @@ func TestBatchErrors(t *testing.T) {
 // TestQuickAgainstBruteForce replays random workloads and compares the
 // maintained minimal UCCs with the brute-force oracle after every batch.
 func TestQuickAgainstBruteForce(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(314))
 	f := func() bool {
 		attrs := 2 + r.Intn(4)
@@ -325,6 +331,7 @@ func TestQuickAgainstBruteForce(t *testing.T) {
 }
 
 func TestDiffSets(t *testing.T) {
+	t.Parallel()
 	a := []attrset.Set{attrset.Of(0), attrset.Of(1)}
 	b := []attrset.Set{attrset.Of(1), attrset.Of(2)}
 	added, removed := diffSets(a, b)

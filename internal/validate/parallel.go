@@ -1,0 +1,105 @@
+// Parallel batch validation: the fan-out primitive behind DynFD's
+// level-synchronized parallel validation engine (DESIGN.md §8).
+//
+// Validating a candidate FD against the Pli store is a pure read — FD
+// walks clusters and compressed records and mutates nothing — so any
+// number of candidate validations may run concurrently as long as no
+// goroutine mutates the store. DynFD's batch pipeline guarantees that:
+// structural changes (inserts/deletes) happen in step 1, validation scans
+// in steps 2 and 3, with no overlap. Fan exploits this window by spreading
+// a level's candidate validations across a bounded set of workers.
+//
+// Determinism: every request writes its outcome into its own slot of the
+// result slice, indexed like the input. Workers never share a slot, so no
+// locks are needed, and the caller reads outcomes in request order — the
+// merged result is byte-identical to a serial run regardless of worker
+// count or scheduling.
+package validate
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/pli"
+)
+
+// Request is one candidate validation: does Lhs → Rhs hold on the store?
+// MinNewID carries the cluster-pruning bound (paper §4.2) or NoPruning.
+type Request struct {
+	Lhs      attrset.Set
+	Rhs      int
+	MinNewID int64
+}
+
+// Outcome is the result of one Request. For an invalid candidate, Witness
+// holds a violating record pair.
+type Outcome struct {
+	Valid   bool
+	Witness Witness
+}
+
+// Fan validates every request against the store, spreading the work across
+// at most workers goroutines (workers <= 1 validates serially, in order).
+// Outcomes are indexed like the requests. The second result reports
+// whether the call actually fanned out to multiple workers.
+//
+// The store must not be mutated while Fan runs; see the package comment.
+func Fan(s *pli.Store, reqs []Request, workers int) ([]Outcome, bool) {
+	out := make([]Outcome, len(reqs))
+	fanned := ForEach(len(reqs), workers, func(i int) {
+		valid, w := FD(s, reqs[i].Lhs, reqs[i].Rhs, reqs[i].MinNewID)
+		out[i] = Outcome{Valid: valid, Witness: w}
+	})
+	return out, fanned
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanning the calls across at
+// most workers goroutines. Work is distributed through an atomic cursor,
+// so expensive items do not stall a static partition. With workers <= 1
+// (or n <= 1) the calls run inline on the caller's goroutine, in index
+// order, and ForEach returns false; otherwise it blocks until all calls
+// finished and returns true.
+//
+// fn must be safe to call from multiple goroutines for distinct i. A panic
+// in any call is re-raised on the caller's goroutine after the remaining
+// workers drain.
+func ForEach(n, workers int, fn func(i int)) bool {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return false
+	}
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[any]
+	)
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &r)
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(*p)
+	}
+	return true
+}

@@ -1,0 +1,203 @@
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/pli"
+)
+
+// randomStore builds a store with n records over attrs attributes drawn
+// from a small value domain, so both valid and invalid candidates occur.
+func randomStore(t testing.TB, seed int64, n, attrs, domain int) *pli.Store {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	s := pli.NewStore(attrs)
+	for i := 0; i < n; i++ {
+		row := make([]string, attrs)
+		for a := range row {
+			row[a] = fmt.Sprint(r.Intn(domain))
+		}
+		if _, err := s.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// allRequests enumerates every non-trivial candidate (lhs → rhs) with
+// |lhs| <= 2 — enough to cover empty, singleton, and multi-attribute
+// pivot/rest paths in FD.
+func allRequests(attrs int) []Request {
+	var reqs []Request
+	for rhs := 0; rhs < attrs; rhs++ {
+		reqs = append(reqs, Request{Lhs: attrset.Set{}, Rhs: rhs, MinNewID: NoPruning})
+		for a := 0; a < attrs; a++ {
+			if a == rhs {
+				continue
+			}
+			reqs = append(reqs, Request{Lhs: attrset.Of(a), Rhs: rhs, MinNewID: NoPruning})
+			for b := a + 1; b < attrs; b++ {
+				if b == rhs {
+					continue
+				}
+				reqs = append(reqs, Request{Lhs: attrset.Of(a, b), Rhs: rhs, MinNewID: NoPruning})
+			}
+		}
+	}
+	return reqs
+}
+
+// TestFanMatchesSerialFD asserts the determinism property the engine
+// depends on: for any worker count, Fan reports exactly the validity bits
+// of serial FD calls, in request order, and every reported witness
+// actually violates its candidate. (The concrete witness pair is not
+// deterministic — FD walks the cluster map in Go's random iteration order
+// and stops at the first violation, so even two serial calls may return
+// different pairs. Witnesses only feed result-neutral pruning
+// annotations.)
+func TestFanMatchesSerialFD(t *testing.T) {
+	t.Parallel()
+	s := randomStore(t, 1, 200, 5, 3)
+	reqs := allRequests(5)
+	want := make([]bool, len(reqs))
+	for i, r := range reqs {
+		want[i], _ = FD(s, r.Lhs, r.Rhs, r.MinNewID)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 4, 8, 64} {
+		got, fanned := Fan(s, reqs, workers)
+		if wantFan := workers >= 2; fanned != wantFan {
+			t.Errorf("workers=%d: fanned = %v, want %v", workers, fanned, wantFan)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d outcomes for %d requests", workers, len(got), len(want))
+		}
+		for i, r := range reqs {
+			if got[i].Valid != want[i] {
+				t.Errorf("workers=%d: request %d (%v -> %d): Valid = %v, want %v",
+					workers, i, r.Lhs.Slice(), r.Rhs, got[i].Valid, want[i])
+				continue
+			}
+			if !got[i].Valid {
+				checkWitness(t, s, r, got[i].Witness)
+			}
+		}
+	}
+}
+
+// checkWitness verifies that w is a live record pair violating the request.
+func checkWitness(t *testing.T, s *pli.Store, r Request, w Witness) {
+	t.Helper()
+	ra, okA := s.Record(w.A)
+	rb, okB := s.Record(w.B)
+	if !okA || !okB {
+		t.Errorf("witness (%d,%d) for %v -> %d has dead records", w.A, w.B, r.Lhs.Slice(), r.Rhs)
+		return
+	}
+	if !r.Lhs.IsSubsetOf(AgreeSet(ra, rb)) || ra[r.Rhs] == rb[r.Rhs] {
+		t.Errorf("witness (%d,%d) does not violate %v -> %d", w.A, w.B, r.Lhs.Slice(), r.Rhs)
+	}
+}
+
+// TestFanClusterPruning checks that the MinNewID bound is honoured per
+// request when fanned out.
+func TestFanClusterPruning(t *testing.T) {
+	t.Parallel()
+	s := pli.NewStore(2)
+	for _, row := range [][]string{{"a", "1"}, {"b", "2"}, {"c", "3"}} {
+		if _, err := s.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Insert a violating pair, then prune it away: with MinNewID above all
+	// ids, every cluster is skipped and the candidate looks valid (the
+	// pruning's soundness precondition is the caller's business).
+	if _, err := s.Insert([]string{"a", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		{Lhs: attrset.Of(0), Rhs: 1, MinNewID: NoPruning},
+		{Lhs: attrset.Of(0), Rhs: 1, MinNewID: s.NextID()},
+	}
+	out, _ := Fan(s, reqs, 2)
+	if out[0].Valid {
+		t.Error("unpruned validation missed the violation")
+	}
+	if !out[1].Valid {
+		t.Error("fully pruned validation still reported a violation")
+	}
+}
+
+func TestForEachCoversAllIndexesOnce(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{0, 1, 2, 7, 16} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndTiny(t *testing.T) {
+	t.Parallel()
+	if ForEach(0, 8, func(int) { t.Error("called for n=0") }) {
+		t.Error("fanned out for n=0")
+	}
+	calls := 0
+	if ForEach(1, 8, func(i int) { calls++ }) {
+		t.Error("fanned out for n=1 (workers clamp to n)")
+	}
+	if calls != 1 {
+		t.Errorf("n=1: %d calls", calls)
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	t.Parallel()
+	var order []int
+	ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial ForEach out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	ForEach(100, 4, func(i int) {
+		if i == 42 {
+			panic("boom")
+		}
+	})
+	t.Error("ForEach returned after worker panic")
+}
+
+// TestFanConcurrentStress hammers one shared store from many fanned
+// validations at once; run with -race it proves the reader-only contract
+// of pli.Store holds through the full validation code path.
+func TestFanConcurrentStress(t *testing.T) {
+	t.Parallel()
+	s := randomStore(t, 7, 400, 6, 4)
+	reqs := allRequests(6)
+	for round := 0; round < 4; round++ {
+		out, _ := Fan(s, reqs, 8)
+		for i, r := range reqs {
+			if !out[i].Valid {
+				checkWitness(t, s, r, out[i].Witness)
+			}
+		}
+	}
+}

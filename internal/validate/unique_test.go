@@ -30,6 +30,7 @@ func bruteUnique(rows [][]string, cols attrset.Set) bool {
 }
 
 func TestUniqueBasics(t *testing.T) {
+	t.Parallel()
 	rows := [][]string{
 		{"1", "x"},
 		{"2", "x"},
@@ -55,6 +56,7 @@ func TestUniqueBasics(t *testing.T) {
 }
 
 func TestUniqueTinyStores(t *testing.T) {
+	t.Parallel()
 	s := pli.NewStore(2)
 	if ok, _ := Unique(s, attrset.Of(0), NoPruning); !ok {
 		t.Error("empty store not unique")
@@ -66,6 +68,7 @@ func TestUniqueTinyStores(t *testing.T) {
 }
 
 func TestUniqueClusterPruning(t *testing.T) {
+	t.Parallel()
 	s := buildStore(t, [][]string{{"1", "a"}, {"2", "a"}}, 2)
 	minNew := s.NextID()
 	if _, err := s.Insert([]string{"1", "b"}); err != nil {
@@ -89,6 +92,7 @@ func TestUniqueClusterPruning(t *testing.T) {
 }
 
 func TestQuickUniqueAgainstBruteForce(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(64))
 	f := func() bool {
 		attrs := 2 + r.Intn(4)

@@ -30,6 +30,7 @@ var paperRows = [][]string{
 }
 
 func TestPaperFDs(t *testing.T) {
+	t.Parallel()
 	s := buildStore(t, paperRows, 4)
 	cases := []struct {
 		lhs   attrset.Set
@@ -61,6 +62,7 @@ func TestPaperFDs(t *testing.T) {
 }
 
 func TestEmptyAndTinyStore(t *testing.T) {
+	t.Parallel()
 	s := pli.NewStore(2)
 	if valid, _ := FD(s, attrset.Of(0), 1, NoPruning); !valid {
 		t.Error("FD on empty store invalid")
@@ -77,6 +79,7 @@ func TestEmptyAndTinyStore(t *testing.T) {
 }
 
 func TestConstantColumn(t *testing.T) {
+	t.Parallel()
 	s := buildStore(t, [][]string{{"x", "1"}, {"y", "1"}, {"z", "1"}}, 2)
 	if valid, _ := FD(s, attrset.Set{}, 1, NoPruning); !valid {
 		t.Error("constant column not recognized")
@@ -91,6 +94,7 @@ func TestConstantColumn(t *testing.T) {
 }
 
 func TestClusterPruningSoundness(t *testing.T) {
+	t.Parallel()
 	// Build a store where the FD a -> b holds, then insert a violating
 	// record. With pruning at the new record's id the violation must still
 	// be found (the pivot cluster contains the new record).
@@ -123,6 +127,7 @@ func TestClusterPruningSoundness(t *testing.T) {
 // TestQuickAgainstOracle compares FD validation against the brute-force
 // oracle over random relations with small value domains.
 func TestQuickAgainstOracle(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(2024))
 	f := func() bool {
 		attrs := 2 + r.Intn(4)
@@ -171,6 +176,7 @@ func TestQuickAgainstOracle(t *testing.T) {
 }
 
 func TestAgreeSet(t *testing.T) {
+	t.Parallel()
 	a := pli.Record{1, 2, 3, 4}
 	b := pli.Record{1, 9, 3, 8}
 	if got := AgreeSet(a, b); got != attrset.Of(0, 2) {

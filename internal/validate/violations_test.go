@@ -48,6 +48,7 @@ func bruteG3(rows [][]string, lhs attrset.Set, rhs int) float64 {
 }
 
 func TestViolationsPaperExample(t *testing.T) {
+	t.Parallel()
 	s := buildStore(t, paperRows, 4)
 	// c -> z is violated: Potsdam has zip 14482 twice (ok), Berlin has
 	// zips 10115 and 13591 (violation).
@@ -72,6 +73,7 @@ func TestViolationsPaperExample(t *testing.T) {
 }
 
 func TestViolationsEmptyLhs(t *testing.T) {
+	t.Parallel()
 	s := buildStore(t, [][]string{{"a"}, {"a"}, {"b"}, {"c"}}, 1)
 	groups, g3 := Violations(s, attrset.Set{}, 0, 0)
 	if len(groups) != 1 || groups[0].RhsValues != 3 {
@@ -83,6 +85,7 @@ func TestViolationsEmptyLhs(t *testing.T) {
 }
 
 func TestViolationsMaxCap(t *testing.T) {
+	t.Parallel()
 	rows := [][]string{
 		{"k1", "a"}, {"k1", "b"},
 		{"k2", "a"}, {"k2", "b"},
@@ -104,6 +107,7 @@ func TestViolationsMaxCap(t *testing.T) {
 }
 
 func TestViolationsTinyStore(t *testing.T) {
+	t.Parallel()
 	s := pli.NewStore(2)
 	if g, g3 := Violations(s, attrset.Of(0), 1, 0); len(g) != 0 || g3 != 0 {
 		t.Error("empty store produced violations")
@@ -113,6 +117,7 @@ func TestViolationsTinyStore(t *testing.T) {
 // TestQuickG3AgainstBruteForce cross-checks the g3 error and the validity
 // correspondence (g3 == 0 ⟺ FD valid) on random relations.
 func TestQuickG3AgainstBruteForce(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(4242))
 	f := func() bool {
 		attrs := 2 + r.Intn(4)

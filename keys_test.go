@@ -7,6 +7,7 @@ import (
 )
 
 func TestKeyMonitorLifecycle(t *testing.T) {
+	t.Parallel()
 	m, err := NewKeyMonitor([]string{"id", "room", "floor"})
 	if err != nil {
 		t.Fatal(err)
@@ -51,6 +52,7 @@ func TestKeyMonitorLifecycle(t *testing.T) {
 }
 
 func TestKeyMonitorBootstrapRules(t *testing.T) {
+	t.Parallel()
 	m, _ := NewKeyMonitor([]string{"a", "b"})
 	if _, err := m.Apply(Insert("1", "2")); err != nil {
 		t.Fatal(err)

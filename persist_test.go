@@ -8,6 +8,7 @@ import (
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
+	t.Parallel()
 	m := newPaperMonitor(t)
 	if _, err := m.Apply(Delete(2), Insert("Marie", "Scott", "14467", "Potsdam")); err != nil {
 		t.Fatal(err)
@@ -61,6 +62,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestLoadMonitorRejectsGarbage(t *testing.T) {
+	t.Parallel()
 	cases := []string{
 		``,
 		`{"format":"something-else","version":1}`,
@@ -76,6 +78,7 @@ func TestLoadMonitorRejectsGarbage(t *testing.T) {
 }
 
 func TestLoadMonitorRejectsInconsistentCovers(t *testing.T) {
+	t.Parallel()
 	// Hand-crafted snapshot whose covers are not duals: the positive cover
 	// says ∅→b holds but the negative cover claims a→b is a maximal non-FD.
 	in := `{"format":"dynfd-snapshot","version":1,"columns":["a","b"],
@@ -89,6 +92,7 @@ func TestLoadMonitorRejectsInconsistentCovers(t *testing.T) {
 }
 
 func TestLoadMonitorRejectsBadRecords(t *testing.T) {
+	t.Parallel()
 	in := `{"format":"dynfd-snapshot","version":1,"columns":["a","b"],
 		"engine":{"num_attrs":2,"next_id":0,"records":[{"id":5,"values":["x","y"]},{"id":3,"values":["p","q"]}],
 		"fds":[],"non_fds":[],"config":{}}}`
@@ -110,6 +114,7 @@ func TestLoadMonitorRejectsBadRecords(t *testing.T) {
 }
 
 func TestSaveLoadPreservesWitnesses(t *testing.T) {
+	t.Parallel()
 	// After a batch that turns FDs invalid, the negative cover carries
 	// violation witnesses; a restore must keep them so validation pruning
 	// keeps skipping.

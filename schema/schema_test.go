@@ -27,6 +27,7 @@ func orders(t *testing.T) *Schema {
 }
 
 func TestNewValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := New(nil, nil); err == nil {
 		t.Error("empty columns accepted")
 	}
@@ -42,6 +43,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestClosureAndImplies(t *testing.T) {
+	t.Parallel()
 	s := orders(t)
 	got, err := s.Closure("order_id")
 	if err != nil {
@@ -67,6 +69,7 @@ func TestClosureAndImplies(t *testing.T) {
 }
 
 func TestCandidateKeys(t *testing.T) {
+	t.Parallel()
 	s := orders(t)
 	keys := s.CandidateKeys()
 	if !reflect.DeepEqual(keys, [][]string{{"order_id"}}) {
@@ -75,6 +78,7 @@ func TestCandidateKeys(t *testing.T) {
 }
 
 func TestBCNF(t *testing.T) {
+	t.Parallel()
 	s := orders(t)
 	if s.IsBCNF() {
 		t.Error("orders schema reported as BCNF")
@@ -100,6 +104,7 @@ func TestBCNF(t *testing.T) {
 }
 
 func TestSynthesize3NFAndCover(t *testing.T) {
+	t.Parallel()
 	s := orders(t)
 	frags := s.Synthesize3NF()
 	if len(frags) == 0 {
@@ -112,6 +117,7 @@ func TestSynthesize3NFAndCover(t *testing.T) {
 }
 
 func TestReduceGroupBy(t *testing.T) {
+	t.Parallel()
 	s := orders(t)
 	got, err := s.ReduceGroupBy("order_id", "customer", "cust_city")
 	if err != nil {
@@ -126,6 +132,7 @@ func TestReduceGroupBy(t *testing.T) {
 }
 
 func TestFromData(t *testing.T) {
+	t.Parallel()
 	rows := [][]string{
 		{"o1", "ada", "Berlin", "bolt", "0.10"},
 		{"o2", "ada", "Berlin", "nut", "0.05"},

@@ -6,6 +6,7 @@ import (
 )
 
 func TestMonitorViolations(t *testing.T) {
+	t.Parallel()
 	m := newPaperMonitor(t)
 	// city -> zip is violated by the two Berlin rows (ids 2 and 3).
 	groups, g3, err := m.Violations([]string{"city"}, "zip", 0)
