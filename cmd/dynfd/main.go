@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dynfd"
@@ -34,6 +36,8 @@ func main() {
 	columns := flag.String("columns", "", "comma-separated schema when no -initial file is given")
 	quiet := flag.Bool("quiet", false, "suppress per-batch FD changes; print only the final FDs")
 	workers := flag.Int("workers", 0, "parallel validations per lattice level (0 = serial, -1 = all CPUs)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the replay, post-GC) to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: dynfd [flags] changes.jsonl\n")
 		flag.PrintDefaults()
@@ -43,10 +47,51 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *initial, *columns, *batchSize, *workers, *quiet, os.Stdout); err != nil {
+	err := profiled(*cpuprofile, *memprofile, func() error {
+		return run(flag.Arg(0), *initial, *columns, *batchSize, *workers, *quiet, os.Stdout)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynfd:", err)
 		os.Exit(1)
 	}
+}
+
+// profiled runs fn under the optional pprof collectors, so hot-path work
+// can be profiled against real replays without editing code:
+//
+//	dynfd -initial data.csv -cpuprofile cpu.out -memprofile mem.out changes.jsonl
+//	go tool pprof cpu.out
+//
+// An empty path disables the respective profile. The heap profile is
+// written after fn returns, following a GC, so it reflects live steady-
+// state memory rather than transient batch garbage.
+func profiled(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
 }
 
 func run(changesPath, initial, columns string, batchSize, workers int, quiet bool, out io.Writer) error {

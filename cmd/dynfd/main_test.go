@@ -80,6 +80,54 @@ func TestRunColumnsOnly(t *testing.T) {
 	}
 }
 
+func TestProfiledWritesProfiles(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	ran := false
+	if err := profiled(cpu, mem, func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("profiled did not run the wrapped function")
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestProfiledErrors(t *testing.T) {
+	t.Parallel()
+	// No profile paths: the wrapped error passes through unwrapped.
+	wantErr := os.ErrClosed
+	if err := profiled("", "", func() error { return wantErr }); err != wantErr {
+		t.Errorf("got %v, want %v", err, wantErr)
+	}
+	// Unwritable profile paths fail up front / after the run.
+	bad := filepath.Join(t.TempDir(), "missing-dir", "p.out")
+	if err := profiled(bad, "", func() error { return nil }); err == nil {
+		t.Error("unwritable cpuprofile path accepted")
+	}
+	if err := profiled("", bad, func() error { return nil }); err == nil {
+		t.Error("unwritable memprofile path accepted")
+	}
+	// A failing run must not clobber the error with a memprofile write.
+	mem := filepath.Join(t.TempDir(), "mem.out")
+	if err := profiled("", mem, func() error { return wantErr }); err != wantErr {
+		t.Errorf("got %v, want %v", err, wantErr)
+	}
+	if _, err := os.Stat(mem); err == nil {
+		t.Error("memprofile written despite failed run")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	t.Parallel()
 	changes := writeFile(t, "c.jsonl", "")

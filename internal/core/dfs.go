@@ -20,9 +20,13 @@ func (e *Engine) depthFirstSearches(validFds []fd.FD) {
 	if n < 1 {
 		n = 1
 	}
-	visited := make(map[fd.FD]bool)
+	// Engine-held and cleared per run; only the engine goroutine searches.
+	if e.dfsVisited == nil {
+		e.dfsVisited = make(map[fd.FD]bool)
+	}
+	clear(e.dfsVisited)
 	for _, i := range e.rng.Perm(len(validFds))[:n] {
-		e.depthFirst(validFds[i], visited)
+		e.depthFirst(validFds[i], e.dfsVisited)
 	}
 }
 
@@ -44,7 +48,9 @@ func (e *Engine) depthFirst(f fd.FD, visited map[fd.FD]bool) {
 		valid := e.fds.ContainsGeneralization(gen.Lhs, gen.Rhs)
 		if !valid {
 			e.stats.Validations++
-			valid, _ = validate.FD(e.store, gen.Lhs, gen.Rhs, validate.NoPruning)
+			// Depth-first searches run on the engine goroutine (merge
+			// phase), so the serial slot-0 scratch is free to reuse.
+			valid, _ = e.scratch.Serial().FD(e.store, gen.Lhs, gen.Rhs, validate.NoPruning)
 		}
 		if valid {
 			e.depthFirst(gen, visited)

@@ -37,17 +37,30 @@ type Engine struct {
 	cfg      Config
 	numAttrs int
 	store    *pli.Store
-	fds      *lattice.Cover // positive cover: all minimal FDs
-	nonFds   lattice.View   // negative cover: all maximal non-FDs (complement-keyed)
-	keySet   attrset.Set    // declared unique columns (Config.KeyColumns)
-	workers  int            // resolved per-level validation worker budget
+	fds      *lattice.Cover      // positive cover: all minimal FDs
+	nonFds   lattice.View        // negative cover: all maximal non-FDs (complement-keyed)
+	keySet   attrset.Set         // declared unique columns (Config.KeyColumns)
+	workers  int                 // resolved per-level validation worker budget
+	scratch  *validate.Scratches // per-worker validation kernel buffers (slot 0 = serial path)
 	rng      *rand.Rand
 	stats    Stats
+
+	// Reusable per-batch buffers. All of them are owned by the engine
+	// goroutine and reset (not reallocated) at the start of each use, so
+	// steady-state batches stop paying per-level and per-search
+	// allocations. None of them carry state across uses.
+	scanOutcomes []scanOutcome        // scanLevel: per-candidate outcomes
+	scanReqs     []validate.Request   // scanLevel: eligible validation requests
+	scanSlots    []int                // scanLevel: request slot -> candidate index
+	fanOut       []validate.Outcome   // scanLevel: fan-out results
+	vsCompared   map[[2]int64]bool    // violationSearch: compared record pairs
+	vsSeenAgree  map[attrset.Set]bool // violationSearch: folded agree sets
+	dfsVisited   map[fd.FD]bool       // depthFirstSearches: visited candidates
 }
 
 // initExtras finishes construction: declared key columns, the resolved
-// validation worker budget, and the seeded random source for the
-// depth-first-search sampling.
+// validation worker budget, the engine-held validation scratches, and the
+// seeded random source for the depth-first-search sampling.
 func (e *Engine) initExtras() {
 	for _, a := range e.cfg.KeyColumns {
 		if a >= 0 && a < e.numAttrs {
@@ -55,6 +68,7 @@ func (e *Engine) initExtras() {
 		}
 	}
 	e.workers = resolveWorkers(e.cfg.Workers)
+	e.scratch = &validate.Scratches{}
 	e.rng = rand.New(rand.NewSource(e.cfg.Seed))
 }
 
@@ -151,7 +165,7 @@ func (e *Engine) Violations(lhs []int, rhs int, max int) ([]validate.ViolationGr
 	for _, a := range lhs {
 		s = s.With(a)
 	}
-	return validate.Violations(e.store, s, rhs, max)
+	return e.scratch.Serial().Violations(e.store, s, rhs, max)
 }
 
 // Result describes the outcome of one batch.

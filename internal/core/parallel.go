@@ -73,10 +73,15 @@ func resolveWorkers(n int) int {
 // has a worker budget — and return the outcomes in candidate order.
 // classify must only read engine state; prune is the cluster-pruning bound
 // passed to the validations (validate.NoPruning to disable).
+// The returned slice aliases an engine-held buffer that the next scanLevel
+// call overwrites; callers consume it within their level's merge phase.
 func (e *Engine) scanLevel(candidates []fd.FD, prune int64, classify func(fd.FD) scanKind) []scanOutcome {
-	outcomes := make([]scanOutcome, len(candidates))
-	var reqs []validate.Request
-	var slots []int
+	if cap(e.scanOutcomes) < len(candidates) {
+		e.scanOutcomes = make([]scanOutcome, len(candidates))
+	}
+	outcomes := e.scanOutcomes[:len(candidates)]
+	reqs := e.scanReqs[:0]
+	slots := e.scanSlots[:0]
 	for i, cand := range candidates {
 		kind := classify(cand)
 		outcomes[i].kind = kind
@@ -85,10 +90,15 @@ func (e *Engine) scanLevel(candidates []fd.FD, prune int64, classify func(fd.FD)
 			slots = append(slots, i)
 		}
 	}
+	e.scanReqs, e.scanSlots = reqs, slots
 	if len(reqs) == 0 {
 		return outcomes
 	}
-	results, fanned := validate.Fan(e.store, reqs, e.workers)
+	if cap(e.fanOut) < len(reqs) {
+		e.fanOut = make([]validate.Outcome, len(reqs))
+	}
+	results := e.fanOut[:len(reqs)]
+	fanned := validate.FanInto(results, e.store, reqs, e.workers, e.scratch)
 	if fanned {
 		e.stats.ParallelLevels++
 	}

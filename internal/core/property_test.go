@@ -300,7 +300,7 @@ func runEquivalence(t *testing.T, seed int64, workers, attrs, initialRows, batch
 		}
 		if got, want := parallel.NonFDs(), serial.NonFDs(); !fd.Equal(got, want) {
 			t.Fatalf("batch %d (seed %d, workers %d): non-FD covers diverged\n serial   %v\n parallel %v",
-			b, seed, workers, want, got)
+				b, seed, workers, want, got)
 		}
 		if !fd.Equal(resS.Added, resP.Added) || !fd.Equal(resS.Removed, resP.Removed) {
 			t.Fatalf("batch %d: diffs diverged: serial +%v -%v, parallel +%v -%v",

@@ -23,8 +23,16 @@ import (
 // direct cluster neighbours (window 1).
 func (e *Engine) violationSearch(newIDs []int64) {
 	e.stats.ViolationSearchRuns++
-	compared := make(map[[2]int64]bool)
-	seenAgree := make(map[attrset.Set]bool)
+	// The dedup maps are engine-held and cleared per search, so the buckets
+	// warm up across batches instead of being reallocated every run.
+	if e.vsCompared == nil {
+		e.vsCompared = make(map[[2]int64]bool)
+		e.vsSeenAgree = make(map[attrset.Set]bool)
+	}
+	clear(e.vsCompared)
+	clear(e.vsSeenAgree)
+	compared := e.vsCompared
+	seenAgree := e.vsSeenAgree
 	progressive := e.cfg.ViolationSearch
 	for window := 1; ; window *= 2 {
 		comparisons, hits := 0, 0

@@ -69,6 +69,8 @@ func DiscoverStore(store *pli.Store) *Result {
 	numAttrs := store.NumAttrs()
 	s := &sampler{store: store, neg: lattice.NewFlipped(numAttrs), numAttrs: numAttrs}
 	s.init()
+	// One warm validation scratch serves the whole (serial) discovery run.
+	sc := validate.NewScratch()
 
 	// Phase 1: sampling until the comparisons stop paying off.
 	s.round()
@@ -93,7 +95,7 @@ func DiscoverStore(store *pli.Store) *Result {
 			if !fds.Contains(cand.Lhs, cand.Rhs) {
 				continue // removed by an earlier specialization in this level
 			}
-			valid, w := validate.FD(store, cand.Lhs, cand.Rhs, validate.NoPruning)
+			valid, w := sc.FD(store, cand.Lhs, cand.Rhs, validate.NoPruning)
 			if valid {
 				continue
 			}

@@ -27,8 +27,14 @@ import (
 type Record []int32
 
 // Cluster is one equivalence class of a Pli: the ids of all current records
-// that share Value in the Pli's attribute. IDs are kept in ascending order;
-// because surrogate ids grow monotonically, an append preserves the order.
+// that share Value in the Pli's attribute.
+//
+// Invariant: IDs are strictly ascending. Inserts append (surrogate ids grow
+// monotonically, so an append preserves the order) and deletes splice, so
+// the order holds at all times; CheckConsistency asserts it. The validation
+// kernels in internal/validate rely on this to emit violation-group members
+// in record-id order without copying or sorting, and MaxID reads the newest
+// member in constant time.
 type Cluster struct {
 	Value string
 	IDs   []int64
@@ -182,6 +188,12 @@ func (s *Store) Record(id int64) (Record, bool) {
 	r, ok := s.records[id]
 	return r, ok
 }
+
+// Rec returns the compressed record for id, or nil if the record does not
+// exist. It is the single-result form of Record for hot loops that iterate
+// cluster members (which are live by the store invariants); the returned
+// slice is owned by the store and must not be modified.
+func (s *Store) Rec(id int64) Record { return s.records[id] }
 
 // ForEachRecord calls fn for every record. Iteration order is unspecified.
 func (s *Store) ForEachRecord(fn func(id int64, rec Record) bool) {

@@ -34,8 +34,9 @@ const rhsTag = 0
 type Engine struct {
 	numAttrs   int
 	store      *pli.Store
-	uniques    *lattice.Cover // minimal uniques (small sets)
-	nonUniques lattice.View   // maximal non-uniques (large sets, flipped)
+	uniques    *lattice.Cover    // minimal uniques (small sets)
+	nonUniques lattice.View      // maximal non-uniques (large sets, flipped)
+	scratch    *validate.Scratch // reusable validation kernel buffers
 	stats      Stats
 }
 
@@ -55,6 +56,7 @@ func NewEmpty(numAttrs int) *Engine {
 		store:      pli.NewStore(numAttrs),
 		uniques:    lattice.New(numAttrs),
 		nonUniques: lattice.NewFlipped(numAttrs),
+		scratch:    validate.NewScratch(),
 	}
 	e.uniques.Add(attrset.Set{}, rhsTag)
 	return e
@@ -114,12 +116,13 @@ func discover(store *pli.Store) *lattice.Cover {
 	}
 	// Validation: level-wise over the candidate cover; invalid candidates
 	// are specialized with their witness pair's full agree set.
+	sc := validate.NewScratch()
 	for level := 0; level <= numAttrs; level++ {
 		for _, cand := range uniques.Level(level) {
 			if !uniques.Contains(cand.Lhs, rhsTag) {
 				continue
 			}
-			ok, w := validate.Unique(store, cand.Lhs, validate.NoPruning)
+			ok, w := sc.Unique(store, cand.Lhs, validate.NoPruning)
 			if ok {
 				continue
 			}
@@ -288,7 +291,7 @@ func (e *Engine) processInserts(minNewID int64) {
 				continue
 			}
 			e.stats.Validations++
-			unique, w := validate.Unique(e.store, cand.Lhs, minNewID)
+			unique, w := e.scratch.Unique(e.store, cand.Lhs, minNewID)
 			if unique {
 				continue
 			}
@@ -332,7 +335,7 @@ func (e *Engine) processDeletes() {
 				}
 			}
 			e.stats.Validations++
-			unique, w := validate.Unique(e.store, cand.Lhs, validate.NoPruning)
+			unique, w := e.scratch.Unique(e.store, cand.Lhs, validate.NoPruning)
 			if !unique {
 				e.nonUniques.SetViolation(cand.Lhs, rhsTag, lattice.Violation{A: w.A, B: w.B})
 				continue

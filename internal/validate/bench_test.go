@@ -35,6 +35,34 @@ func BenchmarkFDValidation(b *testing.B) {
 	}
 }
 
+// BenchmarkValidateFD measures the kernel with a warm caller-owned Scratch
+// — the steady-state shape of every hot path (worker slots in Fan, the
+// engine's serial slot). Sub-benchmarks cover the three kernel
+// specializations: rest width 0 (direct probe), 1 (single cluster id) and
+// ≥2 (flattened tuples). All must report 0 allocs/op; alloc_test.go pins
+// that, this benchmark tracks the cycle cost.
+func BenchmarkValidateFD(b *testing.B) {
+	s := benchStore(b, 5000, 8, 50)
+	for _, bc := range []struct {
+		name string
+		lhs  attrset.Set
+	}{
+		{"rest0", attrset.Of(0)},
+		{"rest1", attrset.Of(0, 1)},
+		{"rest3", attrset.Of(0, 1, 3, 4)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			sc := NewScratch()
+			sc.FD(s, bc.lhs, 2, NoPruning) // warm the buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.FD(s, bc.lhs, 2, NoPruning)
+			}
+		})
+	}
+}
+
 // BenchmarkFDValidationClusterPruned measures the insert-side validation
 // with cluster pruning when only the newest record is new — the common
 // steady-state case the paper's §4.2 targets. The pruned run should be

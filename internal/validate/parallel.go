@@ -44,33 +44,69 @@ type Outcome struct {
 // Outcomes are indexed like the requests. The second result reports
 // whether the call actually fanned out to multiple workers.
 //
+// sc provides the per-worker validation scratches: worker slot w uses
+// sc.At(w) exclusively for the duration of the call, so validations reuse
+// warm kernel buffers with zero allocations (DESIGN.md §9). Passing nil
+// uses a fresh throwaway set. Scratch contents never influence outcomes —
+// they are pure working memory — so the serial-equivalence guarantee is
+// untouched. The missing scratches are grown before the fan-out, on the
+// caller's goroutine.
+//
 // The store must not be mutated while Fan runs; see the package comment.
-func Fan(s *pli.Store, reqs []Request, workers int) ([]Outcome, bool) {
+func Fan(s *pli.Store, reqs []Request, workers int, sc *Scratches) ([]Outcome, bool) {
 	out := make([]Outcome, len(reqs))
-	fanned := ForEach(len(reqs), workers, func(i int) {
-		valid, w := FD(s, reqs[i].Lhs, reqs[i].Rhs, reqs[i].MinNewID)
-		out[i] = Outcome{Valid: valid, Witness: w}
-	})
+	fanned := FanInto(out, s, reqs, workers, sc)
 	return out, fanned
 }
 
+// FanInto is Fan writing the outcomes into the caller's slice, for hot
+// callers that reuse a per-level buffer. len(out) must equal len(reqs).
+func FanInto(out []Outcome, s *pli.Store, reqs []Request, workers int, sc *Scratches) bool {
+	if len(out) != len(reqs) {
+		panic("validate: FanInto outcome slice does not match requests")
+	}
+	if sc == nil {
+		sc = &Scratches{}
+	}
+	slots := workers
+	if slots > len(reqs) {
+		slots = len(reqs)
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	sc.grow(slots)
+	return ForEachWorker(len(reqs), workers, func(w, i int) {
+		valid, wit := sc.At(w).FD(s, reqs[i].Lhs, reqs[i].Rhs, reqs[i].MinNewID)
+		out[i] = Outcome{Valid: valid, Witness: wit}
+	})
+}
+
 // ForEach runs fn(i) for every i in [0, n), fanning the calls across at
-// most workers goroutines. Work is distributed through an atomic cursor,
-// so expensive items do not stall a static partition. With workers <= 1
-// (or n <= 1) the calls run inline on the caller's goroutine, in index
-// order, and ForEach returns false; otherwise it blocks until all calls
-// finished and returns true.
+// most workers goroutines. See ForEachWorker for the full contract.
+func ForEach(n, workers int, fn func(i int)) bool {
+	return ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker runs fn(w, i) for every i in [0, n), fanning the calls
+// across at most workers goroutines; w identifies the executing worker
+// slot (0 <= w < workers), so callers can hand each worker exclusive
+// per-slot state such as a validation Scratch. Work is distributed through
+// an atomic cursor, so expensive items do not stall a static partition.
+// With workers <= 1 (or n <= 1) the calls run inline on the caller's
+// goroutine as worker 0, in index order, and ForEachWorker returns false;
+// otherwise it blocks until all calls finished and returns true.
 //
 // fn must be safe to call from multiple goroutines for distinct i. A panic
 // in any call is re-raised on the caller's goroutine after the remaining
 // workers drain.
-func ForEach(n, workers int, fn func(i int)) bool {
+func ForEachWorker(n, workers int, fn func(worker, i int)) bool {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return false
 	}
@@ -81,7 +117,7 @@ func ForEach(n, workers int, fn func(i int)) bool {
 	)
 	wg.Add(workers)
 	for k := 0; k < workers; k++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -93,9 +129,9 @@ func ForEach(n, workers int, fn func(i int)) bool {
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 	if p := panicked.Load(); p != nil {

@@ -68,7 +68,7 @@ func TestFanMatchesSerialFD(t *testing.T) {
 		want[i], _ = FD(s, r.Lhs, r.Rhs, r.MinNewID)
 	}
 	for _, workers := range []int{0, 1, 2, 3, 4, 8, 64} {
-		got, fanned := Fan(s, reqs, workers)
+		got, fanned := Fan(s, reqs, workers, nil)
 		if wantFan := workers >= 2; fanned != wantFan {
 			t.Errorf("workers=%d: fanned = %v, want %v", workers, fanned, wantFan)
 		}
@@ -122,7 +122,7 @@ func TestFanClusterPruning(t *testing.T) {
 		{Lhs: attrset.Of(0), Rhs: 1, MinNewID: NoPruning},
 		{Lhs: attrset.Of(0), Rhs: 1, MinNewID: s.NextID()},
 	}
-	out, _ := Fan(s, reqs, 2)
+	out, _ := Fan(s, reqs, 2, nil)
 	if out[0].Valid {
 		t.Error("unpruned validation missed the violation")
 	}
@@ -193,7 +193,7 @@ func TestFanConcurrentStress(t *testing.T) {
 	s := randomStore(t, 7, 400, 6, 4)
 	reqs := allRequests(6)
 	for round := 0; round < 4; round++ {
-		out, _ := Fan(s, reqs, 8)
+		out, _ := Fan(s, reqs, 8, nil)
 		for i, r := range reqs {
 			if !out[i].Valid {
 				checkWitness(t, s, r, out[i].Witness)

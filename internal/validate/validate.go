@@ -6,6 +6,11 @@
 // cluster ids of each group. The check terminates at the first violation
 // and reports the violating record pair as a witness.
 //
+// The grouping runs on an allocation-free kernel over the int32 cluster-id
+// tuples (scratch.go): hot callers hold a reusable Scratch (per validation
+// worker, see Fan) and hit zero allocations per call; the package-level
+// functions below borrow a pooled Scratch for cold call sites.
+//
 // The dynamic variant adds DynFD's cluster pruning: when only previously
 // valid FDs are re-validated after inserts, a violation must involve at
 // least one newly inserted record, so pivot clusters whose newest member
@@ -15,7 +20,6 @@
 package validate
 
 import (
-	"encoding/binary"
 	"sort"
 
 	"dynfd/internal/attrset"
@@ -38,57 +42,14 @@ const NoPruning int64 = -1
 // were inserted (paper §4.2).
 //
 // On failure it returns valid == false and a violating record pair.
+//
+// This form borrows a pooled Scratch; hot paths should hold their own and
+// call Scratch.FD, which performs zero allocations per call when warm.
 func FD(s *pli.Store, lhs attrset.Set, rhs int, minNewID int64) (valid bool, w Witness) {
-	if s.NumRecords() <= 1 {
-		return true, Witness{}
-	}
-	if lhs.IsEmpty() {
-		return constantColumn(s, rhs)
-	}
-	pivot := pickPivot(s, lhs)
-	rest := lhs.Without(pivot)
-	restAttrs := rest.Slice()
-	key := make([]byte, 0, 4*len(restAttrs))
-
-	ix := s.Index(pivot)
-	invalid := false
-	var witness Witness
-	type groupRep struct {
-		rhsCid int32
-		id     int64
-	}
-	groups := make(map[string]groupRep)
-	ix.ForEachCluster(func(_ int32, c *pli.Cluster) bool {
-		if c.Size() < 2 {
-			return true // a single record cannot violate anything
-		}
-		if minNewID >= 0 && c.MaxID() < minNewID {
-			return true // cluster pruning: no new record in this cluster
-		}
-		clear(groups)
-		for _, id := range c.IDs {
-			rec, _ := s.Record(id)
-			key = key[:0]
-			for _, a := range restAttrs {
-				key = binary.LittleEndian.AppendUint32(key, uint32(rec[a]))
-			}
-			g, ok := groups[string(key)]
-			if !ok {
-				groups[string(key)] = groupRep{rhsCid: rec[rhs], id: id}
-				continue
-			}
-			if g.rhsCid != rec[rhs] {
-				invalid = true
-				witness = Witness{A: g.id, B: id}
-				return false
-			}
-		}
-		return true
-	})
-	if invalid {
-		return false, witness
-	}
-	return true, Witness{}
+	sc := scratchPool.Get().(*Scratch)
+	valid, w = sc.FD(s, lhs, rhs, minNewID)
+	scratchPool.Put(sc)
+	return valid, w
 }
 
 // constantColumn checks the empty-Lhs candidate ∅ → rhs, which holds iff
@@ -99,26 +60,35 @@ func constantColumn(s *pli.Store, rhs int) (bool, Witness) {
 		return true, Witness{}
 	}
 	// Pick one representative from two different clusters as the witness.
-	var ids []int64
+	var a, b int64
+	n := 0
 	ix.ForEachCluster(func(_ int32, c *pli.Cluster) bool {
-		ids = append(ids, c.IDs[0])
-		return len(ids) < 2
+		if n == 0 {
+			a = c.IDs[0]
+		} else {
+			b = c.IDs[0]
+		}
+		n++
+		return n < 2
 	})
-	return false, Witness{A: ids[0], B: ids[1]}
+	return false, Witness{A: a, B: b}
 }
 
 // pickPivot returns the lhs attribute with the most clusters. More clusters
 // mean smaller clusters, hence cheaper grouping and better cluster pruning;
 // this implements the "fixed ordering of attributes by their respective Pli
-// sizes" of paper §4.2.
+// sizes" of paper §4.2. Ties break to the lowest attribute index — the
+// ascending scan only replaces the best on a strictly larger cluster count
+// — so the pivot (and therefore the grouping and the reported witness
+// pair) is a pure function of the store, stable across runs
+// (TestPickPivotDeterministicTieBreak).
 func pickPivot(s *pli.Store, lhs attrset.Set) int {
 	best, bestClusters := -1, -1
-	lhs.ForEach(func(a int) bool {
+	for a := lhs.First(); a >= 0; a = lhs.Next(a) {
 		if n := s.Index(a).NumClusters(); n > bestClusters {
 			best, bestClusters = a, n
 		}
-		return true
-	})
+	}
 	return best
 }
 
@@ -137,137 +107,48 @@ type ViolationGroup struct {
 // of records that must be removed for the FD to hold (Huhtala et al. 1999),
 // which is the standard approximate-FD measure. A valid FD yields no
 // groups and error 0.
+//
+// Group IDs are emitted in ascending record-id order directly — clusters
+// keep their ids sorted (the pli.Cluster invariant), so no per-group sort
+// is needed; only the cross-group ordering in trimGroups sorts.
 func Violations(s *pli.Store, lhs attrset.Set, rhs int, max int) (groups []ViolationGroup, g3 float64) {
-	n := s.NumRecords()
-	if n <= 1 {
-		return nil, 0
-	}
-	removals := 0
-	collect := func(ids []int64, rhsCounts map[int32]int) {
-		if len(rhsCounts) < 2 {
-			return
-		}
-		// g3: keep the plurality Rhs value, remove the rest.
-		largest := 0
-		for _, c := range rhsCounts {
-			if c > largest {
-				largest = c
-			}
-		}
-		removals += len(ids) - largest
-		sorted := append([]int64(nil), ids...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		groups = append(groups, ViolationGroup{IDs: sorted, RhsValues: len(rhsCounts)})
-	}
-	if lhs.IsEmpty() {
-		var ids []int64
-		rhsCounts := make(map[int32]int)
-		s.ForEachRecord(func(id int64, rec pli.Record) bool {
-			ids = append(ids, id)
-			rhsCounts[rec[rhs]]++
-			return true
-		})
-		collect(ids, rhsCounts)
-		return trimGroups(groups, max), float64(removals) / float64(n)
-	}
-	pivot := pickPivot(s, lhs)
-	rest := lhs.Without(pivot)
-	restAttrs := rest.Slice()
-	key := make([]byte, 0, 4*len(restAttrs))
-	type group struct {
-		ids       []int64
-		rhsCounts map[int32]int
-	}
-	s.Index(pivot).ForEachCluster(func(_ int32, c *pli.Cluster) bool {
-		if c.Size() < 2 {
-			return true
-		}
-		byKey := make(map[string]*group)
-		for _, id := range c.IDs {
-			rec, _ := s.Record(id)
-			key = key[:0]
-			for _, a := range restAttrs {
-				key = binary.LittleEndian.AppendUint32(key, uint32(rec[a]))
-			}
-			g, ok := byKey[string(key)]
-			if !ok {
-				g = &group{rhsCounts: make(map[int32]int)}
-				byKey[string(key)] = g
-			}
-			g.ids = append(g.ids, id)
-			g.rhsCounts[rec[rhs]]++
-		}
-		for _, g := range byKey {
-			collect(g.ids, g.rhsCounts)
-		}
-		return true
-	})
-	return trimGroups(groups, max), float64(removals) / float64(n)
+	sc := scratchPool.Get().(*Scratch)
+	groups, g3 = sc.Violations(s, lhs, rhs, max)
+	scratchPool.Put(sc)
+	return groups, g3
 }
 
 // trimGroups orders groups deterministically (by first record id) and
-// applies the caller's cap.
+// applies the caller's cap. Groups originate from distinct Lhs projections,
+// so first ids are unique and the order is total.
 func trimGroups(groups []ViolationGroup, max int) []ViolationGroup {
-	sort.Slice(groups, func(i, j int) bool { return groups[i].IDs[0] < groups[j].IDs[0] })
+	if len(groups) > 1 {
+		sort.Slice(groups, func(i, j int) bool { return groups[i].IDs[0] < groups[j].IDs[0] })
+	}
 	if max > 0 && len(groups) > max {
 		groups = groups[:max]
 	}
 	return groups
 }
 
+// sortInt64s sorts ids in place (the empty-Lhs inspection path, where
+// record iteration order is unspecified).
+func sortInt64s(ids []int64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
 // Unique checks whether the column combination cols is unique: no two
 // records agree on all of cols. Like FD it supports cluster pruning via
 // minNewID (sound when cols was unique before the records with ids >=
 // minNewID arrived) and returns a colliding record pair on failure.
+//
+// This form borrows a pooled Scratch; hot paths should hold their own and
+// call Scratch.Unique.
 func Unique(s *pli.Store, cols attrset.Set, minNewID int64) (unique bool, w Witness) {
-	if s.NumRecords() <= 1 {
-		return true, Witness{}
-	}
-	if cols.IsEmpty() {
-		// ∅ is unique only for relations with at most one record.
-		var ids []int64
-		s.ForEachRecord(func(id int64, _ pli.Record) bool {
-			ids = append(ids, id)
-			return len(ids) < 2
-		})
-		return false, Witness{A: ids[0], B: ids[1]}
-	}
-	pivot := pickPivot(s, cols)
-	rest := cols.Without(pivot)
-	restAttrs := rest.Slice()
-	key := make([]byte, 0, 4*len(restAttrs))
-
-	ix := s.Index(pivot)
-	collided := false
-	var witness Witness
-	groups := make(map[string]int64)
-	ix.ForEachCluster(func(_ int32, c *pli.Cluster) bool {
-		if c.Size() < 2 {
-			return true
-		}
-		if minNewID >= 0 && c.MaxID() < minNewID {
-			return true // cluster pruning
-		}
-		clear(groups)
-		for _, id := range c.IDs {
-			rec, _ := s.Record(id)
-			key = key[:0]
-			for _, a := range restAttrs {
-				key = binary.LittleEndian.AppendUint32(key, uint32(rec[a]))
-			}
-			if prev, ok := groups[string(key)]; ok {
-				collided = true
-				witness = Witness{A: prev, B: id}
-				return false
-			}
-			groups[string(key)] = id
-		}
-		return true
-	})
-	if collided {
-		return false, witness
-	}
-	return true, Witness{}
+	sc := scratchPool.Get().(*Scratch)
+	unique, w = sc.Unique(s, cols, minNewID)
+	scratchPool.Put(sc)
+	return unique, w
 }
 
 // AgreeSet returns the set of attributes on which the two compressed
