@@ -56,6 +56,10 @@ type Engine struct {
 	vsCompared   map[[2]int64]bool    // violationSearch: compared record pairs
 	vsSeenAgree  map[attrset.Set]bool // violationSearch: folded agree sets
 	dfsVisited   map[fd.FD]bool       // depthFirstSearches: visited candidates
+	planBorn     map[int64][]string   // ApplyBatch planner: batch-born id -> values
+	planDead     map[int64]bool       // ApplyBatch planner: ids deleted by the batch
+	planDeletes  []int64              // ApplyBatch planner: pre-existing ids to delete
+	planInserts  []pli.BatchInsert    // ApplyBatch planner: surviving inserts
 }
 
 // initExtras finishes construction: declared key columns, the resolved
@@ -235,15 +239,46 @@ func (e *Engine) ApplyBatch(batch stream.Batch) (Result, error) {
 	}
 	before := e.fds.All()
 
-	// Step 1: structural updates, applied in batch order so changes may
-	// reference records born earlier in the same batch. The FD reasoning in
-	// steps 2 and 3 only sees the batch's final state, so the paper's
-	// deletes-before-inserts rule (§2) is preserved where it matters: an
-	// updated tuple's old and new version never coexist for validation.
+	// Step 1: structural updates. The batch is first reduced, in batch
+	// order, to its net effect — the set of pre-existing records it
+	// deletes and the surviving new tuples with their pre-assigned ids —
+	// and then applied in one pli.Store.ApplyBatch call, which compacts
+	// each touched cluster once and fans per-attribute index maintenance
+	// across the worker pool (DESIGN.md §10). Planning in batch order
+	// keeps the original semantics: changes may reference records born
+	// earlier in the same batch, and a tuple born and deleted within the
+	// batch consumes its surrogate id without ever entering the store. The
+	// FD reasoning in steps 2 and 3 only sees the batch's final state, so
+	// the paper's deletes-before-inserts rule (§2) is preserved where it
+	// matters: an updated tuple's old and new version never coexist for
+	// validation.
 	structStart := time.Now()
 	minNewID := e.store.NextID()
+	nextID := minNewID
 	deletes := 0
 	var ids []int64
+	if e.planBorn == nil {
+		e.planBorn = make(map[int64][]string)
+		e.planDead = make(map[int64]bool)
+	}
+	clear(e.planBorn)
+	clear(e.planDead)
+	e.planDeletes = e.planDeletes[:0]
+	// planDelete records the death of id, routing pre-existing records to
+	// the store-level delete list and batch-born ones to the planner maps.
+	planDelete := func(id int64) error {
+		if e.planDead[id] {
+			return fmt.Errorf("record %d not found", id)
+		}
+		if _, born := e.planBorn[id]; !born {
+			if _, ok := e.store.Record(id); !ok {
+				return fmt.Errorf("record %d not found", id)
+			}
+			e.planDeletes = append(e.planDeletes, id)
+		}
+		e.planDead[id] = true
+		return nil
+	}
 	// touched collects the columns whose projection the batch may have
 	// changed (update-column pruning, Config.UpdateColumnPruning): updates
 	// touch only the columns whose value actually differs, while inserts
@@ -256,37 +291,54 @@ func (e *Engine) ApplyBatch(batch stream.Batch) (Result, error) {
 	for i, c := range batch.Changes {
 		switch c.Kind {
 		case stream.Delete:
-			if err := e.store.Delete(c.ID); err != nil {
+			if err := planDelete(c.ID); err != nil {
 				return Result{}, fmt.Errorf("core: batch change %d: %w", i, err)
 			}
 			deletes++
 			touched = full
 		case stream.Update:
 			if e.cfg.UpdateColumnPruning && touched != full {
-				if old, ok := e.store.Values(c.ID); ok {
-					for a, v := range old {
-						if v != c.Values[a] {
-							touched = touched.With(a)
-						}
+				old := e.planBorn[c.ID]
+				if old == nil || e.planDead[c.ID] {
+					old, _ = e.store.Values(c.ID)
+				}
+				for a, v := range old {
+					if v != c.Values[a] {
+						touched = touched.With(a)
 					}
 				}
 			}
-			if err := e.store.Delete(c.ID); err != nil {
+			if err := planDelete(c.ID); err != nil {
 				return Result{}, fmt.Errorf("core: batch change %d: %w", i, err)
 			}
 			deletes++
-			id, err := e.store.Insert(c.Values)
-			if err != nil {
-				return Result{}, fmt.Errorf("core: batch change %d: %w", i, err)
-			}
+			id := nextID
+			nextID++
+			e.planBorn[id] = c.Values
 			ids = append(ids, id)
 		case stream.Insert:
-			id, err := e.store.Insert(c.Values)
-			if err != nil {
-				return Result{}, fmt.Errorf("core: batch change %d: %w", i, err)
-			}
+			id := nextID
+			nextID++
+			e.planBorn[id] = c.Values
 			ids = append(ids, id)
 			touched = full
+		}
+	}
+	ins := e.planInserts[:0]
+	for _, id := range ids {
+		if !e.planDead[id] {
+			ins = append(ins, pli.BatchInsert{ID: id, Values: e.planBorn[id]})
+		}
+	}
+	e.planInserts = ins
+	if err := e.store.ApplyBatch(e.planDeletes, ins, e.workers); err != nil {
+		return Result{}, fmt.Errorf("core: applying batch: %w", err)
+	}
+	if nextID > e.store.NextID() {
+		// The batch's last inserts died within the batch: their ids are
+		// consumed anyway, exactly as under one-by-one application.
+		if err := e.store.SetNextID(nextID); err != nil {
+			return Result{}, fmt.Errorf("core: applying batch: %w", err)
 		}
 	}
 

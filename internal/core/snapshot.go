@@ -84,10 +84,16 @@ func Restore(s *Snapshot) (*Engine, error) {
 		fds:      lattice.New(s.NumAttrs),
 		nonFds:   lattice.NewFlipped(s.NumAttrs),
 	}
-	for _, rec := range s.Records {
-		if err := e.store.InsertWithID(rec.ID, rec.Values); err != nil {
-			return nil, fmt.Errorf("core: snapshot record %d: %w", rec.ID, err)
-		}
+	// Bulk-load the relation through the store's batch maintenance path:
+	// snapshot records are sorted by id, so one ApplyBatch call rebuilds
+	// the Plis with per-attribute parallelism (and page-granular arena
+	// allocation) instead of len(Records) single inserts.
+	ins := make([]pli.BatchInsert, len(s.Records))
+	for i, rec := range s.Records {
+		ins[i] = pli.BatchInsert{ID: rec.ID, Values: rec.Values}
+	}
+	if err := e.store.ApplyBatch(nil, ins, resolveWorkers(e.cfg.Workers)); err != nil {
+		return nil, fmt.Errorf("core: snapshot records: %w", err)
 	}
 	if err := e.store.SetNextID(s.NextID); err != nil {
 		return nil, fmt.Errorf("core: snapshot: %w", err)

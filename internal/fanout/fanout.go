@@ -1,0 +1,77 @@
+// Package fanout provides the bounded worker-pool fan-out primitive shared
+// by DynFD's parallel subsystems: the level-synchronized validation engine
+// (internal/validate, DESIGN.md §8) and the batch-parallel Pli maintenance
+// (internal/pli, DESIGN.md §10). It lives below both so the Pli store can
+// fan per-attribute index updates across workers without importing the
+// validation layer (which imports the store).
+//
+// Determinism contract: work items are distributed through an atomic
+// cursor, so the assignment of items to workers is scheduling-dependent,
+// but callers that give each item (or each worker) exclusive state observe
+// results independent of that assignment. Both call sites rely on this:
+// validation writes per-item outcome slots, maintenance gives each worker
+// a disjoint set of per-attribute structures.
+package fanout
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n), fanning the calls across at
+// most workers goroutines. See ForEachWorker for the full contract.
+func ForEach(n, workers int, fn func(i int)) bool {
+	return ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker runs fn(w, i) for every i in [0, n), fanning the calls
+// across at most workers goroutines; w identifies the executing worker
+// slot (0 <= w < workers), so callers can hand each worker exclusive
+// per-slot state such as a validation Scratch. Work is distributed through
+// an atomic cursor, so expensive items do not stall a static partition.
+// With workers <= 1 (or n <= 1) the calls run inline on the caller's
+// goroutine as worker 0, in index order, and ForEachWorker returns false;
+// otherwise it blocks until all calls finished and returns true.
+//
+// fn must be safe to call from multiple goroutines for distinct i. A panic
+// in any call is re-raised on the caller's goroutine after the remaining
+// workers drain.
+func ForEachWorker(n, workers int, fn func(worker, i int)) bool {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return false
+	}
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[any]
+	)
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &r)
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(k)
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(*p)
+	}
+	return true
+}

@@ -1,0 +1,51 @@
+package fanout
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllItems(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 100
+		var hits [n]atomic.Int32
+		fanned := ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		if want := workers > 1; fanned != want {
+			t.Errorf("workers=%d: fanned = %v, want %v", workers, fanned, want)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Errorf("workers=%d: item %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerSlotBounds(t *testing.T) {
+	t.Parallel()
+	const n, workers = 64, 4
+	var bad atomic.Int32
+	ForEachWorker(n, workers, func(w, i int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d calls saw an out-of-range worker slot", bad.Load())
+	}
+}
+
+func TestForEachWorkerPanicPropagates(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Error("worker panic not re-raised on caller")
+		}
+	}()
+	ForEachWorker(8, 4, func(_, i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}

@@ -45,11 +45,16 @@ func Discover(rel *dataset.Relation) (*Result, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, err
 	}
+	// Bulk-load the relation through the store's batch maintenance path:
+	// row i becomes surrogate id i, exactly as the former one-by-one
+	// Insert loop assigned them.
 	store := pli.NewStore(rel.NumColumns())
-	for _, row := range rel.Rows {
-		if _, err := store.Insert(row); err != nil {
-			return nil, err
-		}
+	ins := make([]pli.BatchInsert, len(rel.Rows))
+	for i, row := range rel.Rows {
+		ins[i] = pli.BatchInsert{ID: int64(i), Values: row}
+	}
+	if err := store.ApplyBatch(nil, ins, 0); err != nil {
+		return nil, err
 	}
 	return DiscoverStore(store), nil
 }

@@ -85,12 +85,75 @@ func TestDetectsEmptyCluster(t *testing.T) {
 	}
 }
 
-func TestDetectsArityDrift(t *testing.T) {
+// Arity drift is structurally impossible in the paged arena (records are
+// fixed-width slab rows), so the former arity checks are replaced by the
+// arena bookkeeping invariants below.
+
+func TestDetectsPageLiveCountDrift(t *testing.T) {
 	t.Parallel()
 	s := corruptibleStore(t)
-	s.records[0] = s.records[0][:1]
+	s.pageN[0]++
 	err := s.CheckConsistency()
-	if err == nil || !strings.Contains(err.Error(), "arity") {
+	if err == nil || !strings.Contains(err.Error(), "live count") {
+		t.Errorf("CheckConsistency = %v", err)
+	}
+}
+
+func TestDetectsRecordCountDrift(t *testing.T) {
+	t.Parallel()
+	s := corruptibleStore(t)
+	s.numRecs++
+	err := s.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "record count") {
+		t.Errorf("CheckConsistency = %v", err)
+	}
+}
+
+func TestDetectsLiveBitBeyondHorizon(t *testing.T) {
+	t.Parallel()
+	s := corruptibleStore(t)
+	// Resurrect a slot past nextID and patch the counters so only the
+	// horizon check can catch it.
+	slot := s.nextID + 5
+	s.live[0][slot>>6] |= 1 << (slot & 63)
+	s.pageN[0]++
+	s.numRecs++
+	err := s.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "horizon") {
+		t.Errorf("CheckConsistency = %v", err)
+	}
+}
+
+func TestDetectsUnfreedEmptyPage(t *testing.T) {
+	t.Parallel()
+	s := corruptibleStore(t)
+	// Kill all live bits but keep the slab allocated: an empty page must
+	// have been freed by Delete/ApplyBatch.
+	n := s.pageN[0]
+	clear(s.live[0])
+	s.pageN[0] = 0
+	s.numRecs -= n
+	for _, ix := range s.indexes {
+		ix.clusters = map[int32]*Cluster{}
+		ix.inverted = map[string]int32{}
+	}
+	err := s.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "not freed") {
+		t.Errorf("CheckConsistency = %v", err)
+	}
+}
+
+func TestDetectsDeadClusterMember(t *testing.T) {
+	t.Parallel()
+	s := corruptibleStore(t)
+	// Tombstone a record in the arena without removing it from its
+	// clusters: the membership sweep must flag the dead member.
+	slot := int64(0)
+	s.live[0][slot>>6] &^= 1 << (slot & 63)
+	s.pageN[0]--
+	s.numRecs--
+	err := s.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "dangling") {
 		t.Errorf("CheckConsistency = %v", err)
 	}
 }

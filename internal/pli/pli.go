@@ -2,12 +2,27 @@
 // (paper §3.1): one position list index (Pli, also known as a stripped
 // partition) per attribute, an inverted value index per attribute that maps
 // values to their Pli clusters, dictionary-encoded ("compressed") records,
-// and a hash index from surrogate record ids to compressed records.
+// and a paged record arena from surrogate record ids to compressed records.
 //
 // Unlike the static setting, records are identified by a monotonically
 // increasing surrogate key instead of a row number, so the structures stay
-// valid while the relation grows and shrinks. All four structures are
-// updated incrementally on insert and delete, without re-reading the data.
+// valid while the relation grows and shrinks. All structures are updated
+// incrementally on insert and delete, without re-reading the data.
+//
+// Record arena (DESIGN.md §10): because surrogate ids are dense and
+// monotonic, compressed records live in fixed-size pages of a flat []int32
+// slab indexed by id — page pages[id>>pageBits], offset (id&pageMask)*
+// numAttrs — so the hot-path accessor Rec is two array loads instead of the
+// former map[int64]Record probe. Liveness is a per-page bitmap; pages whose
+// last record dies are freed, so long-running delete-heavy streams do not
+// leak dead slab memory.
+//
+// Batch maintenance: ApplyBatch applies a whole batch of deletes and
+// inserts at once. Per-attribute index updates are independent, so they fan
+// out across a bounded worker pool (one worker owns an attribute's Index
+// exclusively, no locks), and deletes compact each touched cluster in one
+// sweep instead of splicing per record. Insert, InsertWithID, and Delete
+// remain as single-element wrappers with their original semantics.
 //
 // Deviation from the paper: compressed records store a real cluster id for
 // every value, including values that occur only once. The paper's "-1 for
@@ -19,19 +34,25 @@ package pli
 
 import (
 	"fmt"
+	"math/bits"
+	"slices"
 	"sort"
+
+	"dynfd/internal/fanout"
 )
 
 // Record is a dictionary-encoded tuple: Record[a] is the id of the cluster
-// in attribute a's Pli that contains this tuple.
+// in attribute a's Pli that contains this tuple. It aliases the store's
+// record arena and must not be modified by callers.
 type Record []int32
 
 // Cluster is one equivalence class of a Pli: the ids of all current records
 // that share Value in the Pli's attribute.
 //
 // Invariant: IDs are strictly ascending. Inserts append (surrogate ids grow
-// monotonically, so an append preserves the order) and deletes splice, so
-// the order holds at all times; CheckConsistency asserts it. The validation
+// monotonically, so an append preserves the order), single deletes splice,
+// and batch deletes compact in place keeping the survivors' order, so the
+// order holds at all times; CheckConsistency asserts it. The validation
 // kernels in internal/validate rely on this to emit violation-group members
 // in record-id order without copying or sorting, and MaxID reads the newest
 // member in constant time.
@@ -74,6 +95,10 @@ type Index struct {
 	clusters map[int32]*Cluster
 	inverted map[string]int32
 	next     int32
+
+	// batchCids is the reusable touched-cluster scratch of ApplyBatch.
+	// During a batch the owning maintenance worker uses it exclusively.
+	batchCids []int32
 }
 
 func newIndex() *Index {
@@ -134,24 +159,47 @@ func (ix *Index) drop(cid int32, id int64) error {
 	return nil
 }
 
-// Store bundles the per-attribute indexes with the compressed records and
-// the record hash index. It is the single mutable representation of the
-// profiled relation inside DynFD.
+// Record arena page geometry: pageSize records per page. 1024 records keeps
+// a page at 4·numAttrs KiB — big enough to amortize allocation and make the
+// page directory tiny, small enough that sparse stores (after heavy
+// deletes) free memory at a useful granularity.
+const (
+	pageBits  = 10
+	pageSize  = 1 << pageBits
+	pageMask  = pageSize - 1
+	liveWords = pageSize / 64
+)
+
+// Store bundles the per-attribute indexes with the record arena. It is the
+// single mutable representation of the profiled relation inside DynFD.
 //
 // Concurrency contract: a Store is safe for any number of concurrent
-// readers (Record, Values, Lookup, Index and the cluster accessors,
-// ForEachRecord, CheckConsistency) as long as no goroutine mutates it;
-// Insert, InsertWithID, SetNextID, and Delete require exclusive access.
-// The parallel validation engine relies on this reader-only window:
-// ApplyBatch applies all structural mutations in its first phase and only
-// then fans read-only candidate validations out across workers (see
+// readers (Record, Rec, Values, Lookup, AppendLookup, Index and the cluster
+// accessors, ForEachRecord, CheckConsistency) as long as no goroutine
+// mutates it; Insert, InsertWithID, SetNextID, Delete, and ApplyBatch
+// require exclusive access. The parallel validation engine relies on this
+// reader-only window: the engine applies all structural mutations first and
+// only then fans read-only candidate validations out across workers (see
 // internal/core/parallel.go). The contract is exercised under the race
-// detector by TestStoreConcurrentReaders.
+// detector by TestStoreConcurrentReaders. ApplyBatch's internal
+// per-attribute fan-out never escapes the call.
 type Store struct {
 	numAttrs int
 	indexes  []*Index
-	records  map[int64]Record
-	nextID   int64
+
+	// Record arena. pages[p] is a flat slab of pageSize compressed records
+	// ((id&pageMask)*numAttrs ints each), nil while no record of the page
+	// was ever inserted or after all of its records died. live[p] is the
+	// page's liveness bitmap and pageN[p] its live-record count; the three
+	// slices always have equal length.
+	pages   [][]int32
+	live    [][]uint64
+	pageN   []int
+	numRecs int
+	nextID  int64
+
+	// batchSeen is the reusable duplicate-delete detector of ApplyBatch.
+	batchSeen map[int64]struct{}
 }
 
 // NewStore returns an empty store for a schema with numAttrs attributes.
@@ -162,7 +210,6 @@ func NewStore(numAttrs int) *Store {
 	s := &Store{
 		numAttrs: numAttrs,
 		indexes:  make([]*Index, numAttrs),
-		records:  make(map[int64]Record),
 	}
 	for a := range s.indexes {
 		s.indexes[a] = newIndex()
@@ -174,7 +221,7 @@ func NewStore(numAttrs int) *Store {
 func (s *Store) NumAttrs() int { return s.numAttrs }
 
 // NumRecords returns the current tuple count.
-func (s *Store) NumRecords() int { return len(s.records) }
+func (s *Store) NumRecords() int { return s.numRecs }
 
 // NextID returns the surrogate key the next insert will receive.
 func (s *Store) NextID() int64 { return s.nextID }
@@ -182,32 +229,118 @@ func (s *Store) NextID() int64 { return s.nextID }
 // Index returns the Pli of attribute a.
 func (s *Store) Index(a int) *Index { return s.indexes[a] }
 
-// Record returns the compressed record for id. The returned slice is owned
-// by the store and must not be modified.
-func (s *Store) Record(id int64) (Record, bool) {
-	r, ok := s.records[id]
-	return r, ok
+// alive reports whether id is a live record.
+func (s *Store) alive(id int64) bool {
+	pg := id >> pageBits
+	if id < 0 || pg >= int64(len(s.pages)) || s.live[pg] == nil {
+		return false
+	}
+	slot := id & pageMask
+	return s.live[pg][slot>>6]&(1<<(slot&63)) != 0
 }
 
-// Rec returns the compressed record for id, or nil if the record does not
-// exist. It is the single-result form of Record for hot loops that iterate
-// cluster members (which are live by the store invariants); the returned
-// slice is owned by the store and must not be modified.
-func (s *Store) Rec(id int64) Record { return s.records[id] }
+// Record returns the compressed record for id. The returned slice aliases
+// the record arena and must not be modified.
+func (s *Store) Record(id int64) (Record, bool) {
+	if !s.alive(id) {
+		return nil, false
+	}
+	return s.Rec(id), true
+}
 
-// ForEachRecord calls fn for every record. Iteration order is unspecified.
+// Rec returns the compressed record for id without a liveness check: two
+// array loads into the record arena. It is the hot-path accessor for loops
+// that iterate cluster members (which are live by the store invariants);
+// calling it with an id that was never inserted, or whose page has been
+// freed, panics. The returned slice aliases the arena and must not be
+// modified.
+func (s *Store) Rec(id int64) Record {
+	off := int(id&pageMask) * s.numAttrs
+	return s.pages[id>>pageBits][off : off+s.numAttrs : off+s.numAttrs]
+}
+
+// ForEachRecord calls fn for every live record in ascending id order. (The
+// ordering is a guarantee, unlike the old hash-index iteration: the
+// empty-Lhs validation paths rely on it to emit record ids sorted without
+// copying.)
 func (s *Store) ForEachRecord(fn func(id int64, rec Record) bool) {
-	for id, rec := range s.records {
-		if !fn(id, rec) {
-			return
+	for pg, bm := range s.live {
+		if bm == nil {
+			continue
 		}
+		base := int64(pg) << pageBits
+		for w, word := range bm {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << b
+				id := base + int64(w<<6+b)
+				if !fn(id, s.Rec(id)) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// ensurePage makes the arena page holding id available for writing and
+// returns its index.
+func (s *Store) ensurePage(id int64) int64 {
+	pg := id >> pageBits
+	for int64(len(s.pages)) <= pg {
+		s.pages = append(s.pages, nil)
+		s.live = append(s.live, nil)
+		s.pageN = append(s.pageN, 0)
+	}
+	if s.pages[pg] == nil {
+		s.pages[pg] = make([]int32, pageSize*s.numAttrs)
+		s.live[pg] = make([]uint64, liveWords)
+	}
+	return pg
+}
+
+// setLive marks id live and updates the record counters.
+func (s *Store) setLive(id int64) {
+	pg := s.ensurePage(id)
+	slot := id & pageMask
+	s.live[pg][slot>>6] |= 1 << (slot & 63)
+	s.pageN[pg]++
+	s.numRecs++
+}
+
+// clearLive marks id dead and updates the record counters. The page is not
+// freed here: batch maintenance still reads the dead record's cluster ids.
+func (s *Store) clearLive(id int64) {
+	pg := id >> pageBits
+	slot := id & pageMask
+	s.live[pg][slot>>6] &^= 1 << (slot & 63)
+	s.pageN[pg]--
+	s.numRecs--
+}
+
+// freePageIfEmpty releases the slab and bitmap of id's page when its last
+// record died, so delete-heavy streams return arena memory.
+func (s *Store) freePageIfEmpty(id int64) {
+	pg := id >> pageBits
+	if s.pageN[pg] == 0 {
+		s.pages[pg] = nil
+		s.live[pg] = nil
+	}
+}
+
+// insertOne writes one record into the arena and all per-attribute indexes.
+// The caller has validated the arity and the id.
+func (s *Store) insertOne(id int64, values []string) {
+	s.setLive(id)
+	rec := s.Rec(id)
+	for a, v := range values {
+		rec[a] = s.indexes[a].add(v, id)
 	}
 }
 
 // Insert adds a tuple and returns its surrogate id. For every attribute the
 // record id is appended to the value's cluster (creating the cluster if the
 // value is new), and the resulting cluster-id vector becomes the compressed
-// record, reachable through the hash index.
+// record, stored in the arena.
 func (s *Store) Insert(values []string) (int64, error) {
 	if len(values) != s.numAttrs {
 		return 0, fmt.Errorf("pli: insert has %d values, schema has %d attributes",
@@ -215,11 +348,7 @@ func (s *Store) Insert(values []string) (int64, error) {
 	}
 	id := s.nextID
 	s.nextID++
-	rec := make(Record, s.numAttrs)
-	for a, v := range values {
-		rec[a] = s.indexes[a].add(v, id)
-	}
-	s.records[id] = rec
+	s.insertOne(id, values)
 	return id, nil
 }
 
@@ -236,11 +365,7 @@ func (s *Store) InsertWithID(id int64, values []string) error {
 			len(values), s.numAttrs)
 	}
 	s.nextID = id + 1
-	rec := make(Record, s.numAttrs)
-	for a, v := range values {
-		rec[a] = s.indexes[a].add(v, id)
-	}
-	s.records[id] = rec
+	s.insertOne(id, values)
 	return nil
 }
 
@@ -255,25 +380,157 @@ func (s *Store) SetNextID(next int64) error {
 }
 
 // Delete removes the tuple with the given surrogate id from all Plis, the
-// inverted indexes (when a cluster empties), and the hash index.
+// inverted indexes (when a cluster empties), and the record arena.
 func (s *Store) Delete(id int64) error {
-	rec, ok := s.records[id]
-	if !ok {
+	if !s.alive(id) {
 		return fmt.Errorf("pli: record %d not found", id)
 	}
+	rec := s.Rec(id)
 	for a, cid := range rec {
 		if err := s.indexes[a].drop(cid, id); err != nil {
 			return fmt.Errorf("pli: deleting record %d attribute %d: %w", id, a, err)
 		}
 	}
-	delete(s.records, id)
+	s.clearLive(id)
+	s.freePageIfEmpty(id)
 	return nil
+}
+
+// BatchInsert is one tuple of an ApplyBatch call with its pre-assigned
+// surrogate id.
+type BatchInsert struct {
+	ID     int64
+	Values []string
+}
+
+// ApplyBatch applies a batch of structural changes at once: first all
+// deletes, then all inserts (the engine's batch planner has already reduced
+// a mixed change stream to this normal form). It is semantically equivalent
+// to calling Delete for every id in deletes followed by InsertWithID for
+// every insert, but restructures the work for batch efficiency
+// (DESIGN.md §10):
+//
+//   - deletes are marked in the arena's liveness bitmap first, then every
+//     touched cluster is compacted in ONE sweep that drops all of its dead
+//     members — O(touched clusters) sweeps instead of O(deletes × cluster
+//     size) per-record splices;
+//   - per-attribute index updates are independent, so they fan out across
+//     at most workers goroutines (workers <= 1 applies them serially):
+//     worker w owns attribute a's Index and the records' column a
+//     exclusively, so no locks are needed and the resulting store is
+//     bit-identical to a serial application regardless of worker count.
+//
+// Insert ids must be strictly ascending and >= NextID; afterwards NextID is
+// one past the last insert. Validation happens up front: on error the store
+// is unchanged.
+func (s *Store) ApplyBatch(deletes []int64, inserts []BatchInsert, workers int) error {
+	// Validate before mutating anything.
+	if s.batchSeen == nil {
+		s.batchSeen = make(map[int64]struct{}, len(deletes))
+	}
+	for _, id := range deletes {
+		if !s.alive(id) {
+			clear(s.batchSeen)
+			return fmt.Errorf("pli: record %d not found", id)
+		}
+		if _, dup := s.batchSeen[id]; dup {
+			clear(s.batchSeen)
+			return fmt.Errorf("pli: record %d deleted twice in batch", id)
+		}
+		s.batchSeen[id] = struct{}{}
+	}
+	clear(s.batchSeen)
+	prev := s.nextID - 1
+	for i, ins := range inserts {
+		if ins.ID <= prev {
+			return fmt.Errorf("pli: batch insert %d id %d not ascending (next %d)", i, ins.ID, prev+1)
+		}
+		if len(ins.Values) != s.numAttrs {
+			return fmt.Errorf("pli: batch insert %d has %d values, schema has %d attributes",
+				i, len(ins.Values), s.numAttrs)
+		}
+		prev = ins.ID
+	}
+
+	// Phase 1 (serial): flip liveness — mark the deletes dead (their pages
+	// and cluster ids stay readable for the compaction below) and the
+	// inserts live, allocating their arena pages.
+	for _, id := range deletes {
+		s.clearLive(id)
+	}
+	for _, ins := range inserts {
+		s.setLive(ins.ID)
+	}
+
+	// Phase 2 (parallel): per-attribute index maintenance. Workers share
+	// only read access to the liveness bitmaps and the deletes/inserts
+	// slices; everything each worker writes — attribute a's Index and the
+	// records' column a in the arena — is owned by exactly one worker.
+	fanout.ForEach(s.numAttrs, workers, func(a int) { s.applyAttr(a, deletes, inserts) })
+
+	// Phase 3 (serial): free pages whose last record died and advance the
+	// id horizon.
+	for _, id := range deletes {
+		s.freePageIfEmpty(id)
+	}
+	if n := len(inserts); n > 0 {
+		s.nextID = inserts[n-1].ID + 1
+	}
+	return nil
+}
+
+// applyAttr applies one batch's deletes and inserts to attribute a:
+// compaction of the touched clusters first, then appends for the inserts
+// (insert ids exceed all existing ids, so appending after compaction keeps
+// cluster id lists strictly ascending).
+func (s *Store) applyAttr(a int, deletes []int64, inserts []BatchInsert) {
+	ix := s.indexes[a]
+	if len(deletes) > 0 {
+		// Collect the touched cluster ids, dedupe, and compact each once.
+		cids := ix.batchCids[:0]
+		for _, id := range deletes {
+			cids = append(cids, s.Rec(id)[a])
+		}
+		slices.Sort(cids)
+		prev := int32(-1)
+		for _, cid := range cids {
+			if cid == prev {
+				continue
+			}
+			prev = cid
+			s.compactCluster(ix, cid)
+		}
+		ix.batchCids = cids[:0]
+	}
+	for _, ins := range inserts {
+		s.Rec(ins.ID)[a] = ix.add(ins.Values[a], ins.ID)
+	}
+}
+
+// compactCluster removes all dead members of cluster cid in one in-place
+// sweep, deleting the cluster (and its inverted-index entry) when it
+// empties. Survivor order is preserved, so the strictly-ascending IDs
+// invariant holds.
+func (s *Store) compactCluster(ix *Index, cid int32) {
+	c := ix.clusters[cid]
+	kept := c.IDs[:0]
+	for _, id := range c.IDs {
+		if s.alive(id) {
+			kept = append(kept, id)
+		}
+	}
+	if len(kept) == 0 {
+		delete(ix.clusters, cid)
+		delete(ix.inverted, c.Value)
+		return
+	}
+	c.IDs = kept
 }
 
 // Values reconstructs the original string tuple of a record from the
 // cluster value dictionary.
 func (s *Store) Values(id int64) ([]string, bool) {
-	rec, ok := s.records[id]
+	rec, ok := s.Record(id)
 	if !ok {
 		return nil, false
 	}
@@ -289,54 +546,110 @@ func (s *Store) Values(id int64) ([]string, bool) {
 }
 
 // Lookup returns the ids of all records whose values equal the given tuple,
-// in ascending order. It intersects the matching clusters, starting from
-// the smallest, so the cost is proportional to the smallest cluster.
+// in ascending order. It is AppendLookup into a fresh slice; hot callers
+// use AppendLookup with a reused buffer to avoid the allocation.
 func (s *Store) Lookup(values []string) ([]int64, error) {
+	out, err := s.AppendLookup(nil, values)
+	if err != nil || len(out) == 0 {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendLookup appends the ids of all records whose values equal the given
+// tuple to dst, in ascending order, and returns the extended slice. It
+// seeds the candidate set from the smallest matching cluster and filters it
+// per attribute in place, so the cost is proportional to the smallest
+// cluster and — given capacity in dst — the call performs no allocations.
+// Like the other read accessors it is safe for concurrent readers: all
+// working state lives in dst.
+func (s *Store) AppendLookup(dst []int64, values []string) ([]int64, error) {
 	if len(values) != s.numAttrs {
-		return nil, fmt.Errorf("pli: lookup has %d values, schema has %d attributes",
+		return dst, fmt.Errorf("pli: lookup has %d values, schema has %d attributes",
 			len(values), s.numAttrs)
 	}
-	cids := make([]int32, s.numAttrs)
 	smallest, smallestAttr := -1, -1
 	for a, v := range values {
 		cid, ok := s.indexes[a].ClusterOf(v)
 		if !ok {
-			return nil, nil
+			return dst, nil
 		}
-		cids[a] = cid
 		size := s.indexes[a].Cluster(cid).Size()
 		if smallest < 0 || size < smallest {
 			smallest, smallestAttr = size, a
 		}
 	}
-	var out []int64
-	for _, id := range s.indexes[smallestAttr].Cluster(cids[smallestAttr]).IDs {
-		rec := s.records[id]
-		match := true
-		for a, cid := range cids {
-			if rec[a] != cid {
-				match = false
-				break
+	base := len(dst)
+	dst = append(dst, s.indexes[smallestAttr].Cluster(mustCid(s.indexes[smallestAttr], values[smallestAttr])).IDs...)
+	for a, v := range values {
+		if a == smallestAttr {
+			continue
+		}
+		cid, _ := s.indexes[a].ClusterOf(v)
+		kept := dst[base:base]
+		for _, id := range dst[base:] {
+			if s.Rec(id)[a] == cid {
+				kept = append(kept, id)
 			}
 		}
-		if match {
-			out = append(out, id)
+		dst = dst[:base+len(kept)]
+		if len(kept) == 0 {
+			break
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
-// CheckConsistency verifies the cross-structure invariants: every record id
-// appears in exactly the clusters its compressed record names, every cluster
-// member has a record, clusters are sorted and non-empty, and the inverted
-// index is the exact inverse of the cluster dictionary. It is used by tests
-// and failure-injection suites; it runs in O(data) time.
+// mustCid returns the cluster id of a value known to be present.
+func mustCid(ix *Index, value string) int32 {
+	cid, _ := ix.inverted[value]
+	return cid
+}
+
+// CheckConsistency verifies the cross-structure invariants: the arena's
+// liveness bookkeeping (page counts, record total, id horizon, freed empty
+// pages), every cluster is sorted, non-empty, inversely indexed, and
+// contains exactly live records that point back at it, and every live
+// record appears in exactly the clusters its compressed record names. It is
+// used by tests and failure-injection suites; it runs in O(data) time.
 func (s *Store) CheckConsistency() error {
-	// Arity first: the cluster checks below index records by attribute.
-	for id, rec := range s.records {
-		if len(rec) != s.numAttrs {
-			return fmt.Errorf("pli: record %d has arity %d", id, len(rec))
+	// Arena invariants first: the cluster checks below resolve records
+	// through the liveness bitmap.
+	if len(s.pages) != len(s.live) || len(s.pages) != len(s.pageN) {
+		return fmt.Errorf("pli: arena directory skewed: %d pages, %d bitmaps, %d counts",
+			len(s.pages), len(s.live), len(s.pageN))
+	}
+	total := 0
+	for pg := range s.pages {
+		if (s.pages[pg] == nil) != (s.live[pg] == nil) {
+			return fmt.Errorf("pli: page %d slab/bitmap allocation mismatch", pg)
 		}
+		if s.pages[pg] == nil {
+			if s.pageN[pg] != 0 {
+				return fmt.Errorf("pli: freed page %d has live count %d", pg, s.pageN[pg])
+			}
+			continue
+		}
+		n := 0
+		for w, word := range s.live[pg] {
+			n += bits.OnesCount64(word)
+			if word != 0 {
+				top := int64(pg)<<pageBits + int64(w<<6+63-bits.LeadingZeros64(word))
+				if top >= s.nextID {
+					return fmt.Errorf("pli: record %d live beyond id horizon %d", top, s.nextID)
+				}
+			}
+		}
+		if n != s.pageN[pg] {
+			return fmt.Errorf("pli: page %d live count %d, bitmap has %d", pg, s.pageN[pg], n)
+		}
+		if n == 0 {
+			return fmt.Errorf("pli: empty page %d not freed", pg)
+		}
+		total += n
+	}
+	if total != s.numRecs {
+		return fmt.Errorf("pli: record count %d, pages hold %d", s.numRecs, total)
 	}
 	for a, ix := range s.indexes {
 		for cid, c := range ix.clusters {
@@ -350,12 +663,11 @@ func (s *Store) CheckConsistency() error {
 				if i > 0 && c.IDs[i-1] >= id {
 					return fmt.Errorf("pli: attr %d cluster %d ids not strictly ascending", a, cid)
 				}
-				rec, ok := s.records[id]
-				if !ok {
+				if !s.alive(id) {
 					return fmt.Errorf("pli: attr %d cluster %d contains dangling record %d", a, cid, id)
 				}
-				if rec[a] != cid {
-					return fmt.Errorf("pli: record %d attr %d points to cluster %d, found in %d", id, a, rec[a], cid)
+				if s.Rec(id)[a] != cid {
+					return fmt.Errorf("pli: record %d attr %d points to cluster %d, found in %d", id, a, s.Rec(id)[a], cid)
 				}
 			}
 		}
@@ -363,16 +675,16 @@ func (s *Store) CheckConsistency() error {
 			return fmt.Errorf("pli: attr %d inverted index size %d != clusters %d", a, len(ix.inverted), len(ix.clusters))
 		}
 	}
-	for id, rec := range s.records {
-		if len(rec) != s.numAttrs {
-			return fmt.Errorf("pli: record %d has arity %d", id, len(rec))
-		}
+	var err error
+	s.ForEachRecord(func(id int64, rec Record) bool {
 		for a, cid := range rec {
 			c := s.indexes[a].Cluster(cid)
 			if c == nil || !c.Contains(id) {
-				return fmt.Errorf("pli: record %d missing from attr %d cluster %d", id, a, cid)
+				err = fmt.Errorf("pli: record %d missing from attr %d cluster %d", id, a, cid)
+				return false
 			}
 		}
-	}
-	return nil
+		return true
+	})
+	return err
 }

@@ -17,10 +17,8 @@
 package validate
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"dynfd/internal/attrset"
+	"dynfd/internal/fanout"
 	"dynfd/internal/pli"
 )
 
@@ -83,59 +81,16 @@ func FanInto(out []Outcome, s *pli.Store, reqs []Request, workers int, sc *Scrat
 }
 
 // ForEach runs fn(i) for every i in [0, n), fanning the calls across at
-// most workers goroutines. See ForEachWorker for the full contract.
+// most workers goroutines. It is a thin alias of fanout.ForEach, kept so
+// validation call sites need not import the lower-level package; see
+// fanout.ForEachWorker for the full contract.
 func ForEach(n, workers int, fn func(i int)) bool {
-	return ForEachWorker(n, workers, func(_, i int) { fn(i) })
+	return fanout.ForEach(n, workers, fn)
 }
 
-// ForEachWorker runs fn(w, i) for every i in [0, n), fanning the calls
-// across at most workers goroutines; w identifies the executing worker
-// slot (0 <= w < workers), so callers can hand each worker exclusive
-// per-slot state such as a validation Scratch. Work is distributed through
-// an atomic cursor, so expensive items do not stall a static partition.
-// With workers <= 1 (or n <= 1) the calls run inline on the caller's
-// goroutine as worker 0, in index order, and ForEachWorker returns false;
-// otherwise it blocks until all calls finished and returns true.
-//
-// fn must be safe to call from multiple goroutines for distinct i. A panic
-// in any call is re-raised on the caller's goroutine after the remaining
-// workers drain.
+// ForEachWorker is an alias of fanout.ForEachWorker: it runs fn(w, i) for
+// every i in [0, n) across at most workers goroutines, where w is the
+// exclusive worker slot executing the call.
 func ForEachWorker(n, workers int, fn func(worker, i int)) bool {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
-		return false
-	}
-	var (
-		cursor   atomic.Int64
-		wg       sync.WaitGroup
-		panicked atomic.Pointer[any]
-	)
-	wg.Add(workers)
-	for k := 0; k < workers; k++ {
-		go func(w int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicked.CompareAndSwap(nil, &r)
-				}
-			}()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(w, i)
-			}
-		}(k)
-	}
-	wg.Wait()
-	if p := panicked.Load(); p != nil {
-		panic(*p)
-	}
-	return true
+	return fanout.ForEachWorker(n, workers, fn)
 }

@@ -498,8 +498,9 @@ func (sc *Scratch) violationsCluster(s *pli.Store, c *pli.Cluster, rhs int, grou
 }
 
 // violationsEmptyLhs handles the ∅ → rhs inspection: the whole relation is
-// one group. This cold path keeps the simple map-based counting; record
-// iteration order is unspecified, so the ids are sorted before returning.
+// one group. This cold path keeps the simple map-based counting; the record
+// arena iterates in ascending id order (the pli.Store.ForEachRecord
+// guarantee), so the collected ids are already sorted.
 func violationsEmptyLhs(s *pli.Store, rhs, max int) ([]ViolationGroup, float64) {
 	n := s.NumRecords()
 	ids := make([]int64, 0, n)
@@ -518,7 +519,6 @@ func violationsEmptyLhs(s *pli.Store, rhs, max int) ([]ViolationGroup, float64) 
 			largest = c
 		}
 	}
-	sortInt64s(ids)
 	groups := []ViolationGroup{{IDs: ids, RhsValues: len(rhsCounts)}}
 	return trimGroups(groups, max), float64(n-largest) / float64(n)
 }

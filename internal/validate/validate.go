@@ -131,12 +131,6 @@ func trimGroups(groups []ViolationGroup, max int) []ViolationGroup {
 	return groups
 }
 
-// sortInt64s sorts ids in place (the empty-Lhs inspection path, where
-// record iteration order is unspecified).
-func sortInt64s(ids []int64) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-}
-
 // Unique checks whether the column combination cols is unique: no two
 // records agree on all of cols. Like FD it supports cluster pruning via
 // minNewID (sound when cols was unique before the records with ids >=

@@ -42,7 +42,11 @@ func (m *Monitor) Save(w io.Writer) error {
 // LoadMonitor resumes a monitor previously written with Save. The restored
 // monitor continues exactly where the saved one stopped: record ids,
 // covers, pruning witnesses, and configuration are preserved, and the
-// dual-cover consistency of the snapshot is verified.
+// dual-cover consistency of the snapshot is verified. The relation is
+// rebuilt through the Pli store's bulk batch-maintenance path (snapshot
+// records are id-sorted, so one ApplyBatch call restores the indexes with
+// per-attribute parallelism under the saved Workers setting; DESIGN.md
+// §10) rather than one insert per record.
 func LoadMonitor(r io.Reader) (*Monitor, error) {
 	var snap monitorSnapshot
 	dec := json.NewDecoder(r)
