@@ -6,6 +6,15 @@
 //
 //	dynfdd -listen 127.0.0.1:7070 -initial data.csv [-batch 100]
 //	dynfdd -listen 127.0.0.1:7070 -columns zip,city
+//	dynfdd -listen 127.0.0.1:7070 -columns zip,city -data-dir /var/lib/dynfd
+//
+// With -data-dir, every committed batch is appended to a write-ahead log
+// and fsynced before the commit is acknowledged, and the directory is
+// checkpointed every -checkpoint-every batches; restarting the daemon on
+// the same directory resumes with the exact FDs of the last acknowledged
+// commit, even after a crash or kill -9. On SIGINT/SIGTERM the daemon
+// stops accepting, drains in-flight commits, writes a final checkpoint,
+// and exits 0.
 //
 // Protocol (one JSON object per line; see internal/server):
 //
@@ -27,10 +36,13 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"dynfd/internal/core"
 	"dynfd/internal/dataset"
+	"dynfd/internal/durable"
 	"dynfd/internal/server"
 )
 
@@ -40,21 +52,43 @@ func main() {
 	columns := flag.String("columns", "", "comma-separated schema when no -initial file is given")
 	batch := flag.Int("batch", 100, "auto-commit batch size")
 	workers := flag.Int("workers", 0, "parallel validations per lattice level (0 = serial, -1 = all CPUs)")
+	dataDir := flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty = in-memory only)")
+	checkpointEvery := flag.Int("checkpoint-every", durable.DefaultCheckpointEvery, "batches between checkpoints with -data-dir (negative disables)")
 	flag.Parse()
 
-	srv, l, err := setup(*listen, *initial, *columns, *batch, *workers)
+	srv, l, shutdown, err := setup(*listen, *initial, *columns, *dataDir, *batch, *workers, *checkpointEvery)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynfdd:", err)
 		os.Exit(1)
 	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("dynfdd: received %v, shutting down", s)
+		// Close stops accepting, closes connections, and waits for every
+		// in-flight handler — so no commit is cut off mid-apply.
+		srv.Close()
+	}()
+
 	log.Printf("dynfdd: serving on %s", l.Addr())
 	if err := srv.Serve(l); err != nil {
 		fmt.Fprintln(os.Stderr, "dynfdd:", err)
 		os.Exit(1)
 	}
+	// Final checkpoint + storage release (no-op without -data-dir).
+	if err := shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "dynfdd:", err)
+		os.Exit(1)
+	}
+	log.Printf("dynfdd: shut down cleanly")
 }
 
-func setup(listen, initial, columns string, batch, workers int) (*server.Server, net.Listener, error) {
+// setup builds the server and listener. The returned shutdown func must
+// run after Serve returns; with a data directory it writes the final
+// checkpoint and closes the store.
+func setup(listen, initial, columns, dataDir string, batch, workers, checkpointEvery int) (*server.Server, net.Listener, func() error, error) {
 	var (
 		cols []string
 		rows [][]string
@@ -63,23 +97,58 @@ func setup(listen, initial, columns string, batch, workers int) (*server.Server,
 	case initial != "":
 		rel, err := dataset.ReadCSVFile(initial)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		cols, rows = rel.Columns, rel.Rows
 	case columns != "":
 		cols = strings.Split(columns, ",")
-	default:
-		return nil, nil, fmt.Errorf("either -initial or -columns is required")
+	case dataDir == "":
+		return nil, nil, nil, fmt.Errorf("either -initial, -columns, or -data-dir is required")
 	}
 	cfg := core.DefaultConfig()
 	cfg.Workers = workers
-	srv, err := server.New(cols, rows, batch, cfg)
-	if err != nil {
-		return nil, nil, err
+
+	var (
+		srv      *server.Server
+		shutdown = func() error { return nil }
+	)
+	if dataDir != "" {
+		st, err := durable.OpenDir(dataDir)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		eng, err := durable.Open(st, durable.Options{Columns: cols, Config: cfg, CheckpointEvery: checkpointEvery})
+		if err != nil {
+			st.Close()
+			return nil, nil, nil, err
+		}
+		switch {
+		case eng.Seq() == 0 && eng.NumRecords() == 0 && len(rows) > 0:
+			if err := eng.Bootstrap(rows); err != nil {
+				st.Close()
+				return nil, nil, nil, err
+			}
+		case len(rows) > 0:
+			log.Printf("dynfdd: %s already holds %d records at seq %d; ignoring -initial rows",
+				dataDir, eng.NumRecords(), eng.Seq())
+		}
+		srv, err = server.NewWithBackend(eng.Columns(), eng, batch)
+		if err != nil {
+			st.Close()
+			return nil, nil, nil, err
+		}
+		shutdown = eng.Close
+	} else {
+		var err error
+		srv, err = server.New(cols, rows, batch, cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
 	}
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
-		return nil, nil, err
+		shutdown()
+		return nil, nil, nil, err
 	}
-	return srv, l, nil
+	return srv, l, shutdown, nil
 }

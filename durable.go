@@ -1,0 +1,168 @@
+package dynfd
+
+import (
+	"fmt"
+
+	"dynfd/internal/durable"
+)
+
+// DurableMonitor is a Monitor whose state survives crashes: every applied
+// batch is appended to a write-ahead log and fsynced before Apply returns,
+// and checkpoints periodically fold the log into an atomically-replaced
+// snapshot on disk. Opening the same directory again — after a clean Close
+// or after the process was killed mid-batch — resumes with exactly the FDs
+// of the last acknowledged batch.
+//
+//	mon, _ := dynfd.OpenDurable("/var/lib/dynfd", []string{"zip", "city"})
+//	defer mon.Close()
+//	_ = mon.Bootstrap(initialRows)
+//	diff, _ := mon.Apply(dynfd.Insert("14482", "Potsdam")) // durable once returned
+//
+// Like Monitor, a DurableMonitor is not safe for concurrent use.
+type DurableMonitor struct {
+	columns  []string
+	colIndex map[string]int
+	eng      *durable.Engine
+	ro       *Monitor // read-only view over the same core engine
+}
+
+// OpenDurable opens (or creates) a durable monitor rooted at dir. For a
+// new directory, columns defines the schema; for an existing one, the
+// schema is recovered from the checkpoint and columns — when non-nil —
+// is verified against it. Options other than WithCheckpointEvery only
+// take effect when the store is created; a recovered store keeps its
+// saved configuration.
+func OpenDurable(dir string, columns []string, opts ...Option) (*DurableMonitor, error) {
+	o := options{pruning: AllPruning()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	colIndex := make(map[string]int, len(columns))
+	for i, c := range columns {
+		colIndex[c] = i
+	}
+	cfg, err := coreConfig(o, colIndex)
+	if err != nil {
+		return nil, err
+	}
+	st, err := durable.OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := durable.Open(st, durable.Options{
+		Columns:         columns,
+		Config:          cfg,
+		CheckpointEvery: o.checkpointEvery,
+	})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return newDurableMonitor(eng), nil
+}
+
+func newDurableMonitor(eng *durable.Engine) *DurableMonitor {
+	cols := eng.Columns()
+	m := &DurableMonitor{
+		columns:  cols,
+		colIndex: make(map[string]int, len(cols)),
+		eng:      eng,
+		ro: &Monitor{
+			columns:  cols,
+			colIndex: make(map[string]int, len(cols)),
+			engine:   eng.Core(),
+			booted:   true,
+		},
+	}
+	for i, c := range cols {
+		m.colIndex[c] = i
+		m.ro.colIndex[c] = i
+	}
+	return m
+}
+
+// Columns returns the schema of the monitored relation.
+func (m *DurableMonitor) Columns() []string { return append([]string(nil), m.columns...) }
+
+// Bootstrap loads and profiles initial tuples, then checkpoints them. It
+// is only valid on a store that has never held records or batches.
+func (m *DurableMonitor) Bootstrap(rows [][]string) error {
+	if err := m.eng.Bootstrap(rows); err != nil {
+		return err
+	}
+	m.ro.engine = m.eng.Core() // bootstrap swaps the core engine
+	return nil
+}
+
+// Apply durably incorporates one batch of changes and returns the FD
+// diff. When Apply returns nil, the batch has been fsynced to the
+// write-ahead log: it survives any subsequent crash.
+func (m *DurableMonitor) Apply(changes ...Change) (Diff, error) {
+	b, err := toBatch(changes)
+	if err != nil {
+		return Diff{}, err
+	}
+	res, err := m.eng.Apply(b)
+	if err != nil {
+		return Diff{}, err
+	}
+	return toDiff(res), nil
+}
+
+// Checkpoint folds the write-ahead log into a fresh snapshot now, instead
+// of waiting for the automatic interval.
+func (m *DurableMonitor) Checkpoint() error { return m.eng.Checkpoint() }
+
+// Seq returns the sequence number of the last durably applied batch.
+func (m *DurableMonitor) Seq() uint64 { return m.eng.Seq() }
+
+// Close writes a final checkpoint and releases the store. The monitor
+// must not be used afterwards.
+func (m *DurableMonitor) Close() error { return m.eng.Close() }
+
+// FDs returns the current minimal, non-trivial FDs in deterministic order.
+func (m *DurableMonitor) FDs() []FD { return m.ro.FDs() }
+
+// NonFDs returns the current maximal non-FDs.
+func (m *DurableMonitor) NonFDs() []FD { return m.ro.NonFDs() }
+
+// NumRecords returns the current tuple count.
+func (m *DurableMonitor) NumRecords() int { return m.ro.NumRecords() }
+
+// Record returns the current values of a live record.
+func (m *DurableMonitor) Record(id int64) ([]string, bool) { return m.ro.Record(id) }
+
+// Lookup returns the ids of live records whose values equal the tuple.
+func (m *DurableMonitor) Lookup(values []string) ([]int64, error) { return m.ro.Lookup(values) }
+
+// Holds reports whether the FD lhsColumns → rhsColumn currently holds.
+func (m *DurableMonitor) Holds(lhsColumns []string, rhsColumn string) (bool, error) {
+	return m.ro.Holds(lhsColumns, rhsColumn)
+}
+
+// Violations explains why an FD does not hold; see Monitor.Violations.
+func (m *DurableMonitor) Violations(lhsColumns []string, rhsColumn string, max int) ([]ViolationGroup, float64, error) {
+	return m.ro.Violations(lhsColumns, rhsColumn, max)
+}
+
+// FormatFD renders an FD with the monitor's column names.
+func (m *DurableMonitor) FormatFD(f FD) string { return m.ro.FormatFD(f) }
+
+// Stats returns the accumulated maintenance counters.
+func (m *DurableMonitor) Stats() Stats { return m.ro.Stats() }
+
+// CheckInvariants verifies the monitor's cross-structure invariants.
+func (m *DurableMonitor) CheckInvariants() error { return m.ro.CheckInvariants() }
+
+// Err surfaces background durability problems: the poisoning error if a
+// write-ahead failure froze the monitor, or the most recent automatic
+// checkpoint failure. A healthy monitor returns nil.
+func (m *DurableMonitor) Err() error {
+	if err := m.eng.Poisoned(); err != nil {
+		return err
+	}
+	if err := m.eng.LastCheckpointErr(); err != nil {
+		return fmt.Errorf("dynfd: last checkpoint failed: %w", err)
+	}
+	return nil
+}

@@ -92,11 +92,12 @@ func AllPruning() Pruning {
 type Option func(*options)
 
 type options struct {
-	pruning       Pruning
-	seed          int64
-	keyColumns    []string
-	updatePruning bool
-	workers       int
+	pruning         Pruning
+	seed            int64
+	keyColumns      []string
+	updatePruning   bool
+	workers         int
+	checkpointEvery int
 }
 
 // WithPruning selects the pruning strategies (default: AllPruning).
@@ -133,6 +134,14 @@ func WithUpdateColumnPruning() Option {
 // call.
 func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
+}
+
+// WithCheckpointEvery sets how many applied batches a DurableMonitor
+// accumulates in its write-ahead log before folding them into a fresh
+// checkpoint (default 64; negative disables automatic checkpoints).
+// Plain in-memory Monitors ignore this option.
+func WithCheckpointEvery(batches int) Option {
+	return func(o *options) { o.checkpointEvery = batches }
 }
 
 // Diff reports the effects of one applied batch.
@@ -232,10 +241,8 @@ func (m *Monitor) engineConfig() core.Config {
 	return m.engine.Config()
 }
 
-// Apply incorporates one batch of changes and returns the FD diff. The
-// batch is processed atomically in DynFD's pipeline order: structural
-// updates, then deletes, then inserts.
-func (m *Monitor) Apply(changes ...Change) (Diff, error) {
+// toBatch converts public changes to the internal batch representation.
+func toBatch(changes []Change) (stream.Batch, error) {
 	b := stream.Batch{Changes: make([]stream.Change, len(changes))}
 	for i, c := range changes {
 		sc := stream.Change{ID: c.ID, Values: c.Values, Time: c.Time}
@@ -247,21 +254,43 @@ func (m *Monitor) Apply(changes ...Change) (Diff, error) {
 		case KindUpdate:
 			sc.Kind = stream.Update
 		default:
-			return Diff{}, fmt.Errorf("dynfd: change %d: unknown kind %d", i, int(c.Kind))
+			return stream.Batch{}, fmt.Errorf("dynfd: change %d: unknown kind %d", i, int(c.Kind))
 		}
 		b.Changes[i] = sc
+	}
+	return b, nil
+}
+
+// toDiff converts a batch result to the public diff representation.
+func toDiff(res core.Result) Diff {
+	return Diff{
+		InsertedIDs: res.InsertedIDs,
+		Added:       toPublic(res.Added),
+		Removed:     toPublic(res.Removed),
+	}
+}
+
+// Apply incorporates one batch of changes and returns the FD diff. The
+// batch is processed atomically in DynFD's pipeline order: structural
+// updates, then deletes, then inserts.
+func (m *Monitor) Apply(changes ...Change) (Diff, error) {
+	b, err := toBatch(changes)
+	if err != nil {
+		return Diff{}, err
 	}
 	res, err := m.engine.ApplyBatch(b)
 	if err != nil {
 		return Diff{}, err
 	}
 	m.batchSeen = true
-	return Diff{
-		InsertedIDs: res.InsertedIDs,
-		Added:       toPublic(res.Added),
-		Removed:     toPublic(res.Removed),
-	}, nil
+	return toDiff(res), nil
 }
+
+// CheckInvariants verifies the monitor's cross-structure invariants — Pli
+// consistency, cover minimality, and the duality of the positive and
+// negative covers. It is exported for tests and failure-injection suites;
+// regular callers never need it.
+func (m *Monitor) CheckInvariants() error { return m.engine.CheckInvariants() }
 
 // FDs returns the current minimal, non-trivial FDs in deterministic order.
 func (m *Monitor) FDs() []FD { return toPublic(m.engine.FDs()) }

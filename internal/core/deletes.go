@@ -22,14 +22,14 @@ import (
 // across the worker pool when Config.Workers allows) followed by a serial
 // merge phase that refreshes witnesses and promotes newly valid FDs in
 // candidate order — see parallel.go for the equivalence argument.
-func (e *Engine) processDeletes(touched attrset.Set) {
+func (e *Engine) processDeletes(touched attrset.Set) error {
 	for level := e.numAttrs; level >= 0; level-- {
 		candidates := e.nonFds.Level(level)
 		if len(candidates) == 0 {
 			continue
 		}
 		// Scan: classify and validate without mutating any engine state.
-		outcomes := e.scanLevel(candidates, validate.NoPruning, func(nonFd fd.FD) scanKind {
+		outcomes, err := e.scanLevel(candidates, validate.NoPruning, func(nonFd fd.FD) scanKind {
 			if !e.nonFds.Contains(nonFd.Lhs, nonFd.Rhs) {
 				return scanStale // removed by a depth-first search in this level
 			}
@@ -44,6 +44,9 @@ func (e *Engine) processDeletes(touched attrset.Set) {
 			}
 			return scanEligible
 		})
+		if err != nil {
+			return err
+		}
 		// Merge: account the work, refresh the witnesses of still-invalid
 		// non-FDs, and collect the newly valid FDs in candidate order.
 		var validFds []fd.FD
@@ -77,6 +80,7 @@ func (e *Engine) processDeletes(touched attrset.Set) {
 			e.depthFirstSearches(validFds)
 		}
 	}
+	return nil
 }
 
 // needsValidation implements the validation pruning of §5.2: a non-FD can

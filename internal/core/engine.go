@@ -12,12 +12,15 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"time"
 
 	"dynfd/internal/attrset"
 	"dynfd/internal/dataset"
+	"dynfd/internal/fanout"
 	"dynfd/internal/fd"
 	"dynfd/internal/hyfd"
 	"dynfd/internal/induct"
@@ -44,6 +47,13 @@ type Engine struct {
 	scratch  *validate.Scratches // per-worker validation kernel buffers (slot 0 = serial path)
 	rng      *rand.Rand
 	stats    Stats
+
+	// poisoned is set when a batch failed after the point of no return — a
+	// captured panic or a mid-apply error that may have left the store or
+	// the covers inconsistent. A poisoned engine fails every further
+	// ApplyBatch fast instead of operating on possibly-corrupt state; reads
+	// remain allowed so callers can inspect and snapshot what survived.
+	poisoned error
 
 	// Reusable per-batch buffers. All of them are owned by the engine
 	// goroutine and reset (not reallocated) at the start of each use, so
@@ -154,6 +164,11 @@ func (e *Engine) NonFDs() []fd.FD { return e.nonFds.All() }
 // Stats returns the accumulated work counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// Poisoned returns the error that poisoned the engine, or nil while the
+// engine is healthy. A poisoned engine refuses every further ApplyBatch;
+// read accessors keep working on the (possibly inconsistent) survivors.
+func (e *Engine) Poisoned() error { return e.poisoned }
+
 // Record returns the current values of a live record.
 func (e *Engine) Record(id int64) ([]string, bool) { return e.store.Values(id) }
 
@@ -230,13 +245,35 @@ func (e *Engine) CheckBatch(batch stream.Batch) error {
 // resulting FD changes. Updates are processed as a delete followed by an
 // insert; all structural deletes are applied before all inserts so the
 // intermediate relation never holds both versions of an updated tuple
-// (paper §2). The engine state is unspecified after an error.
-func (e *Engine) ApplyBatch(batch stream.Batch) (Result, error) {
+// (paper §2).
+//
+// Failure semantics: errors raised while the batch is validated and
+// planned (bad arity, unknown record ids) leave the engine untouched and
+// it stays usable. An error after structural application began — a
+// captured validation-worker panic, a panic on the engine goroutine, or a
+// store maintenance failure — may leave the covers and the Pli store
+// inconsistent, so the engine poisons itself: every subsequent ApplyBatch
+// fails fast with the original cause (see Poisoned).
+func (e *Engine) ApplyBatch(batch stream.Batch) (res Result, err error) {
+	if e.poisoned != nil {
+		return Result{}, fmt.Errorf("core: engine poisoned by earlier failure, refusing batch: %w", e.poisoned)
+	}
 	for i, c := range batch.Changes {
 		if err := c.Validate(e.numAttrs); err != nil {
 			return Result{}, fmt.Errorf("core: batch change %d: %w", i, err)
 		}
 	}
+	// Any panic on the engine goroutine from here on (planning state is
+	// reset per batch, so poisoning early is harmless) is converted into a
+	// poisoning error rather than unwinding through the caller with the
+	// covers half-merged. Worker-goroutine panics are captured separately
+	// by the fanout layer and arrive here as ordinary errors.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: ApplyBatch panicked: %v\n%s", r, debug.Stack())
+			e.poisoned = err
+		}
+	}()
 	before := e.fds.All()
 
 	// Step 1: structural updates. The batch is first reduced, in batch
@@ -332,28 +369,44 @@ func (e *Engine) ApplyBatch(batch stream.Batch) (Result, error) {
 	}
 	e.planInserts = ins
 	if err := e.store.ApplyBatch(e.planDeletes, ins, e.workers); err != nil {
+		// A captured worker panic means the store's per-attribute indexes
+		// are partially updated; plain validation errors leave the store
+		// unchanged (and should have been caught by the planner anyway).
+		var pe *fanout.PanicError
+		if errors.As(err, &pe) {
+			e.poisoned = err
+		}
 		return Result{}, fmt.Errorf("core: applying batch: %w", err)
 	}
 	if nextID > e.store.NextID() {
 		// The batch's last inserts died within the batch: their ids are
 		// consumed anyway, exactly as under one-by-one application.
 		if err := e.store.SetNextID(nextID); err != nil {
+			e.poisoned = err // structural changes already applied
 			return Result{}, fmt.Errorf("core: applying batch: %w", err)
 		}
 	}
 
 	e.stats.StructureTime += time.Since(structStart)
 
-	// Step 2: deletes may turn non-FDs into FDs (§5).
+	// Step 2: deletes may turn non-FDs into FDs (§5). The store already
+	// holds the batch, so a failed sweep leaves covers and store out of
+	// sync: poison.
 	if deletes > 0 {
 		start := time.Now()
-		e.processDeletes(touched)
+		if err := e.processDeletes(touched); err != nil {
+			e.poisoned = err
+			return Result{}, fmt.Errorf("core: delete phase: %w", err)
+		}
 		e.stats.DeletePhaseTime += time.Since(start)
 	}
 	// Step 3: inserts may turn FDs into non-FDs (§4).
 	if len(ids) > 0 {
 		start := time.Now()
-		e.processInserts(minNewID, ids, touched)
+		if err := e.processInserts(minNewID, ids, touched); err != nil {
+			e.poisoned = err
+			return Result{}, fmt.Errorf("core: insert phase: %w", err)
+		}
 		e.stats.InsertPhaseTime += time.Since(start)
 	}
 

@@ -25,7 +25,7 @@ import (
 // minNewID is the smallest surrogate id assigned in this batch; newIDs are
 // all ids inserted by the batch; touched holds the columns the batch may
 // have changed (all columns unless update-column pruning narrowed it).
-func (e *Engine) processInserts(minNewID int64, newIDs []int64, touched attrset.Set) {
+func (e *Engine) processInserts(minNewID int64, newIDs []int64, touched attrset.Set) error {
 	prune := validate.NoPruning
 	if e.cfg.ClusterPruning {
 		prune = minNewID
@@ -36,7 +36,7 @@ func (e *Engine) processInserts(minNewID int64, newIDs []int64, touched attrset.
 			continue
 		}
 		// Scan: classify and validate without mutating any engine state.
-		outcomes := e.scanLevel(candidates, prune, func(cand fd.FD) scanKind {
+		outcomes, err := e.scanLevel(candidates, prune, func(cand fd.FD) scanKind {
 			if !e.fds.Contains(cand.Lhs, cand.Rhs) {
 				return scanStale // removed by an earlier specialization or search
 			}
@@ -52,6 +52,9 @@ func (e *Engine) processInserts(minNewID int64, newIDs []int64, touched attrset.
 			}
 			return scanEligible
 		})
+		if err != nil {
+			return err
+		}
 		// Merge: account the work, then fold every invalidated candidate
 		// into the covers in candidate order (Algorithm 2 lines 6-15:
 		// remove the non-FD from the positive cover, record it as a
@@ -80,6 +83,7 @@ func (e *Engine) processInserts(minNewID int64, newIDs []int64, touched attrset.
 			e.violationSearch(newIDs)
 		}
 	}
+	return nil
 }
 
 // addNonFD records a newly discovered non-FD in the negative cover with

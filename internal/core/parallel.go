@@ -75,7 +75,9 @@ func resolveWorkers(n int) int {
 // passed to the validations (validate.NoPruning to disable).
 // The returned slice aliases an engine-held buffer that the next scanLevel
 // call overwrites; callers consume it within their level's merge phase.
-func (e *Engine) scanLevel(candidates []fd.FD, prune int64, classify func(fd.FD) scanKind) []scanOutcome {
+// A non-nil error is a captured validation panic (*fanout.PanicError); the
+// outcomes are then unspecified and the caller must abort the sweep.
+func (e *Engine) scanLevel(candidates []fd.FD, prune int64, classify func(fd.FD) scanKind) ([]scanOutcome, error) {
 	if cap(e.scanOutcomes) < len(candidates) {
 		e.scanOutcomes = make([]scanOutcome, len(candidates))
 	}
@@ -92,13 +94,16 @@ func (e *Engine) scanLevel(candidates []fd.FD, prune int64, classify func(fd.FD)
 	}
 	e.scanReqs, e.scanSlots = reqs, slots
 	if len(reqs) == 0 {
-		return outcomes
+		return outcomes, nil
 	}
 	if cap(e.fanOut) < len(reqs) {
 		e.fanOut = make([]validate.Outcome, len(reqs))
 	}
 	results := e.fanOut[:len(reqs)]
-	fanned := validate.FanInto(results, e.store, reqs, e.workers, e.scratch)
+	fanned, err := validate.FanInto(results, e.store, reqs, e.workers, e.scratch)
+	if err != nil {
+		return nil, err
+	}
 	if fanned {
 		e.stats.ParallelLevels++
 	}
@@ -111,5 +116,5 @@ func (e *Engine) scanLevel(candidates []fd.FD, prune int64, classify func(fd.FD)
 			o.witness = r.Witness
 		}
 	}
-	return outcomes
+	return outcomes, nil
 }

@@ -1,0 +1,385 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"dynfd/internal/core"
+	"dynfd/internal/dataset"
+	"dynfd/internal/fd"
+	"dynfd/internal/stream"
+	"dynfd/internal/wal"
+)
+
+// Checkpoint blob format identifiers; version bumps guard incompatible
+// layout changes.
+const (
+	checkpointFormat  = "dynfd-checkpoint"
+	checkpointVersion = 1
+)
+
+// DefaultCheckpointEvery is the automatic checkpoint interval (in applied
+// batches) when Options.CheckpointEvery is zero.
+const DefaultCheckpointEvery = 64
+
+// checkpoint is the JSON layout of a checkpoint blob: the engine snapshot
+// plus the WAL sequence number it covers — recovery replays only log
+// records with a higher sequence.
+type checkpoint struct {
+	Format  string         `json:"format"`
+	Version int            `json:"version"`
+	Seq     uint64         `json:"seq"`
+	Columns []string       `json:"columns"`
+	Engine  *core.Snapshot `json:"engine"`
+}
+
+// Options configures Open.
+type Options struct {
+	// Columns is the schema. Required for a fresh store; for an existing
+	// store it is verified against the recovered checkpoint (nil skips the
+	// check and adopts the stored schema).
+	Columns []string
+	// Config is the engine configuration for a fresh store. A recovered
+	// store keeps the configuration stored in its checkpoint.
+	Config core.Config
+	// CheckpointEvery is the number of applied batches between automatic
+	// checkpoints; 0 means DefaultCheckpointEvery, negative disables
+	// automatic checkpoints (the WAL then grows until an explicit
+	// Checkpoint or Close).
+	CheckpointEvery int
+}
+
+// Engine wraps a core engine with write-ahead durability: Apply appends
+// the batch to the WAL and fsyncs before mutating the in-memory engine, so
+// a batch that has been acknowledged survives any crash, and a batch that
+// crashed mid-write is cleanly absent after recovery. Like the core
+// engine, a durable Engine is not safe for concurrent use.
+type Engine struct {
+	st      Storage
+	log     *wal.Log
+	eng     *core.Engine
+	columns []string
+
+	seq             uint64 // sequence number of the last applied batch
+	sinceCheckpoint int    // batches applied since the last checkpoint
+	checkpointEvery int    // 0 disables automatic checkpoints
+	lastCheckpoint  error  // outcome of the most recent checkpoint attempt
+
+	// poisoned is set when the durable and in-memory states may have
+	// diverged: a WAL append/sync failure (the log may hold a torn record
+	// that a further append would bury), an in-memory apply failure after
+	// the batch was logged, or a core-engine poisoning. Every further
+	// Apply fails fast; reads stay available.
+	poisoned error
+}
+
+// Open loads or initializes a durable engine on the given storage.
+//
+// Recovery sequence (DESIGN.md §11): read the checkpoint and restore the
+// engine from it (a fresh store starts an empty engine and writes an
+// initial checkpoint instead); scan the WAL, truncating the torn tail at
+// the first incomplete or corrupt record; replay, in order, every record
+// whose sequence number exceeds the checkpoint's (records at or below it
+// are remnants of a checkpoint whose log reset was interrupted — already
+// folded in, skipped); finally fold the replayed suffix into a fresh
+// checkpoint and reset the log, so recovery converges in one step no
+// matter how often it is interrupted.
+func Open(st Storage, opts Options) (*Engine, error) {
+	e := &Engine{
+		st:              st,
+		log:             wal.NewLog(st.Log()),
+		checkpointEvery: opts.CheckpointEvery,
+	}
+	if e.checkpointEvery == 0 {
+		e.checkpointEvery = DefaultCheckpointEvery
+	} else if e.checkpointEvery < 0 {
+		e.checkpointEvery = 0
+	}
+
+	blob, ok, err := st.ReadCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		if len(opts.Columns) == 0 {
+			return nil, fmt.Errorf("durable: fresh store needs a schema (no checkpoint found and no columns given)")
+		}
+		e.columns = append([]string(nil), opts.Columns...)
+		e.eng = core.NewEmpty(len(e.columns), opts.Config)
+		// Persist the empty state immediately so the schema is on disk and
+		// every later recovery finds a checkpoint.
+		if err := e.writeCheckpoint(); err != nil {
+			return nil, err
+		}
+		if err := e.log.Reset(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+
+	cp, err := decodeCheckpoint(blob)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Columns != nil && !equalColumns(opts.Columns, cp.Columns) {
+		return nil, fmt.Errorf("durable: schema mismatch: store has %v, caller wants %v", cp.Columns, opts.Columns)
+	}
+	e.columns = cp.Columns
+	e.seq = cp.Seq
+	e.eng, err = core.Restore(cp.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("durable: restoring checkpoint: %w", err)
+	}
+
+	data, err := st.ReadLog()
+	if err != nil {
+		return nil, err
+	}
+	recs, validLen := wal.Scan(data)
+	if validLen < int64(len(data)) {
+		// Torn tail: a crash interrupted the append of the last record
+		// before its fsync completed, so it was never acknowledged.
+		if err := e.log.Truncate(validLen); err != nil {
+			return nil, err
+		}
+	}
+	replayed := false
+	for _, rec := range recs {
+		if rec.Seq <= cp.Seq {
+			if replayed {
+				return nil, fmt.Errorf("durable: WAL sequence %d out of order after replaying past %d", rec.Seq, e.seq)
+			}
+			continue // folded into the checkpoint already
+		}
+		if rec.Seq != e.seq+1 {
+			return nil, fmt.Errorf("durable: WAL gap: have state at seq %d, next record is seq %d", e.seq, rec.Seq)
+		}
+		changes, err := stream.ReadChanges(bytes.NewReader(rec.Payload))
+		if err != nil {
+			return nil, fmt.Errorf("durable: WAL record %d: %w", rec.Seq, err)
+		}
+		if _, err := e.eng.ApplyBatch(stream.Batch{Changes: changes}); err != nil {
+			return nil, fmt.Errorf("durable: replaying WAL record %d: %w", rec.Seq, err)
+		}
+		e.seq = rec.Seq
+		replayed = true
+	}
+	if len(recs) > 0 || validLen < int64(len(data)) {
+		// Fold the replayed suffix in so a crash during the next run never
+		// has to replay it again, and the log starts empty.
+		if err := e.writeCheckpoint(); err != nil {
+			return nil, err
+		}
+		if err := e.log.Reset(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+func decodeCheckpoint(blob []byte) (*checkpoint, error) {
+	var cp checkpoint
+	if err := json.Unmarshal(blob, &cp); err != nil {
+		return nil, fmt.Errorf("durable: decoding checkpoint: %w", err)
+	}
+	if cp.Format != checkpointFormat {
+		return nil, fmt.Errorf("durable: not a checkpoint (format %q, want %q)", cp.Format, checkpointFormat)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("durable: unsupported checkpoint version %d (want %d)", cp.Version, checkpointVersion)
+	}
+	if cp.Engine == nil || len(cp.Columns) != cp.Engine.NumAttrs {
+		return nil, fmt.Errorf("durable: checkpoint schema inconsistent")
+	}
+	return &cp, nil
+}
+
+func equalColumns(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// writeCheckpoint persists the current engine state tagged with the
+// current sequence number.
+func (e *Engine) writeCheckpoint() error {
+	blob, err := json.Marshal(checkpoint{
+		Format:  checkpointFormat,
+		Version: checkpointVersion,
+		Seq:     e.seq,
+		Columns: e.columns,
+		Engine:  e.eng.Snapshot(),
+	})
+	if err != nil {
+		return fmt.Errorf("durable: encoding checkpoint: %w", err)
+	}
+	if err := e.st.WriteCheckpoint(blob); err != nil {
+		return err
+	}
+	e.sinceCheckpoint = 0
+	return nil
+}
+
+// Checkpoint folds the WAL into a fresh engine snapshot: the snapshot is
+// atomically replaced first, then the log is reset. A crash between the
+// two steps is safe — recovery skips log records at or below the
+// checkpoint's sequence number.
+func (e *Engine) Checkpoint() error {
+	if e.poisoned != nil {
+		return fmt.Errorf("durable: engine poisoned, refusing checkpoint: %w", e.poisoned)
+	}
+	if err := e.writeCheckpoint(); err != nil {
+		e.lastCheckpoint = err
+		return err
+	}
+	if err := e.log.Reset(); err != nil {
+		e.lastCheckpoint = err
+		return err
+	}
+	e.lastCheckpoint = nil
+	return nil
+}
+
+// Apply makes one batch durable and applies it: the batch is prechecked,
+// appended to the WAL, fsynced, and only then applied to the in-memory
+// engine — so a nil return means the batch survives any subsequent crash,
+// and an error before the fsync means it is wholly absent.
+//
+// Automatic checkpoints run after every CheckpointEvery applied batches; a
+// failed checkpoint does not fail the Apply (the batch is already durable
+// in the WAL) but is reported by LastCheckpointErr.
+func (e *Engine) Apply(batch stream.Batch) (core.Result, error) {
+	if e.poisoned != nil {
+		return core.Result{}, fmt.Errorf("durable: engine poisoned by earlier failure, refusing batch: %w", e.poisoned)
+	}
+	// Precheck so a bad batch is rejected before it reaches the log: the
+	// WAL must only ever contain batches that apply cleanly on replay.
+	if err := e.eng.CheckBatch(batch); err != nil {
+		return core.Result{}, err
+	}
+	var buf bytes.Buffer
+	if err := stream.WriteChanges(&buf, batch.Changes); err != nil {
+		return core.Result{}, fmt.Errorf("durable: encoding batch: %w", err)
+	}
+	if err := e.log.Append(e.seq+1, buf.Bytes()); err != nil {
+		// The log may now end in a torn record; appending more would bury
+		// it and lose everything after it on recovery.
+		e.poisoned = err
+		return core.Result{}, err
+	}
+	if err := e.log.Sync(); err != nil {
+		e.poisoned = err
+		return core.Result{}, err
+	}
+	res, err := e.eng.ApplyBatch(batch)
+	if err != nil {
+		// The batch is durable but the in-memory state is not: the two
+		// have diverged (this should be unreachable for prechecked
+		// batches — a worker panic is the realistic cause).
+		e.poisoned = fmt.Errorf("durable: batch %d logged but not applied: %w", e.seq+1, err)
+		return core.Result{}, e.poisoned
+	}
+	e.seq++
+	e.sinceCheckpoint++
+	if e.checkpointEvery > 0 && e.sinceCheckpoint >= e.checkpointEvery {
+		if err := e.writeCheckpoint(); err != nil {
+			e.lastCheckpoint = err
+		} else if err := e.log.Reset(); err != nil {
+			e.lastCheckpoint = err
+		} else {
+			e.lastCheckpoint = nil
+		}
+	}
+	return res, nil
+}
+
+// Bootstrap profiles initial rows with the static algorithm and makes the
+// result durable. It is only valid on a store that has never held records
+// or batches.
+func (e *Engine) Bootstrap(rows [][]string) error {
+	if e.poisoned != nil {
+		return fmt.Errorf("durable: engine poisoned, refusing bootstrap: %w", e.poisoned)
+	}
+	if e.seq != 0 || e.eng.NumRecords() != 0 {
+		return fmt.Errorf("durable: Bootstrap requires an empty store (have %d records at seq %d)", e.eng.NumRecords(), e.seq)
+	}
+	rel := dataset.New("relation", e.columns)
+	for _, row := range rows {
+		if err := rel.Append(row); err != nil {
+			return err
+		}
+	}
+	eng, err := core.Bootstrap(rel, e.eng.Config())
+	if err != nil {
+		return err
+	}
+	e.eng = eng
+	// The bootstrapped state must be durable before Bootstrap returns;
+	// failing here leaves memory ahead of disk, so poison.
+	if err := e.writeCheckpoint(); err != nil {
+		e.poisoned = err
+		return err
+	}
+	if err := e.log.Reset(); err != nil {
+		e.poisoned = err
+		return err
+	}
+	return nil
+}
+
+// Close writes a final checkpoint (so the next Open restores without
+// replay) and releases the storage. A poisoned engine skips the checkpoint
+// — its in-memory state must not overwrite the durable one.
+func (e *Engine) Close() error {
+	var cpErr error
+	if e.poisoned == nil {
+		cpErr = e.Checkpoint()
+	}
+	if err := e.st.Close(); err != nil && cpErr == nil {
+		cpErr = err
+	}
+	return cpErr
+}
+
+// Seq returns the sequence number of the last durably applied batch.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// Columns returns the schema.
+func (e *Engine) Columns() []string { return append([]string(nil), e.columns...) }
+
+// Core exposes the wrapped engine for reads, invariant checks, and
+// snapshotting. Mutating it directly bypasses the WAL — don't.
+func (e *Engine) Core() *core.Engine { return e.eng }
+
+// Poisoned returns the error that poisoned the engine, or nil.
+func (e *Engine) Poisoned() error { return e.poisoned }
+
+// LastCheckpointErr returns the outcome of the most recent automatic
+// checkpoint attempt (nil when it succeeded or none ran yet).
+func (e *Engine) LastCheckpointErr() error { return e.lastCheckpoint }
+
+// The read-side delegates below, together with CheckBatch and ApplyBatch,
+// let a durable engine serve wherever a core engine does (the server's
+// backend interface).
+
+// CheckBatch verifies a batch would apply cleanly without touching state.
+func (e *Engine) CheckBatch(batch stream.Batch) error { return e.eng.CheckBatch(batch) }
+
+// ApplyBatch is Apply under the name the server backend expects.
+func (e *Engine) ApplyBatch(batch stream.Batch) (core.Result, error) { return e.Apply(batch) }
+
+// FDs returns the current minimal FDs.
+func (e *Engine) FDs() []fd.FD { return e.eng.FDs() }
+
+// NumRecords returns the current tuple count.
+func (e *Engine) NumRecords() int { return e.eng.NumRecords() }
+
+// Stats returns the accumulated work counters.
+func (e *Engine) Stats() core.Stats { return e.eng.Stats() }

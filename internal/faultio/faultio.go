@@ -1,0 +1,285 @@
+// Package faultio provides deterministic fault injection for DynFD's
+// durability layer: in-memory stand-ins for the write-ahead-log file and
+// the checkpoint store that crash at a scripted point and then expose
+// exactly the state a real disk would hold after the process died —
+// including torn writes and lost unsynced bytes.
+//
+// The recovery property tests (internal/durable) drive a full engine
+// through these fakes, crash it at every interesting offset, recover from
+// the surviving bytes, and compare the result against a no-crash oracle.
+package faultio
+
+import (
+	"errors"
+	"io"
+
+	"dynfd/internal/wal"
+)
+
+// ErrCrashed is returned by every operation at and after the scripted
+// crash point, modelling a process that died mid-operation: nothing after
+// the crash executes.
+var ErrCrashed = errors.New("faultio: simulated crash")
+
+// MemFile is an in-memory append-only file that distinguishes written
+// from synced bytes, so a simulated crash can discard or tear the
+// unsynced tail the way a real power cut would.
+type MemFile struct {
+	data   []byte
+	synced int
+}
+
+// Write appends p. The bytes are "in the OS buffer": visible to readers
+// of the live process but lost on a crash unless Sync ran.
+func (f *MemFile) Write(p []byte) (int, error) {
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+// Sync makes everything written so far crash-durable.
+func (f *MemFile) Sync() error {
+	f.synced = len(f.data)
+	return nil
+}
+
+// Truncate shrinks (or zero-extends, which the WAL never does) the file.
+func (f *MemFile) Truncate(n int64) error {
+	if n > int64(len(f.data)) {
+		f.data = append(f.data, make([]byte, n-int64(len(f.data)))...)
+	} else {
+		f.data = f.data[:n]
+	}
+	if f.synced > len(f.data) {
+		f.synced = len(f.data)
+	}
+	return nil
+}
+
+// Bytes returns the live contents (including unsynced bytes).
+func (f *MemFile) Bytes() []byte { return f.data }
+
+// Synced returns the crash-durable length.
+func (f *MemFile) Synced() int { return f.synced }
+
+// CrashView returns the contents a fresh process could observe after a
+// crash that preserved keepUnsynced of the unsynced tail bytes: the synced
+// prefix always survives, an arbitrary prefix of the unsynced bytes may.
+func (f *MemFile) CrashView(keepUnsynced int) []byte {
+	n := f.synced + keepUnsynced
+	if n > len(f.data) {
+		n = len(f.data)
+	}
+	if n < f.synced {
+		n = f.synced
+	}
+	return append([]byte(nil), f.data[:n]...)
+}
+
+// Faulty wraps a write-syncable file and injects one scripted failure: it
+// fails (tearing the in-flight write) once WriteBudget bytes have been
+// written, or at the SyncBudget-th Sync call. Once tripped, every
+// subsequent operation returns ErrCrashed.
+type Faulty struct {
+	F interface {
+		io.Writer
+		Sync() error
+		Truncate(int64) error
+	}
+	WriteBudget int64 // bytes allowed before failing; < 0 = unlimited
+	SyncBudget  int   // syncs allowed before failing; < 0 = unlimited
+	crashed     bool
+}
+
+// Crashed reports whether the scripted fault has tripped.
+func (f *Faulty) Crashed() bool { return f.crashed }
+
+// Write forwards to the wrapped file until the byte budget runs out; the
+// failing write forwards only the bytes that fit (a torn write) and trips
+// the crash.
+func (f *Faulty) Write(p []byte) (int, error) {
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	if f.WriteBudget >= 0 {
+		if int64(len(p)) > f.WriteBudget {
+			torn := p[:f.WriteBudget]
+			f.WriteBudget = 0
+			f.crashed = true
+			n, _ := f.F.Write(torn)
+			return n, ErrCrashed
+		}
+		f.WriteBudget -= int64(len(p))
+	}
+	return f.F.Write(p)
+}
+
+// Sync forwards until the sync budget runs out; the failing Sync trips the
+// crash before any durability is granted.
+func (f *Faulty) Sync() error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	if f.SyncBudget >= 0 {
+		if f.SyncBudget == 0 {
+			f.crashed = true
+			return ErrCrashed
+		}
+		f.SyncBudget--
+	}
+	return f.F.Sync()
+}
+
+// Truncate forwards unless the crash has tripped.
+func (f *Faulty) Truncate(n int64) error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	return f.F.Truncate(n)
+}
+
+// MemStorage is an in-memory implementation of the durable.Storage
+// surface with a single scripted crash point spanning all operations.
+//
+// The crash budget is counted in units:
+//
+//   - every byte written to the WAL costs one unit,
+//   - every WAL sync, WAL truncate, and checkpoint replacement costs one.
+//
+// The operation that exhausts the budget fails with ErrCrashed: a WAL
+// write persists only the bytes that still fit (a torn write), a sync
+// fails before granting durability, a checkpoint replacement fails with
+// the previous checkpoint intact (temp-file + rename makes a partial new
+// checkpoint invisible), a truncate fails leaving the log unchanged.
+// After the crash every operation returns ErrCrashed.
+type MemStorage struct {
+	checkpoint []byte
+	hasCP      bool
+	log        MemFile
+
+	budget   int64 // units remaining until the crash; < 0 = never crash
+	scripted bool
+	used     int64
+	crashed  bool
+}
+
+// NewMem returns a storage that never crashes.
+func NewMem() *MemStorage { return &MemStorage{budget: -1} }
+
+// NewMemCrashAt returns a storage that crashes after the given number of
+// units (see the type comment for the unit accounting).
+func NewMemCrashAt(units int64) *MemStorage {
+	return &MemStorage{budget: units, scripted: true}
+}
+
+// Units returns the units consumed so far; a fault-free run's total is the
+// upper bound for enumerating crash points.
+func (m *MemStorage) Units() int64 { return m.used }
+
+// Crashed reports whether the scripted crash has tripped.
+func (m *MemStorage) Crashed() bool { return m.crashed }
+
+// spend consumes up to want units; it returns how many were granted and
+// whether the budget survived. Granting fewer than want trips the crash.
+func (m *MemStorage) spend(want int64) (granted int64, ok bool) {
+	if m.crashed {
+		return 0, false
+	}
+	if !m.scripted {
+		m.used += want
+		return want, true
+	}
+	if want > m.budget {
+		granted = m.budget
+		m.used += granted
+		m.budget = 0
+		m.crashed = true
+		return granted, false
+	}
+	m.budget -= want
+	m.used += want
+	return want, true
+}
+
+// ReadCheckpoint returns the current checkpoint blob.
+func (m *MemStorage) ReadCheckpoint() ([]byte, bool, error) {
+	if m.crashed {
+		return nil, false, ErrCrashed
+	}
+	if !m.hasCP {
+		return nil, false, nil
+	}
+	return append([]byte(nil), m.checkpoint...), true, nil
+}
+
+// WriteCheckpoint atomically replaces the checkpoint blob (one unit).
+func (m *MemStorage) WriteCheckpoint(data []byte) error {
+	if _, ok := m.spend(1); !ok {
+		return ErrCrashed
+	}
+	m.checkpoint = append([]byte(nil), data...)
+	m.hasCP = true
+	return nil
+}
+
+// ReadLog returns the WAL's live contents.
+func (m *MemStorage) ReadLog() ([]byte, error) {
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	return append([]byte(nil), m.log.Bytes()...), nil
+}
+
+// Log returns the WAL file surface; its Write/Sync/Truncate charge the
+// crash budget.
+func (m *MemStorage) Log() wal.File { return (*memStorageLog)(m) }
+
+// Close is a no-op for the in-memory storage.
+func (m *MemStorage) Close() error { return nil }
+
+// Reopen returns the storage state a fresh process would find after the
+// crash (or after an abrupt kill of a fault-free run): the checkpoint as
+// last atomically replaced and the WAL's synced prefix plus the first
+// keepUnsynced unsynced bytes. The returned storage is healthy and
+// unlimited — recovery itself is not under fault injection.
+func (m *MemStorage) Reopen(keepUnsynced int) *MemStorage {
+	out := NewMem()
+	if m.hasCP {
+		out.checkpoint = append([]byte(nil), m.checkpoint...)
+		out.hasCP = true
+	}
+	data := m.log.CrashView(keepUnsynced)
+	out.log.data = data
+	out.log.synced = len(data)
+	return out
+}
+
+// memStorageLog adapts MemStorage's WAL accounting to the wal.File shape.
+type memStorageLog MemStorage
+
+func (l *memStorageLog) Write(p []byte) (int, error) {
+	m := (*MemStorage)(l)
+	granted, ok := m.spend(int64(len(p)))
+	if granted > 0 {
+		m.log.Write(p[:granted])
+	}
+	if !ok {
+		return int(granted), ErrCrashed
+	}
+	return len(p), nil
+}
+
+func (l *memStorageLog) Sync() error {
+	m := (*MemStorage)(l)
+	if _, ok := m.spend(1); !ok {
+		return ErrCrashed
+	}
+	return m.log.Sync()
+}
+
+func (l *memStorageLog) Truncate(n int64) error {
+	m := (*MemStorage)(l)
+	if _, ok := m.spend(1); !ok {
+		return ErrCrashed
+	}
+	return m.log.Truncate(n)
+}

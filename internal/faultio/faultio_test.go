@@ -1,0 +1,239 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dynfd/internal/wal"
+)
+
+func TestMemFileSyncAndCrashView(t *testing.T) {
+	t.Parallel()
+	f := &MemFile{}
+	f.Write([]byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("-volatile"))
+	if got := f.CrashView(0); string(got) != "durable" {
+		t.Fatalf("CrashView(0) = %q", got)
+	}
+	if got := f.CrashView(4); string(got) != "durable-vol" {
+		t.Fatalf("CrashView(4) = %q", got)
+	}
+	if got := f.CrashView(999); string(got) != "durable-volatile" {
+		t.Fatalf("CrashView(999) = %q", got)
+	}
+	if err := f.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if f.Synced() != 3 || string(f.Bytes()) != "dur" {
+		t.Fatalf("after truncate: synced=%d data=%q", f.Synced(), f.Bytes())
+	}
+}
+
+func TestFaultyTornWrite(t *testing.T) {
+	t.Parallel()
+	base := &MemFile{}
+	fw := &Faulty{F: base, WriteBudget: 10, SyncBudget: -1}
+	if _, err := fw.Write([]byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	// 2 budget bytes left: this write tears after 2 of its 5 bytes.
+	n, err := fw.Write([]byte("abcde"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("torn write persisted %d bytes, want 2", n)
+	}
+	if string(base.Bytes()) != "12345678ab" {
+		t.Fatalf("file contents %q", base.Bytes())
+	}
+	if !fw.Crashed() {
+		t.Fatal("Crashed() = false after torn write")
+	}
+	if _, err := fw.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write err = %v", err)
+	}
+	if err := fw.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync err = %v", err)
+	}
+	if err := fw.Truncate(0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash truncate err = %v", err)
+	}
+}
+
+func TestFaultySyncBudget(t *testing.T) {
+	t.Parallel()
+	base := &MemFile{}
+	fw := &Faulty{F: base, WriteBudget: -1, SyncBudget: 1}
+	fw.Write([]byte("abc"))
+	if err := fw.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fw.Write([]byte("def"))
+	if err := fw.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second sync err = %v", err)
+	}
+	// The failing sync granted no durability: only "abc" survives.
+	if got := base.CrashView(0); string(got) != "abc" {
+		t.Fatalf("CrashView = %q", got)
+	}
+}
+
+// TestMemStorageUnitAccounting drives a fixed operation script at every
+// crash budget and checks the surviving state matches the unit model.
+func TestMemStorageUnitAccounting(t *testing.T) {
+	t.Parallel()
+
+	// The script: checkpoint (1 unit), two WAL records (len bytes each),
+	// a sync (1), another checkpoint (1), a truncate-to-zero (1).
+	script := func(m *MemStorage) error {
+		if err := m.WriteCheckpoint([]byte("cp1")); err != nil {
+			return err
+		}
+		log := wal.NewLog(m.Log())
+		if err := log.Append(1, []byte("one")); err != nil {
+			return err
+		}
+		if err := log.Append(2, []byte("twotwo")); err != nil {
+			return err
+		}
+		if err := log.Sync(); err != nil {
+			return err
+		}
+		if err := m.WriteCheckpoint([]byte("cp2")); err != nil {
+			return err
+		}
+		return log.Reset() // Truncate + Sync
+	}
+
+	free := NewMem()
+	if err := script(free); err != nil {
+		t.Fatalf("fault-free run failed: %v", err)
+	}
+	total := free.Units()
+	rec1 := int64(16 + len("one"))
+	rec2 := int64(16 + len("twotwo"))
+	wantTotal := 1 + rec1 + rec2 + 1 + 1 + 1 + 1 // cp + recs + sync + cp + truncate + sync
+	if total != wantTotal {
+		t.Fatalf("fault-free units = %d, want %d", total, wantTotal)
+	}
+
+	for budget := int64(0); budget < total; budget++ {
+		m := NewMemCrashAt(budget)
+		err := script(m)
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("budget=%d: err = %v, want ErrCrashed", budget, err)
+		}
+		if !m.Crashed() {
+			t.Fatalf("budget=%d: Crashed() = false", budget)
+		}
+		// Post-crash: everything fails.
+		if err := m.WriteCheckpoint(nil); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("budget=%d: post-crash WriteCheckpoint err = %v", budget, err)
+		}
+		if _, _, err := m.ReadCheckpoint(); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("budget=%d: post-crash ReadCheckpoint err = %v", budget, err)
+		}
+		if _, err := m.ReadLog(); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("budget=%d: post-crash ReadLog err = %v", budget, err)
+		}
+
+		re := m.Reopen(0)
+		cp, has, err := re.ReadCheckpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case budget < 1: // crashed during first checkpoint: none survives
+			if has {
+				t.Fatalf("budget=%d: checkpoint %q survived", budget, cp)
+			}
+		case budget < 1+rec1+rec2+1+1: // before second checkpoint completed
+			if !has || string(cp) != "cp1" {
+				t.Fatalf("budget=%d: checkpoint = %q/%v, want cp1", budget, cp, has)
+			}
+		default:
+			if !has || string(cp) != "cp2" {
+				t.Fatalf("budget=%d: checkpoint = %q/%v, want cp2", budget, cp, has)
+			}
+		}
+
+		// With no unsynced bytes kept, the WAL view is the synced prefix.
+		data, err := re.ReadLog()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, validLen := wal.Scan(data)
+		if validLen != int64(len(data)) && budget >= 1+rec1+rec2+1 {
+			// After the sync completed, the synced prefix is whole records.
+			t.Fatalf("budget=%d: torn synced prefix (%d/%d)", budget, validLen, len(data))
+		}
+		if budget >= 1+rec1+rec2+1 && budget < wantTotal-1 {
+			// Sync done, final truncate+sync not complete: both records survive.
+			if len(recs) != 2 || recs[0].Seq != 1 || recs[1].Seq != 2 {
+				t.Fatalf("budget=%d: records = %+v", budget, recs)
+			}
+		}
+		if budget < 1+rec1+rec2+1 && len(data) != 0 {
+			// Crash before the sync: nothing durable without kept bytes.
+			t.Fatalf("budget=%d: %d unsynced bytes survived Reopen(0)", budget, len(data))
+		}
+	}
+}
+
+// TestMemStorageReopenKeepsUnsyncedPrefix checks the torn-tail modelling:
+// keeping a prefix of the unsynced bytes yields exactly those bytes, and
+// wal.Scan on the result only ever sees whole records.
+func TestMemStorageReopenKeepsUnsyncedPrefix(t *testing.T) {
+	t.Parallel()
+	m := NewMem()
+	log := wal.NewLog(m.Log())
+	if err := log.Append(1, []byte("synced")); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(2, []byte("unsynced")); err != nil {
+		t.Fatal(err)
+	}
+	full, _ := m.ReadLog()
+	rec1 := 16 + len("synced")
+	rec2 := 16 + len("unsynced")
+	if len(full) != rec1+rec2 {
+		t.Fatalf("log size %d", len(full))
+	}
+	for keep := 0; keep <= rec2+5; keep++ {
+		re := m.Reopen(keep)
+		data, err := re.ReadLog()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLen := rec1 + keep
+		if wantLen > len(full) {
+			wantLen = len(full)
+		}
+		if !bytes.Equal(data, full[:wantLen]) {
+			t.Fatalf("keep=%d: view diverged", keep)
+		}
+		recs, _ := wal.Scan(data)
+		wantRecs := 1
+		if keep >= rec2 {
+			wantRecs = 2
+		}
+		if len(recs) != wantRecs {
+			t.Fatalf("keep=%d: %d records, want %d", keep, len(recs), wantRecs)
+		}
+	}
+}
+
+// TestMemStorageLogSatisfiesWALFile pins the structural contract: the
+// storage's log surface must be usable wherever wal.File is expected.
+func TestMemStorageLogSatisfiesWALFile(t *testing.T) {
+	t.Parallel()
+	var _ wal.File = NewMem().Log()
+}

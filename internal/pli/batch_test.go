@@ -1,10 +1,13 @@
 package pli
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"dynfd/internal/fanout"
 )
 
 // equalStores asserts s1 and s2 are fully identical: counters, record
@@ -293,5 +296,28 @@ func TestAppendLookup(t *testing.T) {
 		buf, _ = s.AppendLookup(buf[:0], rows[0])
 	}) != 0 {
 		t.Error("AppendLookup allocates with a warm buffer")
+	}
+}
+
+// TestApplyBatchWorkerPanicSurfacesAsError injects a panic into one
+// attribute's fan-out slot and asserts ApplyBatch returns the captured
+// panic as an error instead of crashing the process.
+func TestApplyBatchWorkerPanicSurfacesAsError(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		s := NewStore(3)
+		SetApplyAttrTestHook(func(a int) {
+			if a == 1 {
+				panic("index boom")
+			}
+		})
+		err := s.ApplyBatch(nil, []BatchInsert{{ID: 0, Values: []string{"a", "b", "c"}}}, workers)
+		SetApplyAttrTestHook(nil)
+		var pe *fanout.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *fanout.PanicError", workers, err)
+		}
+		if pe.Value != "index boom" {
+			t.Errorf("workers=%d: Value = %v", workers, pe.Value)
+		}
 	}
 }

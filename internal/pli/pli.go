@@ -37,9 +37,26 @@ import (
 	"math/bits"
 	"slices"
 	"sort"
+	"sync/atomic"
 
 	"dynfd/internal/fanout"
 )
+
+// testApplyAttrHook, when set, runs at the start of every per-attribute
+// batch application — a test-only injection point that lets failure-path
+// tests drive a panicking worker through ApplyBatch's real fan-out.
+var testApplyAttrHook atomic.Pointer[func(a int)]
+
+// SetApplyAttrTestHook installs h (nil clears) as the test-only
+// per-attribute maintenance hook. Tests that install a hook must clear it
+// before returning; production code never sets it.
+func SetApplyAttrTestHook(h func(a int)) {
+	if h == nil {
+		testApplyAttrHook.Store(nil)
+		return
+	}
+	testApplyAttrHook.Store(&h)
+}
 
 // Record is a dictionary-encoded tuple: Record[a] is the id of the cluster
 // in attribute a's Pli that contains this tuple. It aliases the store's
@@ -421,8 +438,10 @@ type BatchInsert struct {
 //     bit-identical to a serial application regardless of worker count.
 //
 // Insert ids must be strictly ascending and >= NextID; afterwards NextID is
-// one past the last insert. Validation happens up front: on error the store
-// is unchanged.
+// one past the last insert. Validation happens up front: on a validation
+// error the store is unchanged. A panic in a fanned-out worker is captured
+// and returned as a *fanout.PanicError-wrapped error instead; the store is
+// then possibly inconsistent and must not be used further.
 func (s *Store) ApplyBatch(deletes []int64, inserts []BatchInsert, workers int) error {
 	// Validate before mutating anything.
 	if s.batchSeen == nil {
@@ -466,7 +485,12 @@ func (s *Store) ApplyBatch(deletes []int64, inserts []BatchInsert, workers int) 
 	// only read access to the liveness bitmaps and the deletes/inserts
 	// slices; everything each worker writes — attribute a's Index and the
 	// records' column a in the arena — is owned by exactly one worker.
-	fanout.ForEach(s.numAttrs, workers, func(a int) { s.applyAttr(a, deletes, inserts) })
+	if _, err := fanout.ForEach(s.numAttrs, workers, func(a int) { s.applyAttr(a, deletes, inserts) }); err != nil {
+		// A panicking worker leaves an unknown subset of the per-attribute
+		// indexes updated; the store is inconsistent and the caller must
+		// stop using it (core.Engine poisons itself on this error).
+		return fmt.Errorf("pli: applying batch: %w", err)
+	}
 
 	// Phase 3 (serial): free pages whose last record died and advance the
 	// id horizon.
@@ -484,6 +508,9 @@ func (s *Store) ApplyBatch(deletes []int64, inserts []BatchInsert, workers int) 
 // (insert ids exceed all existing ids, so appending after compaction keeps
 // cluster id lists strictly ascending).
 func (s *Store) applyAttr(a int, deletes []int64, inserts []BatchInsert) {
+	if h := testApplyAttrHook.Load(); h != nil {
+		(*h)(a)
+	}
 	ix := s.indexes[a]
 	if len(deletes) > 0 {
 		// Collect the touched cluster ids, dedupe, and compact each once.

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dynfd/internal/core"
+	"dynfd/internal/durable"
+	"dynfd/internal/faultio"
+)
+
+// startLimitedServer starts a server with custom limits over a 2-column
+// schema.
+func startLimitedServer(t *testing.T, limits Limits, batchSize int) string {
+	t.Helper()
+	srv, err := New([]string{"zip", "city"}, nil, batchSize, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLimits(limits)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(l); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return l.Addr().String()
+}
+
+// TestServerIdleTimeout: a connection that goes quiet must be closed once
+// the idle deadline passes, freeing its handler goroutine.
+func TestServerIdleTimeout(t *testing.T) {
+	t.Parallel()
+	limits := DefaultLimits()
+	limits.IdleTimeout = 60 * time.Millisecond
+	addr := startLimitedServer(t, limits, 100)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A live connection keeps working...
+	c := &client{t: t, conn: conn, rd: bufio.NewReader(conn)}
+	c.send(`{"op":"fds"}`)
+	if r := c.recv(); !r.OK {
+		t.Fatalf("fds = %+v", r)
+	}
+	// ...but after going idle, the server hangs up: the next read
+	// observes EOF (or a reset) instead of blocking forever.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	if err == nil {
+		t.Fatal("read succeeded on a connection that should be closed")
+	}
+	if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("server never closed the idle connection")
+	}
+}
+
+// TestServerRejectsOverlongLine: one oversized request line is answered
+// with an error, and the connection is then closed because its framing is
+// unrecoverable.
+func TestServerRejectsOverlongLine(t *testing.T) {
+	t.Parallel()
+	limits := DefaultLimits()
+	limits.MaxLineBytes = 256
+	addr := startLimitedServer(t, limits, 100)
+	c := dial(t, addr)
+	c.send(`{"op":"insert","values":["` + strings.Repeat("x", 1024) + `","y"]}`)
+	r := c.recv()
+	if r.OK || !strings.Contains(r.Error, "exceeds") {
+		t.Fatalf("overlong line response = %+v", r)
+	}
+	// The server hangs up after answering; depending on timing this reads
+	// as EOF or a reset, but never as a timeout.
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, err := c.rd.ReadByte()
+	if err == nil {
+		t.Fatal("connection still open after overlong line")
+	}
+	if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("server never closed the connection")
+	}
+}
+
+// TestServerPendingCap: staging beyond MaxPending is rejected without
+// disturbing the already-staged changes.
+func TestServerPendingCap(t *testing.T) {
+	t.Parallel()
+	limits := DefaultLimits()
+	limits.MaxPending = 3
+	addr := startLimitedServer(t, limits, 100) // batch size above the cap
+	c := dial(t, addr)
+	for i := 0; i < 3; i++ {
+		c.send(`{"op":"insert","values":["1","a"]}`) // staged silently
+	}
+	c.send(`{"op":"insert","values":["4","d"]}`)
+	r := c.recv()
+	if r.OK || !strings.Contains(r.Error, "pending") {
+		t.Fatalf("over-cap staging response = %+v", r)
+	}
+	// The three staged changes are intact and commit cleanly.
+	c.send(`{"op":"commit"}`)
+	if r := c.recv(); !r.OK || len(r.InsertedIDs) != 3 {
+		t.Fatalf("commit after cap = %+v", r)
+	}
+}
+
+// TestServerOnDurableBackend runs the wire protocol against a durable
+// engine and checks a committed batch is in the WAL before the ack, so a
+// "kill" (abandoning the storage without Close) loses nothing.
+func TestServerOnDurableBackend(t *testing.T) {
+	t.Parallel()
+	columns := []string{"zip", "city"}
+	st := faultio.NewMem()
+	eng, err := durable.Open(st, durable.Options{Columns: columns, Config: core.DefaultConfig(), CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWithBackend(columns, eng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(l)
+	}()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+
+	c := dial(t, l.Addr().String())
+	c.send(`{"op":"insert","values":["14482","Potsdam"]}`)
+	c.send(`{"op":"insert","values":["10115","Berlin"]}`)
+	c.send(`{"op":"commit"}`)
+	if r := c.recv(); !r.OK {
+		t.Fatalf("commit = %+v", r)
+	}
+
+	// Crash: reopen storage as a fresh process would find it (synced
+	// bytes only) — the acked batch must be there.
+	rec, err := durable.Open(st.Reopen(0), durable.Options{Columns: columns, Config: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq() != 1 || rec.NumRecords() != 2 {
+		t.Fatalf("recovered seq=%d records=%d, want 1/2", rec.Seq(), rec.NumRecords())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"dynfd/internal/core"
 	"dynfd/internal/dataset"
@@ -33,13 +34,47 @@ import (
 	"dynfd/internal/stream"
 )
 
+// Backend is the engine surface the server drives. *core.Engine satisfies
+// it directly; *durable.Engine satisfies it with write-ahead durability,
+// so a commit is only acknowledged once it is fsynced.
+type Backend interface {
+	CheckBatch(stream.Batch) error
+	ApplyBatch(stream.Batch) (core.Result, error)
+	FDs() []fd.FD
+	NumRecords() int
+	Stats() core.Stats
+}
+
+// Limits bounds per-connection resource use.
+type Limits struct {
+	// IdleTimeout closes a connection when a single read or write stalls
+	// longer than this; 0 disables the deadline.
+	IdleTimeout time.Duration
+	// MaxLineBytes caps one request line; an overlong line is answered
+	// with an error and the connection is closed (its framing is lost).
+	MaxLineBytes int
+	// MaxPending caps the staged-but-uncommitted changes per connection;
+	// staging beyond it is rejected (the client should commit first).
+	MaxPending int
+}
+
+// DefaultLimits are applied when New/NewWithBackend construct a server.
+func DefaultLimits() Limits {
+	return Limits{
+		IdleTimeout:  5 * time.Minute,
+		MaxLineBytes: 1 << 20,
+		MaxPending:   1 << 16,
+	}
+}
+
 // Server maintains one relation's FDs and serves the wire protocol.
 type Server struct {
 	columns   []string
 	batchSize int
+	limits    Limits
 
-	mu     sync.Mutex
-	engine *core.Engine
+	mu      sync.Mutex
+	backend Backend
 
 	listenerMu sync.Mutex
 	listener   net.Listener
@@ -51,9 +86,6 @@ type Server struct {
 // New creates a server for the given schema. If initial rows are provided
 // they are profiled with HyFD; batchSize bounds the auto-commit batch.
 func New(columns []string, initial [][]string, batchSize int, cfg core.Config) (*Server, error) {
-	if batchSize <= 0 {
-		return nil, fmt.Errorf("server: batch size must be positive")
-	}
 	rel := dataset.New("relation", columns)
 	for _, row := range initial {
 		if err := rel.Append(row); err != nil {
@@ -75,13 +107,26 @@ func New(columns []string, initial [][]string, batchSize int, cfg core.Config) (
 	} else {
 		engine = core.NewEmpty(len(columns), cfg)
 	}
+	return NewWithBackend(columns, engine, batchSize)
+}
+
+// NewWithBackend creates a server over an existing backend — typically a
+// durable engine whose state was just recovered from disk.
+func NewWithBackend(columns []string, backend Backend, batchSize int) (*Server, error) {
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("server: batch size must be positive")
+	}
 	return &Server{
 		columns:   append([]string(nil), columns...),
 		batchSize: batchSize,
-		engine:    engine,
+		limits:    DefaultLimits(),
+		backend:   backend,
 		conns:     make(map[net.Conn]bool),
 	}, nil
 }
+
+// SetLimits replaces the per-connection limits. Call before Serve.
+func (s *Server) SetLimits(l Limits) { s.limits = l }
 
 // Serve accepts connections until the listener is closed (via Close).
 func (s *Server) Serve(l net.Listener) error {
@@ -149,6 +194,31 @@ type response struct {
 	Batches     *int     `json:"batches,omitempty"`
 }
 
+// deadlineConn arms a fresh read/write deadline before every operation,
+// so an idle or stalled peer cannot pin a handler goroutine forever.
+type deadlineConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c *deadlineConn) Read(p []byte) (int, error) {
+	if c.timeout > 0 {
+		if err := c.Conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	if c.timeout > 0 {
+		if err := c.Conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(p)
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -156,9 +226,18 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.listenerMu.Unlock()
 	}()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	enc := json.NewEncoder(conn)
+	dc := &deadlineConn{Conn: conn, timeout: s.limits.IdleTimeout}
+	sc := bufio.NewScanner(dc)
+	maxLine := s.limits.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = bufio.MaxScanTokenSize
+	}
+	initial := 1 << 16
+	if initial > maxLine {
+		initial = maxLine
+	}
+	sc.Buffer(make([]byte, 0, initial), maxLine)
+	enc := json.NewEncoder(dc)
 	enc.SetEscapeHTML(false) // keep "->" readable in FD renderings
 	var pending []stream.Change
 	reply := func(r response) bool { return enc.Encode(r) == nil }
@@ -176,6 +255,12 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		switch req.Op {
 		case "insert", "delete", "update":
+			if s.limits.MaxPending > 0 && len(pending) >= s.limits.MaxPending {
+				if !reply(response{Error: fmt.Sprintf("too many pending changes (limit %d); commit first", s.limits.MaxPending)}) {
+					return
+				}
+				continue
+			}
 			c, err := toChange(req)
 			if err != nil {
 				if !reply(response{Error: err.Error()}) {
@@ -195,15 +280,15 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		case "fds":
 			s.mu.Lock()
-			fds := s.renderFDs(s.engine.FDs())
+			fds := s.renderFDs(s.backend.FDs())
 			s.mu.Unlock()
 			if !reply(response{OK: true, FDs: fds}) {
 				return
 			}
 		case "stats":
 			s.mu.Lock()
-			records := s.engine.NumRecords()
-			batches := s.engine.Stats().Batches
+			records := s.backend.NumRecords()
+			batches := s.backend.Stats().Batches
 			s.mu.Unlock()
 			if !reply(response{OK: true, Records: &records, Batches: &batches}) {
 				return
@@ -214,10 +299,19 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-		// Connection-level failures end the session silently; the client
-		// observes the closed socket.
-		return
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The line's framing is lost: answer once, then drop the
+			// connection rather than misparse the rest of the stream.
+			reply(response{Error: fmt.Sprintf("request line exceeds %d bytes", maxLine)})
+			return
+		}
+		if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			// Connection-level failures (including idle-timeout deadline
+			// expiry) end the session silently; the client observes the
+			// closed socket.
+			return
+		}
 	}
 }
 
@@ -240,18 +334,20 @@ func toChange(req request) (stream.Change, error) {
 	return c, nil
 }
 
-// commit applies the staged changes as one batch on the shared engine. A
+// commit applies the staged changes as one batch on the shared backend. A
 // batch from the network is prechecked first: a bad change must reject the
-// whole batch without poisoning the shared engine state.
+// whole batch without poisoning the shared engine state. With a durable
+// backend, ApplyBatch returning nil means the batch is fsynced — the OK
+// response is the durability acknowledgement.
 func (s *Server) commit(pending *[]stream.Change) response {
 	batch := stream.Batch{Changes: *pending}
 	*pending = (*pending)[:0]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.engine.CheckBatch(batch); err != nil {
+	if err := s.backend.CheckBatch(batch); err != nil {
 		return response{Error: err.Error()}
 	}
-	res, err := s.engine.ApplyBatch(batch)
+	res, err := s.backend.ApplyBatch(batch)
 	if err != nil {
 		return response{Error: err.Error()}
 	}

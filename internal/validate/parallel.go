@@ -14,9 +14,16 @@
 // locks are needed, and the caller reads outcomes in request order — the
 // merged result is byte-identical to a serial run regardless of worker
 // count or scheduling.
+//
+// Failure: a panic inside any validation is captured by the fan-out layer
+// and surfaced as a *fanout.PanicError from Fan/FanInto instead of
+// crashing the process; on a non-nil error the outcome slots are
+// unspecified and the engine poisons itself (see core.Engine).
 package validate
 
 import (
+	"sync/atomic"
+
 	"dynfd/internal/attrset"
 	"dynfd/internal/fanout"
 	"dynfd/internal/pli"
@@ -37,10 +44,28 @@ type Outcome struct {
 	Witness Witness
 }
 
+// testHook, when set, runs before every request validation inside Fan and
+// FanInto — a test-only injection point that lets failure-path tests drive
+// a panicking validator through the real worker pool (see SetTestHook).
+var testHook atomic.Pointer[func(Request)]
+
+// SetTestHook installs h (nil clears) as the test-only validation hook.
+// Tests that install a hook must clear it before returning; production
+// code never sets it.
+func SetTestHook(h func(Request)) {
+	if h == nil {
+		testHook.Store(nil)
+		return
+	}
+	testHook.Store(&h)
+}
+
 // Fan validates every request against the store, spreading the work across
 // at most workers goroutines (workers <= 1 validates serially, in order).
-// Outcomes are indexed like the requests. The second result reports
-// whether the call actually fanned out to multiple workers.
+// Outcomes are indexed like the requests. fanned reports whether the call
+// actually fanned out to multiple workers; a non-nil err is a captured
+// validation panic (*fanout.PanicError) and leaves the outcomes
+// unspecified.
 //
 // sc provides the per-worker validation scratches: worker slot w uses
 // sc.At(w) exclusively for the duration of the call, so validations reuse
@@ -51,15 +76,15 @@ type Outcome struct {
 // caller's goroutine.
 //
 // The store must not be mutated while Fan runs; see the package comment.
-func Fan(s *pli.Store, reqs []Request, workers int, sc *Scratches) ([]Outcome, bool) {
+func Fan(s *pli.Store, reqs []Request, workers int, sc *Scratches) ([]Outcome, bool, error) {
 	out := make([]Outcome, len(reqs))
-	fanned := FanInto(out, s, reqs, workers, sc)
-	return out, fanned
+	fanned, err := FanInto(out, s, reqs, workers, sc)
+	return out, fanned, err
 }
 
 // FanInto is Fan writing the outcomes into the caller's slice, for hot
 // callers that reuse a per-level buffer. len(out) must equal len(reqs).
-func FanInto(out []Outcome, s *pli.Store, reqs []Request, workers int, sc *Scratches) bool {
+func FanInto(out []Outcome, s *pli.Store, reqs []Request, workers int, sc *Scratches) (bool, error) {
 	if len(out) != len(reqs) {
 		panic("validate: FanInto outcome slice does not match requests")
 	}
@@ -74,7 +99,10 @@ func FanInto(out []Outcome, s *pli.Store, reqs []Request, workers int, sc *Scrat
 		slots = 1
 	}
 	sc.grow(slots)
-	return ForEachWorker(len(reqs), workers, func(w, i int) {
+	return fanout.Run(len(reqs), workers, func(w, i int) {
+		if h := testHook.Load(); h != nil {
+			(*h)(reqs[i])
+		}
 		valid, wit := sc.At(w).FD(s, reqs[i].Lhs, reqs[i].Rhs, reqs[i].MinNewID)
 		out[i] = Outcome{Valid: valid, Witness: wit}
 	})
@@ -83,14 +111,14 @@ func FanInto(out []Outcome, s *pli.Store, reqs []Request, workers int, sc *Scrat
 // ForEach runs fn(i) for every i in [0, n), fanning the calls across at
 // most workers goroutines. It is a thin alias of fanout.ForEach, kept so
 // validation call sites need not import the lower-level package; see
-// fanout.ForEachWorker for the full contract.
-func ForEach(n, workers int, fn func(i int)) bool {
+// fanout.Run for the full contract.
+func ForEach(n, workers int, fn func(i int)) (bool, error) {
 	return fanout.ForEach(n, workers, fn)
 }
 
-// ForEachWorker is an alias of fanout.ForEachWorker: it runs fn(w, i) for
-// every i in [0, n) across at most workers goroutines, where w is the
-// exclusive worker slot executing the call.
-func ForEachWorker(n, workers int, fn func(worker, i int)) bool {
-	return fanout.ForEachWorker(n, workers, fn)
+// Run is an alias of fanout.Run: it runs fn(w, i) for every i in [0, n)
+// across at most workers goroutines, where w is the exclusive worker slot
+// executing the call, and surfaces captured panics as errors.
+func Run(n, workers int, fn func(worker, i int)) (bool, error) {
+	return fanout.Run(n, workers, fn)
 }

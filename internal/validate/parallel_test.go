@@ -1,12 +1,14 @@
 package validate
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
 	"testing"
 
 	"dynfd/internal/attrset"
+	"dynfd/internal/fanout"
 	"dynfd/internal/pli"
 )
 
@@ -68,7 +70,10 @@ func TestFanMatchesSerialFD(t *testing.T) {
 		want[i], _ = FD(s, r.Lhs, r.Rhs, r.MinNewID)
 	}
 	for _, workers := range []int{0, 1, 2, 3, 4, 8, 64} {
-		got, fanned := Fan(s, reqs, workers, nil)
+		got, fanned, err := Fan(s, reqs, workers, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
 		if wantFan := workers >= 2; fanned != wantFan {
 			t.Errorf("workers=%d: fanned = %v, want %v", workers, fanned, wantFan)
 		}
@@ -122,7 +127,10 @@ func TestFanClusterPruning(t *testing.T) {
 		{Lhs: attrset.Of(0), Rhs: 1, MinNewID: NoPruning},
 		{Lhs: attrset.Of(0), Rhs: 1, MinNewID: s.NextID()},
 	}
-	out, _ := Fan(s, reqs, 2, nil)
+	out, _, err := Fan(s, reqs, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out[0].Valid {
 		t.Error("unpruned validation missed the violation")
 	}
@@ -147,12 +155,12 @@ func TestForEachCoversAllIndexesOnce(t *testing.T) {
 
 func TestForEachEmptyAndTiny(t *testing.T) {
 	t.Parallel()
-	if ForEach(0, 8, func(int) { t.Error("called for n=0") }) {
-		t.Error("fanned out for n=0")
+	if fanned, err := ForEach(0, 8, func(int) { t.Error("called for n=0") }); fanned || err != nil {
+		t.Errorf("n=0: fanned=%v err=%v", fanned, err)
 	}
 	calls := 0
-	if ForEach(1, 8, func(i int) { calls++ }) {
-		t.Error("fanned out for n=1 (workers clamp to n)")
+	if fanned, err := ForEach(1, 8, func(i int) { calls++ }); fanned || err != nil {
+		t.Errorf("n=1: fanned=%v err=%v (workers clamp to n)", fanned, err)
 	}
 	if calls != 1 {
 		t.Errorf("n=1: %d calls", calls)
@@ -162,7 +170,9 @@ func TestForEachEmptyAndTiny(t *testing.T) {
 func TestForEachSerialOrder(t *testing.T) {
 	t.Parallel()
 	var order []int
-	ForEach(5, 1, func(i int) { order = append(order, i) })
+	if _, err := ForEach(5, 1, func(i int) { order = append(order, i) }); err != nil {
+		t.Fatal(err)
+	}
 	for i, got := range order {
 		if got != i {
 			t.Fatalf("serial ForEach out of order: %v", order)
@@ -170,19 +180,49 @@ func TestForEachSerialOrder(t *testing.T) {
 	}
 }
 
-func TestForEachPanicPropagates(t *testing.T) {
+func TestForEachPanicSurfacesAsError(t *testing.T) {
 	t.Parallel()
-	defer func() {
-		if r := recover(); r != "boom" {
-			t.Errorf("recovered %v, want boom", r)
-		}
-	}()
-	ForEach(100, 4, func(i int) {
+	_, err := ForEach(100, 4, func(i int) {
 		if i == 42 {
 			panic("boom")
 		}
 	})
-	t.Error("ForEach returned after worker panic")
+	var pe *fanout.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *fanout.PanicError", err)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("Value = %v, want boom", pe.Value)
+	}
+}
+
+// TestFanHookPanicSurfacesAsError drives a panicking validator through the
+// real Fan worker pool and asserts the panic comes back as an error, for
+// every worker setting.
+func TestFanHookPanicSurfacesAsError(t *testing.T) {
+	s := pli.NewStore(2)
+	for _, row := range [][]string{{"a", "1"}, {"a", "2"}} {
+		if _, err := s.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	SetTestHook(func(r Request) {
+		if r.Rhs == 1 {
+			panic("validator boom")
+		}
+	})
+	defer SetTestHook(nil)
+	reqs := []Request{
+		{Lhs: attrset.Of(0), Rhs: 1, MinNewID: NoPruning},
+		{Lhs: attrset.Of(1), Rhs: 0, MinNewID: NoPruning},
+	}
+	for _, workers := range []int{0, 1, 4} {
+		_, _, err := Fan(s, reqs, workers, nil)
+		var pe *fanout.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *fanout.PanicError", workers, err)
+		}
+	}
 }
 
 // TestFanConcurrentStress hammers one shared store from many fanned
@@ -193,7 +233,10 @@ func TestFanConcurrentStress(t *testing.T) {
 	s := randomStore(t, 7, 400, 6, 4)
 	reqs := allRequests(6)
 	for round := 0; round < 4; round++ {
-		out, _ := Fan(s, reqs, 8, nil)
+		out, _, err := Fan(s, reqs, 8, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i, r := range reqs {
 			if !out[i].Valid {
 				checkWitness(t, s, r, out[i].Witness)

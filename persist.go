@@ -54,10 +54,10 @@ func LoadMonitor(r io.Reader) (*Monitor, error) {
 		return nil, fmt.Errorf("dynfd: loading monitor: %w", err)
 	}
 	if snap.Format != snapshotFormat {
-		return nil, fmt.Errorf("dynfd: not a monitor snapshot (format %q)", snap.Format)
+		return nil, fmt.Errorf("dynfd: not a monitor snapshot (format %q, want %q)", snap.Format, snapshotFormat)
 	}
 	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("dynfd: unsupported snapshot version %d", snap.Version)
+		return nil, fmt.Errorf("dynfd: unsupported snapshot version %d (want %d)", snap.Version, snapshotVersion)
 	}
 	if snap.Engine == nil || len(snap.Columns) != snap.Engine.NumAttrs {
 		return nil, fmt.Errorf("dynfd: snapshot schema inconsistent")

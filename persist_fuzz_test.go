@@ -1,0 +1,100 @@
+package dynfd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// validSnapshot produces a real Save output to seed the fuzzer with.
+func validSnapshot(t testing.TB) []byte {
+	t.Helper()
+	mon, err := NewMonitor([]string{"zip", "city"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Bootstrap([][]string{
+		{"14482", "Potsdam"},
+		{"14469", "Potsdam"},
+		{"10115", "Berlin"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mon.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadMonitor hammers the snapshot loader with corrupted, truncated,
+// and arbitrary inputs: it must return an error for anything that is not
+// a coherent snapshot — never panic — and anything it does accept must be
+// an internally consistent, usable monitor.
+func FuzzLoadMonitor(f *testing.F) {
+	valid := validSnapshot(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:1])
+	f.Add([]byte{})
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"format":"dynfd-snapshot","version":1}`))
+	f.Add([]byte(`{"format":"dynfd-snapshot","version":99,"columns":["a"],"engine":null}`))
+	f.Add([]byte(`{"format":"wrong","version":1}`))
+	f.Add(bytes.Replace(valid, []byte(`"fds"`), []byte(`"fdz"`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"next_id"`), []byte(`"next_yd"`), 1))
+	mutated := append([]byte(nil), valid...)
+	if len(mutated) > 40 {
+		mutated[len(mutated)/2] ^= 0x20
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mon, err := LoadMonitor(bytes.NewReader(data))
+		if err != nil {
+			if mon != nil {
+				t.Fatal("LoadMonitor returned a monitor alongside an error")
+			}
+			return
+		}
+		// Whatever the fuzzer snuck past the checks must be coherent: the
+		// covers must be duals, the Pli store consistent, and the monitor
+		// usable for reads and writes.
+		if err := mon.CheckInvariants(); err != nil {
+			t.Fatalf("accepted snapshot violates invariants: %v", err)
+		}
+		if len(mon.Columns()) == 0 {
+			t.Fatal("accepted snapshot has no columns")
+		}
+		_ = mon.FDs()
+		_ = mon.NonFDs()
+		if _, err := mon.Apply(Insert(make([]string, len(mon.Columns()))...)); err != nil {
+			t.Fatalf("accepted snapshot cannot apply a batch: %v", err)
+		}
+	})
+}
+
+// TestLoadMonitorErrorsNameExpectations pins the hardened error messages:
+// format and version mismatches must name both the found and the wanted
+// value, so operators can tell a foreign file from a stale one.
+func TestLoadMonitorErrorsNameExpectations(t *testing.T) {
+	t.Parallel()
+	_, err := LoadMonitor(strings.NewReader(`{"format":"other-tool","version":1}`))
+	if err == nil {
+		t.Fatal("foreign format accepted")
+	}
+	for _, want := range []string{`"other-tool"`, `"dynfd-snapshot"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("format error %q does not name %s", err, want)
+		}
+	}
+	_, err = LoadMonitor(strings.NewReader(`{"format":"dynfd-snapshot","version":99}`))
+	if err == nil {
+		t.Fatal("future version accepted")
+	}
+	for _, want := range []string{"99", "1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("version error %q does not name %s", err, want)
+		}
+	}
+}
