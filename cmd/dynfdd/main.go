@@ -1,93 +1,167 @@
-// Command dynfdd runs DynFD as a network service: it maintains the
-// functional dependencies of one relation and serves a line-oriented JSON
-// protocol over TCP for feeding changes and querying the current FDs.
+// Command dynfdd runs DynFD as a network service. Its primary mode is a
+// multi-tenant HTTP+JSON constraint service: many named datasets
+// (tenants), each backed by its own crash-safe engine under
+// <data-root>/<tenant>/, created, dropped, snapshotted, fed batches, and
+// queried for FDs, keys, INDs, and violations over a JSON API — see
+// internal/httpapi for the endpoint reference.
 //
-// Usage:
+//	dynfdd -http 127.0.0.1:8080 -data-root /var/lib/dynfd
 //
-//	dynfdd -listen 127.0.0.1:7070 -initial data.csv [-batch 100]
-//	dynfdd -listen 127.0.0.1:7070 -columns zip,city
-//	dynfdd -listen 127.0.0.1:7070 -columns zip,city -data-dir /var/lib/dynfd
+//	curl -XPOST localhost:8080/v1/tenants \
+//	     -d '{"name":"addresses","columns":["zip","city"]}'
+//	curl -XPOST localhost:8080/v1/tenants/addresses/batch \
+//	     -d '{"changes":[{"op":"insert","values":["14482","Potsdam"]}]}'
+//	curl localhost:8080/v1/tenants/addresses/fds
 //
-// With -data-dir, every committed batch is appended to a write-ahead log
-// and fsynced before the commit is acknowledged, and the directory is
-// checkpointed every -checkpoint-every batches; restarting the daemon on
-// the same directory resumes with the exact FDs of the last acknowledged
-// commit, even after a crash or kill -9. On SIGINT/SIGTERM the daemon
-// stops accepting, drains in-flight commits, writes a final checkpoint,
-// and exits 0.
+// Every acknowledged batch is fsynced to the tenant's write-ahead log
+// before the response is sent; a crash or kill -9 loses nothing that was
+// acknowledged, and a restart on the same -data-root recovers every tenant
+// independently. A tenant whose engine fails is quarantined (503 on
+// writes) without taking down the process or the other tenants.
 //
-// Protocol (one JSON object per line; see internal/server):
+// The original single-dataset line protocol remains available behind
+// -listen, for compatibility with existing feeds:
 //
-//	{"op":"insert","values":["14482","Potsdam"]}
-//	{"op":"delete","id":3}
-//	{"op":"update","id":4,"values":["14482","Berlin"]}
-//	{"op":"commit"}   -> {"ok":true,"inserted_ids":[5],"added":[...],"removed":[...]}
-//	{"op":"fds"}      -> {"ok":true,"fds":["[zip] -> city", ...]}
-//	{"op":"stats"}    -> {"ok":true,"records":42,"batches":7}
-//
-// Try it interactively:
-//
+//	dynfdd -listen 127.0.0.1:7070 -columns zip,city [-data-dir /var/lib/one]
 //	printf '{"op":"fds"}\n' | nc 127.0.0.1 7070
+//
+// Both modes can run simultaneously. On SIGINT/SIGTERM the daemon stops
+// accepting, drains in-flight commits, checkpoints every engine, and
+// exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"dynfd/internal/core"
 	"dynfd/internal/dataset"
 	"dynfd/internal/durable"
+	"dynfd/internal/httpapi"
+	"dynfd/internal/runtime"
 	"dynfd/internal/server"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7070", "TCP listen address")
-	initial := flag.String("initial", "", "CSV file with the initial relation (header = schema)")
-	columns := flag.String("columns", "", "comma-separated schema when no -initial file is given")
-	batch := flag.Int("batch", 100, "auto-commit batch size")
+	httpAddr := flag.String("http", "", "HTTP listen address for the multi-tenant JSON API")
+	dataRoot := flag.String("data-root", "", "directory holding one durable engine per tenant (required with -http)")
+	listen := flag.String("listen", "", "TCP listen address for the legacy single-dataset line protocol")
+	initial := flag.String("initial", "", "line protocol: CSV file with the initial relation (header = schema)")
+	columns := flag.String("columns", "", "line protocol: comma-separated schema when no -initial file is given")
+	batch := flag.Int("batch", 100, "line protocol: auto-commit batch size")
 	workers := flag.Int("workers", 0, "parallel validations per lattice level (0 = serial, -1 = all CPUs)")
-	dataDir := flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty = in-memory only)")
-	checkpointEvery := flag.Int("checkpoint-every", durable.DefaultCheckpointEvery, "batches between checkpoints with -data-dir (negative disables)")
+	dataDir := flag.String("data-dir", "", "line protocol: write-ahead log directory (empty = in-memory only)")
+	checkpointEvery := flag.Int("checkpoint-every", durable.DefaultCheckpointEvery, "batches between checkpoints (negative disables)")
 	flag.Parse()
 
-	srv, l, shutdown, err := setup(*listen, *initial, *columns, *dataDir, *batch, *workers, *checkpointEvery)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dynfdd:", err)
-		os.Exit(1)
+	if *httpAddr == "" && *listen == "" {
+		fmt.Fprintln(os.Stderr, "dynfdd: nothing to serve: pass -http addr (multi-tenant API) and/or -listen addr (line protocol)")
+		os.Exit(2)
+	}
+	if *httpAddr != "" && *dataRoot == "" {
+		fmt.Fprintln(os.Stderr, "dynfdd: -http requires -data-root")
+		os.Exit(2)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		stops     []func() // executed in order on shutdown signal
+		shutdowns []func() error
+		failed    = make(chan error, 2)
+	)
+
+	// Multi-tenant HTTP+JSON service.
+	if *httpAddr != "" {
+		rt, err := runtime.Open(runtime.Config{
+			DataRoot:        *dataRoot,
+			Workers:         *workers,
+			CheckpointEvery: *checkpointEvery,
+			Logger:          log.Default(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynfdd:", err)
+			os.Exit(1)
+		}
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynfdd:", err)
+			os.Exit(1)
+		}
+		hsrv := &http.Server{Handler: httpapi.New(rt).Handler()}
+		log.Printf("dynfdd: http on %s (%d tenants recovered)", ln.Addr(), len(rt.List()))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := hsrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				failed <- err
+			}
+		}()
+		stops = append(stops, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			hsrv.Shutdown(ctx)
+		})
+		// Final per-tenant checkpoints after the HTTP server drained.
+		shutdowns = append(shutdowns, rt.Close)
+	}
+
+	// Legacy single-dataset line protocol.
+	if *listen != "" {
+		srv, l, shutdown, err := setup(*listen, *initial, *columns, *dataDir, *batch, *workers, *checkpointEvery)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynfdd:", err)
+			os.Exit(1)
+		}
+		log.Printf("dynfdd: serving on %s", l.Addr())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := srv.Serve(l); err != nil {
+				failed <- err
+			}
+		}()
+		stops = append(stops, func() { srv.Close() })
+		shutdowns = append(shutdowns, shutdown)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sig
+	select {
+	case s := <-sig:
 		log.Printf("dynfdd: received %v, shutting down", s)
-		// Close stops accepting, closes connections, and waits for every
-		// in-flight handler — so no commit is cut off mid-apply.
-		srv.Close()
-	}()
-
-	log.Printf("dynfdd: serving on %s", l.Addr())
-	if err := srv.Serve(l); err != nil {
+	case err := <-failed:
 		fmt.Fprintln(os.Stderr, "dynfdd:", err)
 		os.Exit(1)
 	}
-	// Final checkpoint + storage release (no-op without -data-dir).
-	if err := shutdown(); err != nil {
-		fmt.Fprintln(os.Stderr, "dynfdd:", err)
-		os.Exit(1)
+	// Stop accepting and drain in-flight work, then write final
+	// checkpoints and release storage.
+	for _, stop := range stops {
+		stop()
+	}
+	wg.Wait()
+	for _, shutdown := range shutdowns {
+		if err := shutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "dynfdd:", err)
+			os.Exit(1)
+		}
 	}
 	log.Printf("dynfdd: shut down cleanly")
 }
 
-// setup builds the server and listener. The returned shutdown func must
-// run after Serve returns; with a data directory it writes the final
-// checkpoint and closes the store.
+// setup builds the line-protocol server and listener. The returned
+// shutdown func must run after Serve returns; with a data directory it
+// writes the final checkpoint and closes the store.
 func setup(listen, initial, columns, dataDir string, batch, workers, checkpointEvery int) (*server.Server, net.Listener, func() error, error) {
 	var (
 		cols []string

@@ -2,6 +2,7 @@ package dynfd
 
 import (
 	"fmt"
+	"time"
 
 	"dynfd/internal/durable"
 )
@@ -135,6 +136,12 @@ func (m *DurableMonitor) Record(id int64) ([]string, bool) { return m.ro.Record(
 // Lookup returns the ids of live records whose values equal the tuple.
 func (m *DurableMonitor) Lookup(values []string) ([]int64, error) { return m.ro.Lookup(values) }
 
+// ForEachRecord visits every live record in unspecified order; see
+// Monitor.ForEachRecord.
+func (m *DurableMonitor) ForEachRecord(f func(id int64, values []string) bool) {
+	m.ro.ForEachRecord(f)
+}
+
 // Holds reports whether the FD lhsColumns → rhsColumn currently holds.
 func (m *DurableMonitor) Holds(lhsColumns []string, rhsColumn string) (bool, error) {
 	return m.ro.Holds(lhsColumns, rhsColumn)
@@ -150,6 +157,22 @@ func (m *DurableMonitor) FormatFD(f FD) string { return m.ro.FormatFD(f) }
 
 // Stats returns the accumulated maintenance counters.
 func (m *DurableMonitor) Stats() Stats { return m.ro.Stats() }
+
+// WALStats summarizes write-ahead-log fsync activity since the monitor was
+// opened.
+type WALStats struct {
+	// Syncs is the number of fsyncs the commit path performed.
+	Syncs int
+	// SyncTime is the cumulative wall-clock time spent in those fsyncs.
+	SyncTime time.Duration
+}
+
+// WALStats reports the durability cost of the write path: every Apply
+// fsyncs the write-ahead log once before it is acknowledged.
+func (m *DurableMonitor) WALStats() WALStats {
+	n, total := m.eng.SyncStats()
+	return WALStats{Syncs: n, SyncTime: total}
+}
 
 // CheckInvariants verifies the monitor's cross-structure invariants.
 func (m *DurableMonitor) CheckInvariants() error { return m.ro.CheckInvariants() }

@@ -308,6 +308,12 @@ func (m *Monitor) Record(id int64) ([]string, bool) { return m.engine.Record(id)
 // Lookup returns the ids of live records whose values equal the tuple.
 func (m *Monitor) Lookup(values []string) ([]int64, error) { return m.engine.Lookup(values) }
 
+// ForEachRecord visits every live record in unspecified order, passing its
+// surrogate id and current values. Returning false from f stops the scan.
+func (m *Monitor) ForEachRecord(f func(id int64, values []string) bool) {
+	m.engine.ForEachRecord(f)
+}
+
 // Holds reports whether the FD lhsColumns → rhsColumn currently holds,
 // i.e. whether it is implied by some maintained minimal FD. Column names
 // must exist in the schema.

@@ -175,6 +175,16 @@ func (e *Engine) Record(id int64) ([]string, bool) { return e.store.Values(id) }
 // Lookup returns the ids of live records matching the given tuple.
 func (e *Engine) Lookup(values []string) ([]int64, error) { return e.store.Lookup(values) }
 
+// ForEachRecord visits every live record in unspecified order, passing its
+// surrogate id and current values. Returning false from f stops the scan.
+// The values slice is freshly allocated per record and may be retained.
+func (e *Engine) ForEachRecord(f func(id int64, values []string) bool) {
+	e.store.ForEachRecord(func(id int64, _ pli.Record) bool {
+		values, _ := e.store.Values(id)
+		return f(id, values)
+	})
+}
+
 // Violations inspects why lhs → rhs does not hold: it returns up to max
 // groups of records that agree on lhs but differ on rhs (max <= 0 returns
 // all), plus the g3 error — the minimum fraction of records whose removal

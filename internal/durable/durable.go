@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"dynfd/internal/core"
 	"dynfd/internal/dataset"
@@ -65,6 +66,9 @@ type Engine struct {
 	sinceCheckpoint int    // batches applied since the last checkpoint
 	checkpointEvery int    // 0 disables automatic checkpoints
 	lastCheckpoint  error  // outcome of the most recent checkpoint attempt
+
+	syncs     int           // WAL fsyncs performed by Apply
+	syncTotal time.Duration // wall-clock time spent in those fsyncs
 
 	// poisoned is set when the durable and in-memory states may have
 	// diverged: a WAL append/sync failure (the log may hold a torn record
@@ -274,10 +278,13 @@ func (e *Engine) Apply(batch stream.Batch) (core.Result, error) {
 		e.poisoned = err
 		return core.Result{}, err
 	}
+	syncStart := time.Now()
 	if err := e.log.Sync(); err != nil {
 		e.poisoned = err
 		return core.Result{}, err
 	}
+	e.syncs++
+	e.syncTotal += time.Since(syncStart)
 	res, err := e.eng.ApplyBatch(batch)
 	if err != nil {
 		// The batch is durable but the in-memory state is not: the two
@@ -350,6 +357,12 @@ func (e *Engine) Close() error {
 
 // Seq returns the sequence number of the last durably applied batch.
 func (e *Engine) Seq() uint64 { return e.seq }
+
+// SyncStats reports how many WAL fsyncs Apply has performed and their
+// cumulative wall-clock time — the durability cost of the write path.
+func (e *Engine) SyncStats() (count int, total time.Duration) {
+	return e.syncs, e.syncTotal
+}
 
 // Columns returns the schema.
 func (e *Engine) Columns() []string { return append([]string(nil), e.columns...) }

@@ -1,0 +1,299 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"dynfd/internal/oracle"
+	"dynfd/internal/runtime"
+)
+
+// TestServiceEndToEnd is the tentpole harness: it stands up the full HTTP
+// service over a fresh data root and runs a randomized multi-tenant
+// workload — one writer goroutine per tenant issuing insert/delete/update
+// batches over HTTP, chaos goroutines creating and dropping an ephemeral
+// tenant, and readers hammering the query endpoints throughout. Each
+// writer mirrors its own tenant's rows client-side using the acknowledged
+// inserted_ids, forming a serial oracle; at the end the FD cover reported
+// by /fds must match internal/oracle.MinimalFDs over exactly the rows the
+// client believes are live. Run under -race in CI.
+func TestServiceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end workload skipped in -short mode")
+	}
+	t.Parallel()
+	rt, err := runtime.Open(runtime.Config{DataRoot: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ts := httptest.NewServer(New(rt).Handler())
+	defer ts.Close()
+
+	tenants := []struct {
+		name string
+		cols []string
+	}{
+		{"orders", []string{"id", "sku", "qty"}},
+		{"people", []string{"first", "last", "zip", "city"}},
+		{"events", []string{"ts", "kind", "src", "dst", "code"}},
+		{"pairs", []string{"a", "b"}},
+	}
+	for _, tn := range tenants {
+		if err := rt.Create(tn.name, tn.cols, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const rounds = 30
+	var (
+		wg   sync.WaitGroup
+		done = make(chan struct{})
+	)
+	// oracleRows[i] is writer i's serial mirror of its tenant, id -> row.
+	oracleRows := make([]map[int64][]string, len(tenants))
+
+	for i, tn := range tenants {
+		i, tn := i, tn
+		oracleRows[i] = make(map[int64][]string)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + i)))
+			live := oracleRows[i] // only this goroutine touches it until wg.Wait
+			ids := []int64{}
+			for r := 0; r < rounds; r++ {
+				// produced mirrors the engine contract: inserts AND updates
+				// each mint a fresh surrogate id, in batch order; deletes
+				// and updates retire the targeted old id.
+				var (
+					reqs     []changeRequest
+					produced [][]string
+					killed   []int64
+				)
+				n := 1 + rng.Intn(4)
+				for c := 0; c < n; c++ {
+					op := rng.Intn(3)
+					if op > 0 && len(ids) == 0 {
+						op = 0
+					}
+					switch op {
+					case 0: // insert
+						row := randomRow(rng, len(tn.cols))
+						reqs = append(reqs, changeRequest{Op: "insert", Values: row})
+						produced = append(produced, row)
+					case 1: // delete
+						k := rng.Intn(len(ids))
+						id := ids[k]
+						ids = append(ids[:k], ids[k+1:]...)
+						reqs = append(reqs, changeRequest{Op: "delete", ID: &id})
+						killed = append(killed, id)
+					case 2: // update
+						k := rng.Intn(len(ids))
+						id := ids[k]
+						ids = append(ids[:k], ids[k+1:]...)
+						row := randomRow(rng, len(tn.cols))
+						reqs = append(reqs, changeRequest{Op: "update", ID: &id, Values: row})
+						produced = append(produced, row)
+						killed = append(killed, id)
+					}
+				}
+				body, _ := json.Marshal(batchRequest{Changes: reqs})
+				resp, data := post(t, ts, "/v1/tenants/"+tn.name+"/batch", body)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("tenant %s round %d: batch = %d %s", tn.name, r, resp.StatusCode, data)
+					return
+				}
+				var ack batchResponse
+				if err := json.Unmarshal(data, &ack); err != nil {
+					t.Errorf("tenant %s: bad ack %s: %v", tn.name, data, err)
+					return
+				}
+				if len(ack.InsertedIDs) != len(produced) {
+					t.Errorf("tenant %s: %d ids acked, expected %d", tn.name, len(ack.InsertedIDs), len(produced))
+					return
+				}
+				for _, id := range killed {
+					delete(live, id)
+				}
+				for k, id := range ack.InsertedIDs {
+					live[id] = produced[k]
+					ids = append(ids, id)
+				}
+			}
+		}()
+	}
+
+	// Chaos: create and drop an ephemeral tenant in a loop. Its batches are
+	// incidental; the point is lifecycle churn concurrent with the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(77))
+		for r := 0; r < rounds; r++ {
+			body := []byte(`{"name":"ephemeral","columns":["k","v"]}`)
+			resp, _ := post(t, ts, "/v1/tenants", body)
+			if resp.StatusCode == http.StatusCreated && rng.Intn(2) == 0 {
+				body, _ := json.Marshal(batchRequest{Changes: []changeRequest{
+					{Op: "insert", Values: []string{fmt.Sprint(r), "x"}},
+				}})
+				post(t, ts, "/v1/tenants/ephemeral/batch", body)
+			}
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/tenants/ephemeral", nil)
+			resp2, err := ts.Client().Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp2.Body)
+				resp2.Body.Close()
+			}
+		}
+	}()
+
+	// Readers: continuously poke list/fds/metrics endpoints; any status is
+	// acceptable except 5xx on healthy tenants (ephemeral may 404).
+	var readerWG sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		readerWG.Add(1)
+		go func(g int) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewSource(int64(500 + g)))
+			paths := []string{
+				"/v1/tenants",
+				"/metrics",
+				"/readyz",
+				"/v1/tenants/orders/fds",
+				"/v1/tenants/people/metrics",
+				"/v1/tenants/events/inds",
+				"/v1/tenants/pairs/violations?rhs=b",
+				"/v1/tenants/ephemeral/fds",
+			}
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				p := paths[rng.Intn(len(paths))]
+				resp, data := get(t, ts, p)
+				if resp.StatusCode >= 500 {
+					t.Errorf("reader: %s = %d %s", p, resp.StatusCode, data)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Wait for writers+chaos; then stop readers.
+	wg.Wait()
+	close(done)
+	readerWG.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Final check: every tenant's served FD cover equals the minimal cover
+	// a from-scratch oracle computes over the client-side mirror.
+	for i, tn := range tenants {
+		resp, data := get(t, ts, "/v1/tenants/"+tn.name+"/fds")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant %s: fds = %d %s", tn.name, resp.StatusCode, data)
+		}
+		var got struct {
+			FDs []fdJSON `json:"fds"`
+		}
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("tenant %s: %v", tn.name, err)
+		}
+		served := make([]string, 0, len(got.FDs))
+		for _, f := range got.FDs {
+			served = append(served, f.Rendered)
+		}
+		sort.Strings(served)
+
+		rows := make([][]string, 0, len(oracleRows[i]))
+		for _, row := range oracleRows[i] {
+			rows = append(rows, row)
+		}
+		want := make([]string, 0)
+		for _, f := range oracle.MinimalFDs(rows, len(tn.cols)) {
+			want = append(want, f.Names(tn.cols))
+		}
+		sort.Strings(want)
+
+		if !equalStrings(served, want) {
+			t.Errorf("tenant %s (%d live rows): served cover diverges from oracle\n served: %s\n oracle: %s",
+				tn.name, len(rows), strings.Join(served, "; "), strings.Join(want, "; "))
+		}
+
+		// Cross-check record count through the info endpoint.
+		resp, data = get(t, ts, "/v1/tenants/"+tn.name)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant %s: info = %d %s", tn.name, resp.StatusCode, data)
+		}
+		var info runtime.TenantInfo
+		if err := json.Unmarshal(data, &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Records != len(rows) {
+			t.Errorf("tenant %s: service holds %d records, oracle %d", tn.name, info.Records, len(rows))
+		}
+	}
+}
+
+// randomRow draws values from a small domain so FDs both appear and break
+// as the workload evolves.
+func randomRow(rng *rand.Rand, n int) []string {
+	row := make([]string, n)
+	for i := range row {
+		row[i] = fmt.Sprintf("v%d", rng.Intn(4))
+	}
+	return row
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,55 @@
+package httpapi
+
+import (
+	"strings"
+	"testing"
+
+	"dynfd/internal/runtime"
+)
+
+// FuzzHTTPBatchDecode fuzzes the two surfaces that face raw client bytes
+// before any engine is touched: the batch decoder and tenant-name
+// validation. The decoder must never panic and must uphold its contract —
+// any accepted batch is fully validated (every change has a legal op with
+// the documented id/values shape) and respects the change-count cap.
+func FuzzHTTPBatchDecode(f *testing.F) {
+	f.Add([]byte(`{"changes":[{"op":"insert","values":["14482","Potsdam"]}]}`), "addresses")
+	f.Add([]byte(`{"changes":[{"op":"delete","id":3}]}`), "t0")
+	f.Add([]byte(`{"changes":[{"op":"update","id":0,"values":["a"]}]}`), "a-b.c_d")
+	f.Add([]byte(`{"changes":[]}`), "")
+	f.Add([]byte(`{"changes":[{"op":"upsert"}]}`), "UPPER")
+	f.Add([]byte(`{"changes":null}`), "..")
+	f.Add([]byte(`{"changes":[{"op":"insert","values":[]},{"op":"insert","values":["x"]}] }`), "x")
+	f.Add([]byte(`{"changes":[{"op":"insert","id":1,"values":["x"]}]}`), strings.Repeat("a", 65))
+	f.Add([]byte(`not json at all`), "ok-name")
+	f.Add([]byte(`{"changes":[{"op":"insert","values":["a"]}],"extra":true}`), "0")
+	f.Add([]byte(`{"changes":[{"op":"delete","id":-9223372036854775808}]}`), "name.with.dots")
+
+	f.Fuzz(func(t *testing.T, data []byte, name string) {
+		const maxChanges = 8
+		changes, err := decodeBatch(data, maxChanges)
+		if err == nil {
+			if len(changes) == 0 {
+				t.Fatalf("decodeBatch accepted %q but returned no changes", data)
+			}
+			if len(changes) > maxChanges {
+				t.Fatalf("decodeBatch accepted %d changes, cap is %d", len(changes), maxChanges)
+			}
+		} else if changes != nil {
+			t.Fatalf("decodeBatch returned both changes and error %v", err)
+		}
+
+		nameErr := runtime.ValidateTenantName(name)
+		if nameErr == nil {
+			// Accepted names must be safe as a path component: no
+			// separators, no traversal, bounded length, never empty.
+			if name == "" || len(name) > 64 {
+				t.Fatalf("ValidateTenantName accepted %q (len %d)", name, len(name))
+			}
+			if strings.ContainsAny(name, "/\\") || name == "." || name == ".." ||
+				strings.HasPrefix(name, ".") {
+				t.Fatalf("ValidateTenantName accepted unsafe name %q", name)
+			}
+		}
+	})
+}

@@ -1,0 +1,530 @@
+// Package httpapi exposes a multi-tenant DynFD runtime over HTTP+JSON.
+// The package only routes and translates: every decision about tenants,
+// admission, durability, and quarantine lives in internal/runtime.
+//
+// Endpoints (all request and response bodies are JSON):
+//
+//	GET    /healthz                          process liveness
+//	GET    /readyz                           runtime readiness (503 while shutting down)
+//	GET    /metrics                          per-tenant operational metrics
+//	GET    /v1/tenants                       list tenants
+//	POST   /v1/tenants                       create tenant {"name","columns",["rows"]}
+//	GET    /v1/tenants/{t}                   tenant info
+//	DELETE /v1/tenants/{t}                   drop tenant (engine closed, directory deleted)
+//	POST   /v1/tenants/{t}/batch             apply one durable batch {"changes":[...]}
+//	GET    /v1/tenants/{t}/fds               current minimal FDs
+//	GET    /v1/tenants/{t}/keys?columns=a,b  is the column set unique right now?
+//	GET    /v1/tenants/{t}/inds              current unary inclusion dependencies
+//	GET    /v1/tenants/{t}/violations?lhs=a,b&rhs=c[&max=n]  why an FD fails, plus g3 error
+//	POST   /v1/tenants/{t}/snapshot          force a checkpoint
+//	GET    /v1/tenants/{t}/metrics           one tenant's metrics
+//
+// Error contract: every non-2xx response carries {"error": "..."}; the
+// handler never panics outward (a recovered panic is a 500). Status codes:
+// 400 malformed input or invalid tenant name, 404 unknown tenant or route,
+// 405 method mismatch (with Allow header), 409 tenant exists, 413 body
+// over the limit, 422 batch rejected by the engine precheck, 429 per-tenant
+// admission cap, and 503 quarantined tenant, global overload, or shutdown.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"dynfd"
+	"dynfd/internal/runtime"
+	"dynfd/internal/server"
+)
+
+// Server routes HTTP requests onto a runtime.
+type Server struct {
+	rt     *runtime.Runtime
+	limits server.Limits
+}
+
+// New wraps a runtime; limits come from the runtime's configuration.
+func New(rt *runtime.Runtime) *Server {
+	return &Server{rt: rt, limits: rt.Limits()}
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.route) }
+
+// errorBody is the uniform non-2xx response payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) // a failed write means the client is gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// methodNotAllowed answers 405 with the JSON error contract and the Allow
+// header the status requires.
+func methodNotAllowed(w http.ResponseWriter, r *http.Request, allowed ...string) {
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	writeError(w, http.StatusMethodNotAllowed, "method %s not allowed (allow %s)", r.Method, strings.Join(allowed, ", "))
+}
+
+// route is the single entry point: hand-rolled dispatch so that 404, 405,
+// and panic recovery all speak the JSON error contract.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			// Best effort: if the handler already wrote, this is a no-op
+			// on the status line but the connection still closes cleanly.
+			writeError(w, http.StatusInternalServerError, "internal error: %v", p)
+		}
+	}()
+	path := r.URL.Path
+	switch path {
+	case "/healthz":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, r, http.MethodGet)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	case "/readyz":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, r, http.MethodGet)
+			return
+		}
+		if !s.rt.Ready() {
+			writeError(w, http.StatusServiceUnavailable, "shutting down")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	case "/metrics":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, r, http.MethodGet)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"tenants": s.rt.Metrics()})
+		return
+	case "/v1/tenants":
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, map[string]any{"tenants": s.rt.List()})
+		case http.MethodPost:
+			s.createTenant(w, r)
+		default:
+			methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
+		}
+		return
+	}
+	rest, ok := strings.CutPrefix(path, "/v1/tenants/")
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such route %s", path)
+		return
+	}
+	parts := strings.Split(rest, "/")
+	name := parts[0]
+	if err := runtime.ValidateTenantName(name); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	switch {
+	case len(parts) == 1:
+		s.tenantRoot(w, r, name)
+	case len(parts) == 2:
+		s.tenantVerb(w, r, name, parts[1])
+	default:
+		writeError(w, http.StatusNotFound, "no such route %s", path)
+	}
+}
+
+func (s *Server) tenantRoot(w http.ResponseWriter, r *http.Request, name string) {
+	switch r.Method {
+	case http.MethodGet:
+		info, err := s.rt.Info(name)
+		if err != nil {
+			s.runtimeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	case http.MethodDelete:
+		if err := s.rt.Drop(name); err != nil {
+			s.runtimeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		methodNotAllowed(w, r, http.MethodGet, http.MethodDelete)
+	}
+}
+
+func (s *Server) tenantVerb(w http.ResponseWriter, r *http.Request, name, verb string) {
+	switch verb {
+	case "batch":
+		if r.Method != http.MethodPost {
+			methodNotAllowed(w, r, http.MethodPost)
+			return
+		}
+		s.applyBatch(w, r, name)
+	case "fds":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, r, http.MethodGet)
+			return
+		}
+		s.fds(w, name)
+	case "keys":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, r, http.MethodGet)
+			return
+		}
+		s.keys(w, r, name)
+	case "inds":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, r, http.MethodGet)
+			return
+		}
+		s.inds(w, name)
+	case "violations":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, r, http.MethodGet)
+			return
+		}
+		s.violations(w, r, name)
+	case "snapshot":
+		if r.Method != http.MethodPost {
+			methodNotAllowed(w, r, http.MethodPost)
+			return
+		}
+		seq, err := s.rt.Checkpoint(name)
+		if err != nil {
+			s.runtimeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]uint64{"seq": seq})
+	case "metrics":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, r, http.MethodGet)
+			return
+		}
+		m, err := s.rt.TenantMetrics(name)
+		if err != nil {
+			s.runtimeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, m)
+	default:
+		writeError(w, http.StatusNotFound, "no such route under tenant %q: %s", name, verb)
+	}
+}
+
+// runtimeError maps runtime sentinel errors onto the documented statuses.
+func (s *Server) runtimeError(w http.ResponseWriter, err error) {
+	var q *runtime.QuarantineError
+	switch {
+	case errors.As(err, &q):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, runtime.ErrNoSuchTenant):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, runtime.ErrTenantExists):
+		writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, runtime.ErrTenantBusy), errors.Is(err, runtime.ErrTooManyTenants):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, runtime.ErrOverloaded), errors.Is(err, runtime.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// readBody reads a request body under the configured byte cap, mapping an
+// overrun to 413. The bool reports whether the caller may proceed.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body := r.Body
+	if s.limits.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, body, s.limits.MaxBodyBytes)
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return nil, false
+		}
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return nil, false
+	}
+	return data, true
+}
+
+// createRequest is the body of POST /v1/tenants.
+type createRequest struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows,omitempty"`
+}
+
+func (s *Server) createTenant(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req createRequest
+	if err := unmarshalStrict(data, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad create request: %v", err)
+		return
+	}
+	if err := runtime.ValidateTenantName(req.Name); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.rt.Create(req.Name, req.Columns, req.Rows); err != nil {
+		s.runtimeError(w, err)
+		return
+	}
+	info, err := s.rt.Info(req.Name)
+	if err != nil {
+		// The tenant raced away between create and info; report the create
+		// as done anyway.
+		info = runtime.TenantInfo{Name: req.Name, Columns: req.Columns}
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// changeRequest is one change of a batch request.
+type changeRequest struct {
+	Op     string   `json:"op"`
+	ID     *int64   `json:"id,omitempty"`
+	Values []string `json:"values,omitempty"`
+}
+
+// batchRequest is the body of POST /v1/tenants/{t}/batch.
+type batchRequest struct {
+	Changes []changeRequest `json:"changes"`
+}
+
+// batchResponse acknowledges one durably applied batch.
+type batchResponse struct {
+	Seq         uint64   `json:"seq"`
+	InsertedIDs []int64  `json:"inserted_ids,omitempty"`
+	Added       []string `json:"added,omitempty"`
+	Removed     []string `json:"removed,omitempty"`
+}
+
+// unmarshalStrict decodes JSON rejecting unknown fields and trailing data,
+// so a typoed field name fails loudly instead of applying a half-read
+// request.
+func unmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// decodeBatch parses and validates a batch request body. maxChanges <= 0
+// disables the change-count cap. It is the fuzzed decode surface: any
+// input must either yield a clean error or a fully validated change list.
+func decodeBatch(data []byte, maxChanges int) ([]dynfd.Change, error) {
+	var req batchRequest
+	if err := unmarshalStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Changes) == 0 {
+		return nil, fmt.Errorf("batch has no changes")
+	}
+	if maxChanges > 0 && len(req.Changes) > maxChanges {
+		return nil, fmt.Errorf("batch has %d changes (limit %d)", len(req.Changes), maxChanges)
+	}
+	changes := make([]dynfd.Change, len(req.Changes))
+	for i, c := range req.Changes {
+		switch c.Op {
+		case "insert":
+			if c.ID != nil {
+				return nil, fmt.Errorf("change %d: insert must not carry an id", i)
+			}
+			if c.Values == nil {
+				return nil, fmt.Errorf("change %d: insert requires values", i)
+			}
+			changes[i] = dynfd.Insert(c.Values...)
+		case "delete":
+			if c.ID == nil {
+				return nil, fmt.Errorf("change %d: delete requires an id", i)
+			}
+			if c.Values != nil {
+				return nil, fmt.Errorf("change %d: delete must not carry values", i)
+			}
+			changes[i] = dynfd.Delete(*c.ID)
+		case "update":
+			if c.ID == nil {
+				return nil, fmt.Errorf("change %d: update requires an id", i)
+			}
+			if c.Values == nil {
+				return nil, fmt.Errorf("change %d: update requires values", i)
+			}
+			changes[i] = dynfd.Update(*c.ID, c.Values...)
+		default:
+			return nil, fmt.Errorf("change %d: unknown op %q", i, c.Op)
+		}
+	}
+	return changes, nil
+}
+
+func (s *Server) applyBatch(w http.ResponseWriter, r *http.Request, name string) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	changes, err := decodeBatch(data, s.limits.MaxPending)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch request: %v", err)
+		return
+	}
+	res, err := s.rt.Apply(name, changes)
+	if err != nil {
+		// A batch the engine prechecks and rejects (bad arity, unknown
+		// record id) is semantically invalid rather than malformed.
+		if !isLifecycleErr(err) {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		s.runtimeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResponse{
+		Seq:         res.Seq,
+		InsertedIDs: res.InsertedIDs,
+		Added:       res.Added,
+		Removed:     res.Removed,
+	})
+}
+
+// isLifecycleErr reports whether err is one of the runtime's lifecycle or
+// admission sentinels (as opposed to a per-batch validation failure).
+func isLifecycleErr(err error) bool {
+	var q *runtime.QuarantineError
+	return errors.Is(err, runtime.ErrNoSuchTenant) ||
+		errors.Is(err, runtime.ErrTenantExists) ||
+		errors.Is(err, runtime.ErrTenantBusy) ||
+		errors.Is(err, runtime.ErrOverloaded) ||
+		errors.Is(err, runtime.ErrTooManyTenants) ||
+		errors.Is(err, runtime.ErrClosed) ||
+		errors.As(err, &q)
+}
+
+// fdJSON is one rendered functional dependency.
+type fdJSON struct {
+	Lhs      []string `json:"lhs"`
+	Rhs      string   `json:"rhs"`
+	Rendered string   `json:"rendered"`
+}
+
+func (s *Server) fds(w http.ResponseWriter, name string) {
+	var out []fdJSON
+	err := s.rt.View(name, func(mon *dynfd.DurableMonitor) error {
+		cols := mon.Columns()
+		for _, f := range mon.FDs() {
+			j := fdJSON{Rhs: cols[f.Rhs], Rendered: mon.FormatFD(f), Lhs: []string{}}
+			for _, a := range f.Lhs {
+				j.Lhs = append(j.Lhs, cols[a])
+			}
+			out = append(out, j)
+		}
+		return nil
+	})
+	if err != nil {
+		s.runtimeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"fds": out})
+}
+
+func (s *Server) keys(w http.ResponseWriter, r *http.Request, name string) {
+	raw := r.URL.Query().Get("columns")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "keys query requires ?columns=a,b")
+		return
+	}
+	columns := strings.Split(raw, ",")
+	unique, err := s.rt.KeyCheck(name, columns)
+	if err != nil {
+		s.runtimeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"columns": columns, "unique": unique})
+}
+
+func (s *Server) inds(w http.ResponseWriter, name string) {
+	inds, err := s.rt.INDs(name)
+	if err != nil {
+		s.runtimeError(w, err)
+		return
+	}
+	if inds == nil {
+		inds = []runtime.UnaryIND{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"inds": inds})
+}
+
+// violationGroupJSON is one violating record group.
+type violationGroupJSON struct {
+	IDs       []int64 `json:"ids"`
+	RhsValues int     `json:"rhs_values"`
+}
+
+func (s *Server) violations(w http.ResponseWriter, r *http.Request, name string) {
+	q := r.URL.Query()
+	rawLhs, rhs := q.Get("lhs"), q.Get("rhs")
+	if rhs == "" {
+		writeError(w, http.StatusBadRequest, "violations query requires ?rhs=c (and optionally lhs=a,b)")
+		return
+	}
+	var lhs []string
+	if rawLhs != "" {
+		lhs = strings.Split(rawLhs, ",")
+	}
+	max := 0
+	if rawMax := q.Get("max"); rawMax != "" {
+		var err error
+		if max, err = strconv.Atoi(rawMax); err != nil {
+			writeError(w, http.StatusBadRequest, "bad max %q: %v", rawMax, err)
+			return
+		}
+	}
+	var (
+		groups []violationGroupJSON
+		g3     float64
+	)
+	err := s.rt.View(name, func(mon *dynfd.DurableMonitor) error {
+		gs, e, err := mon.Violations(lhs, rhs, max)
+		if err != nil {
+			return err
+		}
+		g3 = e
+		for _, g := range gs {
+			groups = append(groups, violationGroupJSON{IDs: g.IDs, RhsValues: g.RhsValues})
+		}
+		return nil
+	})
+	if err != nil {
+		s.runtimeError(w, err)
+		return
+	}
+	if groups == nil {
+		groups = []violationGroupJSON{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"groups": groups, "g3": g3})
+}

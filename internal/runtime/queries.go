@@ -1,0 +1,286 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dynfd"
+	"dynfd/internal/bench"
+)
+
+// TenantInfo is one tenant's lifecycle summary.
+type TenantInfo struct {
+	Name        string   `json:"name"`
+	Columns     []string `json:"columns,omitempty"`
+	Records     int      `json:"records"`
+	Seq         uint64   `json:"seq"`
+	Batches     uint64   `json:"batches"`
+	Quarantined string   `json:"quarantined,omitempty"`
+}
+
+// List returns a summary of every tenant, sorted by name. Tenants still
+// being created are skipped; quarantined tenants are listed with their
+// quarantine reason.
+func (rt *Runtime) List() []TenantInfo {
+	rt.mu.Lock()
+	slots := make([]*tenant, 0, len(rt.tenants))
+	for _, t := range rt.tenants {
+		slots = append(slots, t)
+	}
+	rt.mu.Unlock()
+	out := make([]TenantInfo, 0, len(slots))
+	for _, t := range slots {
+		select {
+		case <-t.ready:
+		default:
+			continue // creation in progress
+		}
+		if t.initErr != nil {
+			continue
+		}
+		if info, ok := t.info(); ok {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Info returns one tenant's summary.
+func (rt *Runtime) Info(name string) (TenantInfo, error) {
+	t, err := rt.get(name)
+	if err != nil {
+		return TenantInfo{}, err
+	}
+	info, ok := t.info()
+	if !ok {
+		return TenantInfo{}, fmt.Errorf("%w: %q", ErrNoSuchTenant, name)
+	}
+	return info, nil
+}
+
+// info snapshots the tenant's summary; ok is false once it was dropped.
+func (t *tenant) info() (TenantInfo, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return TenantInfo{}, false
+	}
+	info := TenantInfo{Name: t.name}
+	if t.quarantine != nil {
+		info.Quarantined = t.quarantine.Error()
+	}
+	if t.mon != nil {
+		info.Columns = t.mon.Columns()
+		info.Records = t.mon.NumRecords()
+		info.Seq = t.mon.Seq()
+	}
+	t.statMu.Lock()
+	info.Batches = t.batches
+	t.statMu.Unlock()
+	return info, true
+}
+
+// KeyCheck reports whether the given columns currently form a unique
+// column combination (no two live records agree on all of them). Unlike
+// an FD-cover query, this is exact even in the presence of fully
+// duplicate tuples: it scans the authoritative record store.
+func (rt *Runtime) KeyCheck(name string, columns []string) (unique bool, err error) {
+	err = rt.View(name, func(mon *dynfd.DurableMonitor) error {
+		idx, err := columnIndexes(mon.Columns(), columns)
+		if err != nil {
+			return err
+		}
+		seen := make(map[string]struct{})
+		unique = true
+		var b strings.Builder
+		mon.ForEachRecord(func(_ int64, values []string) bool {
+			b.Reset()
+			for _, i := range idx {
+				// Length-prefix each value so distinct tuples can never
+				// concatenate to the same key.
+				fmt.Fprintf(&b, "%d:%s", len(values[i]), values[i])
+			}
+			key := b.String()
+			if _, dup := seen[key]; dup {
+				unique = false
+				return false
+			}
+			seen[key] = struct{}{}
+			return true
+		})
+		return nil
+	})
+	return unique, err
+}
+
+// UnaryIND is one unary inclusion dependency between columns of a tenant:
+// every value of Lhs also occurs in Rhs.
+type UnaryIND struct {
+	Lhs string `json:"lhs"`
+	Rhs string `json:"rhs"`
+}
+
+// INDs computes the tenant's current unary inclusion dependencies with one
+// scan over the record store, in deterministic column order. Trivial
+// self-inclusions are omitted.
+func (rt *Runtime) INDs(name string) ([]UnaryIND, error) {
+	var out []UnaryIND
+	err := rt.View(name, func(mon *dynfd.DurableMonitor) error {
+		cols := mon.Columns()
+		distinct := make([]map[string]struct{}, len(cols))
+		for i := range distinct {
+			distinct[i] = make(map[string]struct{})
+		}
+		mon.ForEachRecord(func(_ int64, values []string) bool {
+			for i, v := range values {
+				distinct[i][v] = struct{}{}
+			}
+			return true
+		})
+		for i := range cols {
+			for j := range cols {
+				if i == j || len(distinct[i]) > len(distinct[j]) {
+					continue
+				}
+				included := true
+				for v := range distinct[i] {
+					if _, ok := distinct[j][v]; !ok {
+						included = false
+						break
+					}
+				}
+				if included {
+					out = append(out, UnaryIND{Lhs: cols[i], Rhs: cols[j]})
+				}
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// TenantMetrics is one tenant's operational metrics: batch latency
+// percentiles over the recent window, WAL fsync cost, and cover sizes.
+type TenantMetrics struct {
+	Name        string `json:"name"`
+	Records     int    `json:"records"`
+	Seq         uint64 `json:"seq"`
+	Batches     uint64 `json:"batches"`
+	Quarantined string `json:"quarantined,omitempty"`
+
+	// Batch latency over the retained window, in nanoseconds.
+	LatencyCount int   `json:"latency_count"`
+	LatencyAvgNs int64 `json:"latency_avg_ns"`
+	LatencyP50Ns int64 `json:"latency_p50_ns"`
+	LatencyP90Ns int64 `json:"latency_p90_ns"`
+	LatencyP99Ns int64 `json:"latency_p99_ns"`
+
+	// WAL fsync activity since the engine was opened.
+	WALSyncs       int   `json:"wal_syncs"`
+	WALSyncTimeNs  int64 `json:"wal_sync_time_ns"`
+	FDCoverSize    int   `json:"fd_cover_size"`
+	NonFDCoverSize int   `json:"non_fd_cover_size"`
+}
+
+// Metrics returns per-tenant operational metrics, sorted by name.
+func (rt *Runtime) Metrics() []TenantMetrics {
+	rt.mu.Lock()
+	slots := make([]*tenant, 0, len(rt.tenants))
+	for _, t := range rt.tenants {
+		slots = append(slots, t)
+	}
+	rt.mu.Unlock()
+	out := make([]TenantMetrics, 0, len(slots))
+	for _, t := range slots {
+		select {
+		case <-t.ready:
+		default:
+			continue
+		}
+		if t.initErr != nil {
+			continue
+		}
+		if m, ok := t.metrics(); ok {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TenantMetrics returns one tenant's metrics.
+func (rt *Runtime) TenantMetrics(name string) (TenantMetrics, error) {
+	t, err := rt.get(name)
+	if err != nil {
+		return TenantMetrics{}, err
+	}
+	m, ok := t.metrics()
+	if !ok {
+		return TenantMetrics{}, fmt.Errorf("%w: %q", ErrNoSuchTenant, name)
+	}
+	return m, nil
+}
+
+func (t *tenant) metrics() (TenantMetrics, bool) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return TenantMetrics{}, false
+	}
+	m := TenantMetrics{Name: t.name}
+	if t.quarantine != nil {
+		m.Quarantined = t.quarantine.Error()
+	}
+	if t.mon != nil {
+		m.Records = t.mon.NumRecords()
+		m.Seq = t.mon.Seq()
+		ws := t.mon.WALStats()
+		m.WALSyncs = ws.Syncs
+		m.WALSyncTimeNs = int64(ws.SyncTime)
+		m.FDCoverSize = len(t.mon.FDs())
+		m.NonFDCoverSize = len(t.mon.NonFDs())
+	}
+	t.mu.Unlock()
+
+	t.statMu.Lock()
+	m.Batches = t.batches
+	lat := toTimings(t.lat)
+	t.statMu.Unlock()
+	m.LatencyCount = len(lat)
+	m.LatencyAvgNs = int64(lat.Avg())
+	m.LatencyP50Ns = int64(lat.Percentile(50))
+	m.LatencyP90Ns = int64(lat.Percentile(90))
+	m.LatencyP99Ns = int64(lat.Percentile(99))
+	return m, true
+}
+
+func toTimings(d []time.Duration) bench.Timings {
+	out := make(bench.Timings, len(d))
+	copy(out, d)
+	return out
+}
+
+// columnIndexes resolves column names against a schema.
+func columnIndexes(schema, columns []string) ([]int, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("runtime: at least one column required")
+	}
+	idx := make([]int, 0, len(columns))
+	for _, c := range columns {
+		found := -1
+		for i, s := range schema {
+			if s == c {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("runtime: unknown column %q", c)
+		}
+		idx = append(idx, found)
+	}
+	return idx, nil
+}

@@ -1,0 +1,492 @@
+// Package runtime owns the lifecycle of a multi-tenant DynFD constraint
+// service: a data root under which every named tenant keeps its own
+// crash-safe engine (dynfd.OpenDurable at <data-root>/<tenant>/), created,
+// dropped, and queried independently while batches to different tenants
+// proceed in parallel.
+//
+// The split follows the long-running-daemon architecture OPA popularized:
+// the runtime owns configuration, tenant lifecycle, admission control, and
+// graceful shutdown; the HTTP layer (internal/httpapi) only routes. Nothing
+// in this package knows about transports.
+//
+// Failure containment: when a tenant's engine poisons itself (WAL append
+// failure, diverged worker), the tenant is quarantined — further writes
+// fail fast with a *QuarantineError naming the tenant, reads stay
+// available, and every other tenant is untouched. A quarantined tenant
+// never takes the process down; it is cleared by dropping the tenant or
+// restarting the service (recovery replays the durable state).
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"time"
+
+	"dynfd"
+	"dynfd/internal/server"
+)
+
+// Sentinel errors of the tenant lifecycle and admission control. The HTTP
+// layer maps these onto status codes.
+var (
+	// ErrClosed reports an operation on a runtime that has shut down.
+	ErrClosed = errors.New("runtime: closed")
+	// ErrTenantExists reports a create of a name that is already live
+	// (or still being dropped).
+	ErrTenantExists = errors.New("runtime: tenant already exists")
+	// ErrNoSuchTenant reports an operation on an unknown tenant.
+	ErrNoSuchTenant = errors.New("runtime: no such tenant")
+	// ErrTenantBusy reports that a tenant's in-flight batch cap is
+	// exhausted; the client should retry after its batches drain.
+	ErrTenantBusy = errors.New("runtime: tenant has too many batches in flight")
+	// ErrOverloaded reports that the global in-flight batch cap is
+	// exhausted.
+	ErrOverloaded = errors.New("runtime: too many batches in flight")
+	// ErrTooManyTenants reports that the tenant-count cap is exhausted.
+	ErrTooManyTenants = errors.New("runtime: tenant limit reached")
+)
+
+// QuarantineError reports a write rejected because the named tenant's
+// engine is poisoned. The tenant name always rides along so a multi-tenant
+// log line or error body identifies the failed engine.
+type QuarantineError struct {
+	Tenant string
+	Err    error
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("runtime: tenant %q quarantined: %v", e.Tenant, e.Err)
+}
+
+func (e *QuarantineError) Unwrap() error { return e.Err }
+
+// tenantNameRE is the documented tenant-name grammar: 1-64 chars, lower
+// case letters, digits, and ._- with a leading letter or digit — every
+// valid name is a safe single path element.
+var tenantNameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9._-]{0,63}$`)
+
+// ValidateTenantName rejects names that do not match the documented
+// grammar. Matching names never contain a path separator or start with a
+// dot, so they cannot escape the data root.
+func ValidateTenantName(name string) error {
+	if !tenantNameRE.MatchString(name) {
+		return fmt.Errorf("runtime: invalid tenant name %q (want 1-64 of [a-z0-9._-], starting with a letter or digit)", name)
+	}
+	return nil
+}
+
+// Config parameterizes a runtime.
+type Config struct {
+	// DataRoot is the directory holding one subdirectory per tenant.
+	// Required; created if absent.
+	DataRoot string
+	// Workers is the per-engine validation parallelism (dynfd.WithWorkers).
+	Workers int
+	// CheckpointEvery is the per-engine checkpoint interval in batches
+	// (dynfd.WithCheckpointEvery); 0 keeps the engine default.
+	CheckpointEvery int
+	// Limits is the admission-control configuration; the zero value means
+	// server.DefaultLimits.
+	Limits server.Limits
+	// Logger receives lifecycle and quarantine events; nil discards them.
+	Logger *log.Logger
+	// LatencyWindow is how many recent per-batch latencies each tenant
+	// retains for percentile metrics; 0 means 512.
+	LatencyWindow int
+}
+
+// Runtime manages named tenants, each backed by its own durable engine.
+// All methods are safe for concurrent use; batches to different tenants
+// run in parallel, batches to one tenant serialize.
+type Runtime struct {
+	cfg    Config
+	logger *log.Logger
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	inFlight int // batches admitted across all tenants
+	closed   bool
+}
+
+// tenant is one named engine plus its lifecycle and metric state.
+type tenant struct {
+	name string
+	dir  string
+
+	// ready is closed once creation (or recovery) finished; initErr is set
+	// before the close when it failed, and the slot is removed from the
+	// map — waiters treat it as never having existed.
+	ready   chan struct{}
+	initErr error
+
+	// mu serializes every engine access: the monitor is single-caller by
+	// contract. Drop sets closed under mu, so an engine is never used
+	// after its Close.
+	mu         sync.Mutex
+	mon        *dynfd.DurableMonitor
+	closed     bool
+	quarantine error
+
+	// statMu guards the admission counter and latency ring; it is never
+	// held while the engine works, so metrics and admission stay
+	// responsive during a slow batch.
+	statMu   sync.Mutex
+	inFlight int
+	batches  uint64
+	lat      []time.Duration
+	latPos   int
+	latFull  bool
+}
+
+// Open creates a runtime over cfg.DataRoot and recovers every tenant
+// directory found there. A tenant whose recovery fails is quarantined —
+// listed, read- and write-rejecting with its recovery error — instead of
+// failing the whole service.
+func Open(cfg Config) (*Runtime, error) {
+	if cfg.DataRoot == "" {
+		return nil, fmt.Errorf("runtime: Config.DataRoot is required")
+	}
+	if (cfg.Limits == server.Limits{}) {
+		cfg.Limits = server.DefaultLimits()
+	}
+	if cfg.LatencyWindow <= 0 {
+		cfg.LatencyWindow = 512
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	if err := os.MkdirAll(cfg.DataRoot, 0o755); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{cfg: cfg, logger: logger, tenants: make(map[string]*tenant)}
+	entries, err := os.ReadDir(cfg.DataRoot)
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		if ValidateTenantName(name) != nil {
+			rt.logger.Printf("runtime: ignoring non-tenant directory %q", name)
+			continue
+		}
+		t := &tenant{name: name, dir: filepath.Join(cfg.DataRoot, name), ready: make(chan struct{})}
+		mon, err := dynfd.OpenDurable(t.dir, nil, rt.engineOptions()...)
+		if err != nil {
+			// Quarantine, don't die: the other tenants must keep serving.
+			t.quarantine = fmt.Errorf("recovering tenant %q: %w", name, err)
+			rt.logger.Printf("runtime: tenant %q quarantined at startup: %v", name, err)
+		} else {
+			t.mon = mon
+		}
+		close(t.ready)
+		rt.tenants[name] = t
+	}
+	return rt, nil
+}
+
+func (rt *Runtime) engineOptions() []dynfd.Option {
+	opts := []dynfd.Option{dynfd.WithWorkers(rt.cfg.Workers)}
+	if rt.cfg.CheckpointEvery != 0 {
+		opts = append(opts, dynfd.WithCheckpointEvery(rt.cfg.CheckpointEvery))
+	}
+	return opts
+}
+
+// Ready reports whether the runtime accepts work (it is not closed).
+func (rt *Runtime) Ready() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return !rt.closed
+}
+
+// DataRoot returns the configured data root.
+func (rt *Runtime) DataRoot() string { return rt.cfg.DataRoot }
+
+// Limits returns the admission-control configuration in force.
+func (rt *Runtime) Limits() server.Limits { return rt.cfg.Limits }
+
+// Create makes a new tenant with the given schema, optionally bootstrapped
+// with initial rows, durably rooted at <data-root>/<name>/. It fails with
+// ErrTenantExists while a tenant of that name is live or still dropping.
+func (rt *Runtime) Create(name string, columns []string, rows [][]string) error {
+	if err := ValidateTenantName(name); err != nil {
+		return err
+	}
+	if len(columns) == 0 {
+		return fmt.Errorf("runtime: tenant %q needs at least one column", name)
+	}
+	t := &tenant{name: name, dir: filepath.Join(rt.cfg.DataRoot, name), ready: make(chan struct{})}
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := rt.tenants[name]; ok {
+		rt.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrTenantExists, name)
+	}
+	if max := rt.cfg.Limits.MaxTenants; max > 0 && len(rt.tenants) >= max {
+		rt.mu.Unlock()
+		return fmt.Errorf("%w (limit %d)", ErrTooManyTenants, max)
+	}
+	rt.tenants[name] = t // placeholder: concurrent creates of name now fail
+	rt.mu.Unlock()
+
+	// The slow part — opening the store, bootstrapping — runs outside the
+	// runtime lock so tenants create in parallel.
+	mon, err := dynfd.OpenDurable(t.dir, columns, rt.engineOptions()...)
+	if err == nil && len(rows) > 0 {
+		if berr := mon.Bootstrap(rows); berr != nil {
+			mon.Close()
+			err = berr
+		}
+	}
+	if err != nil {
+		os.RemoveAll(t.dir) // a failed create must not leak a directory
+		t.initErr = err
+		close(t.ready)
+		rt.mu.Lock()
+		if rt.tenants[name] == t {
+			delete(rt.tenants, name)
+		}
+		rt.mu.Unlock()
+		return fmt.Errorf("runtime: creating tenant %q: %w", name, err)
+	}
+	t.mon = mon
+	close(t.ready)
+	rt.logger.Printf("runtime: tenant %q created (%d columns, %d rows)", name, len(columns), len(rows))
+	return nil
+}
+
+// get resolves a live tenant, waiting out an in-progress create.
+func (rt *Runtime) get(name string) (*tenant, error) {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil, ErrClosed
+	}
+	t, ok := rt.tenants[name]
+	rt.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTenant, name)
+	}
+	<-t.ready
+	if t.initErr != nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTenant, name)
+	}
+	return t, nil
+}
+
+// Drop closes the tenant's engine and deletes its directory. In-flight
+// batches finish first (they hold the tenant lock); the name only becomes
+// creatable again once the directory is gone.
+func (rt *Runtime) Drop(name string) error {
+	t, err := rt.get(name)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoSuchTenant, name)
+	}
+	t.closed = true
+	var closeErr error
+	if t.mon != nil {
+		closeErr = t.mon.Close()
+	}
+	t.mu.Unlock()
+	rmErr := os.RemoveAll(t.dir)
+	rt.mu.Lock()
+	if rt.tenants[name] == t {
+		delete(rt.tenants, name)
+	}
+	rt.mu.Unlock()
+	rt.logger.Printf("runtime: tenant %q dropped", name)
+	if closeErr != nil {
+		return fmt.Errorf("runtime: closing tenant %q: %w", name, closeErr)
+	}
+	if rmErr != nil {
+		return fmt.Errorf("runtime: deleting tenant %q: %w", name, rmErr)
+	}
+	return nil
+}
+
+// ApplyResult acknowledges one durably applied batch: the sequence number
+// it is fsynced under, the surrogate ids its inserts and updates received,
+// and the FD diff rendered with the tenant's column names. All fields are
+// captured atomically with the apply, so they describe exactly this batch.
+type ApplyResult struct {
+	Seq         uint64
+	InsertedIDs []int64
+	Added       []string
+	Removed     []string
+}
+
+// Apply admits and durably applies one batch to the named tenant.
+// Admission is two gates: the global in-flight cap (ErrOverloaded) and the
+// tenant's own in-flight cap (ErrTenantBusy) — both counted per
+// admitted-but-unfinished batch, so a stalled tenant saturates its own
+// budget long before the global one.
+func (rt *Runtime) Apply(name string, changes []dynfd.Change) (ApplyResult, error) {
+	t, err := rt.get(name)
+	if err != nil {
+		return ApplyResult{}, err
+	}
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return ApplyResult{}, ErrClosed
+	}
+	if max := rt.cfg.Limits.MaxInFlight; max > 0 && rt.inFlight >= max {
+		rt.mu.Unlock()
+		return ApplyResult{}, fmt.Errorf("%w (limit %d)", ErrOverloaded, max)
+	}
+	rt.inFlight++
+	rt.mu.Unlock()
+	defer func() {
+		rt.mu.Lock()
+		rt.inFlight--
+		rt.mu.Unlock()
+	}()
+
+	t.statMu.Lock()
+	if max := rt.cfg.Limits.MaxTenantInFlight; max > 0 && t.inFlight >= max {
+		t.statMu.Unlock()
+		return ApplyResult{}, fmt.Errorf("%w: %q (limit %d)", ErrTenantBusy, name, rt.cfg.Limits.MaxTenantInFlight)
+	}
+	t.inFlight++
+	t.statMu.Unlock()
+	defer func() {
+		t.statMu.Lock()
+		t.inFlight--
+		t.statMu.Unlock()
+	}()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ApplyResult{}, fmt.Errorf("%w: %q", ErrNoSuchTenant, name)
+	}
+	if t.quarantine != nil {
+		return ApplyResult{}, &QuarantineError{Tenant: name, Err: t.quarantine}
+	}
+	start := time.Now()
+	diff, err := t.mon.Apply(changes...)
+	if err != nil {
+		if perr := t.mon.Err(); perr != nil {
+			// The engine poisoned itself: durable and in-memory state may
+			// have diverged. Quarantine the tenant; the rest of the fleet
+			// keeps serving.
+			t.quarantine = perr
+			rt.logger.Printf("runtime: tenant %q quarantined: %v", name, perr)
+			return ApplyResult{}, &QuarantineError{Tenant: name, Err: perr}
+		}
+		// Batch rejected by precheck — engine state untouched and healthy.
+		return ApplyResult{}, fmt.Errorf("runtime: tenant %q: %w", name, err)
+	}
+	elapsed := time.Since(start)
+	res := ApplyResult{Seq: t.mon.Seq(), InsertedIDs: diff.InsertedIDs}
+	for _, f := range diff.Added {
+		res.Added = append(res.Added, t.mon.FormatFD(f))
+	}
+	for _, f := range diff.Removed {
+		res.Removed = append(res.Removed, t.mon.FormatFD(f))
+	}
+	t.statMu.Lock()
+	t.batches++
+	if len(t.lat) < rt.cfg.LatencyWindow {
+		t.lat = append(t.lat, elapsed)
+	} else {
+		t.lat[t.latPos] = elapsed
+		t.latPos = (t.latPos + 1) % len(t.lat)
+		t.latFull = true
+	}
+	t.statMu.Unlock()
+	return res, nil
+}
+
+// View runs f with exclusive access to the named tenant's monitor. Reads
+// are served even while the tenant is quarantined (the in-memory covers
+// stay intact); a tenant whose recovery failed has no monitor and returns
+// its QuarantineError instead.
+func (rt *Runtime) View(name string, f func(*dynfd.DurableMonitor) error) error {
+	t, err := rt.get(name)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("%w: %q", ErrNoSuchTenant, name)
+	}
+	if t.mon == nil {
+		return &QuarantineError{Tenant: name, Err: t.quarantine}
+	}
+	return f(t.mon)
+}
+
+// Checkpoint folds the named tenant's WAL into a fresh snapshot now.
+func (rt *Runtime) Checkpoint(name string) (seq uint64, err error) {
+	t, err := rt.get(name)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchTenant, name)
+	}
+	if t.quarantine != nil || t.mon == nil {
+		return 0, &QuarantineError{Tenant: name, Err: t.quarantine}
+	}
+	if err := t.mon.Checkpoint(); err != nil {
+		return 0, fmt.Errorf("runtime: checkpointing tenant %q: %w", name, err)
+	}
+	return t.mon.Seq(), nil
+}
+
+// Close drains and shuts every tenant down: in-flight batches finish, each
+// healthy engine writes its final checkpoint, and the runtime refuses all
+// further work with ErrClosed. The first close error is returned.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.closed = true
+	slots := make([]*tenant, 0, len(rt.tenants))
+	for _, t := range rt.tenants {
+		slots = append(slots, t)
+	}
+	rt.mu.Unlock()
+	var first error
+	for _, t := range slots {
+		<-t.ready
+		if t.initErr != nil {
+			continue
+		}
+		t.mu.Lock()
+		if !t.closed {
+			t.closed = true
+			if t.mon != nil {
+				if err := t.mon.Close(); err != nil && first == nil {
+					first = fmt.Errorf("runtime: closing tenant %q: %w", t.name, err)
+				}
+			}
+		}
+		t.mu.Unlock()
+	}
+	return first
+}

@@ -45,7 +45,12 @@ type Backend interface {
 	Stats() core.Stats
 }
 
-// Limits bounds per-connection resource use.
+// Limits bounds resource use. The first three fields are per-connection
+// limits of the line protocol; the remaining fields are admission-control
+// caps consumed by the multi-tenant runtime (internal/runtime) and HTTP
+// layer (internal/httpapi). Every counter backing these caps is scoped to
+// one connection or one tenant — never shared across tenants — so one
+// noisy client cannot exhaust another tenant's budget.
 type Limits struct {
 	// IdleTimeout closes a connection when a single read or write stalls
 	// longer than this; 0 disables the deadline.
@@ -53,17 +58,36 @@ type Limits struct {
 	// MaxLineBytes caps one request line; an overlong line is answered
 	// with an error and the connection is closed (its framing is lost).
 	MaxLineBytes int
-	// MaxPending caps the staged-but-uncommitted changes per connection;
+	// MaxPending caps the staged-but-uncommitted changes per connection
+	// on the line protocol, and the changes of one HTTP batch request;
 	// staging beyond it is rejected (the client should commit first).
 	MaxPending int
+
+	// MaxBodyBytes caps one HTTP request body; oversized requests are
+	// answered with 413. 0 disables the cap.
+	MaxBodyBytes int64
+	// MaxTenantInFlight caps the batches admitted but not yet completed
+	// per tenant; excess applies are rejected with a retryable error.
+	// 0 disables the cap.
+	MaxTenantInFlight int
+	// MaxInFlight caps the batches admitted but not yet completed across
+	// all tenants of a runtime. 0 disables the cap.
+	MaxInFlight int
+	// MaxTenants caps the number of live tenants of a runtime. 0 disables
+	// the cap.
+	MaxTenants int
 }
 
 // DefaultLimits are applied when New/NewWithBackend construct a server.
 func DefaultLimits() Limits {
 	return Limits{
-		IdleTimeout:  5 * time.Minute,
-		MaxLineBytes: 1 << 20,
-		MaxPending:   1 << 16,
+		IdleTimeout:       5 * time.Minute,
+		MaxLineBytes:      1 << 20,
+		MaxPending:        1 << 16,
+		MaxBodyBytes:      1 << 20,
+		MaxTenantInFlight: 64,
+		MaxInFlight:       1024,
+		MaxTenants:        1024,
 	}
 }
 
@@ -71,7 +95,9 @@ func DefaultLimits() Limits {
 type Server struct {
 	columns   []string
 	batchSize int
-	limits    Limits
+
+	limitsMu sync.Mutex
+	limits   Limits
 
 	mu      sync.Mutex
 	backend Backend
@@ -125,8 +151,24 @@ func NewWithBackend(columns []string, backend Backend, batchSize int) (*Server, 
 	}, nil
 }
 
-// SetLimits replaces the per-connection limits. Call before Serve.
-func (s *Server) SetLimits(l Limits) { s.limits = l }
+// SetLimits replaces the per-connection limits. Connections accepted after
+// the call use the new limits; existing connections keep the snapshot they
+// took when they were accepted.
+func (s *Server) SetLimits(l Limits) {
+	s.limitsMu.Lock()
+	s.limits = l
+	s.limitsMu.Unlock()
+}
+
+// limitsSnapshot returns the limits one connection will live under. Each
+// handler takes its own copy, so limit state is per-connection by
+// construction — a reconfiguration or another connection's traffic never
+// shifts the budget of a session mid-flight.
+func (s *Server) limitsSnapshot() Limits {
+	s.limitsMu.Lock()
+	defer s.limitsMu.Unlock()
+	return s.limits
+}
 
 // Serve accepts connections until the listener is closed (via Close).
 func (s *Server) Serve(l net.Listener) error {
@@ -226,9 +268,10 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.listenerMu.Unlock()
 	}()
-	dc := &deadlineConn{Conn: conn, timeout: s.limits.IdleTimeout}
+	limits := s.limitsSnapshot()
+	dc := &deadlineConn{Conn: conn, timeout: limits.IdleTimeout}
 	sc := bufio.NewScanner(dc)
-	maxLine := s.limits.MaxLineBytes
+	maxLine := limits.MaxLineBytes
 	if maxLine <= 0 {
 		maxLine = bufio.MaxScanTokenSize
 	}
@@ -255,8 +298,8 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		switch req.Op {
 		case "insert", "delete", "update":
-			if s.limits.MaxPending > 0 && len(pending) >= s.limits.MaxPending {
-				if !reply(response{Error: fmt.Sprintf("too many pending changes (limit %d); commit first", s.limits.MaxPending)}) {
+			if limits.MaxPending > 0 && len(pending) >= limits.MaxPending {
+				if !reply(response{Error: fmt.Sprintf("too many pending changes (limit %d); commit first", limits.MaxPending)}) {
 					return
 				}
 				continue
