@@ -23,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"dynfd"
@@ -35,7 +36,7 @@ func main() {
 	initial := flag.String("initial", "", "CSV file with the initial relation (header = schema)")
 	columns := flag.String("columns", "", "comma-separated schema when no -initial file is given")
 	quiet := flag.Bool("quiet", false, "suppress per-batch FD changes; print only the final FDs")
-	workers := flag.Int("workers", 0, "parallel validations per lattice level (0 = serial, -1 = all CPUs)")
+	workersFlag := flag.String("workers", "auto", `maintenance parallelism: "auto" = one scheduler worker per CPU, 0 = serial reference, n >= 1 = scheduler with n workers`)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the replay, post-GC) to this file")
 	flag.Usage = func() {
@@ -47,13 +48,32 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	err := profiled(*cpuprofile, *memprofile, func() error {
-		return run(flag.Arg(0), *initial, *columns, *batchSize, *workers, *quiet, os.Stdout)
+	workers, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynfd:", err)
+		os.Exit(2)
+	}
+	err = profiled(*cpuprofile, *memprofile, func() error {
+		return run(flag.Arg(0), *initial, *columns, *batchSize, workers, *quiet, os.Stdout)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynfd:", err)
 		os.Exit(1)
 	}
+}
+
+// parseWorkers resolves the -workers flag: "auto" (the default) means one
+// scheduler worker per available CPU; any integer passes through with
+// dynfd.WithWorkers semantics (0 = serial reference path).
+func parseWorkers(s string) (int, error) {
+	if s == "auto" {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf(`-workers: want an integer or "auto", got %q`, s)
+	}
+	return n, nil
 }
 
 // profiled runs fn under the optional pprof collectors, so hot-path work

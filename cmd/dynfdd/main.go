@@ -28,6 +28,14 @@
 // Both modes can run simultaneously. On SIGINT/SIGTERM the daemon stops
 // accepting, drains in-flight commits, checkpoints every engine, and
 // exits 0.
+//
+// Engines default to -workers auto (one scheduler worker per CPU);
+// tenants may override it at create time. -pprof-addr serves
+// net/http/pprof on a separate listener for profiling a live daemon,
+// e.g. scheduler contention:
+//
+//	dynfdd -http :8080 -data-root /var/lib/dynfd -pprof-addr 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=30
 package main
 
 import (
@@ -38,8 +46,11 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	goruntime "runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -60,9 +71,10 @@ func main() {
 	initial := flag.String("initial", "", "line protocol: CSV file with the initial relation (header = schema)")
 	columns := flag.String("columns", "", "line protocol: comma-separated schema when no -initial file is given")
 	batch := flag.Int("batch", 100, "line protocol: auto-commit batch size")
-	workers := flag.Int("workers", 0, "parallel validations per lattice level (0 = serial, -1 = all CPUs)")
+	workersFlag := flag.String("workers", "auto", `default maintenance parallelism per engine: "auto" = one scheduler worker per CPU, 0 = serial reference, n >= 1 = scheduler with n workers (tenants may override at create time)`)
 	dataDir := flag.String("data-dir", "", "line protocol: write-ahead log directory (empty = in-memory only)")
 	checkpointEvery := flag.Int("checkpoint-every", durable.DefaultCheckpointEvery, "batches between checkpoints (negative disables)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for profiling scheduler contention; empty disables")
 	flag.Parse()
 
 	if *httpAddr == "" && *listen == "" {
@@ -73,6 +85,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dynfdd: -http requires -data-root")
 		os.Exit(2)
 	}
+	workers, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynfdd:", err)
+		os.Exit(2)
+	}
 
 	var (
 		wg        sync.WaitGroup
@@ -81,11 +98,35 @@ func main() {
 		failed    = make(chan error, 2)
 	)
 
+	// Profiling endpoint on its own listener and mux, so the debug surface
+	// is never exposed on the service addresses by accident.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynfdd:", err)
+			os.Exit(1)
+		}
+		psrv := &http.Server{Handler: mux}
+		log.Printf("dynfdd: pprof on http://%s/debug/pprof/", ln.Addr())
+		go func() {
+			if err := psrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("dynfdd: pprof server: %v", err)
+			}
+		}()
+		stops = append(stops, func() { psrv.Close() })
+	}
+
 	// Multi-tenant HTTP+JSON service.
 	if *httpAddr != "" {
 		rt, err := runtime.Open(runtime.Config{
 			DataRoot:        *dataRoot,
-			Workers:         *workers,
+			Workers:         workers,
 			CheckpointEvery: *checkpointEvery,
 			Logger:          log.Default(),
 		})
@@ -118,7 +159,7 @@ func main() {
 
 	// Legacy single-dataset line protocol.
 	if *listen != "" {
-		srv, l, shutdown, err := setup(*listen, *initial, *columns, *dataDir, *batch, *workers, *checkpointEvery)
+		srv, l, shutdown, err := setup(*listen, *initial, *columns, *dataDir, *batch, workers, *checkpointEvery)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dynfdd:", err)
 			os.Exit(1)
@@ -157,6 +198,20 @@ func main() {
 		}
 	}
 	log.Printf("dynfdd: shut down cleanly")
+}
+
+// parseWorkers resolves the -workers flag: "auto" (the default) means one
+// scheduler worker per available CPU; any integer passes through with
+// dynfd.WithWorkers semantics (0 = serial reference path).
+func parseWorkers(s string) (int, error) {
+	if s == "auto" {
+		return goruntime.GOMAXPROCS(0), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf(`-workers: want an integer or "auto", got %q`, s)
+	}
+	return n, nil
 }
 
 // setup builds the line-protocol server and listener. The returned

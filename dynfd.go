@@ -73,7 +73,7 @@ func Update(id int64, values ...string) Change {
 	return Change{Kind: KindUpdate, ID: id, Values: values}
 }
 
-// Pruning selects DynFD's four pruning strategies (paper §4–§5). All
+// Pruning selects DynFD's pruning strategies (paper §4–§5). All
 // strategies affect performance only; results are identical under every
 // combination.
 type Pruning struct {
@@ -81,11 +81,18 @@ type Pruning struct {
 	ViolationSearch  bool // progressive record-pair search for violations (§4.3)
 	Validation       bool // skip non-FD re-validation while a witness pair lives (§5.2)
 	DepthFirstSearch bool // optimistic depth-first generalization search (§5.3)
+	// Delta enables the EAIFD-style batch-delta pruning: insert batches
+	// skip every FD candidate whose left-hand side cannot agree with an
+	// existing record on any inserted tuple, and delete batches repair
+	// violation witnesses whose records were superseded by updates
+	// instead of re-validating from scratch.
+	Delta bool
 }
 
-// AllPruning enables every strategy — the paper's default configuration.
+// AllPruning enables every strategy — the paper's default configuration
+// plus the delta pruning.
 func AllPruning() Pruning {
-	return Pruning{Cluster: true, ViolationSearch: true, Validation: true, DepthFirstSearch: true}
+	return Pruning{Cluster: true, ViolationSearch: true, Validation: true, DepthFirstSearch: true, Delta: true}
 }
 
 // Option configures a Monitor.
@@ -97,6 +104,8 @@ type options struct {
 	keyColumns      []string
 	updatePruning   bool
 	workers         int
+	stealChunk      int
+	disableStealing bool
 	checkpointEvery int
 }
 
@@ -124,16 +133,34 @@ func WithUpdateColumnPruning() Option {
 	return func(o *options) { o.updatePruning = true }
 }
 
-// WithWorkers bounds the number of concurrent candidate validations per
-// lattice level during batch maintenance. 0 (the default) keeps
-// validation fully serial; n >= 1 fans each level's validations across up
-// to n workers; n < 0 uses one worker per available CPU. Worker count
-// affects wall-clock time only: parallel and serial monitors are
-// guaranteed to report identical FDs after every batch. The Monitor
-// itself remains single-caller — the parallelism never escapes an Apply
-// call.
+// WithWorkers selects how batch maintenance is executed. 0 (the default)
+// runs the serial reference path; n >= 1 runs the work-stealing pipelined
+// scheduler with n workers (n == 1 keeps all work on the calling
+// goroutine), overlapping Pli maintenance, candidate validation, and
+// speculative validation of the next lattice level; n < 0 uses one worker
+// per available CPU. Worker count affects wall-clock time only: all
+// configurations are guaranteed to report identical FDs after every
+// batch. The Monitor itself remains single-caller — the parallelism never
+// escapes an Apply call.
 func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
+}
+
+// WithStealChunk overrides the number of candidate validations bundled
+// into one stealable task under the pipelined scheduler (default 0 =
+// automatic sizing from level width and worker count). Smaller chunks
+// increase stealing opportunities at the cost of scheduling overhead;
+// chunk size never affects results. Ignored when WithWorkers is 0.
+func WithStealChunk(n int) Option {
+	return func(o *options) { o.stealChunk = n }
+}
+
+// WithoutStealing pins every validation chunk to the worker it was
+// submitted to, disabling work stealing while keeping the pipelined
+// scheduler. Intended for benchmarking the stealing benefit; results are
+// identical either way.
+func WithoutStealing() Option {
+	return func(o *options) { o.disableStealing = true }
 }
 
 // WithCheckpointEvery sets how many applied batches a DurableMonitor
@@ -197,9 +224,12 @@ func coreConfig(o options, colIndex map[string]int) (core.Config, error) {
 	cfg.ViolationSearch = o.pruning.ViolationSearch
 	cfg.ValidationPruning = o.pruning.Validation
 	cfg.DepthFirstSearch = o.pruning.DepthFirstSearch
+	cfg.DeltaPruning = o.pruning.Delta
 	cfg.Seed = o.seed
 	cfg.UpdateColumnPruning = o.updatePruning
 	cfg.Workers = o.workers
+	cfg.StealChunk = o.stealChunk
+	cfg.DisableStealing = o.disableStealing
 	for _, c := range o.keyColumns {
 		i, ok := colIndex[c]
 		if !ok {
@@ -385,8 +415,24 @@ type Stats struct {
 	ViolationSearchRuns  int
 	DepthFirstSearchRuns int
 	ParallelLevels       int
-	FDsAdded             int
-	FDsRemoved           int
+
+	// DeltaPruned counts insert-phase candidate validations skipped
+	// because no inserted record could agree on the candidate's LHS;
+	// WitnessRepairs counts delete-phase validations avoided by rewriting
+	// a violation witness onto updated record versions (both require
+	// Pruning.Delta).
+	DeltaPruned    int
+	WitnessRepairs int
+
+	// Scheduler telemetry (Workers >= 1): validation chunks executed by a
+	// worker other than the submitter, speculative validations issued
+	// ahead of the merge, and how many of those were consumed.
+	ChunksStolen           int
+	SpeculativeValidations int
+	SpeculativeHits        int
+
+	FDsAdded   int
+	FDsRemoved int
 
 	// Cumulative wall-clock breakdown of batch processing, following the
 	// paper's Figure 1: structural updates, delete phase, insert phase.
@@ -406,11 +452,18 @@ func (m *Monitor) Stats() Stats {
 		ViolationSearchRuns:  s.ViolationSearchRuns,
 		DepthFirstSearchRuns: s.DepthFirstSearchRuns,
 		ParallelLevels:       s.ParallelLevels,
-		FDsAdded:             s.FDsAdded,
-		FDsRemoved:           s.FDsRemoved,
-		StructureTime:        s.StructureTime,
-		DeletePhaseTime:      s.DeletePhaseTime,
-		InsertPhaseTime:      s.InsertPhaseTime,
+
+		DeltaPruned:            s.DeltaPruned,
+		WitnessRepairs:         s.WitnessRepairs,
+		ChunksStolen:           s.ChunksStolen,
+		SpeculativeValidations: s.SpeculativeValidations,
+		SpeculativeHits:        s.SpeculativeHits,
+
+		FDsAdded:        s.FDsAdded,
+		FDsRemoved:      s.FDsRemoved,
+		StructureTime:   s.StructureTime,
+		DeletePhaseTime: s.DeletePhaseTime,
+		InsertPhaseTime: s.InsertPhaseTime,
 	}
 }
 

@@ -23,6 +23,19 @@ type Config struct {
 	// DepthFirstSearch enables the optimistic depth-first generalization
 	// search when many non-FDs of one level become valid (paper §5.3).
 	DepthFirstSearch bool
+	// DeltaPruning enables the EAIFD-style batch-delta candidate pruning
+	// (DESIGN.md §13). Insert side: a positive-cover candidate lhs → rhs
+	// can only have been invalidated by a pair involving a new record r
+	// with lhs ⊆ agreeMask(r), where agreeMask(r) is the set of attributes
+	// in which r's cluster has at least two members — candidates matching
+	// no new record's agree mask skip validation outright. Delete side: a
+	// non-FD whose annotated violating pair died with the batch is checked
+	// against the batch's update remap first — if both endpoints were
+	// merely rewritten (update = delete + insert of a new version) and the
+	// remapped pair still concretely violates, the witness is repaired in
+	// place and validation is skipped. Like the paper's own strategies,
+	// delta pruning trades work, never results.
+	DeltaPruning bool
 
 	// EfficiencyThreshold is the fraction of invalid (resp. valid)
 	// validations per lattice level that triggers the violation search
@@ -50,28 +63,47 @@ type Config struct {
 	// 3 of the paper's §8.
 	UpdateColumnPruning bool
 
-	// Workers bounds the number of concurrent candidate validations per
-	// lattice level. 0 (the default) keeps validation fully serial —
-	// today's single-threaded behaviour; n >= 1 fans each level's
-	// validations across up to n pool workers; n < 0 uses one worker per
-	// available CPU (GOMAXPROCS). Parallel and serial runs produce
-	// identical FD and non-FD covers after every batch — the serial-
-	// equivalence guarantee of DESIGN.md §8, asserted by the equivalence
-	// property tests. (Work counters may drift between any two runs,
-	// serial or not, because validation witnesses follow Go's random map
-	// iteration order and witnesses steer the result-neutral validation
-	// pruning.) The knob changes wall-clock time only.
+	// Workers selects the batch execution engine and its worker budget.
+	// 0 (the default) keeps the fully serial reference path — per-level
+	// scan/merge on one goroutine (DESIGN.md §8). n >= 1 runs batches on
+	// the work-stealing pipelined scheduler (DESIGN.md §13): candidate
+	// validations are chunked across n worker slots' deques (slot 0 is the
+	// engine goroutine itself; n == 1 therefore runs the scheduler path
+	// inline, with no extra goroutines), per-attribute store maintenance
+	// overlaps validation through readiness gating, and the next lattice
+	// level is validated speculatively while the current one merges.
+	// n < 0 uses one slot per available CPU (GOMAXPROCS). All settings
+	// produce identical FD and non-FD covers after every batch — the
+	// serial-equivalence guarantee, asserted by the equivalence property
+	// tests. (Work counters may drift between any two runs, serial or not,
+	// because validation witnesses follow Go's random map iteration order
+	// and witnesses steer the result-neutral validation pruning.) The knob
+	// changes wall-clock time only.
 	Workers int
+	// StealChunk is the number of candidate validations bundled into one
+	// stealable scheduler task. 0 picks a size automatically from the
+	// level width and worker count. Tiny values (1) maximize stealing and
+	// are used by the equivalence tests to force the stealing paths; they
+	// are not efficient. Ignored when Workers == 0.
+	StealChunk int
+	// DisableStealing keeps every scheduler worker on its own deque (the
+	// engine's merge loop still claims any chunk it waits on directly). A
+	// benchmark ablation knob for isolating the stealing win; not a
+	// production setting. Ignored when Workers == 0.
+	DisableStealing bool
 }
 
-// DefaultConfig returns the paper's configuration: all four pruning
-// strategies enabled with 10% thresholds.
+// DefaultConfig returns the paper's configuration — all four pruning
+// strategies enabled with 10% thresholds — plus the EAIFD-style delta
+// pruning, which is on by default for the same reason the paper's
+// strategies are: it only ever removes work.
 func DefaultConfig() Config {
 	return Config{
 		ClusterPruning:      true,
 		ViolationSearch:     true,
 		ValidationPruning:   true,
 		DepthFirstSearch:    true,
+		DeltaPruning:        true,
 		EfficiencyThreshold: 0.1,
 		DFSSampleRate:       0.1,
 	}
@@ -92,15 +124,20 @@ func (c Config) normalize() Config {
 // in-depth performance analysis of the benchmark harness (§6.5) and are
 // not needed for correctness.
 type Stats struct {
-	Batches              int // batches processed
-	Validations          int // full candidate validations executed
-	SkippedValidations   int // delete-side validations skipped via annotations
-	Comparisons          int // record pairs compared by the violation search
-	ViolationSearchRuns  int // times the progressive search was triggered
-	DepthFirstSearchRuns int // times the optimistic DFS was triggered
-	ParallelLevels       int // lattice levels whose validations fanned out across workers
-	FDsAdded             int // cumulative minimal FDs added
-	FDsRemoved           int // cumulative minimal FDs removed
+	Batches                int // batches processed
+	Validations            int // full candidate validations executed
+	SkippedValidations     int // delete-side validations skipped via annotations
+	Comparisons            int // record pairs compared by the violation search
+	ViolationSearchRuns    int // times the progressive search was triggered
+	DepthFirstSearchRuns   int // times the optimistic DFS was triggered
+	ParallelLevels         int // lattice levels whose validations fanned out across workers
+	DeltaPruned            int // insert-side validations skipped by agree-mask delta pruning
+	WitnessRepairs         int // delete-side witnesses remapped to live update versions
+	ChunksStolen           int // scheduler chunks taken from another worker's deque
+	SpeculativeValidations int // validations submitted ahead of their level's classification
+	SpeculativeHits        int // speculative validations whose result was consumed
+	FDsAdded               int // cumulative minimal FDs added
+	FDsRemoved             int // cumulative minimal FDs removed
 
 	// Wall-clock breakdown of ApplyBatch, cumulative across batches.
 	StructureTime   time.Duration // Pli/record updates (Figure 1 step 1)

@@ -3,8 +3,9 @@ package core
 import (
 	"dynfd/internal/attrset"
 	"dynfd/internal/fd"
-	"dynfd/internal/lattice"
 	"dynfd/internal/validate"
+
+	"dynfd/internal/lattice"
 )
 
 // processDeletes implements the lattice-traversal non-FD validation for
@@ -18,31 +19,21 @@ import (
 // depth-first searches (§5.3) chase the generalizations ahead of the
 // level-wise sweep.
 //
-// Like the insert side, each level runs as a read-only scan phase (fanned
-// across the worker pool when Config.Workers allows) followed by a serial
-// merge phase that refreshes witnesses and promotes newly valid FDs in
-// candidate order — see parallel.go for the equivalence argument.
+// Like the insert side, each level runs as a read-only scan phase followed
+// by a serial merge phase in candidate order. This is the Workers == 0
+// reference path; Workers >= 1 runs the same classification and merge on
+// the pipelined scheduler (pipeline.go).
 func (e *Engine) processDeletes(touched attrset.Set) error {
 	for level := e.numAttrs; level >= 0; level-- {
 		candidates := e.nonFds.Level(level)
 		if len(candidates) == 0 {
 			continue
 		}
-		// Scan: classify and validate without mutating any engine state.
+		// Scan: classify and validate without mutating any engine state
+		// (the witness repair inside classifyDelete only refreshes
+		// annotations, which no validation reads).
 		outcomes, err := e.scanLevel(candidates, validate.NoPruning, func(nonFd fd.FD) scanKind {
-			if !e.nonFds.Contains(nonFd.Lhs, nonFd.Rhs) {
-				return scanStale // removed by a depth-first search in this level
-			}
-			if !nonFd.Lhs.With(nonFd.Rhs).Intersects(touched) {
-				// No involved column changed; the non-FD's violations over
-				// these columns survive in the updated tuple versions
-				// (§8 ext. 3).
-				return scanSkipped
-			}
-			if !e.needsValidation(nonFd) {
-				return scanSkipped
-			}
-			return scanEligible
+			return e.classifyDelete(nonFd, touched)
 		})
 		if err != nil {
 			return err
@@ -51,20 +42,8 @@ func (e *Engine) processDeletes(touched attrset.Set) error {
 		// non-FDs, and collect the newly valid FDs in candidate order.
 		var validFds []fd.FD
 		for i, nonFd := range candidates {
-			switch outcomes[i].kind {
-			case scanSkipped:
-				e.stats.SkippedValidations++
-			case scanValid:
-				e.stats.Validations++
+			if e.applyDeleteOutcome(nonFd, outcomes[i]) {
 				validFds = append(validFds, nonFd)
-			case scanInvalid:
-				e.stats.Validations++
-				if e.cfg.ValidationPruning {
-					// Attach the fresh witness so future batches can skip
-					// this non-FD again.
-					e.nonFds.SetViolation(nonFd.Lhs, nonFd.Rhs,
-						lattice.Violation{A: outcomes[i].witness.A, B: outcomes[i].witness.B})
-				}
 			}
 		}
 		for _, f := range validFds {
@@ -83,11 +62,55 @@ func (e *Engine) processDeletes(touched attrset.Set) error {
 	return nil
 }
 
+// classifyDelete decides one negative-cover candidate's fate for the
+// delete sweep. Shared by the serial scan and the pipelined scheduler.
+// Under the scheduler the caller must have awaited the candidate's
+// Lhs∪{Rhs} shards: the witness repair inside needsValidation reads their
+// cluster ids.
+func (e *Engine) classifyDelete(nonFd fd.FD, touched attrset.Set) scanKind {
+	if !e.nonFds.Contains(nonFd.Lhs, nonFd.Rhs) {
+		return scanStale // removed by a depth-first search in this level
+	}
+	if !nonFd.Lhs.With(nonFd.Rhs).Intersects(touched) {
+		// No involved column changed; the non-FD's violations over
+		// these columns survive in the updated tuple versions (§8 ext. 3).
+		return scanSkipped
+	}
+	if !e.needsValidation(nonFd) {
+		return scanSkipped
+	}
+	return scanEligible
+}
+
+// applyDeleteOutcome folds one non-FD's scan outcome into stats and
+// witness refreshes; reports whether the non-FD turned out valid (the
+// caller collects those for promotion after the whole level merged).
+func (e *Engine) applyDeleteOutcome(nonFd fd.FD, o scanOutcome) bool {
+	switch o.kind {
+	case scanSkipped:
+		e.stats.SkippedValidations++
+	case scanValid:
+		e.stats.Validations++
+		return true
+	case scanInvalid:
+		e.stats.Validations++
+		if e.cfg.ValidationPruning {
+			// Attach the fresh witness so future batches can skip
+			// this non-FD again.
+			e.nonFds.SetViolation(nonFd.Lhs, nonFd.Rhs,
+				lattice.Violation{A: o.witness.A, B: o.witness.B})
+		}
+	}
+	return false
+}
+
 // needsValidation implements the validation pruning of §5.2: a non-FD can
 // be skipped when its annotated violating record pair still exists, since
 // the violation then still disproves it. Non-FDs without an annotation —
 // freshly generalized candidates and the whole cover on the very first
-// batch — are always validated.
+// batch — are always validated. With delta pruning, a witness pair that
+// died by update is first resolved onto its successor versions and
+// repaired in place if it still violates (delta.go).
 func (e *Engine) needsValidation(nonFd fd.FD) bool {
 	if !e.cfg.ValidationPruning {
 		return true
@@ -96,13 +119,15 @@ func (e *Engine) needsValidation(nonFd fd.FD) bool {
 	if !ok {
 		return true
 	}
-	if _, alive := e.store.Record(v.A); !alive {
-		return true
+	_, aliveA := e.store.Record(v.A)
+	_, aliveB := e.store.Record(v.B)
+	if aliveA && aliveB {
+		return false
 	}
-	if _, alive := e.store.Record(v.B); !alive {
-		return true
+	if e.cfg.DeltaPruning && e.repairWitness(nonFd, v, aliveA, aliveB) {
+		return false
 	}
-	return false
+	return true
 }
 
 // promoteNonFD moves a de-facto-valid non-FD into the positive cover and

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"dynfd/internal/attrset"
+	"dynfd/internal/fd"
+	"dynfd/internal/lattice"
+)
+
+// EAIFD-style batch-delta candidate pruning (Config.DeltaPruning,
+// DESIGN.md §13). Both halves exploit the same observation: a batch can
+// only change a candidate's validity through record pairs it created or
+// destroyed, so the batch delta — not the whole relation — bounds which
+// candidates need re-validation.
+//
+// Insert side (agree masks): every positive-cover candidate at the start
+// of the insert phase is valid on the relation without this batch's new
+// records — surviving members were valid before the batch and deletes only
+// remove violations, promoted members were validated against the full
+// post-batch store, and fresh specializations inherit validity from their
+// generalizations. A violating pair for such a candidate must therefore
+// involve a new record r agreeing with some other record on the whole Lhs,
+// which requires every Lhs attribute's cluster of r to have at least two
+// members: Lhs ⊆ agreeMask(r). Candidates matching no new record's agree
+// mask skip validation outright.
+//
+// Delete side (witness repair): validation pruning (§5.2) skips a non-FD
+// while its annotated violating pair is alive. An update kills the old
+// record id even when the violation survives verbatim in the new version,
+// forcing a full validation under the paper's rule. The planner therefore
+// records the old→new id mapping of every update; when a witness endpoint
+// died, it is resolved through that mapping and the remapped pair is
+// re-checked directly on the cluster ids — if it still concretely violates
+// the non-FD, the annotation is repaired in place and validation skipped.
+
+// deltaMaskCap bounds the number of distinct agree masks kept per batch.
+// Beyond it only the mask union is maintained, which still soundly prunes
+// candidates reaching outside every new record's agreeing attributes.
+const deltaMaskCap = 64
+
+// computeDeltaMasks builds the insert phase's agree masks from the batch's
+// surviving new records. Must run after the store fully holds the batch.
+// The mask list is deduplicated to maximal masks: a mask covered by
+// another can never prune more candidates.
+func (e *Engine) computeDeltaMasks(newIDs []int64) {
+	e.deltaValid = false
+	if !e.cfg.DeltaPruning {
+		return
+	}
+	e.deltaMasks = e.deltaMasks[:0]
+	e.deltaUnion = attrset.Set{}
+	e.deltaOverflow = false
+	for _, id := range newIDs {
+		rec, ok := e.store.Record(id)
+		if !ok {
+			continue // born and deleted within the batch
+		}
+		var m attrset.Set
+		for a := 0; a < e.numAttrs; a++ {
+			if e.store.Index(a).Cluster(rec[a]).Size() >= 2 {
+				m = m.With(a)
+			}
+		}
+		e.deltaUnion = e.deltaUnion.Union(m)
+		if e.deltaOverflow {
+			continue
+		}
+		covered := false
+		kept := e.deltaMasks[:0]
+		for _, o := range e.deltaMasks {
+			if m.IsSubsetOf(o) {
+				covered = true
+			}
+			if !o.IsSubsetOf(m) || m.IsSubsetOf(o) {
+				kept = append(kept, o)
+			}
+		}
+		e.deltaMasks = kept
+		if !covered {
+			e.deltaMasks = append(e.deltaMasks, m)
+			if len(e.deltaMasks) > deltaMaskCap {
+				e.deltaOverflow = true
+			}
+		}
+	}
+	e.deltaValid = true
+}
+
+// deltaMayViolate reports whether some new record's agree mask covers lhs —
+// the necessary condition for the batch's inserts to have created a
+// violating pair for any candidate with this Lhs. When the mask list
+// overflowed, only the union reject applies (sound, less precise).
+func (e *Engine) deltaMayViolate(lhs attrset.Set) bool {
+	if !lhs.IsSubsetOf(e.deltaUnion) {
+		return false
+	}
+	if e.deltaOverflow {
+		return true
+	}
+	for _, m := range e.deltaMasks {
+		if lhs.IsSubsetOf(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// repairWitness attempts the delete-side witness repair: dead witness
+// endpoints are resolved through the batch's update remap, and the
+// remapped pair is checked to still concretely violate the non-FD — equal
+// cluster ids on every Lhs attribute, different on the Rhs. Live records
+// never change values, so the check certifies a real violating pair of the
+// current relation; on success the annotation is refreshed and the
+// validation skipped. Under the pipelined scheduler this reads only the
+// Lhs∪{Rhs} shards, which the caller has awaited.
+func (e *Engine) repairWitness(nonFd fd.FD, v lattice.Violation, aliveA, aliveB bool) bool {
+	a, okA := e.resolveRemap(v.A, aliveA)
+	b, okB := e.resolveRemap(v.B, aliveB)
+	if !okA || !okB || a == b {
+		return false
+	}
+	ra, ok := e.store.Record(a)
+	if !ok {
+		return false
+	}
+	rb, ok := e.store.Record(b)
+	if !ok {
+		return false
+	}
+	violates := true
+	nonFd.Lhs.ForEach(func(at int) bool {
+		if ra[at] != rb[at] {
+			violates = false
+			return false
+		}
+		return true
+	})
+	if !violates || ra[nonFd.Rhs] == rb[nonFd.Rhs] {
+		return false
+	}
+	e.nonFds.SetViolation(nonFd.Lhs, nonFd.Rhs, lattice.Violation{A: a, B: b})
+	e.stats.WitnessRepairs++
+	return true
+}
+
+// resolveRemap follows the batch's update chain from id to a live
+// successor. A record updated twice within one batch chains through its
+// intermediate (never-materialized) version.
+func (e *Engine) resolveRemap(id int64, alive bool) (int64, bool) {
+	if alive {
+		return id, true
+	}
+	for {
+		nid, ok := e.planRemap[id]
+		if !ok {
+			return 0, false
+		}
+		if _, live := e.store.Record(nid); live {
+			return nid, true
+		}
+		id = nid
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"dynfd/internal/induct"
 	"dynfd/internal/lattice"
 	"dynfd/internal/pli"
+	"dynfd/internal/sched"
 	"dynfd/internal/stream"
 	"dynfd/internal/validate"
 )
@@ -43,7 +44,8 @@ type Engine struct {
 	fds      *lattice.Cover      // positive cover: all minimal FDs
 	nonFds   lattice.View        // negative cover: all maximal non-FDs (complement-keyed)
 	keySet   attrset.Set         // declared unique columns (Config.KeyColumns)
-	workers  int                 // resolved per-level validation worker budget
+	workers  int                 // resolved worker-slot budget (0 = serial reference path)
+	pool     *sched.Pool         // work-stealing pipelined scheduler (nil when workers == 0)
 	scratch  *validate.Scratches // per-worker validation kernel buffers (slot 0 = serial path)
 	rng      *rand.Rand
 	stats    Stats
@@ -70,6 +72,17 @@ type Engine struct {
 	planDead     map[int64]bool       // ApplyBatch planner: ids deleted by the batch
 	planDeletes  []int64              // ApplyBatch planner: pre-existing ids to delete
 	planInserts  []pli.BatchInsert    // ApplyBatch planner: surviving inserts
+	planRemap    map[int64]int64      // ApplyBatch planner: updated id -> successor id (delta pruning)
+	levelBuf     []fd.FD              // pipelined phases: current-level candidates
+	specBuf      []fd.FD              // pipelined phases: next-level speculation preview
+	slotBuf      []chunkSlot          // pipelined phases: candidate -> chunk outcome slot
+	specCache    map[fd.FD]chunkSlot  // pipelined phases: speculative outcome slots by candidate
+
+	// Insert-phase delta pruning state (delta.go), rebuilt per batch.
+	deltaMasks    []attrset.Set // agree masks of the batch's new records (maximal, deduped)
+	deltaUnion    attrset.Set   // union of all masks (fast reject)
+	deltaOverflow bool          // mask cap exceeded: union reject only
+	deltaValid    bool          // masks computed for the current insert phase
 }
 
 // initExtras finishes construction: declared key columns, the resolved
@@ -82,6 +95,10 @@ func (e *Engine) initExtras() {
 		}
 	}
 	e.workers = resolveWorkers(e.cfg.Workers)
+	if e.workers >= 1 {
+		e.pool = sched.NewPool(e.workers, e.cfg.DisableStealing)
+		e.specCache = make(map[fd.FD]chunkSlot)
+	}
 	e.scratch = &validate.Scratches{}
 	e.rng = rand.New(rand.NewSource(e.cfg.Seed))
 }
@@ -311,6 +328,12 @@ func (e *Engine) ApplyBatch(batch stream.Batch) (res Result, err error) {
 	clear(e.planBorn)
 	clear(e.planDead)
 	e.planDeletes = e.planDeletes[:0]
+	if e.cfg.DeltaPruning {
+		if e.planRemap == nil {
+			e.planRemap = make(map[int64]int64)
+		}
+		clear(e.planRemap)
+	}
 	// planDelete records the death of id, routing pre-existing records to
 	// the store-level delete list and batch-born ones to the planner maps.
 	planDelete := func(id int64) error {
@@ -363,6 +386,11 @@ func (e *Engine) ApplyBatch(batch stream.Batch) (res Result, err error) {
 			nextID++
 			e.planBorn[id] = c.Values
 			ids = append(ids, id)
+			if e.cfg.DeltaPruning {
+				// Witness repair (delta.go) follows this chain from a dead
+				// witness endpoint to the record's current version.
+				e.planRemap[c.ID] = id
+			}
 		case stream.Insert:
 			id := nextID
 			nextID++
@@ -378,46 +406,56 @@ func (e *Engine) ApplyBatch(batch stream.Batch) (res Result, err error) {
 		}
 	}
 	e.planInserts = ins
-	if err := e.store.ApplyBatch(e.planDeletes, ins, e.workers); err != nil {
-		// A captured worker panic means the store's per-attribute indexes
-		// are partially updated; plain validation errors leave the store
-		// unchanged (and should have been caught by the planner anyway).
-		var pe *fanout.PanicError
-		if errors.As(err, &pe) {
-			e.poisoned = err
+	if e.pool != nil {
+		// Pipelined path (DESIGN.md §13): one scheduler session spans
+		// staging, per-attribute maintenance, and both sweeps, overlapping
+		// them through readiness gating. Covers after the batch are
+		// identical to the serial path below.
+		if err := e.applyPipelined(structStart, minNewID, nextID, deletes, ids, ins, touched); err != nil {
+			return Result{}, err
 		}
-		return Result{}, fmt.Errorf("core: applying batch: %w", err)
-	}
-	if nextID > e.store.NextID() {
-		// The batch's last inserts died within the batch: their ids are
-		// consumed anyway, exactly as under one-by-one application.
-		if err := e.store.SetNextID(nextID); err != nil {
-			e.poisoned = err // structural changes already applied
+	} else {
+		if err := e.store.ApplyBatch(e.planDeletes, ins, e.workers); err != nil {
+			// A captured worker panic means the store's per-attribute indexes
+			// are partially updated; plain validation errors leave the store
+			// unchanged (and should have been caught by the planner anyway).
+			var pe *fanout.PanicError
+			if errors.As(err, &pe) {
+				e.poisoned = err
+			}
 			return Result{}, fmt.Errorf("core: applying batch: %w", err)
 		}
-	}
-
-	e.stats.StructureTime += time.Since(structStart)
-
-	// Step 2: deletes may turn non-FDs into FDs (§5). The store already
-	// holds the batch, so a failed sweep leaves covers and store out of
-	// sync: poison.
-	if deletes > 0 {
-		start := time.Now()
-		if err := e.processDeletes(touched); err != nil {
-			e.poisoned = err
-			return Result{}, fmt.Errorf("core: delete phase: %w", err)
+		if nextID > e.store.NextID() {
+			// The batch's last inserts died within the batch: their ids are
+			// consumed anyway, exactly as under one-by-one application.
+			if err := e.store.SetNextID(nextID); err != nil {
+				e.poisoned = err // structural changes already applied
+				return Result{}, fmt.Errorf("core: applying batch: %w", err)
+			}
 		}
-		e.stats.DeletePhaseTime += time.Since(start)
-	}
-	// Step 3: inserts may turn FDs into non-FDs (§4).
-	if len(ids) > 0 {
-		start := time.Now()
-		if err := e.processInserts(minNewID, ids, touched); err != nil {
-			e.poisoned = err
-			return Result{}, fmt.Errorf("core: insert phase: %w", err)
+
+		e.stats.StructureTime += time.Since(structStart)
+
+		// Step 2: deletes may turn non-FDs into FDs (§5). The store already
+		// holds the batch, so a failed sweep leaves covers and store out of
+		// sync: poison.
+		if deletes > 0 {
+			start := time.Now()
+			if err := e.processDeletes(touched); err != nil {
+				e.poisoned = err
+				return Result{}, fmt.Errorf("core: delete phase: %w", err)
+			}
+			e.stats.DeletePhaseTime += time.Since(start)
 		}
-		e.stats.InsertPhaseTime += time.Since(start)
+		// Step 3: inserts may turn FDs into non-FDs (§4).
+		if len(ids) > 0 {
+			start := time.Now()
+			if err := e.processInserts(minNewID, ids, touched); err != nil {
+				e.poisoned = err
+				return Result{}, fmt.Errorf("core: insert phase: %w", err)
+			}
+			e.stats.InsertPhaseTime += time.Since(start)
+		}
 	}
 
 	// Step 4: signal the changed FDs.

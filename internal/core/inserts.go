@@ -17,15 +17,17 @@ import (
 // invalid candidates, the progressive violation search (§4.3) takes over
 // the hunt for further violations.
 //
-// Each level runs as a scan phase (read-only candidate validations, fanned
-// across the worker pool when Config.Workers allows) followed by a serial
-// merge phase that applies the cover updates in candidate order — see
-// parallel.go for the equivalence argument.
+// Each level runs as a scan phase (read-only candidate validations)
+// followed by a serial merge phase that applies the cover updates in
+// candidate order. This is the Workers == 0 reference path; Workers >= 1
+// runs the same classification and merge on the pipelined scheduler
+// (pipeline.go), with identical covers after every batch.
 //
 // minNewID is the smallest surrogate id assigned in this batch; newIDs are
 // all ids inserted by the batch; touched holds the columns the batch may
 // have changed (all columns unless update-column pruning narrowed it).
 func (e *Engine) processInserts(minNewID int64, newIDs []int64, touched attrset.Set) error {
+	e.computeDeltaMasks(newIDs)
 	prune := validate.NoPruning
 	if e.cfg.ClusterPruning {
 		prune = minNewID
@@ -37,44 +39,17 @@ func (e *Engine) processInserts(minNewID int64, newIDs []int64, touched attrset.
 		}
 		// Scan: classify and validate without mutating any engine state.
 		outcomes, err := e.scanLevel(candidates, prune, func(cand fd.FD) scanKind {
-			if !e.fds.Contains(cand.Lhs, cand.Rhs) {
-				return scanStale // removed by an earlier specialization or search
-			}
-			if e.keySet.Intersects(cand.Lhs) {
-				// A declared key in the Lhs makes every Lhs group a single
-				// record; the FD can never be invalidated (§8 ext. 2).
-				return scanSkipped
-			}
-			if !cand.Lhs.With(cand.Rhs).Intersects(touched) {
-				// No involved column changed, so the FD's validity cannot
-				// have changed either (§8 ext. 3).
-				return scanSkipped
-			}
-			return scanEligible
+			return e.classifyInsert(cand, touched)
 		})
 		if err != nil {
 			return err
 		}
 		// Merge: account the work, then fold every invalidated candidate
-		// into the covers in candidate order (Algorithm 2 lines 6-15:
-		// remove the non-FD from the positive cover, record it as a
-		// maximal non-FD, and add its minimal specializations for
-		// validation on the next level).
+		// into the covers in candidate order (Algorithm 2 lines 6-15).
 		invalid := 0
 		for i, cand := range candidates {
-			switch outcomes[i].kind {
-			case scanSkipped:
-				e.stats.SkippedValidations++
-			case scanValid:
-				e.stats.Validations++
-			case scanInvalid:
-				e.stats.Validations++
+			if inv, _ := e.applyInsertOutcome(cand, outcomes[i]); inv {
 				invalid++
-				if !e.fds.Contains(cand.Lhs, cand.Rhs) {
-					continue
-				}
-				induct.Specialize(e.fds, cand.Lhs, cand.Rhs, e.numAttrs)
-				e.addNonFD(cand.Lhs, cand.Rhs, lattice.Violation{A: outcomes[i].witness.A, B: outcomes[i].witness.B})
 			}
 		}
 		// Lines 16-17: switch to the violation search when the traversal
@@ -84,6 +59,58 @@ func (e *Engine) processInserts(minNewID int64, newIDs []int64, touched attrset.
 		}
 	}
 	return nil
+}
+
+// classifyInsert decides one positive-cover candidate's fate for the
+// insert sweep without mutating engine state. Shared by the serial scan
+// and the pipelined scheduler so both paths prune identically.
+func (e *Engine) classifyInsert(cand fd.FD, touched attrset.Set) scanKind {
+	if !e.fds.Contains(cand.Lhs, cand.Rhs) {
+		return scanStale // removed by an earlier specialization or search
+	}
+	if e.keySet.Intersects(cand.Lhs) {
+		// A declared key in the Lhs makes every Lhs group a single
+		// record; the FD can never be invalidated (§8 ext. 2).
+		return scanSkipped
+	}
+	if !cand.Lhs.With(cand.Rhs).Intersects(touched) {
+		// No involved column changed, so the FD's validity cannot
+		// have changed either (§8 ext. 3).
+		return scanSkipped
+	}
+	if e.deltaValid && !e.deltaMayViolate(cand.Lhs) {
+		// No new record agrees with anything on the whole Lhs, so the
+		// batch cannot have created a violating pair (delta.go).
+		return scanDeltaPruned
+	}
+	return scanEligible
+}
+
+// applyInsertOutcome folds one candidate's scan outcome into stats and
+// covers (Algorithm 2 lines 6-15): an invalidated FD is removed, replaced
+// by its minimal specializations, and recorded as a maximal non-FD with
+// its witness. Reports whether the candidate was invalid, and whether its
+// specializations were actually induced (false when a concurrent search
+// already removed it).
+func (e *Engine) applyInsertOutcome(cand fd.FD, o scanOutcome) (invalid, specialized bool) {
+	switch o.kind {
+	case scanSkipped:
+		e.stats.SkippedValidations++
+	case scanDeltaPruned:
+		e.stats.SkippedValidations++
+		e.stats.DeltaPruned++
+	case scanValid:
+		e.stats.Validations++
+	case scanInvalid:
+		e.stats.Validations++
+		if !e.fds.Contains(cand.Lhs, cand.Rhs) {
+			return true, false
+		}
+		induct.Specialize(e.fds, cand.Lhs, cand.Rhs, e.numAttrs)
+		e.addNonFD(cand.Lhs, cand.Rhs, lattice.Violation{A: o.witness.A, B: o.witness.B})
+		return true, true
+	}
+	return false, false
 }
 
 // addNonFD records a newly discovered non-FD in the negative cover with

@@ -37,11 +37,13 @@ func poisonEngine(t *testing.T, workers int) *Engine {
 // fan-out and asserts that ApplyBatch surfaces it as an error — not a
 // process crash — and that the engine then refuses all further writes.
 func TestPanickingValidatorPoisonsEngine(t *testing.T) {
-	for _, workers := range []int{0, 4} {
+	for _, workers := range []int{0, 1, 4} {
 		e := poisonEngine(t, workers)
 		validate.SetTestHook(func(validate.Request) { panic("validator boom") })
+		// The duplicate row agrees with an existing record on every column,
+		// so delta pruning cannot discharge the validations the hook needs.
 		_, err := e.ApplyBatch(stream.Batch{Changes: []stream.Change{
-			{Kind: stream.Insert, Values: []string{"9", "z", "r"}},
+			{Kind: stream.Insert, Values: []string{"1", "x", "p"}},
 		}})
 		validate.SetTestHook(nil)
 		var pe *fanout.PanicError

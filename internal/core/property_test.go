@@ -216,11 +216,23 @@ func TestRandomWorkloadDeleteHeavy(t *testing.T) {
 // runEquivalence drives one random batch sequence through a serial
 // (Workers: 0) engine and a parallel engine simultaneously and asserts
 // both produce identical FD and non-FD covers after every batch — the
-// serial-equivalence guarantee of the parallel validation engine
-// (DESIGN.md §8). Both engines see byte-identical batches; surrogate ids
-// are assigned deterministically, so the id streams must agree too.
+// serial-equivalence guarantee of the work-stealing scheduler
+// (DESIGN.md §8, §13). Both engines see byte-identical batches; surrogate
+// ids are assigned deterministically, so the id streams must agree too.
 func runEquivalence(t *testing.T, seed int64, workers, attrs, initialRows, batches, batchSize, domain int) {
 	t.Helper()
+	parallelCfg := DefaultConfig()
+	parallelCfg.Workers = workers
+	runPairEquivalence(t, seed, attrs, initialRows, batches, batchSize, domain, DefaultConfig(), parallelCfg)
+}
+
+// runPairEquivalence is the general form: drive identical batches through
+// two engines with arbitrary configurations and assert identical covers
+// and diffs after every batch. Returns the second engine for stats
+// inspection.
+func runPairEquivalence(t *testing.T, seed int64, attrs, initialRows, batches, batchSize, domain int, serialCfg, parallelCfg Config) *Engine {
+	t.Helper()
+	workers := parallelCfg.Workers
 	r := rand.New(rand.NewSource(seed))
 	cols := make([]string, attrs)
 	for i := range cols {
@@ -239,9 +251,6 @@ func runEquivalence(t *testing.T, seed int64, workers, attrs, initialRows, batch
 			t.Fatal(err)
 		}
 	}
-	serialCfg := DefaultConfig()
-	parallelCfg := DefaultConfig()
-	parallelCfg.Workers = workers
 	serial, err := Bootstrap(rel, serialCfg)
 	if err != nil {
 		t.Fatal(err)
@@ -319,6 +328,7 @@ func runEquivalence(t *testing.T, seed int64, workers, attrs, initialRows, batch
 	if err := parallel.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
+	return parallel
 }
 
 // TestSerialParallelEquivalence is the acceptance property of the
@@ -357,6 +367,74 @@ func TestEquivalenceAcrossWorkerCounts(t *testing.T) {
 	t.Parallel()
 	for i, workers := range []int{1, 2, 8, -1} {
 		runEquivalence(t, int64(3000+i), workers, 5, 12, 5, 8, 3)
+	}
+}
+
+// TestEquivalenceForcedStealing pins the scheduler's stealing paths:
+// StealChunk: 1 makes every candidate its own stealable task, so with
+// several workers the deques drain through steals constantly. Covers must
+// stay identical to the serial engine, and across the sweep stealing must
+// actually have happened — otherwise the test is not exercising what it
+// claims to.
+func TestEquivalenceForcedStealing(t *testing.T) {
+	t.Parallel()
+	stolen := 0
+	for seed := int64(0); seed < 6; seed++ {
+		cfg := DefaultConfig()
+		cfg.Workers = 4
+		cfg.StealChunk = 1
+		e := runPairEquivalence(t, 4000+seed, 4+int(seed%3), 12, 5, 8, 2+int(seed%3), DefaultConfig(), cfg)
+		stolen += e.Stats().ChunksStolen
+	}
+	if stolen == 0 {
+		t.Error("forced-stealing sweep recorded zero stolen chunks; stealing paths not exercised")
+	}
+}
+
+// TestEquivalenceNoStealing pins the DisableStealing ablation knob: owners
+// drain their own deques, the coordinator claims what it awaits, and the
+// covers still match the serial engine exactly.
+func TestEquivalenceNoStealing(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 3; seed++ {
+		cfg := DefaultConfig()
+		cfg.Workers = 4
+		cfg.StealChunk = 1
+		cfg.DisableStealing = true
+		e := runPairEquivalence(t, 4100+seed, 5, 12, 5, 8, 3, DefaultConfig(), cfg)
+		if s := e.Stats().ChunksStolen; s != 0 {
+			t.Errorf("seed %d: DisableStealing engine stole %d chunks", seed, s)
+		}
+	}
+}
+
+// TestDeltaPruningSoundness is the pruning oracle: a delta-pruned engine
+// and an unpruned engine fed identical batches must report identical FD
+// and non-FD covers and identical per-batch diffs — delta pruning trades
+// work, never results. Run for the serial path and the scheduler path.
+func TestDeltaPruningSoundness(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{0, 4} {
+		pruned := 0
+		for seed := int64(0); seed < 6; seed++ {
+			unprunedCfg := DefaultConfig()
+			unprunedCfg.DeltaPruning = false
+			unprunedCfg.Workers = workers
+			prunedCfg := DefaultConfig()
+			prunedCfg.Workers = workers
+			// Alternate tiny domains (dense agree masks, maximum FD churn)
+			// with wide domains (sparse masks, where pruning actually
+			// discharges candidates).
+			domain := 2 + int(seed%3)
+			if seed%2 == 1 {
+				domain = 12
+			}
+			e := runPairEquivalence(t, 4200+seed, 4+int(seed%3), 10, 5, 8, domain, unprunedCfg, prunedCfg)
+			pruned += e.Stats().DeltaPruned
+		}
+		if pruned == 0 {
+			t.Errorf("workers=%d: delta pruning never fired across the soundness sweep", workers)
+		}
 	}
 }
 

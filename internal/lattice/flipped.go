@@ -22,6 +22,7 @@ type View interface {
 	RemoveGeneralizations(lhs attrset.Set, rhs int) []attrset.Set
 	RemoveSpecializations(lhs attrset.Set, rhs int) []attrset.Set
 	Level(level int) []fd.FD
+	AppendLevel(dst []fd.FD, level int) []fd.FD
 	All() []fd.FD
 	SetViolation(lhs attrset.Set, rhs int, v Violation) bool
 	Violation(lhs attrset.Set, rhs int) (Violation, bool)
@@ -146,6 +147,21 @@ func (f *Flipped) Level(level int) []fd.FD {
 		return nil
 	}
 	return f.compFDs(f.inner.Level(f.inner.numAttrs - level))
+}
+
+// AppendLevel appends all members with the given Lhs cardinality to dst,
+// sorted, and returns the extended slice (Level with a reusable buffer).
+func (f *Flipped) AppendLevel(dst []fd.FD, level int) []fd.FD {
+	if level < 0 || level > f.inner.numAttrs {
+		return dst
+	}
+	base := len(dst)
+	dst = f.inner.AppendLevel(dst, f.inner.numAttrs-level)
+	for i := base; i < len(dst); i++ {
+		dst[i].Lhs = f.comp(dst[i].Lhs)
+	}
+	fd.Sort(dst[base:])
+	return dst
 }
 
 // All returns every member, sorted.

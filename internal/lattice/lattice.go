@@ -316,10 +316,21 @@ func (c *Cover) Level(level int) []fd.FD {
 	if level < 0 || level > c.numAttrs || c.levels[level] == 0 {
 		return nil
 	}
-	out := make([]fd.FD, 0, c.levels[level])
-	collectLevel(c.root, level, attrset.Set{}, &out)
-	fd.Sort(out)
-	return out
+	return c.AppendLevel(make([]fd.FD, 0, c.levels[level]), level)
+}
+
+// AppendLevel appends all members whose Lhs cardinality equals level to
+// dst, in deterministic (sorted) order, and returns the extended slice.
+// It is Level with a caller-provided buffer, so per-level sweeps that run
+// every batch (internal/core) can reuse one allocation.
+func (c *Cover) AppendLevel(dst []fd.FD, level int) []fd.FD {
+	if level < 0 || level > c.numAttrs || c.levels[level] == 0 {
+		return dst
+	}
+	base := len(dst)
+	collectLevel(c.root, level, attrset.Set{}, &dst)
+	fd.Sort(dst[base:])
+	return dst
 }
 
 func collectLevel(n *node, remaining int, path attrset.Set, out *[]fd.FD) {

@@ -133,7 +133,8 @@ func TestDetectsUnfreedEmptyPage(t *testing.T) {
 	clear(s.live[0])
 	s.pageN[0] = 0
 	s.numRecs -= n
-	for _, ix := range s.indexes {
+	for a := range s.shards {
+		ix := s.shards[a].ix
 		ix.clusters = map[int32]*Cluster{}
 		ix.inverted = map[string]int32{}
 	}

@@ -187,7 +187,20 @@ const (
 	liveWords = pageSize / 64
 )
 
-// Store bundles the per-attribute indexes with the record arena. It is the
+// shard is one attribute's slice of the store: its Index (Pli + inverted
+// value dictionary) plus an epoch counting the staged batches fully applied
+// to it. Everything a maintenance worker writes for attribute a — the
+// shard's Index and the records' column a in the arena — lives behind this
+// per-attribute ownership boundary, so staged maintenance needs no locks at
+// all: distinct attributes never share mutable state, and readers of
+// attribute a synchronize with its maintenance through the scheduler's
+// readiness bits (internal/sched), not through the store.
+type shard struct {
+	ix    *Index
+	epoch atomic.Uint64 // staged batches fully applied to this shard
+}
+
+// Store bundles the per-attribute shards with the record arena. It is the
 // single mutable representation of the profiled relation inside DynFD.
 //
 // Concurrency contract: a Store is safe for any number of concurrent
@@ -200,9 +213,26 @@ const (
 // internal/core/parallel.go). The contract is exercised under the race
 // detector by TestStoreConcurrentReaders. ApplyBatch's internal
 // per-attribute fan-out never escapes the call.
+//
+// Staged maintenance (DESIGN.md §13) relaxes the exclusive window per
+// attribute: between StageBatch and Finish, RunAttr(a) may run concurrently
+// for distinct attributes, and readers may access attribute a's shard —
+// Index(a), column a of Rec, the liveness bitmap — as soon as RunAttr(a)
+// has returned AND a happens-before edge orders that return before the
+// read (the engine publishes it via sched.Session.MarkReady). Whole-store
+// readers (ForEachRecord, Values, Lookup) must wait until every shard is
+// maintained.
 type Store struct {
 	numAttrs int
-	indexes  []*Index
+	shards   []shard
+
+	// staged is the open staged batch (StageBatch..Finish), nil otherwise;
+	// batchEpoch counts finished staged batches. Outside a staging window
+	// every shard epoch equals batchEpoch — skew means a batch was applied
+	// to only some shards (e.g. a panicked worker) and CheckConsistency
+	// reports it.
+	staged     *stagedBatch
+	batchEpoch uint64
 
 	// Record arena. pages[p] is a flat slab of pageSize compressed records
 	// ((id&pageMask)*numAttrs ints each), nil while no record of the page
@@ -226,10 +256,10 @@ func NewStore(numAttrs int) *Store {
 	}
 	s := &Store{
 		numAttrs: numAttrs,
-		indexes:  make([]*Index, numAttrs),
+		shards:   make([]shard, numAttrs),
 	}
-	for a := range s.indexes {
-		s.indexes[a] = newIndex()
+	for a := range s.shards {
+		s.shards[a].ix = newIndex()
 	}
 	return s
 }
@@ -244,7 +274,7 @@ func (s *Store) NumRecords() int { return s.numRecs }
 func (s *Store) NextID() int64 { return s.nextID }
 
 // Index returns the Pli of attribute a.
-func (s *Store) Index(a int) *Index { return s.indexes[a] }
+func (s *Store) Index(a int) *Index { return s.shards[a].ix }
 
 // alive reports whether id is a live record.
 func (s *Store) alive(id int64) bool {
@@ -350,7 +380,7 @@ func (s *Store) insertOne(id int64, values []string) {
 	s.setLive(id)
 	rec := s.Rec(id)
 	for a, v := range values {
-		rec[a] = s.indexes[a].add(v, id)
+		rec[a] = s.shards[a].ix.add(v, id)
 	}
 }
 
@@ -359,6 +389,9 @@ func (s *Store) insertOne(id int64, values []string) {
 // value is new), and the resulting cluster-id vector becomes the compressed
 // record, stored in the arena.
 func (s *Store) Insert(values []string) (int64, error) {
+	if s.staged != nil {
+		return 0, errStagedOpen
+	}
 	if len(values) != s.numAttrs {
 		return 0, fmt.Errorf("pli: insert has %d values, schema has %d attributes",
 			len(values), s.numAttrs)
@@ -374,6 +407,9 @@ func (s *Store) Insert(values []string) (int64, error) {
 // (they are, in a store dump) so cluster id lists stay sorted; the next
 // automatic id becomes id+1.
 func (s *Store) InsertWithID(id int64, values []string) error {
+	if s.staged != nil {
+		return errStagedOpen
+	}
 	if id < s.nextID {
 		return fmt.Errorf("pli: restore id %d not ascending (next %d)", id, s.nextID)
 	}
@@ -389,6 +425,9 @@ func (s *Store) InsertWithID(id int64, values []string) error {
 // SetNextID raises the next automatic surrogate id, used to restore stores
 // whose newest records had been deleted before the dump.
 func (s *Store) SetNextID(next int64) error {
+	if s.staged != nil {
+		return errStagedOpen
+	}
 	if next < s.nextID {
 		return fmt.Errorf("pli: next id %d below current %d", next, s.nextID)
 	}
@@ -399,12 +438,15 @@ func (s *Store) SetNextID(next int64) error {
 // Delete removes the tuple with the given surrogate id from all Plis, the
 // inverted indexes (when a cluster empties), and the record arena.
 func (s *Store) Delete(id int64) error {
+	if s.staged != nil {
+		return errStagedOpen
+	}
 	if !s.alive(id) {
 		return fmt.Errorf("pli: record %d not found", id)
 	}
 	rec := s.Rec(id)
 	for a, cid := range rec {
-		if err := s.indexes[a].drop(cid, id); err != nil {
+		if err := s.shards[a].ix.drop(cid, id); err != nil {
 			return fmt.Errorf("pli: deleting record %d attribute %d: %w", id, a, err)
 		}
 	}
@@ -441,66 +483,24 @@ type BatchInsert struct {
 // one past the last insert. Validation happens up front: on a validation
 // error the store is unchanged. A panic in a fanned-out worker is captured
 // and returned as a *fanout.PanicError-wrapped error instead; the store is
-// then possibly inconsistent and must not be used further.
+// then possibly inconsistent (the staged batch stays open, so further
+// mutators are rejected) and must not be used further.
+//
+// ApplyBatch is the barrier form of the staged API (staged.go): StageBatch,
+// RunAttr for every attribute over the fixed fan-out, Finish. The pipelined
+// engine drives the three steps itself so per-attribute maintenance can
+// overlap candidate validation instead of joining here.
 func (s *Store) ApplyBatch(deletes []int64, inserts []BatchInsert, workers int) error {
-	// Validate before mutating anything.
-	if s.batchSeen == nil {
-		s.batchSeen = make(map[int64]struct{}, len(deletes))
+	if err := s.StageBatch(deletes, inserts); err != nil {
+		return err
 	}
-	for _, id := range deletes {
-		if !s.alive(id) {
-			clear(s.batchSeen)
-			return fmt.Errorf("pli: record %d not found", id)
-		}
-		if _, dup := s.batchSeen[id]; dup {
-			clear(s.batchSeen)
-			return fmt.Errorf("pli: record %d deleted twice in batch", id)
-		}
-		s.batchSeen[id] = struct{}{}
-	}
-	clear(s.batchSeen)
-	prev := s.nextID - 1
-	for i, ins := range inserts {
-		if ins.ID <= prev {
-			return fmt.Errorf("pli: batch insert %d id %d not ascending (next %d)", i, ins.ID, prev+1)
-		}
-		if len(ins.Values) != s.numAttrs {
-			return fmt.Errorf("pli: batch insert %d has %d values, schema has %d attributes",
-				i, len(ins.Values), s.numAttrs)
-		}
-		prev = ins.ID
-	}
-
-	// Phase 1 (serial): flip liveness — mark the deletes dead (their pages
-	// and cluster ids stay readable for the compaction below) and the
-	// inserts live, allocating their arena pages.
-	for _, id := range deletes {
-		s.clearLive(id)
-	}
-	for _, ins := range inserts {
-		s.setLive(ins.ID)
-	}
-
-	// Phase 2 (parallel): per-attribute index maintenance. Workers share
-	// only read access to the liveness bitmaps and the deletes/inserts
-	// slices; everything each worker writes — attribute a's Index and the
-	// records' column a in the arena — is owned by exactly one worker.
-	if _, err := fanout.ForEach(s.numAttrs, workers, func(a int) { s.applyAttr(a, deletes, inserts) }); err != nil {
+	if _, err := fanout.ForEach(s.numAttrs, workers, func(a int) { s.RunAttr(a) }); err != nil {
 		// A panicking worker leaves an unknown subset of the per-attribute
-		// indexes updated; the store is inconsistent and the caller must
+		// shards updated; the store is inconsistent and the caller must
 		// stop using it (core.Engine poisons itself on this error).
 		return fmt.Errorf("pli: applying batch: %w", err)
 	}
-
-	// Phase 3 (serial): free pages whose last record died and advance the
-	// id horizon.
-	for _, id := range deletes {
-		s.freePageIfEmpty(id)
-	}
-	if n := len(inserts); n > 0 {
-		s.nextID = inserts[n-1].ID + 1
-	}
-	return nil
+	return s.Finish()
 }
 
 // applyAttr applies one batch's deletes and inserts to attribute a:
@@ -511,7 +511,7 @@ func (s *Store) applyAttr(a int, deletes []int64, inserts []BatchInsert) {
 	if h := testApplyAttrHook.Load(); h != nil {
 		(*h)(a)
 	}
-	ix := s.indexes[a]
+	ix := s.shards[a].ix
 	if len(deletes) > 0 {
 		// Collect the touched cluster ids, dedupe, and compact each once.
 		cids := ix.batchCids[:0]
@@ -563,7 +563,7 @@ func (s *Store) Values(id int64) ([]string, bool) {
 	}
 	out := make([]string, s.numAttrs)
 	for a, cid := range rec {
-		c := s.indexes[a].Cluster(cid)
+		c := s.shards[a].ix.Cluster(cid)
 		if c == nil {
 			return nil, false
 		}
@@ -597,22 +597,22 @@ func (s *Store) AppendLookup(dst []int64, values []string) ([]int64, error) {
 	}
 	smallest, smallestAttr := -1, -1
 	for a, v := range values {
-		cid, ok := s.indexes[a].ClusterOf(v)
+		cid, ok := s.shards[a].ix.ClusterOf(v)
 		if !ok {
 			return dst, nil
 		}
-		size := s.indexes[a].Cluster(cid).Size()
+		size := s.shards[a].ix.Cluster(cid).Size()
 		if smallest < 0 || size < smallest {
 			smallest, smallestAttr = size, a
 		}
 	}
 	base := len(dst)
-	dst = append(dst, s.indexes[smallestAttr].Cluster(mustCid(s.indexes[smallestAttr], values[smallestAttr])).IDs...)
+	dst = append(dst, s.shards[smallestAttr].ix.Cluster(mustCid(s.shards[smallestAttr].ix, values[smallestAttr])).IDs...)
 	for a, v := range values {
 		if a == smallestAttr {
 			continue
 		}
-		cid, _ := s.indexes[a].ClusterOf(v)
+		cid, _ := s.shards[a].ix.ClusterOf(v)
 		kept := dst[base:base]
 		for _, id := range dst[base:] {
 			if s.Rec(id)[a] == cid {
@@ -635,12 +635,28 @@ func mustCid(ix *Index, value string) int32 {
 
 // CheckConsistency verifies the cross-structure invariants: the arena's
 // liveness bookkeeping (page counts, record total, id horizon, freed empty
-// pages), every cluster is sorted, non-empty, inversely indexed, and
-// contains exactly live records that point back at it, and every live
+// pages), the sharded layout (one shard per attribute, all shard epochs
+// caught up to the finished-batch count — skew means a staged batch reached
+// only some shards), every cluster is sorted, non-empty, inversely indexed,
+// and contains exactly live records that point back at it, and every live
 // record appears in exactly the clusters its compressed record names. It is
 // used by tests and failure-injection suites; it runs in O(data) time.
+// A store with an open staged batch is mid-mutation by definition and is
+// reported as inconsistent.
 func (s *Store) CheckConsistency() error {
-	// Arena invariants first: the cluster checks below resolve records
+	if s.staged != nil {
+		return fmt.Errorf("pli: staged batch open (Finish not called)")
+	}
+	if len(s.shards) != s.numAttrs {
+		return fmt.Errorf("pli: %d shards for %d attributes", len(s.shards), s.numAttrs)
+	}
+	for a := range s.shards {
+		if got := s.shards[a].epoch.Load(); got != s.batchEpoch {
+			return fmt.Errorf("pli: shard %d epoch %d skewed from batch epoch %d (partially applied batch)",
+				a, got, s.batchEpoch)
+		}
+	}
+	// Arena invariants next: the cluster checks below resolve records
 	// through the liveness bitmap.
 	if len(s.pages) != len(s.live) || len(s.pages) != len(s.pageN) {
 		return fmt.Errorf("pli: arena directory skewed: %d pages, %d bitmaps, %d counts",
@@ -678,7 +694,8 @@ func (s *Store) CheckConsistency() error {
 	if total != s.numRecs {
 		return fmt.Errorf("pli: record count %d, pages hold %d", s.numRecs, total)
 	}
-	for a, ix := range s.indexes {
+	for a := range s.shards {
+		ix := s.shards[a].ix
 		for cid, c := range ix.clusters {
 			if c.Size() == 0 {
 				return fmt.Errorf("pli: attr %d cluster %d is empty", a, cid)
@@ -705,7 +722,7 @@ func (s *Store) CheckConsistency() error {
 	var err error
 	s.ForEachRecord(func(id int64, rec Record) bool {
 		for a, cid := range rec {
-			c := s.indexes[a].Cluster(cid)
+			c := s.shards[a].ix.Cluster(cid)
 			if c == nil || !c.Contains(id) {
 				err = fmt.Errorf("pli: record %d missing from attr %d cluster %d", id, a, cid)
 				return false

@@ -1,0 +1,188 @@
+package pli
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildStagedStore returns a store with n random rows over w attributes.
+func buildStagedStore(t *testing.T, rng *rand.Rand, w, n int) *Store {
+	t.Helper()
+	s := NewStore(w)
+	for i := 0; i < n; i++ {
+		row := make([]string, w)
+		for a := range row {
+			row[a] = fmt.Sprintf("v%d", rng.Intn(4))
+		}
+		if _, err := s.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// randomBatch picks deletes from the live ids and fresh inserts.
+func randomBatch(rng *rand.Rand, s *Store, w int) (deletes []int64, inserts []BatchInsert) {
+	var live []int64
+	s.ForEachRecord(func(id int64, _ Record) bool {
+		live = append(live, id)
+		return true
+	})
+	rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	nd := rng.Intn(len(live)/2 + 1)
+	deletes = append(deletes, live[:nd]...)
+	id := s.NextID()
+	for i := 0; i < rng.Intn(6); i++ {
+		row := make([]string, w)
+		for a := range row {
+			row[a] = fmt.Sprintf("v%d", rng.Intn(4))
+		}
+		inserts = append(inserts, BatchInsert{ID: id, Values: row})
+		id++
+	}
+	return deletes, inserts
+}
+
+// dumpStore renders the full logical content for equivalence comparison.
+func dumpStore(t *testing.T, s *Store) string {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "next=%d recs=%d\n", s.NextID(), s.NumRecords())
+	s.ForEachRecord(func(id int64, _ Record) bool {
+		vals, ok := s.Values(id)
+		if !ok {
+			t.Fatalf("record %d unreadable", id)
+		}
+		fmt.Fprintf(&b, "%d: %v\n", id, vals)
+		return true
+	})
+	return b.String()
+}
+
+// TestStagedEquivalence drives the same random batches through ApplyBatch
+// and through StageBatch + concurrent RunAttr + Finish, comparing the full
+// store content after every batch. Run under -race in CI, this is also the
+// proof that concurrent per-shard maintenance is data-race free.
+func TestStagedEquivalence(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 10; seed++ {
+		rngA := rand.New(rand.NewSource(seed))
+		rngB := rand.New(rand.NewSource(seed))
+		const w = 5
+		ref := buildStagedStore(t, rngA, w, 40)
+		st := buildStagedStore(t, rngB, w, 40)
+		for batch := 0; batch < 15; batch++ {
+			deletes, inserts := randomBatch(rngA, ref, w)
+			deletesB, insertsB := randomBatch(rngB, st, w)
+			if err := ref.ApplyBatch(deletes, inserts, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.StageBatch(deletesB, insertsB); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for a := 0; a < w; a++ {
+				wg.Add(1)
+				go func(a int) {
+					defer wg.Done()
+					st.RunAttr(a)
+				}(a)
+			}
+			wg.Wait()
+			if err := st.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.CheckConsistency(); err != nil {
+				t.Fatalf("seed %d batch %d: %v", seed, batch, err)
+			}
+			if got, want := dumpStore(t, st), dumpStore(t, ref); got != want {
+				t.Fatalf("seed %d batch %d: staged store diverged\nstaged:\n%s\nref:\n%s",
+					seed, batch, got, want)
+			}
+		}
+	}
+}
+
+// TestStagedGuards covers the staging-window protocol errors: mutators and
+// CheckConsistency rejected while open, Finish with unmaintained shards,
+// RunAttr misuse panics, and the epoch-skew invariant.
+func TestStagedGuards(t *testing.T) {
+	t.Parallel()
+	s := NewStore(3)
+	for i := 0; i < 4; i++ {
+		if _, err := s.Insert([]string{"a", "b", fmt.Sprint(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s.RunAttrMustPanic(t, 0)
+
+	if err := s.StageBatch([]int64{0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert([]string{"x", "y", "z"}); err == nil {
+		t.Error("Insert accepted during staging")
+	}
+	if err := s.Delete(1); err == nil {
+		t.Error("Delete accepted during staging")
+	}
+	if err := s.InsertWithID(99, []string{"x", "y", "z"}); err == nil {
+		t.Error("InsertWithID accepted during staging")
+	}
+	if err := s.SetNextID(99); err == nil {
+		t.Error("SetNextID accepted during staging")
+	}
+	if err := s.StageBatch(nil, nil); err == nil {
+		t.Error("second StageBatch accepted during staging")
+	}
+	if err := s.ApplyBatch(nil, nil, 0); err == nil {
+		t.Error("ApplyBatch accepted during staging")
+	}
+	if err := s.CheckConsistency(); err == nil || !strings.Contains(err.Error(), "staged batch open") {
+		t.Errorf("CheckConsistency during staging = %v", err)
+	}
+
+	s.RunAttr(0)
+	s.RunAttr(1)
+	if err := s.Finish(); err == nil || !strings.Contains(err.Error(), "attribute 2 not maintained") {
+		t.Errorf("Finish with unmaintained shard = %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second RunAttr(0) in one staging window did not panic")
+			}
+		}()
+		s.RunAttr(0)
+	}()
+	s.RunAttr(2)
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finish(); err == nil {
+		t.Error("Finish without staged batch accepted")
+	}
+
+	// Epoch skew: simulate a batch that reached only some shards.
+	s.shards[1].epoch.Add(1)
+	if err := s.CheckConsistency(); err == nil || !strings.Contains(err.Error(), "skewed") {
+		t.Errorf("CheckConsistency with skewed epochs = %v", err)
+	}
+}
+
+// RunAttrMustPanic asserts RunAttr panics without a staged batch.
+func (s *Store) RunAttrMustPanic(t *testing.T, a int) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("RunAttr without staged batch did not panic")
+		}
+	}()
+	s.RunAttr(a)
+}

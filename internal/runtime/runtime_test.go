@@ -341,3 +341,66 @@ func TestClosedRuntimeRefusesWork(t *testing.T) {
 		t.Fatalf("second close = %v", err)
 	}
 }
+
+// TestPerTenantWorkersOverride exercises CreateWithOptions: the override
+// must be applied at creation, persisted in the tenant directory, and
+// re-applied on recovery, while tenants without an override keep following
+// the runtime default. Workers affects wall-clock only, so the observable
+// contract here is the persisted sidecar plus identical query results.
+func TestPerTenantWorkersOverride(t *testing.T) {
+	t.Parallel()
+	root := t.TempDir()
+	rt := openTestRuntime(t, Config{DataRoot: root, Workers: 0})
+
+	two := 2
+	if err := rt.CreateWithOptions("tuned", []string{"zip", "city"},
+		[][]string{{"14482", "Potsdam"}, {"14482", "Potsdam"}, {"10115", "Berlin"}},
+		CreateOptions{Workers: &two}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Create("plain", []string{"zip", "city"}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The override is persisted next to the durable state; the default
+	// tenant leaves no sidecar behind.
+	if _, err := os.Stat(filepath.Join(root, "tuned", tenantConfigName)); err != nil {
+		t.Fatalf("tuned tenant config sidecar: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "plain", tenantConfigName)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("plain tenant wrote a config sidecar: %v", err)
+	}
+	tc, err := readTenantConfig(filepath.Join(root, "tuned"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Workers == nil || *tc.Workers != 2 {
+		t.Fatalf("persisted workers = %v, want 2", tc.Workers)
+	}
+
+	var before []dynfd.FD
+	if err := rt.View("tuned", func(m *dynfd.DurableMonitor) error {
+		before = m.FDs()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the root: recovery must pick the sidecar up without error and
+	// serve the same FDs.
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rt2 := openTestRuntime(t, Config{DataRoot: root, Workers: 0})
+	if err := rt2.View("tuned", func(m *dynfd.DurableMonitor) error {
+		if got := m.FDs(); len(got) != len(before) {
+			t.Errorf("recovered tenant reports %d FDs, want %d", len(got), len(before))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt2.Apply("tuned", []dynfd.Change{dynfd.Insert("10115", "Potsdam")}); err != nil {
+		t.Fatalf("apply after recovery with workers override: %v", err)
+	}
+}

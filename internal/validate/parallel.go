@@ -100,12 +100,20 @@ func FanInto(out []Outcome, s *pli.Store, reqs []Request, workers int, sc *Scrat
 	}
 	sc.grow(slots)
 	return fanout.Run(len(reqs), workers, func(w, i int) {
-		if h := testHook.Load(); h != nil {
-			(*h)(reqs[i])
-		}
-		valid, wit := sc.At(w).FD(s, reqs[i].Lhs, reqs[i].Rhs, reqs[i].MinNewID)
-		out[i] = Outcome{Valid: valid, Witness: wit}
+		out[i] = One(sc.At(w), s, reqs[i])
 	})
+}
+
+// One validates a single request on the given scratch, honoring the
+// test-only hook exactly like Fan. The work-stealing scheduler's chunk
+// tasks validate through One so failure injection reaches every validation
+// path, serial, fanned, or pipelined.
+func One(sc *Scratch, s *pli.Store, r Request) Outcome {
+	if h := testHook.Load(); h != nil {
+		(*h)(r)
+	}
+	valid, wit := sc.FD(s, r.Lhs, r.Rhs, r.MinNewID)
+	return Outcome{Valid: valid, Witness: wit}
 }
 
 // ForEach runs fn(i) for every i in [0, n), fanning the calls across at

@@ -539,6 +539,12 @@ func (p *Scratches) grow(n int) {
 	}
 }
 
+// Ensure grows the set to at least n scratches. It must run on the
+// coordinator's goroutine before any concurrent At calls — the pipelined
+// engine calls it once per session begin with the pool's worker count, so
+// chunk tasks can call At(worker) from any slot without synchronization.
+func (p *Scratches) Ensure(n int) { p.grow(n) }
+
 // At returns the scratch of worker slot i.
 func (p *Scratches) At(i int) *Scratch { return p.per[i] }
 
