@@ -14,6 +14,13 @@
 // Record ids: the initial CSV rows receive ids 0..n-1 in file order; every
 // insert or update receives the next sequential id. Without -initial the
 // relation starts empty and the schema is taken from -columns.
+//
+// -snapshot prints a constraint report after the replay — single-column
+// keys and unary inclusion dependencies — answered from the monitor's
+// final immutable result snapshot (Monitor.Snapshot), the same
+// copy-on-write read path the dynfdd daemon serves its query endpoints
+// from. The daemon's durability-side knobs (-sync-max-delay,
+// -commit-queue) do not apply here: the replay monitor is in-memory.
 package main
 
 import (
@@ -36,6 +43,7 @@ func main() {
 	initial := flag.String("initial", "", "CSV file with the initial relation (header = schema)")
 	columns := flag.String("columns", "", "comma-separated schema when no -initial file is given")
 	quiet := flag.Bool("quiet", false, "suppress per-batch FD changes; print only the final FDs")
+	snapReport := flag.Bool("snapshot", false, "after the replay, report single-column keys and unary INDs from the final result snapshot")
 	workersFlag := flag.String("workers", "auto", `maintenance parallelism: "auto" = one scheduler worker per CPU, 0 = serial reference, n >= 1 = scheduler with n workers`)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the replay, post-GC) to this file")
@@ -54,7 +62,7 @@ func main() {
 		os.Exit(2)
 	}
 	err = profiled(*cpuprofile, *memprofile, func() error {
-		return run(flag.Arg(0), *initial, *columns, *batchSize, workers, *quiet, os.Stdout)
+		return run(flag.Arg(0), *initial, *columns, *batchSize, workers, *quiet, *snapReport, os.Stdout)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynfd:", err)
@@ -114,7 +122,7 @@ func profiled(cpuPath, memPath string, fn func() error) error {
 	return nil
 }
 
-func run(changesPath, initial, columns string, batchSize, workers int, quiet bool, out io.Writer) error {
+func run(changesPath, initial, columns string, batchSize, workers int, quiet, snapReport bool, out io.Writer) error {
 	if batchSize <= 0 {
 		return fmt.Errorf("batch size must be positive")
 	}
@@ -180,6 +188,19 @@ func run(changesPath, initial, columns string, batchSize, workers int, quiet boo
 	st := mon.Stats()
 	fmt.Fprintf(out, "# stats: %d batches, %d validations (%d skipped), %d comparisons\n",
 		st.Batches, st.Validations, st.SkippedValidations, st.Comparisons)
+	if snapReport {
+		snap := mon.Snapshot()
+		fmt.Fprintf(out, "# snapshot %d: %d rows\n", snap.Seq(), snap.NumRecords())
+		snapCols := snap.Columns()
+		for _, c := range snapCols {
+			if u, err := snap.Unique([]string{c}); err == nil && u {
+				fmt.Fprintf(out, "key %s\n", c)
+			}
+		}
+		for _, d := range snap.INDs() {
+			fmt.Fprintf(out, "ind %s <= %s\n", snapCols[d.Lhs], snapCols[d.Rhs])
+		}
+	}
 	return nil
 }
 

@@ -34,7 +34,7 @@ func TestRunWithInitialCSV(t *testing.T) {
 	csv := writeFile(t, "people.csv", peopleCSV)
 	changes := writeFile(t, "changes.jsonl", paperChanges)
 	var out bytes.Buffer
-	if err := run(changes, csv, "", 100, 2, false, &out); err != nil {
+	if err := run(changes, csv, "", 100, 2, false, false, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -56,7 +56,7 @@ func TestRunQuietMode(t *testing.T) {
 	csv := writeFile(t, "people.csv", peopleCSV)
 	changes := writeFile(t, "changes.jsonl", paperChanges)
 	var out bytes.Buffer
-	if err := run(changes, csv, "", 1, 2, true, &out); err != nil {
+	if err := run(changes, csv, "", 1, 2, true, false, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -72,7 +72,7 @@ func TestRunColumnsOnly(t *testing.T) {
 	t.Parallel()
 	changes := writeFile(t, "c.jsonl", `{"op":"insert","values":["a","b"]}`+"\n")
 	var out bytes.Buffer
-	if err := run(changes, "", "x,y", 10, 0, false, &out); err != nil {
+	if err := run(changes, "", "x,y", 10, 0, false, false, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "final: 1 rows") {
@@ -132,21 +132,21 @@ func TestRunErrors(t *testing.T) {
 	t.Parallel()
 	changes := writeFile(t, "c.jsonl", "")
 	var out bytes.Buffer
-	if err := run(changes, "", "", 10, 0, false, &out); err == nil {
+	if err := run(changes, "", "", 10, 0, false, false, &out); err == nil {
 		t.Error("missing schema accepted")
 	}
-	if err := run(changes, "", "a,b", 0, 0, false, &out); err == nil {
+	if err := run(changes, "", "a,b", 0, 0, false, false, &out); err == nil {
 		t.Error("batch size 0 accepted")
 	}
-	if err := run("/nonexistent.jsonl", "", "a,b", 10, 0, false, &out); err == nil {
+	if err := run("/nonexistent.jsonl", "", "a,b", 10, 0, false, false, &out); err == nil {
 		t.Error("missing changes file accepted")
 	}
 	bad := writeFile(t, "bad.jsonl", `{"op":"delete","id":999}`+"\n")
-	if err := run(bad, "", "a,b", 10, 0, false, &out); err == nil {
+	if err := run(bad, "", "a,b", 10, 0, false, false, &out); err == nil {
 		t.Error("dangling delete accepted")
 	}
 	badCSV := writeFile(t, "bad.csv", "a,a\n1,2\n")
-	if err := run(changes, badCSV, "", 10, 0, false, &out); err == nil {
+	if err := run(changes, badCSV, "", 10, 0, false, false, &out); err == nil {
 		t.Error("duplicate-column CSV accepted")
 	}
 }

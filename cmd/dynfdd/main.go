@@ -29,6 +29,16 @@
 // accepting, drains in-flight commits, checkpoints every engine, and
 // exits 0.
 //
+// Read endpoints (/fds, /keys, /inds, /violations, tenant listings, and
+// metrics) are served from each tenant's last published result snapshot:
+// they never queue behind an in-flight batch and report the snapshot's
+// sequence number plus a staleness count of batches still committing.
+// Writes durably commit through the group-commit WAL — concurrent batches
+// on one tenant coalesce into shared fsyncs; -sync-max-delay lets the
+// commit leader linger to grow those groups further (at the price of
+// commit latency), and -commit-queue bounds staged-but-unsynced batches
+// per engine, shedding overflow with 503 before anything is logged.
+//
 // Engines default to -workers auto (one scheduler worker per CPU);
 // tenants may override it at create time. -pprof-addr serves
 // net/http/pprof on a separate listener for profiling a live daemon,
@@ -74,6 +84,8 @@ func main() {
 	workersFlag := flag.String("workers", "auto", `default maintenance parallelism per engine: "auto" = one scheduler worker per CPU, 0 = serial reference, n >= 1 = scheduler with n workers (tenants may override at create time)`)
 	dataDir := flag.String("data-dir", "", "line protocol: write-ahead log directory (empty = in-memory only)")
 	checkpointEvery := flag.Int("checkpoint-every", durable.DefaultCheckpointEvery, "batches between checkpoints (negative disables)")
+	syncMaxDelay := flag.Duration("sync-max-delay", 0, "group-commit linger: how long a commit leader waits before the shared WAL fsync so concurrent batches coalesce (0 = sync immediately; try 1ms under heavy concurrent write load)")
+	commitQueue := flag.Int("commit-queue", 0, "per-tenant bound on batches staged but not yet fsynced; overflow answers 503 before anything is logged (0 = unbounded)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for profiling scheduler contention; empty disables")
 	flag.Parse()
 
@@ -128,6 +140,8 @@ func main() {
 			DataRoot:        *dataRoot,
 			Workers:         workers,
 			CheckpointEvery: *checkpointEvery,
+			SyncMaxDelay:    *syncMaxDelay,
+			CommitQueue:     *commitQueue,
 			Logger:          log.Default(),
 		})
 		if err != nil {
@@ -159,7 +173,7 @@ func main() {
 
 	// Legacy single-dataset line protocol.
 	if *listen != "" {
-		srv, l, shutdown, err := setup(*listen, *initial, *columns, *dataDir, *batch, workers, *checkpointEvery)
+		srv, l, shutdown, err := setup(*listen, *initial, *columns, *dataDir, *batch, workers, *checkpointEvery, *syncMaxDelay, *commitQueue)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dynfdd:", err)
 			os.Exit(1)
@@ -217,7 +231,7 @@ func parseWorkers(s string) (int, error) {
 // setup builds the line-protocol server and listener. The returned
 // shutdown func must run after Serve returns; with a data directory it
 // writes the final checkpoint and closes the store.
-func setup(listen, initial, columns, dataDir string, batch, workers, checkpointEvery int) (*server.Server, net.Listener, func() error, error) {
+func setup(listen, initial, columns, dataDir string, batch, workers, checkpointEvery int, syncMaxDelay time.Duration, commitQueue int) (*server.Server, net.Listener, func() error, error) {
 	var (
 		cols []string
 		rows [][]string
@@ -246,7 +260,10 @@ func setup(listen, initial, columns, dataDir string, batch, workers, checkpointE
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		eng, err := durable.Open(st, durable.Options{Columns: cols, Config: cfg, CheckpointEvery: checkpointEvery})
+		eng, err := durable.Open(st, durable.Options{
+			Columns: cols, Config: cfg, CheckpointEvery: checkpointEvery,
+			SyncMaxDelay: syncMaxDelay, CommitQueue: commitQueue,
+		})
 		if err != nil {
 			st.Close()
 			return nil, nil, nil, err

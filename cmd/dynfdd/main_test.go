@@ -20,7 +20,7 @@ func TestSetupAndRoundTrip(t *testing.T) {
 	if err := os.WriteFile(csv, []byte("zip,city\n14482,Potsdam\n10115,Berlin\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv, l, shutdown, err := setup("127.0.0.1:0", csv, "", "", 10, 2, 0)
+	srv, l, shutdown, err := setup("127.0.0.1:0", csv, "", "", 10, 2, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,16 +47,16 @@ func TestSetupAndRoundTrip(t *testing.T) {
 
 func TestSetupErrors(t *testing.T) {
 	t.Parallel()
-	if _, _, _, err := setup("127.0.0.1:0", "", "", "", 10, 0, 0); err == nil {
+	if _, _, _, err := setup("127.0.0.1:0", "", "", "", 10, 0, 0, 0, 0); err == nil {
 		t.Error("missing schema accepted")
 	}
-	if _, _, _, err := setup("127.0.0.1:0", "/nonexistent.csv", "", "", 10, 0, 0); err == nil {
+	if _, _, _, err := setup("127.0.0.1:0", "/nonexistent.csv", "", "", 10, 0, 0, 0, 0); err == nil {
 		t.Error("missing CSV accepted")
 	}
-	if _, _, _, err := setup("127.0.0.1:0", "", "a,b", "", 0, 0, 0); err == nil {
+	if _, _, _, err := setup("127.0.0.1:0", "", "a,b", "", 0, 0, 0, 0, 0); err == nil {
 		t.Error("batch size 0 accepted")
 	}
-	if _, _, _, err := setup("notanaddress", "", "a,b", "", 10, 0, 0); err == nil {
+	if _, _, _, err := setup("notanaddress", "", "a,b", "", 10, 0, 0, 0, 0); err == nil {
 		t.Error("bad listen address accepted")
 	}
 }
@@ -75,7 +75,7 @@ func TestSetupDurableResume(t *testing.T) {
 	}
 	dataDir := filepath.Join(dir, "state")
 
-	srv, l, _, err := setup("127.0.0.1:0", csv, "", dataDir, 10, 0, -1)
+	srv, l, _, err := setup("127.0.0.1:0", csv, "", dataDir, 10, 0, -1, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestSetupDurableResume(t *testing.T) {
 	<-done
 	// No shutdown(): the daemon "died" without its final checkpoint.
 
-	srv2, l2, shutdown2, err := setup("127.0.0.1:0", csv, "", dataDir, 10, 0, -1)
+	srv2, l2, shutdown2, err := setup("127.0.0.1:0", csv, "", dataDir, 10, 0, -1, 0, 0)
 	if err != nil {
 		t.Fatalf("resume failed: %v", err)
 	}

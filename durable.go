@@ -5,7 +5,14 @@ import (
 	"time"
 
 	"dynfd/internal/durable"
+	"dynfd/internal/wal"
 )
+
+// ErrCommitQueueFull is returned by Apply and ApplyStaged when the
+// bounded commit queue configured with WithCommitQueue is at capacity.
+// The batch was rejected before anything was logged or applied; retrying
+// after in-flight commits drain is safe.
+var ErrCommitQueueFull = wal.ErrCommitQueueFull
 
 // DurableMonitor is a Monitor whose state survives crashes: every applied
 // batch is appended to a write-ahead log and fsynced before Apply returns,
@@ -19,7 +26,12 @@ import (
 //	_ = mon.Bootstrap(initialRows)
 //	diff, _ := mon.Apply(dynfd.Insert("14482", "Potsdam")) // durable once returned
 //
-// Like Monitor, a DurableMonitor is not safe for concurrent use.
+// Mutations (Bootstrap, Apply, ApplyStaged, Checkpoint, Drop-style
+// Close) must be externally serialized, like on a plain Monitor. The
+// concurrent surface is deliberately narrow: Snapshot, Seq, WALStats,
+// Err, and Commit.Wait are safe from any goroutine at any time, which is
+// what lets a server answer reads from the last published snapshot while
+// a writer streams batches.
 type DurableMonitor struct {
 	columns  []string
 	colIndex map[string]int
@@ -54,6 +66,8 @@ func OpenDurable(dir string, columns []string, opts ...Option) (*DurableMonitor,
 		Columns:         columns,
 		Config:          cfg,
 		CheckpointEvery: o.checkpointEvery,
+		SyncMaxDelay:    o.syncMaxDelay,
+		CommitQueue:     o.commitQueue,
 	})
 	if err != nil {
 		st.Close()
@@ -97,7 +111,9 @@ func (m *DurableMonitor) Bootstrap(rows [][]string) error {
 
 // Apply durably incorporates one batch of changes and returns the FD
 // diff. When Apply returns nil, the batch has been fsynced to the
-// write-ahead log: it survives any subsequent crash.
+// write-ahead log: it survives any subsequent crash. Concurrent callers
+// must serialize externally; their fsyncs are still coalesced when they
+// pipeline through ApplyStaged instead.
 func (m *DurableMonitor) Apply(changes ...Change) (Diff, error) {
 	b, err := toBatch(changes)
 	if err != nil {
@@ -110,11 +126,49 @@ func (m *DurableMonitor) Apply(changes ...Change) (Diff, error) {
 	return toDiff(res), nil
 }
 
+// Commit is the durability handle of a staged batch: Wait blocks until
+// the batch is crash-durable (covered by a group fsync or folded into a
+// checkpoint) and the matching result snapshot is published. Wait is
+// safe to call from any goroutine; calling it more than once is allowed
+// and returns the same outcome.
+type Commit struct {
+	p *durable.Pending
+}
+
+// Wait blocks until the staged batch is durable, then publishes its
+// snapshot. A non-nil error means the batch is NOT acknowledged — the
+// monitor has poisoned itself and Err reports the failure.
+func (c *Commit) Wait() error { return c.p.Wait() }
+
+// ApplyStaged stages one batch — logs it, applies it in memory, returns
+// the FD diff — without waiting for the fsync. The caller must invoke
+// Wait on the returned Commit (typically after releasing whatever lock
+// serializes staging) before acknowledging the batch to anyone: until
+// Wait returns nil the batch may be lost by a crash, and the published
+// snapshot does not include it. Staging calls must be externally
+// serialized; the Waits may overlap freely, which is what lets the
+// group committer fold many concurrent batches into one fsync.
+func (m *DurableMonitor) ApplyStaged(changes ...Change) (Diff, *Commit, error) {
+	b, err := toBatch(changes)
+	if err != nil {
+		return Diff{}, nil, err
+	}
+	res, p, err := m.eng.Stage(b)
+	if err != nil {
+		return Diff{}, nil, err
+	}
+	return toDiff(res), &Commit{p: p}, nil
+}
+
 // Checkpoint folds the write-ahead log into a fresh snapshot now, instead
 // of waiting for the automatic interval.
 func (m *DurableMonitor) Checkpoint() error { return m.eng.Checkpoint() }
 
-// Seq returns the sequence number of the last durably applied batch.
+// Seq returns the sequence number of the last staged batch. After Apply
+// (or ApplyStaged + Wait) returned nil it is also the last durable
+// sequence; while commits are in flight it may run ahead of the
+// published Snapshot's Seq by exactly those batches. Safe to call from
+// any goroutine.
 func (m *DurableMonitor) Seq() uint64 { return m.eng.Seq() }
 
 // Close writes a final checkpoint and releases the store. The monitor

@@ -29,6 +29,7 @@ import (
 	"dynfd/internal/core"
 	"dynfd/internal/dataset"
 	"dynfd/internal/fd"
+	"dynfd/internal/results"
 	"dynfd/internal/stream"
 )
 
@@ -107,6 +108,8 @@ type options struct {
 	stealChunk      int
 	disableStealing bool
 	checkpointEvery int
+	syncMaxDelay    time.Duration
+	commitQueue     int
 }
 
 // WithPruning selects the pruning strategies (default: AllPruning).
@@ -171,6 +174,22 @@ func WithCheckpointEvery(batches int) Option {
 	return func(o *options) { o.checkpointEvery = batches }
 }
 
+// WithSyncMaxDelay sets how long a DurableMonitor's group-commit leader
+// lingers before running the shared fsync, trading a bounded latency
+// increase for larger sync groups under concurrent ApplyStaged load
+// (default 0: sync immediately). Plain in-memory Monitors ignore it.
+func WithSyncMaxDelay(d time.Duration) Option {
+	return func(o *options) { o.syncMaxDelay = d }
+}
+
+// WithCommitQueue bounds how many staged-but-unsynced batches a
+// DurableMonitor admits at once; ApplyStaged beyond the bound fails fast
+// with ErrCommitQueueFull before anything is appended (default 0:
+// unbounded). Plain in-memory Monitors ignore it.
+func WithCommitQueue(n int) Option {
+	return func(o *options) { o.commitQueue = n }
+}
+
 // Diff reports the effects of one applied batch.
 type Diff struct {
 	// InsertedIDs holds the surrogate id assigned to each insert and
@@ -191,6 +210,16 @@ type Monitor struct {
 	engine    *core.Engine
 	booted    bool
 	batchSeen bool
+
+	// Snapshot cache (see Snapshot): the last built result snapshot, the
+	// sequence it was stamped with, whether the engine changed since, and
+	// the accumulated FD diff that lets the next build reuse untouched
+	// lattice levels copy-on-write.
+	snap         *results.Snapshot
+	snapSeq      uint64
+	snapDirty    bool
+	dirtyAdded   []fd.FD
+	dirtyRemoved []fd.FD
 }
 
 // NewMonitor returns a monitor for a relation with the given column names.
@@ -263,6 +292,10 @@ func (m *Monitor) Bootstrap(rows [][]string) error {
 	}
 	m.engine = engine
 	m.booted = true
+	// The engine was swapped: a cached snapshot belongs to the old store
+	// and cannot seed a copy-on-write build.
+	m.snap, m.snapDirty = nil, false
+	m.dirtyAdded, m.dirtyRemoved = nil, nil
 	return nil
 }
 
@@ -313,6 +346,9 @@ func (m *Monitor) Apply(changes ...Change) (Diff, error) {
 		return Diff{}, err
 	}
 	m.batchSeen = true
+	m.snapDirty = true
+	m.dirtyAdded = append(m.dirtyAdded, res.Added...)
+	m.dirtyRemoved = append(m.dirtyRemoved, res.Removed...)
 	return toDiff(res), nil
 }
 

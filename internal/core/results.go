@@ -1,0 +1,27 @@
+package core
+
+import (
+	"dynfd/internal/attrset"
+	"dynfd/internal/fd"
+	"dynfd/internal/results"
+)
+
+// BuildResults captures the engine's current state as an immutable result
+// snapshot (internal/results, DESIGN.md §14). prev must be the snapshot of
+// this same engine's earlier state (or nil), and added/removed the full FD
+// diff since prev was built — the snapshot is assembled copy-on-write from
+// prev, re-collecting only the covers of the right-hand sides the diff
+// names. Callers must hold the same access a read requires: no concurrent
+// ApplyBatch, no staged batch open.
+func (e *Engine) BuildResults(prev *results.Snapshot, seq uint64, columns []string,
+	added, removed []fd.FD) *results.Snapshot {
+
+	var touched attrset.Set
+	for _, f := range added {
+		touched = touched.With(f.Rhs)
+	}
+	for _, f := range removed {
+		touched = touched.With(f.Rhs)
+	}
+	return results.Build(prev, seq, columns, e.store, e.fds, e.nonFds.All, touched)
+}

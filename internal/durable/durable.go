@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynfd/internal/core"
 	"dynfd/internal/dataset"
 	"dynfd/internal/fd"
+	"dynfd/internal/results"
 	"dynfd/internal/stream"
 	"dynfd/internal/wal"
 )
@@ -49,33 +52,81 @@ type Options struct {
 	// automatic checkpoints (the WAL then grows until an explicit
 	// Checkpoint or Close).
 	CheckpointEvery int
+	// SyncMaxDelay is the group committer's linger window: how long a
+	// commit leader waits before running the group fsync, so concurrent
+	// batches coalesce into one sync. 0 syncs immediately (concurrent
+	// waiters still coalesce — the linger only grows groups further at
+	// the price of latency).
+	SyncMaxDelay time.Duration
+	// CommitQueue bounds the number of batches staged but not yet
+	// durable; Stage rejects cleanly with wal.ErrCommitQueueFull beyond
+	// it. 0 means unbounded.
+	CommitQueue int
 }
 
-// Engine wraps a core engine with write-ahead durability: Apply appends
-// the batch to the WAL and fsyncs before mutating the in-memory engine, so
-// a batch that has been acknowledged survives any crash, and a batch that
-// crashed mid-write is cleanly absent after recovery. Like the core
-// engine, a durable Engine is not safe for concurrent use.
+// Engine wraps a core engine with write-ahead durability. The commit of a
+// batch is split in two (DESIGN.md §14): Stage prechecks the batch,
+// appends it to the WAL unsynced, applies it in memory, and builds the
+// next result snapshot; the returned Pending's Wait then makes it durable
+// through the group committer — concurrent waiters coalesce into shared
+// fsyncs — and publishes the snapshot once covered. Apply = Stage + Wait,
+// preserving the original contract: a nil return means the batch survives
+// any subsequent crash, and a batch rejected before its append is wholly
+// absent after one.
+//
+// Concurrency contract: Stage, Checkpoint, Bootstrap, and Close must be
+// externally serialized (the runtime holds the tenant mutation lock), but
+// Pending.Wait is called outside that lock and may overlap everything
+// except Close. Snapshot is lock-free and always safe.
 type Engine struct {
 	st      Storage
 	log     *wal.Log
 	eng     *core.Engine
 	columns []string
 
-	seq             uint64 // sequence number of the last applied batch
-	sinceCheckpoint int    // batches applied since the last checkpoint
-	checkpointEvery int    // 0 disables automatic checkpoints
-	lastCheckpoint  error  // outcome of the most recent checkpoint attempt
+	seq             atomic.Uint64 // sequence number of the last staged batch
+	sinceCheckpoint int           // batches staged since the last checkpoint
+	checkpointEvery int           // 0 disables automatic checkpoints
 
-	syncs     int           // WAL fsyncs performed by Apply
-	syncTotal time.Duration // wall-clock time spent in those fsyncs
+	// lastCheckpoint is the outcome of the most recent checkpoint attempt.
+	// It has its own lock because health probes read it from arbitrary
+	// goroutines while Stage (externally serialized) writes it.
+	cpMu           sync.Mutex
+	lastCheckpoint error
+
+	committer *wal.GroupCommitter
+
+	// lastStaged is the snapshot of the last staged batch — the
+	// copy-on-write predecessor of the next one. Guarded by the external
+	// serialization of Stage. published is the atomic publication point
+	// read by the lock-free query path; pubMu orders concurrent
+	// publishers (publication is monotone in seq, never torn).
+	lastStaged *results.Snapshot
+	published  atomic.Pointer[results.Snapshot]
+	pubMu      sync.Mutex
 
 	// poisoned is set when the durable and in-memory states may have
 	// diverged: a WAL append/sync failure (the log may hold a torn record
 	// that a further append would bury), an in-memory apply failure after
 	// the batch was logged, or a core-engine poisoning. Every further
-	// Apply fails fast; reads stay available.
+	// Stage fails fast; reads stay available. Guarded by poisonMu — Stage
+	// runs under the external lock but Wait's sync failures arrive from
+	// arbitrary goroutines.
+	poisonMu sync.Mutex
 	poisoned error
+}
+
+// poison records the first poisoning cause and propagates it to the
+// committer so stuck waiters fail instead of hanging.
+func (e *Engine) poison(err error) {
+	e.poisonMu.Lock()
+	if e.poisoned == nil && err != nil {
+		e.poisoned = err
+	}
+	e.poisonMu.Unlock()
+	if e.committer != nil {
+		e.committer.Poison(err)
+	}
 }
 
 // Open loads or initializes a durable engine on the given storage.
@@ -119,6 +170,7 @@ func Open(st Storage, opts Options) (*Engine, error) {
 		if err := e.log.Reset(); err != nil {
 			return nil, err
 		}
+		e.finishOpen(opts)
 		return e, nil
 	}
 
@@ -130,7 +182,7 @@ func Open(st Storage, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("durable: schema mismatch: store has %v, caller wants %v", cp.Columns, opts.Columns)
 	}
 	e.columns = cp.Columns
-	e.seq = cp.Seq
+	e.seq.Store(cp.Seq)
 	e.eng, err = core.Restore(cp.Engine)
 	if err != nil {
 		return nil, fmt.Errorf("durable: restoring checkpoint: %w", err)
@@ -149,15 +201,16 @@ func Open(st Storage, opts Options) (*Engine, error) {
 		}
 	}
 	replayed := false
+	seq := cp.Seq
 	for _, rec := range recs {
 		if rec.Seq <= cp.Seq {
 			if replayed {
-				return nil, fmt.Errorf("durable: WAL sequence %d out of order after replaying past %d", rec.Seq, e.seq)
+				return nil, fmt.Errorf("durable: WAL sequence %d out of order after replaying past %d", rec.Seq, seq)
 			}
 			continue // folded into the checkpoint already
 		}
-		if rec.Seq != e.seq+1 {
-			return nil, fmt.Errorf("durable: WAL gap: have state at seq %d, next record is seq %d", e.seq, rec.Seq)
+		if rec.Seq != seq+1 {
+			return nil, fmt.Errorf("durable: WAL gap: have state at seq %d, next record is seq %d", seq, rec.Seq)
 		}
 		changes, err := stream.ReadChanges(bytes.NewReader(rec.Payload))
 		if err != nil {
@@ -166,9 +219,10 @@ func Open(st Storage, opts Options) (*Engine, error) {
 		if _, err := e.eng.ApplyBatch(stream.Batch{Changes: changes}); err != nil {
 			return nil, fmt.Errorf("durable: replaying WAL record %d: %w", rec.Seq, err)
 		}
-		e.seq = rec.Seq
+		seq = rec.Seq
 		replayed = true
 	}
+	e.seq.Store(seq)
 	if len(recs) > 0 || validLen < int64(len(data)) {
 		// Fold the replayed suffix in so a crash during the next run never
 		// has to replay it again, and the log starts empty.
@@ -179,7 +233,17 @@ func Open(st Storage, opts Options) (*Engine, error) {
 			return nil, err
 		}
 	}
+	e.finishOpen(opts)
 	return e, nil
+}
+
+// finishOpen wires up the group committer and publishes the initial
+// result snapshot: everything recovered is durable, so the snapshot is
+// visible to the lock-free read path before Open returns.
+func (e *Engine) finishOpen(opts Options) {
+	e.committer = wal.NewGroupCommitter(e.log.Sync, e.seq.Load(), opts.SyncMaxDelay, opts.CommitQueue)
+	e.lastStaged = e.eng.BuildResults(nil, e.seq.Load(), e.columns, nil, nil)
+	e.published.Store(e.lastStaged)
 }
 
 func decodeCheckpoint(blob []byte) (*checkpoint, error) {
@@ -217,7 +281,7 @@ func (e *Engine) writeCheckpoint() error {
 	blob, err := json.Marshal(checkpoint{
 		Format:  checkpointFormat,
 		Version: checkpointVersion,
-		Seq:     e.seq,
+		Seq:     e.seq.Load(),
 		Columns: e.columns,
 		Engine:  e.eng.Snapshot(),
 	})
@@ -234,75 +298,166 @@ func (e *Engine) writeCheckpoint() error {
 // Checkpoint folds the WAL into a fresh engine snapshot: the snapshot is
 // atomically replaced first, then the log is reset. A crash between the
 // two steps is safe — recovery skips log records at or below the
-// checkpoint's sequence number.
+// checkpoint's sequence number. Like Stage, it must be externally
+// serialized; the log reset runs inside the committer's Exclusive bracket
+// so it never overlaps an in-flight group fsync, and a successful
+// checkpoint counts as durability for every staged batch (the engine
+// state it persisted includes them all), so covered waiters are released
+// without an fsync.
 func (e *Engine) Checkpoint() error {
-	if e.poisoned != nil {
-		return fmt.Errorf("durable: engine poisoned, refusing checkpoint: %w", e.poisoned)
+	if err := e.Poisoned(); err != nil {
+		return fmt.Errorf("durable: engine poisoned, refusing checkpoint: %w", err)
 	}
-	if err := e.writeCheckpoint(); err != nil {
-		e.lastCheckpoint = err
-		return err
-	}
-	if err := e.log.Reset(); err != nil {
-		e.lastCheckpoint = err
-		return err
-	}
-	e.lastCheckpoint = nil
-	return nil
+	err := e.checkpointLocked()
+	e.setLastCheckpoint(err)
+	return err
 }
 
-// Apply makes one batch durable and applies it: the batch is prechecked,
-// appended to the WAL, fsynced, and only then applied to the in-memory
-// engine — so a nil return means the batch survives any subsequent crash,
-// and an error before the fsync means it is wholly absent.
+func (e *Engine) setLastCheckpoint(err error) {
+	e.cpMu.Lock()
+	e.lastCheckpoint = err
+	e.cpMu.Unlock()
+}
+
+// checkpointLocked writes the checkpoint and resets the log under the
+// committer's exclusive bracket. Callers must hold the external
+// serialization (no concurrent Stage).
+func (e *Engine) checkpointLocked() error {
+	if err := e.writeCheckpoint(); err != nil {
+		return err
+	}
+	// The checkpoint covers every staged batch — release their waiters
+	// even if the log reset below fails (recovery skips records at or
+	// below the checkpoint's sequence either way).
+	e.committer.MarkSynced(e.seq.Load())
+	e.publish(e.lastStaged)
+	return e.committer.Exclusive(e.log.Reset)
+}
+
+// publish makes snap the published snapshot unless a newer one already
+// is; publication is monotone in sequence number.
+func (e *Engine) publish(snap *results.Snapshot) {
+	if snap == nil {
+		return
+	}
+	e.pubMu.Lock()
+	if cur := e.published.Load(); cur == nil || snap.Seq() >= cur.Seq() {
+		e.published.Store(snap)
+	}
+	e.pubMu.Unlock()
+}
+
+// Snapshot returns the latest published result snapshot: the state of the
+// last batch known durable. It is lock-free — an atomic pointer load —
+// and safe from any goroutine at any time, including concurrently with
+// Stage, Checkpoint, and Close.
+func (e *Engine) Snapshot() *results.Snapshot { return e.published.Load() }
+
+// Pending is a staged batch awaiting durability. Wait blocks until the
+// batch is covered by a group fsync or a checkpoint, publishes its result
+// snapshot, and returns nil exactly when the batch survives any
+// subsequent crash.
+type Pending struct {
+	e    *Engine
+	seq  uint64
+	snap *results.Snapshot
+	done bool
+}
+
+// Stage prechecks one batch, appends it to the WAL (unsynced), applies it
+// to the in-memory engine, and builds — but does not publish — the next
+// result snapshot. The batch is NOT durable until the returned Pending's
+// Wait returns nil. Stage calls must be externally serialized; Wait is
+// meant to run outside that serialization so concurrent batches coalesce
+// into shared group fsyncs.
 //
-// Automatic checkpoints run after every CheckpointEvery applied batches; a
-// failed checkpoint does not fail the Apply (the batch is already durable
-// in the WAL) but is reported by LastCheckpointErr.
-func (e *Engine) Apply(batch stream.Batch) (core.Result, error) {
-	if e.poisoned != nil {
-		return core.Result{}, fmt.Errorf("durable: engine poisoned by earlier failure, refusing batch: %w", e.poisoned)
+// An error return means the batch was rejected cleanly (bad batch, commit
+// queue full, poisoned engine) or the engine poisoned itself mid-commit;
+// either way there is nothing to Wait on.
+func (e *Engine) Stage(batch stream.Batch) (core.Result, *Pending, error) {
+	if err := e.Poisoned(); err != nil {
+		return core.Result{}, nil, fmt.Errorf("durable: engine poisoned by earlier failure, refusing batch: %w", err)
 	}
 	// Precheck so a bad batch is rejected before it reaches the log: the
 	// WAL must only ever contain batches that apply cleanly on replay.
 	if err := e.eng.CheckBatch(batch); err != nil {
-		return core.Result{}, err
+		return core.Result{}, nil, err
 	}
 	var buf bytes.Buffer
 	if err := stream.WriteChanges(&buf, batch.Changes); err != nil {
-		return core.Result{}, fmt.Errorf("durable: encoding batch: %w", err)
+		return core.Result{}, nil, fmt.Errorf("durable: encoding batch: %w", err)
 	}
-	if err := e.log.Append(e.seq+1, buf.Bytes()); err != nil {
+	// Claim a commit-queue slot before touching the log: a full queue is
+	// a clean, side-effect-free rejection. The slot is released by Wait.
+	if err := e.committer.Reserve(); err != nil {
+		return core.Result{}, nil, fmt.Errorf("durable: %w", err)
+	}
+	seq := e.seq.Load() + 1
+	if err := e.log.Append(seq, buf.Bytes()); err != nil {
 		// The log may now end in a torn record; appending more would bury
 		// it and lose everything after it on recovery.
-		e.poisoned = err
-		return core.Result{}, err
+		e.committer.Release()
+		e.poison(err)
+		return core.Result{}, nil, err
 	}
-	syncStart := time.Now()
-	if err := e.log.Sync(); err != nil {
-		e.poisoned = err
-		return core.Result{}, err
-	}
-	e.syncs++
-	e.syncTotal += time.Since(syncStart)
+	e.committer.Appended(seq)
 	res, err := e.eng.ApplyBatch(batch)
 	if err != nil {
-		// The batch is durable but the in-memory state is not: the two
-		// have diverged (this should be unreachable for prechecked
-		// batches — a worker panic is the realistic cause).
-		e.poisoned = fmt.Errorf("durable: batch %d logged but not applied: %w", e.seq+1, err)
-		return core.Result{}, e.poisoned
+		// The batch is in the log (possibly about to become durable via a
+		// concurrent group sync) but not in memory: the two states have
+		// diverged (unreachable for prechecked batches — a worker panic
+		// is the realistic cause).
+		e.committer.Release()
+		perr := fmt.Errorf("durable: batch %d logged but not applied: %w", seq, err)
+		e.poison(perr)
+		return core.Result{}, nil, perr
 	}
-	e.seq++
+	e.seq.Store(seq)
+	e.lastStaged = e.eng.BuildResults(e.lastStaged, seq, e.columns, res.Added, res.Removed)
+	p := &Pending{e: e, seq: seq, snap: e.lastStaged}
 	e.sinceCheckpoint++
 	if e.checkpointEvery > 0 && e.sinceCheckpoint >= e.checkpointEvery {
-		if err := e.writeCheckpoint(); err != nil {
-			e.lastCheckpoint = err
-		} else if err := e.log.Reset(); err != nil {
-			e.lastCheckpoint = err
-		} else {
-			e.lastCheckpoint = nil
-		}
+		// The automatic checkpoint persists the engine state including
+		// this batch, so it doubles as the batch's durability: Wait will
+		// return immediately. A failed checkpoint does not fail the Stage
+		// (the group fsync still covers the batch) but is reported by
+		// LastCheckpointErr.
+		e.setLastCheckpoint(e.checkpointLocked())
+	}
+	return res, p, nil
+}
+
+// Wait blocks until the staged batch is durable, publishes its result
+// snapshot, and releases the commit-queue slot. It must be called exactly
+// once per successful Stage; a nil return means the batch survives any
+// subsequent crash. Wait is safe to call from any goroutine — commit
+// waiters coalesce into shared group fsyncs, and the calling goroutine
+// may run the group's fsync itself.
+func (p *Pending) Wait() error {
+	if p.done {
+		return fmt.Errorf("durable: Wait called twice for batch %d", p.seq)
+	}
+	p.done = true
+	defer p.e.committer.Release()
+	if err := p.e.committer.WaitSynced(p.seq); err != nil {
+		p.e.poison(err)
+		return err
+	}
+	p.e.publish(p.snap)
+	return nil
+}
+
+// Apply makes one batch durable and applies it — Stage followed by Wait,
+// for callers that serialize everything: a nil return means the batch
+// survives any subsequent crash, and an error before the append means it
+// is wholly absent.
+func (e *Engine) Apply(batch stream.Batch) (core.Result, error) {
+	res, p, err := e.Stage(batch)
+	if err != nil {
+		return core.Result{}, err
+	}
+	if err := p.Wait(); err != nil {
+		return core.Result{}, err
 	}
 	return res, nil
 }
@@ -311,11 +466,11 @@ func (e *Engine) Apply(batch stream.Batch) (core.Result, error) {
 // result durable. It is only valid on a store that has never held records
 // or batches.
 func (e *Engine) Bootstrap(rows [][]string) error {
-	if e.poisoned != nil {
-		return fmt.Errorf("durable: engine poisoned, refusing bootstrap: %w", e.poisoned)
+	if err := e.Poisoned(); err != nil {
+		return fmt.Errorf("durable: engine poisoned, refusing bootstrap: %w", err)
 	}
-	if e.seq != 0 || e.eng.NumRecords() != 0 {
-		return fmt.Errorf("durable: Bootstrap requires an empty store (have %d records at seq %d)", e.eng.NumRecords(), e.seq)
+	if e.seq.Load() != 0 || e.eng.NumRecords() != 0 {
+		return fmt.Errorf("durable: Bootstrap requires an empty store (have %d records at seq %d)", e.eng.NumRecords(), e.seq.Load())
 	}
 	rel := dataset.New("relation", e.columns)
 	for _, row := range rows {
@@ -331,37 +486,50 @@ func (e *Engine) Bootstrap(rows [][]string) error {
 	// The bootstrapped state must be durable before Bootstrap returns;
 	// failing here leaves memory ahead of disk, so poison.
 	if err := e.writeCheckpoint(); err != nil {
-		e.poisoned = err
+		e.poison(err)
 		return err
 	}
-	if err := e.log.Reset(); err != nil {
-		e.poisoned = err
+	if err := e.committer.Exclusive(e.log.Reset); err != nil {
+		e.poison(err)
 		return err
 	}
+	// The core engine was swapped out, so the snapshot chain restarts
+	// from scratch (no copy-on-write predecessor).
+	e.lastStaged = e.eng.BuildResults(nil, e.seq.Load(), e.columns, nil, nil)
+	e.publish(e.lastStaged)
 	return nil
 }
 
 // Close writes a final checkpoint (so the next Open restores without
-// replay) and releases the storage. A poisoned engine skips the checkpoint
-// — its in-memory state must not overwrite the durable one.
+// replay), shuts the committer down, and releases the storage. A poisoned
+// engine skips the checkpoint — its in-memory state must not overwrite
+// the durable one. Close must be externally serialized with Stage and
+// Checkpoint; in-flight Waits are released by the final checkpoint (or
+// fail with wal.ErrCommitterClosed if it could not run).
 func (e *Engine) Close() error {
 	var cpErr error
-	if e.poisoned == nil {
+	if e.Poisoned() == nil {
 		cpErr = e.Checkpoint()
 	}
+	// After this, any waiter the checkpoint did not cover fails instead
+	// of hanging on a committer whose file is about to go away.
+	e.committer.Close()
 	if err := e.st.Close(); err != nil && cpErr == nil {
 		cpErr = err
 	}
 	return cpErr
 }
 
-// Seq returns the sequence number of the last durably applied batch.
-func (e *Engine) Seq() uint64 { return e.seq }
+// Seq returns the sequence number of the last staged batch. It is safe
+// from any goroutine (the read path reports staleness as Seq minus the
+// published snapshot's sequence).
+func (e *Engine) Seq() uint64 { return e.seq.Load() }
 
-// SyncStats reports how many WAL fsyncs Apply has performed and their
-// cumulative wall-clock time — the durability cost of the write path.
+// SyncStats reports how many WAL fsyncs the commit path has performed and
+// their cumulative wall-clock time — the durability cost of the write
+// path. With group commit the count is O(sync groups), not O(batches).
 func (e *Engine) SyncStats() (count int, total time.Duration) {
-	return e.syncs, e.syncTotal
+	return e.committer.Stats()
 }
 
 // Columns returns the schema.
@@ -372,11 +540,20 @@ func (e *Engine) Columns() []string { return append([]string(nil), e.columns...)
 func (e *Engine) Core() *core.Engine { return e.eng }
 
 // Poisoned returns the error that poisoned the engine, or nil.
-func (e *Engine) Poisoned() error { return e.poisoned }
+func (e *Engine) Poisoned() error {
+	e.poisonMu.Lock()
+	defer e.poisonMu.Unlock()
+	return e.poisoned
+}
 
 // LastCheckpointErr returns the outcome of the most recent automatic
-// checkpoint attempt (nil when it succeeded or none ran yet).
-func (e *Engine) LastCheckpointErr() error { return e.lastCheckpoint }
+// checkpoint attempt (nil when it succeeded or none ran yet). Safe from
+// any goroutine.
+func (e *Engine) LastCheckpointErr() error {
+	e.cpMu.Lock()
+	defer e.cpMu.Unlock()
+	return e.lastCheckpoint
+}
 
 // The read-side delegates below, together with CheckBatch and ApplyBatch,
 // let a durable engine serve wherever a core engine does (the server's

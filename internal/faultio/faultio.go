@@ -12,6 +12,7 @@ package faultio
 import (
 	"errors"
 	"io"
+	"sync"
 
 	"dynfd/internal/wal"
 )
@@ -151,7 +152,13 @@ func (f *Faulty) Truncate(n int64) error {
 // the previous checkpoint intact (temp-file + rename makes a partial new
 // checkpoint invisible), a truncate fails leaving the log unchanged.
 // After the crash every operation returns ErrCrashed.
+// MemStorage is safe for concurrent use: the group-commit tests drive a
+// WAL append concurrently with a group fsync through it under the race
+// detector. The unit accounting stays deterministic per operation; under
+// concurrency the interleaving (and so the crash point) is whatever the
+// scheduler produced.
 type MemStorage struct {
+	mu         sync.Mutex
 	checkpoint []byte
 	hasCP      bool
 	log        MemFile
@@ -173,10 +180,18 @@ func NewMemCrashAt(units int64) *MemStorage {
 
 // Units returns the units consumed so far; a fault-free run's total is the
 // upper bound for enumerating crash points.
-func (m *MemStorage) Units() int64 { return m.used }
+func (m *MemStorage) Units() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
 
 // Crashed reports whether the scripted crash has tripped.
-func (m *MemStorage) Crashed() bool { return m.crashed }
+func (m *MemStorage) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
 
 // spend consumes up to want units; it returns how many were granted and
 // whether the budget survived. Granting fewer than want trips the crash.
@@ -202,6 +217,8 @@ func (m *MemStorage) spend(want int64) (granted int64, ok bool) {
 
 // ReadCheckpoint returns the current checkpoint blob.
 func (m *MemStorage) ReadCheckpoint() ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.crashed {
 		return nil, false, ErrCrashed
 	}
@@ -213,6 +230,8 @@ func (m *MemStorage) ReadCheckpoint() ([]byte, bool, error) {
 
 // WriteCheckpoint atomically replaces the checkpoint blob (one unit).
 func (m *MemStorage) WriteCheckpoint(data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, ok := m.spend(1); !ok {
 		return ErrCrashed
 	}
@@ -223,6 +242,8 @@ func (m *MemStorage) WriteCheckpoint(data []byte) error {
 
 // ReadLog returns the WAL's live contents.
 func (m *MemStorage) ReadLog() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.crashed {
 		return nil, ErrCrashed
 	}
@@ -242,6 +263,8 @@ func (m *MemStorage) Close() error { return nil }
 // keepUnsynced unsynced bytes. The returned storage is healthy and
 // unlimited — recovery itself is not under fault injection.
 func (m *MemStorage) Reopen(keepUnsynced int) *MemStorage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := NewMem()
 	if m.hasCP {
 		out.checkpoint = append([]byte(nil), m.checkpoint...)
@@ -258,6 +281,8 @@ type memStorageLog MemStorage
 
 func (l *memStorageLog) Write(p []byte) (int, error) {
 	m := (*MemStorage)(l)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	granted, ok := m.spend(int64(len(p)))
 	if granted > 0 {
 		m.log.Write(p[:granted])
@@ -270,6 +295,8 @@ func (l *memStorageLog) Write(p []byte) (int, error) {
 
 func (l *memStorageLog) Sync() error {
 	m := (*MemStorage)(l)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, ok := m.spend(1); !ok {
 		return ErrCrashed
 	}
@@ -278,6 +305,8 @@ func (l *memStorageLog) Sync() error {
 
 func (l *memStorageLog) Truncate(n int64) error {
 	m := (*MemStorage)(l)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, ok := m.spend(1); !ok {
 		return ErrCrashed
 	}

@@ -19,6 +19,12 @@
 //	POST   /v1/tenants/{t}/snapshot          force a checkpoint
 //	GET    /v1/tenants/{t}/metrics           one tenant's metrics
 //
+// Read endpoints (/fds, /keys, /inds, /violations, tenant info, and the
+// metrics) are served from each tenant's last published result snapshot
+// (DESIGN.md §14): they take no engine lock, never queue behind an
+// in-flight batch, and report the snapshot's "seq" plus a "staleness"
+// count of batches staged but not yet durably committed.
+//
 // Error contract: every non-2xx response carries {"error": "..."}; the
 // handler never panics outward (a recovered panic is a 500). Status codes:
 // 400 malformed input or invalid tenant name, 404 unknown tenant or route,
@@ -437,24 +443,35 @@ type fdJSON struct {
 	Rendered string   `json:"rendered"`
 }
 
-func (s *Server) fds(w http.ResponseWriter, name string) {
-	var out []fdJSON
-	err := s.rt.View(name, func(mon *dynfd.DurableMonitor) error {
-		cols := mon.Columns()
-		for _, f := range mon.FDs() {
-			j := fdJSON{Rhs: cols[f.Rhs], Rendered: mon.FormatFD(f), Lhs: []string{}}
-			for _, a := range f.Lhs {
-				j.Lhs = append(j.Lhs, cols[a])
-			}
-			out = append(out, j)
-		}
-		return nil
-	})
+// readSnapshot resolves the tenant's published result snapshot and its
+// staleness (staged batches not yet reflected). All read endpoints go
+// through it: they never take the tenant mutation lock, so queries stay
+// fast while a writer streams batches. The bool reports whether the
+// caller may proceed.
+func (s *Server) readSnapshot(w http.ResponseWriter, name string) (*dynfd.ResultSnapshot, uint64, bool) {
+	snap, staged, err := s.rt.Snapshot(name)
 	if err != nil {
 		s.runtimeError(w, err)
+		return nil, 0, false
+	}
+	return snap, staged - snap.Seq(), true
+}
+
+func (s *Server) fds(w http.ResponseWriter, name string) {
+	snap, staleness, ok := s.readSnapshot(w, name)
+	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"fds": out})
+	cols := snap.Columns()
+	out := []fdJSON{}
+	for _, f := range snap.FDs() {
+		j := fdJSON{Rhs: cols[f.Rhs], Rendered: snap.FormatFD(f), Lhs: []string{}}
+		for _, a := range f.Lhs {
+			j.Lhs = append(j.Lhs, cols[a])
+		}
+		out = append(out, j)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"fds": out, "seq": snap.Seq(), "staleness": staleness})
 }
 
 func (s *Server) keys(w http.ResponseWriter, r *http.Request, name string) {
@@ -464,24 +481,32 @@ func (s *Server) keys(w http.ResponseWriter, r *http.Request, name string) {
 		return
 	}
 	columns := strings.Split(raw, ",")
-	unique, err := s.rt.KeyCheck(name, columns)
-	if err != nil {
-		s.runtimeError(w, err)
+	snap, staleness, ok := s.readSnapshot(w, name)
+	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"columns": columns, "unique": unique})
+	unique, err := snap.Unique(columns)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"columns": columns, "unique": unique,
+		"seq": snap.Seq(), "staleness": staleness,
+	})
 }
 
 func (s *Server) inds(w http.ResponseWriter, name string) {
-	inds, err := s.rt.INDs(name)
-	if err != nil {
-		s.runtimeError(w, err)
+	snap, staleness, ok := s.readSnapshot(w, name)
+	if !ok {
 		return
 	}
-	if inds == nil {
-		inds = []runtime.UnaryIND{}
+	cols := snap.Columns()
+	inds := []runtime.UnaryIND{}
+	for _, d := range snap.INDs() {
+		inds = append(inds, runtime.UnaryIND{Lhs: cols[d.Lhs], Rhs: cols[d.Rhs]})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"inds": inds})
+	writeJSON(w, http.StatusOK, map[string]any{"inds": inds, "seq": snap.Seq(), "staleness": staleness})
 }
 
 // violationGroupJSON is one violating record group.
@@ -509,27 +534,21 @@ func (s *Server) violations(w http.ResponseWriter, r *http.Request, name string)
 			return
 		}
 	}
-	var (
-		groups []violationGroupJSON
-		g3     float64
-	)
-	err := s.rt.View(name, func(mon *dynfd.DurableMonitor) error {
-		gs, e, err := mon.Violations(lhs, rhs, max)
-		if err != nil {
-			return err
-		}
-		g3 = e
-		for _, g := range gs {
-			groups = append(groups, violationGroupJSON{IDs: g.IDs, RhsValues: g.RhsValues})
-		}
-		return nil
-	})
-	if err != nil {
-		s.runtimeError(w, err)
+	snap, staleness, ok := s.readSnapshot(w, name)
+	if !ok {
 		return
 	}
-	if groups == nil {
-		groups = []violationGroupJSON{}
+	gs, g3, err := snap.Violations(lhs, rhs, max)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"groups": groups, "g3": g3})
+	groups := []violationGroupJSON{}
+	for _, g := range gs {
+		groups = append(groups, violationGroupJSON{IDs: g.IDs, RhsValues: g.RhsValues})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"groups": groups, "g3": g3,
+		"seq": snap.Seq(), "staleness": staleness,
+	})
 }

@@ -346,6 +346,35 @@ func collectLevel(n *node, remaining int, path attrset.Set, out *[]fd.FD) {
 	}
 }
 
+// AppendRhs appends every cover member with the given right-hand side to
+// dst, in deterministic (sorted) order, and returns the extended slice.
+// Subtree annotations prune branches that hold no member for rhs, so the
+// cost is proportional to the part of the tree mentioning rhs — this is
+// the per-RHS extraction snapshot builders use for copy-on-write sharing
+// (internal/results): only the right-hand sides named in a batch's FD diff
+// are re-collected, all others keep the previous snapshot's slice.
+func (c *Cover) AppendRhs(dst []fd.FD, rhs int) []fd.FD {
+	if rhs < 0 || rhs >= c.numAttrs {
+		return dst
+	}
+	base := len(dst)
+	collectRhs(c.root, rhs, attrset.Set{}, &dst)
+	fd.Sort(dst[base:])
+	return dst
+}
+
+func collectRhs(n *node, rhs int, path attrset.Set, out *[]fd.FD) {
+	if !n.subtree.Contains(rhs) {
+		return
+	}
+	if n.fds.Contains(rhs) {
+		*out = append(*out, fd.FD{Lhs: path, Rhs: rhs})
+	}
+	for i, a := range n.attrs {
+		collectRhs(n.children[i], rhs, path.With(a), out)
+	}
+}
+
 // All returns every cover member in deterministic (sorted) order.
 func (c *Cover) All() []fd.FD {
 	out := make([]fd.FD, 0, c.size)

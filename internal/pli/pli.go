@@ -113,6 +113,13 @@ type Index struct {
 	inverted map[string]int32
 	next     int32
 
+	// gen counts changes to the attribute's distinct-value set: it is
+	// bumped whenever a cluster is created (a value appears) or deleted
+	// (a value vanishes), never when an existing cluster only gains or
+	// loses members. Snapshot builders use it to share captured value
+	// dictionaries across batches that did not change the value set.
+	gen uint64
+
 	// batchCids is the reusable touched-cluster scratch of ApplyBatch.
 	// During a batch the owning maintenance worker uses it exclusively.
 	batchCids []int32
@@ -146,6 +153,18 @@ func (ix *Index) ForEachCluster(fn func(cid int32, c *Cluster) bool) {
 	}
 }
 
+// Gen returns the distinct-value generation counter (see the field comment).
+func (ix *Index) Gen() uint64 { return ix.gen }
+
+// AppendValues appends the attribute's distinct values to dst in
+// unspecified order and returns the extended slice.
+func (ix *Index) AppendValues(dst []string) []string {
+	for v := range ix.inverted {
+		dst = append(dst, v)
+	}
+	return dst
+}
+
 // add registers id under value and returns the cluster id used.
 func (ix *Index) add(value string, id int64) int32 {
 	cid, ok := ix.inverted[value]
@@ -154,6 +173,7 @@ func (ix *Index) add(value string, id int64) int32 {
 		ix.next++
 		ix.inverted[value] = cid
 		ix.clusters[cid] = &Cluster{Value: value}
+		ix.gen++
 	}
 	c := ix.clusters[cid]
 	c.IDs = append(c.IDs, id) // ids are monotonic, order preserved
@@ -172,6 +192,7 @@ func (ix *Index) drop(cid int32, id int64) error {
 	if c.Size() == 0 {
 		delete(ix.clusters, cid)
 		delete(ix.inverted, c.Value)
+		ix.gen++
 	}
 	return nil
 }
@@ -244,6 +265,15 @@ type Store struct {
 	pageN   []int
 	numRecs int
 	nextID  int64
+
+	// liveShared[p] marks page p's liveness bitmap as shared with one or
+	// more Frozen views (Freeze). The next liveness flip clones the bitmap
+	// first (copy-on-write), so frozen readers keep seeing the membership
+	// they captured. Arena slabs need no such flag: record slots are
+	// written exactly once (ids are never reused and a freed page's slab
+	// is never resurrected — a new slab is allocated instead), so sharing
+	// them is always safe.
+	liveShared []bool
 
 	// batchSeen is the reusable duplicate-delete detector of ApplyBatch.
 	batchSeen map[int64]struct{}
@@ -337,19 +367,31 @@ func (s *Store) ensurePage(id int64) int64 {
 		s.pages = append(s.pages, nil)
 		s.live = append(s.live, nil)
 		s.pageN = append(s.pageN, 0)
+		s.liveShared = append(s.liveShared, false)
 	}
 	if s.pages[pg] == nil {
 		s.pages[pg] = make([]int32, pageSize*s.numAttrs)
 		s.live[pg] = make([]uint64, liveWords)
+		s.liveShared[pg] = false
 	}
 	return pg
+}
+
+// mutableLive returns page pg's liveness bitmap for writing, cloning it
+// first when a Frozen view still shares it.
+func (s *Store) mutableLive(pg int64) []uint64 {
+	if s.liveShared[pg] {
+		s.live[pg] = append([]uint64(nil), s.live[pg]...)
+		s.liveShared[pg] = false
+	}
+	return s.live[pg]
 }
 
 // setLive marks id live and updates the record counters.
 func (s *Store) setLive(id int64) {
 	pg := s.ensurePage(id)
 	slot := id & pageMask
-	s.live[pg][slot>>6] |= 1 << (slot & 63)
+	s.mutableLive(pg)[slot>>6] |= 1 << (slot & 63)
 	s.pageN[pg]++
 	s.numRecs++
 }
@@ -359,7 +401,7 @@ func (s *Store) setLive(id int64) {
 func (s *Store) clearLive(id int64) {
 	pg := id >> pageBits
 	slot := id & pageMask
-	s.live[pg][slot>>6] &^= 1 << (slot & 63)
+	s.mutableLive(pg)[slot>>6] &^= 1 << (slot & 63)
 	s.pageN[pg]--
 	s.numRecs--
 }
@@ -371,6 +413,7 @@ func (s *Store) freePageIfEmpty(id int64) {
 	if s.pageN[pg] == 0 {
 		s.pages[pg] = nil
 		s.live[pg] = nil
+		s.liveShared[pg] = false
 	}
 }
 
@@ -549,6 +592,7 @@ func (s *Store) compactCluster(ix *Index, cid int32) {
 	if len(kept) == 0 {
 		delete(ix.clusters, cid)
 		delete(ix.inverted, c.Value)
+		ix.gen++
 		return
 	}
 	c.IDs = kept
@@ -658,9 +702,9 @@ func (s *Store) CheckConsistency() error {
 	}
 	// Arena invariants next: the cluster checks below resolve records
 	// through the liveness bitmap.
-	if len(s.pages) != len(s.live) || len(s.pages) != len(s.pageN) {
-		return fmt.Errorf("pli: arena directory skewed: %d pages, %d bitmaps, %d counts",
-			len(s.pages), len(s.live), len(s.pageN))
+	if len(s.pages) != len(s.live) || len(s.pages) != len(s.pageN) || len(s.pages) != len(s.liveShared) {
+		return fmt.Errorf("pli: arena directory skewed: %d pages, %d bitmaps, %d counts, %d share flags",
+			len(s.pages), len(s.live), len(s.pageN), len(s.liveShared))
 	}
 	total := 0
 	for pg := range s.pages {

@@ -1,0 +1,422 @@
+package results_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"dynfd/internal/attrset"
+	"dynfd/internal/core"
+	"dynfd/internal/dataset"
+	"dynfd/internal/fd"
+	"dynfd/internal/results"
+	"dynfd/internal/stream"
+)
+
+// buildEngine bootstraps a core engine over random rows.
+func buildEngine(t *testing.T, r *rand.Rand, attrs, rows, domain int) (*core.Engine, []string) {
+	t.Helper()
+	cols := make([]string, attrs)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i)
+	}
+	rel := dataset.New("t", cols)
+	for i := 0; i < rows; i++ {
+		row := make([]string, attrs)
+		for a := range row {
+			row[a] = fmt.Sprint(r.Intn(domain))
+		}
+		if err := rel.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := core.Bootstrap(rel, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, cols
+}
+
+// randomBatch mixes inserts, deletes, and updates over the engine's live
+// ids.
+func randomBatch(r *rand.Rand, e *core.Engine, attrs, size, domain int) stream.Batch {
+	var live []int64
+	e.ForEachRecord(func(id int64, _ []string) bool {
+		live = append(live, id)
+		return true
+	})
+	randRow := func() []string {
+		row := make([]string, attrs)
+		for a := range row {
+			row[a] = fmt.Sprint(r.Intn(domain))
+		}
+		return row
+	}
+	var changes []stream.Change
+	touched := map[int64]bool{}
+	for c := 0; c < size; c++ {
+		op := r.Intn(4)
+		if len(live) == 0 {
+			op = 0
+		}
+		switch op {
+		case 0, 1:
+			changes = append(changes, stream.Change{Kind: stream.Insert, Values: randRow()})
+		case 2:
+			id := live[r.Intn(len(live))]
+			if touched[id] {
+				continue
+			}
+			touched[id] = true
+			changes = append(changes, stream.Change{Kind: stream.Delete, ID: id})
+		case 3:
+			id := live[r.Intn(len(live))]
+			if touched[id] {
+				continue
+			}
+			touched[id] = true
+			changes = append(changes, stream.Change{Kind: stream.Update, ID: id, Values: randRow()})
+		}
+	}
+	return stream.Batch{Changes: changes}
+}
+
+// liveRows returns the live relation as id-ordered rows.
+func liveRows(e *core.Engine) [][]string {
+	var rows [][]string
+	e.ForEachRecord(func(_ int64, values []string) bool {
+		rows = append(rows, append([]string(nil), values...))
+		return true
+	})
+	return rows
+}
+
+// bruteUnique is the oracle key check: pairwise-distinct projections.
+func bruteUnique(rows [][]string, cols []int) bool {
+	if len(rows) <= 1 {
+		return true
+	}
+	if len(cols) == 0 {
+		return false
+	}
+	seen := make(map[string]bool, len(rows))
+	for _, row := range rows {
+		var b strings.Builder
+		for _, c := range cols {
+			b.WriteString(row[c])
+			b.WriteByte(0)
+		}
+		k := b.String()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+	}
+	return true
+}
+
+// bruteINDs is the oracle IND listing: value-set inclusion over live rows.
+func bruteINDs(rows [][]string, attrs int) []results.UnaryIND {
+	vals := make([]map[string]bool, attrs)
+	for a := range vals {
+		vals[a] = map[string]bool{}
+	}
+	for _, row := range rows {
+		for a, v := range row {
+			vals[a][v] = true
+		}
+	}
+	var out []results.UnaryIND
+	for i := 0; i < attrs; i++ {
+		for j := 0; j < attrs; j++ {
+			if i == j {
+				continue
+			}
+			included := true
+			for v := range vals[i] {
+				if !vals[j][v] {
+					included = false
+					break
+				}
+			}
+			if included {
+				out = append(out, results.UnaryIND{Lhs: i, Rhs: j})
+			}
+		}
+	}
+	return out
+}
+
+func indsEqual(a, b []results.UnaryIND) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkSnapshot verifies one snapshot against the engine it was built from
+// and the brute-force oracles.
+func checkSnapshot(t *testing.T, r *rand.Rand, e *core.Engine, s *results.Snapshot, attrs int) {
+	t.Helper()
+	if got, want := s.NumRecords(), e.NumRecords(); got != want {
+		t.Fatalf("NumRecords: snapshot %d, engine %d", got, want)
+	}
+	if !fd.Equal(s.FDs(), e.FDs()) {
+		t.Fatalf("FDs diverged:\n snap %v\n eng  %v", s.FDs(), e.FDs())
+	}
+	if !fd.Equal(s.NonFDs(), e.NonFDs()) {
+		t.Fatalf("NonFDs diverged:\n snap %v\n eng  %v", s.NonFDs(), e.NonFDs())
+	}
+	// Per-RHS covers partition the FD set.
+	var cat []fd.FD
+	for rhs := 0; rhs < attrs; rhs++ {
+		for _, f := range s.CoverOf(rhs) {
+			if f.Rhs != rhs {
+				t.Fatalf("CoverOf(%d) holds %v", rhs, f)
+			}
+			cat = append(cat, f)
+		}
+	}
+	if !fd.Equal(cat, s.FDs()) {
+		t.Fatalf("CoverOf concatenation != FDs:\n %v\n %v", cat, s.FDs())
+	}
+
+	rows := liveRows(e)
+
+	// Holds on random candidates.
+	for trial := 0; trial < 30; trial++ {
+		var lhs attrset.Set
+		for a := 0; a < attrs; a++ {
+			if r.Intn(2) == 0 {
+				lhs = lhs.With(a)
+			}
+		}
+		rhs := r.Intn(attrs)
+		if got, want := s.Holds(lhs, rhs), e.Holds(lhs.Slice(), rhs); got != want {
+			t.Fatalf("Holds(%v -> %d): snapshot %v, engine %v", lhs, rhs, got, want)
+		}
+	}
+
+	// Unique on random column sets (twice: second call hits the memo).
+	for trial := 0; trial < 20; trial++ {
+		var cols attrset.Set
+		for a := 0; a < attrs; a++ {
+			if r.Intn(3) == 0 {
+				cols = cols.With(a)
+			}
+		}
+		if cols.IsEmpty() {
+			cols = attrset.Of(r.Intn(attrs))
+		}
+		want := bruteUnique(rows, cols.Slice())
+		if got := s.Unique(cols); got != want {
+			t.Fatalf("Unique(%v): snapshot %v, oracle %v (rows %v)", cols, got, want, rows)
+		}
+		if got := s.Unique(cols); got != want {
+			t.Fatalf("Unique(%v) memoized: snapshot %v, oracle %v", cols, got, want)
+		}
+	}
+
+	// INDs against the value-set oracle (memoized second call included).
+	wantINDs := bruteINDs(rows, attrs)
+	if got := s.INDs(); !indsEqual(got, wantINDs) {
+		t.Fatalf("INDs diverged:\n snap %v\n want %v\n rows %v", got, wantINDs, rows)
+	}
+	if got := s.INDs(); !indsEqual(got, wantINDs) {
+		t.Fatalf("INDs memoized call diverged: %v", got)
+	}
+
+	// Violations against the engine's live-store scan.
+	for trial := 0; trial < 15; trial++ {
+		var lhs attrset.Set
+		for a := 0; a < attrs; a++ {
+			if r.Intn(2) == 0 {
+				lhs = lhs.With(a)
+			}
+		}
+		rhs := r.Intn(attrs)
+		if lhs.Contains(rhs) {
+			lhs = lhs.Without(rhs)
+		}
+		max := r.Intn(4) // 0 = all
+		gotG, gotErr := s.Violations(lhs, rhs, max)
+		wantG, wantErr := e.Violations(lhs.Slice(), rhs, max)
+		if gotErr != wantErr {
+			t.Fatalf("Violations(%v -> %d) g3: snapshot %v, engine %v", lhs, rhs, gotErr, wantErr)
+		}
+		if len(gotG) != len(wantG) {
+			t.Fatalf("Violations(%v -> %d): %d groups vs %d", lhs, rhs, len(gotG), len(wantG))
+		}
+		for i := range gotG {
+			if gotG[i].RhsValues != wantG[i].RhsValues {
+				t.Fatalf("group %d RhsValues: %d vs %d", i, gotG[i].RhsValues, wantG[i].RhsValues)
+			}
+			if len(gotG[i].IDs) != len(wantG[i].IDs) {
+				t.Fatalf("group %d size: %d vs %d", i, len(gotG[i].IDs), len(wantG[i].IDs))
+			}
+			for k := range gotG[i].IDs {
+				if gotG[i].IDs[k] != wantG[i].IDs[k] {
+					t.Fatalf("group %d ids: %v vs %v", i, gotG[i].IDs, wantG[i].IDs)
+				}
+			}
+			if !sort.SliceIsSorted(gotG[i].IDs, func(a, b int) bool { return gotG[i].IDs[a] < gotG[i].IDs[b] }) {
+				t.Fatalf("group %d ids not ascending: %v", i, gotG[i].IDs)
+			}
+		}
+	}
+}
+
+// TestSnapshotMatchesEngine streams random batches and verifies that the
+// copy-on-write snapshot chain answers every query exactly like the engine
+// (and the brute-force oracles) at each sequence.
+func TestSnapshotMatchesEngine(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint("seed", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			const attrs = 4
+			e, cols := buildEngine(t, r, attrs, 30, 4)
+			snap := e.BuildResults(nil, 0, cols, nil, nil)
+			checkSnapshot(t, r, e, snap, attrs)
+			for b := 0; b < 12; b++ {
+				res, err := e.ApplyBatch(randomBatch(r, e, attrs, 8, 4))
+				if err != nil {
+					t.Fatal(err)
+				}
+				snap = e.BuildResults(snap, uint64(b+1), cols, res.Added, res.Removed)
+				if snap.Seq() != uint64(b+1) {
+					t.Fatalf("Seq = %d, want %d", snap.Seq(), b+1)
+				}
+				checkSnapshot(t, r, e, snap, attrs)
+			}
+		})
+	}
+}
+
+// sameBacking reports whether two FD slices share their backing array —
+// the observable form of copy-on-write cover sharing.
+func sameBacking(a, b []fd.FD) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true
+	}
+	return &a[0] == &b[0]
+}
+
+// TestSnapshotCopyOnWriteSharing asserts the sharing rules: per-RHS cover
+// slices not named in the diff alias the predecessor's, an empty diff
+// shares the entire cover, and a predecessor from a different store is
+// never shared against.
+func TestSnapshotCopyOnWriteSharing(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const attrs = 4
+	e, cols := buildEngine(t, r, attrs, 40, 3)
+	s0 := e.BuildResults(nil, 0, cols, nil, nil)
+
+	// Empty diff: whole cover and every per-RHS slice shared.
+	s1 := e.BuildResults(s0, 1, cols, nil, nil)
+	if !sameBacking(s0.FDs(), s1.FDs()) {
+		t.Fatal("empty diff: FDs not shared with predecessor")
+	}
+	if !sameBacking(s0.NonFDs(), s1.NonFDs()) {
+		t.Fatal("empty diff: NonFDs not shared with predecessor")
+	}
+	for rhs := 0; rhs < attrs; rhs++ {
+		if !sameBacking(s0.CoverOf(rhs), s1.CoverOf(rhs)) {
+			t.Fatalf("empty diff: CoverOf(%d) not shared", rhs)
+		}
+	}
+
+	// Batches until one actually changes the cover, then check untouched
+	// right-hand sides still alias.
+	prev := s1
+	for b := 0; b < 50; b++ {
+		res, err := e.ApplyBatch(randomBatch(r, e, attrs, 6, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := e.BuildResults(prev, uint64(b+2), cols, res.Added, res.Removed)
+		var touched attrset.Set
+		for _, f := range res.Added {
+			touched = touched.With(f.Rhs)
+		}
+		for _, f := range res.Removed {
+			touched = touched.With(f.Rhs)
+		}
+		if !touched.IsEmpty() {
+			for rhs := 0; rhs < attrs; rhs++ {
+				if touched.Contains(rhs) {
+					continue
+				}
+				if !sameBacking(prev.CoverOf(rhs), next.CoverOf(rhs)) {
+					t.Fatalf("batch %d: untouched CoverOf(%d) not shared (touched %v)", b, rhs, touched)
+				}
+			}
+		}
+		prev = next
+	}
+
+	// A predecessor built from a different store must not poison the
+	// result: full rebuild, still exact.
+	r2 := rand.New(rand.NewSource(8))
+	e2, cols2 := buildEngine(t, r2, attrs, 35, 3)
+	foreign := e2.BuildResults(prev, 99, cols2, nil, nil)
+	if !fd.Equal(foreign.FDs(), e2.FDs()) {
+		t.Fatalf("foreign-prev snapshot diverged:\n snap %v\n eng  %v", foreign.FDs(), e2.FDs())
+	}
+	checkSnapshot(t, r2, e2, foreign, attrs)
+}
+
+// TestSnapshotImmutableUnderMutation verifies snapshot isolation: a frozen
+// snapshot keeps answering from its own sequence while the engine moves on.
+func TestSnapshotImmutableUnderMutation(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const attrs = 3
+	e, cols := buildEngine(t, r, attrs, 25, 3)
+	snap := e.BuildResults(nil, 0, cols, nil, nil)
+
+	wantRecs := snap.NumRecords()
+	wantFDs := append([]fd.FD(nil), snap.FDs()...)
+	wantINDs := append([]results.UnaryIND(nil), snap.INDs()...)
+	uniqCols := attrset.Of(0, 1, 2)
+	wantUnique := snap.Unique(uniqCols)
+	vioLhs, vioRhs := attrset.Of(0), 1
+	wantG, wantG3 := snap.Violations(vioLhs, vioRhs, 0)
+
+	prev := snap
+	for b := 0; b < 20; b++ {
+		res, err := e.ApplyBatch(randomBatch(r, e, attrs, 10, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = e.BuildResults(prev, uint64(b+1), cols, res.Added, res.Removed)
+	}
+
+	if snap.NumRecords() != wantRecs {
+		t.Fatalf("NumRecords moved: %d -> %d", wantRecs, snap.NumRecords())
+	}
+	if !fd.Equal(snap.FDs(), wantFDs) {
+		t.Fatalf("FDs moved under mutation: %v -> %v", wantFDs, snap.FDs())
+	}
+	if got := snap.INDs(); !indsEqual(got, wantINDs) {
+		t.Fatalf("INDs moved under mutation: %v -> %v", wantINDs, got)
+	}
+	if got := snap.Unique(uniqCols); got != wantUnique {
+		t.Fatalf("Unique moved under mutation: %v -> %v", wantUnique, got)
+	}
+	gotG, gotG3 := snap.Violations(vioLhs, vioRhs, 0)
+	if gotG3 != wantG3 || len(gotG) != len(wantG) {
+		t.Fatalf("Violations moved under mutation: %d groups g3=%v -> %d groups g3=%v",
+			len(wantG), wantG3, len(gotG), gotG3)
+	}
+}

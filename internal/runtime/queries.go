@@ -3,19 +3,21 @@ package runtime
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"time"
 
-	"dynfd"
 	"dynfd/internal/bench"
 )
 
-// TenantInfo is one tenant's lifecycle summary.
+// TenantInfo is one tenant's lifecycle summary. Seq is the staged
+// high-water mark; SnapshotSeq is the sequence of the published snapshot
+// the read endpoints serve — the difference is the batches whose commits
+// are still in flight.
 type TenantInfo struct {
 	Name        string   `json:"name"`
 	Columns     []string `json:"columns,omitempty"`
 	Records     int      `json:"records"`
 	Seq         uint64   `json:"seq"`
+	SnapshotSeq uint64   `json:"snapshot_seq"`
 	Batches     uint64   `json:"batches"`
 	Quarantined string   `json:"quarantined,omitempty"`
 }
@@ -62,20 +64,23 @@ func (rt *Runtime) Info(name string) (TenantInfo, error) {
 }
 
 // info snapshots the tenant's summary; ok is false once it was dropped.
+// It never takes the tenant mutation lock: a GET /tenants must not queue
+// behind a long-running batch, so everything comes from the published
+// snapshot and atomic lifecycle state.
 func (t *tenant) info() (TenantInfo, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
+	if t.dropped.Load() {
 		return TenantInfo{}, false
 	}
 	info := TenantInfo{Name: t.name}
-	if t.quarantine != nil {
-		info.Quarantined = t.quarantine.Error()
+	if q := t.quarErr(); q != nil {
+		info.Quarantined = q.Error()
 	}
-	if t.mon != nil {
-		info.Columns = t.mon.Columns()
-		info.Records = t.mon.NumRecords()
-		info.Seq = t.mon.Seq()
+	if mon := t.monRead.Load(); mon != nil {
+		snap := mon.Snapshot()
+		info.Columns = snap.Columns()
+		info.Records = snap.NumRecords()
+		info.Seq = mon.Seq()
+		info.SnapshotSeq = snap.Seq()
 	}
 	t.statMu.Lock()
 	info.Batches = t.batches
@@ -83,37 +88,23 @@ func (t *tenant) info() (TenantInfo, bool) {
 	return info, true
 }
 
-// KeyCheck reports whether the given columns currently form a unique
-// column combination (no two live records agree on all of them). Unlike
-// an FD-cover query, this is exact even in the presence of fully
-// duplicate tuples: it scans the authoritative record store.
+// KeyCheck reports whether the given columns form a unique column
+// combination (no two records agree on all of them) as of the tenant's
+// published snapshot. Unlike an FD-cover query, this is exact even in
+// the presence of fully duplicate tuples. The scan runs over int32
+// cluster ids in an open-addressing table — no per-record string
+// building — and only when the snapshot's FD cover cannot already refute
+// uniqueness; results are memoized per snapshot, and the call never
+// blocks behind an in-flight batch.
 func (rt *Runtime) KeyCheck(name string, columns []string) (unique bool, err error) {
-	err = rt.View(name, func(mon *dynfd.DurableMonitor) error {
-		idx, err := columnIndexes(mon.Columns(), columns)
-		if err != nil {
-			return err
-		}
-		seen := make(map[string]struct{})
-		unique = true
-		var b strings.Builder
-		mon.ForEachRecord(func(_ int64, values []string) bool {
-			b.Reset()
-			for _, i := range idx {
-				// Length-prefix each value so distinct tuples can never
-				// concatenate to the same key.
-				fmt.Fprintf(&b, "%d:%s", len(values[i]), values[i])
-			}
-			key := b.String()
-			if _, dup := seen[key]; dup {
-				unique = false
-				return false
-			}
-			seen[key] = struct{}{}
-			return true
-		})
-		return nil
-	})
-	return unique, err
+	snap, _, err := rt.Snapshot(name)
+	if err != nil {
+		return false, err
+	}
+	if _, err := columnIndexes(snap.Columns(), columns); err != nil {
+		return false, err
+	}
+	return snap.Unique(columns)
 }
 
 // UnaryIND is one unary inclusion dependency between columns of a tenant:
@@ -123,43 +114,23 @@ type UnaryIND struct {
 	Rhs string `json:"rhs"`
 }
 
-// INDs computes the tenant's current unary inclusion dependencies with one
-// scan over the record store, in deterministic column order. Trivial
-// self-inclusions are omitted.
+// INDs returns the tenant's unary inclusion dependencies as of its
+// published snapshot, in deterministic column order, omitting trivial
+// self-inclusions. The value sets come from the snapshot's per-column
+// dictionaries (shared copy-on-write across snapshots) and the result is
+// memoized in the snapshot, so repeated queries between batches are
+// free; the call never blocks behind an in-flight batch.
 func (rt *Runtime) INDs(name string) ([]UnaryIND, error) {
+	snap, _, err := rt.Snapshot(name)
+	if err != nil {
+		return nil, err
+	}
+	cols := snap.Columns()
 	var out []UnaryIND
-	err := rt.View(name, func(mon *dynfd.DurableMonitor) error {
-		cols := mon.Columns()
-		distinct := make([]map[string]struct{}, len(cols))
-		for i := range distinct {
-			distinct[i] = make(map[string]struct{})
-		}
-		mon.ForEachRecord(func(_ int64, values []string) bool {
-			for i, v := range values {
-				distinct[i][v] = struct{}{}
-			}
-			return true
-		})
-		for i := range cols {
-			for j := range cols {
-				if i == j || len(distinct[i]) > len(distinct[j]) {
-					continue
-				}
-				included := true
-				for v := range distinct[i] {
-					if _, ok := distinct[j][v]; !ok {
-						included = false
-						break
-					}
-				}
-				if included {
-					out = append(out, UnaryIND{Lhs: cols[i], Rhs: cols[j]})
-				}
-			}
-		}
-		return nil
-	})
-	return out, err
+	for _, d := range snap.INDs() {
+		out = append(out, UnaryIND{Lhs: cols[d.Lhs], Rhs: cols[d.Rhs]})
+	}
+	return out, nil
 }
 
 // TenantMetrics is one tenant's operational metrics: batch latency
@@ -168,6 +139,7 @@ type TenantMetrics struct {
 	Name        string `json:"name"`
 	Records     int    `json:"records"`
 	Seq         uint64 `json:"seq"`
+	SnapshotSeq uint64 `json:"snapshot_seq"`
 	Batches     uint64 `json:"batches"`
 	Quarantined string `json:"quarantined,omitempty"`
 
@@ -224,26 +196,28 @@ func (rt *Runtime) TenantMetrics(name string) (TenantMetrics, error) {
 	return m, nil
 }
 
+// metrics snapshots one tenant's metrics. Like info it never takes the
+// tenant mutation lock: everything comes from the published snapshot,
+// the (internally synchronized) WAL sync counters, and atomic state.
 func (t *tenant) metrics() (TenantMetrics, bool) {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	if t.dropped.Load() {
 		return TenantMetrics{}, false
 	}
 	m := TenantMetrics{Name: t.name}
-	if t.quarantine != nil {
-		m.Quarantined = t.quarantine.Error()
+	if q := t.quarErr(); q != nil {
+		m.Quarantined = q.Error()
 	}
-	if t.mon != nil {
-		m.Records = t.mon.NumRecords()
-		m.Seq = t.mon.Seq()
-		ws := t.mon.WALStats()
+	if mon := t.monRead.Load(); mon != nil {
+		snap := mon.Snapshot()
+		m.Records = snap.NumRecords()
+		m.Seq = mon.Seq()
+		m.SnapshotSeq = snap.Seq()
+		ws := mon.WALStats()
 		m.WALSyncs = ws.Syncs
 		m.WALSyncTimeNs = int64(ws.SyncTime)
-		m.FDCoverSize = len(t.mon.FDs())
-		m.NonFDCoverSize = len(t.mon.NonFDs())
+		m.FDCoverSize = len(snap.FDs())
+		m.NonFDCoverSize = len(snap.NonFDs())
 	}
-	t.mu.Unlock()
 
 	t.statMu.Lock()
 	m.Batches = t.batches

@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynfd"
@@ -103,6 +104,14 @@ type Config struct {
 	// LatencyWindow is how many recent per-batch latencies each tenant
 	// retains for percentile metrics; 0 means 512.
 	LatencyWindow int
+	// SyncMaxDelay is each engine's group-commit linger window
+	// (dynfd.WithSyncMaxDelay): how long a commit leader waits before the
+	// shared fsync so concurrent batches coalesce. 0 syncs immediately.
+	SyncMaxDelay time.Duration
+	// CommitQueue bounds each tenant's staged-but-unsynced batches
+	// (dynfd.WithCommitQueue); overflow is reported as ErrOverloaded.
+	// 0 means unbounded.
+	CommitQueue int
 }
 
 // Runtime manages named tenants, each backed by its own durable engine.
@@ -129,13 +138,23 @@ type tenant struct {
 	ready   chan struct{}
 	initErr error
 
-	// mu serializes every engine access: the monitor is single-caller by
-	// contract. Drop sets closed under mu, so an engine is never used
-	// after its Close.
-	mu         sync.Mutex
-	mon        *dynfd.DurableMonitor
-	closed     bool
-	quarantine error
+	// mu serializes every engine mutation: Bootstrap, batch staging,
+	// Checkpoint, Close. Drop sets closed under mu, so an engine is never
+	// mutated after its Close. Reads do NOT take mu — they go through
+	// monRead and the published snapshot, so a long batch never stalls
+	// them.
+	mu     sync.Mutex
+	mon    *dynfd.DurableMonitor
+	closed bool
+
+	// Lock-free read-path state. monRead mirrors mon for readers (nil
+	// while the tenant has no usable engine); dropped mirrors closed;
+	// quarantine holds the first quarantine reason. All three are written
+	// at lifecycle points and read by snapshot-serving endpoints without
+	// any tenant lock.
+	monRead    atomic.Pointer[dynfd.DurableMonitor]
+	dropped    atomic.Bool
+	quarantine atomic.Pointer[error]
 
 	// statMu guards the admission counter and latency ring; it is never
 	// held while the engine works, so metrics and admission stay
@@ -146,6 +165,24 @@ type tenant struct {
 	lat      []time.Duration
 	latPos   int
 	latFull  bool
+}
+
+// quarErr returns the tenant's quarantine reason, or nil while healthy.
+// Safe from any goroutine.
+func (t *tenant) quarErr() error {
+	if p := t.quarantine.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// setQuarantine records the first quarantine reason; later causes keep
+// the original. Safe from any goroutine.
+func (t *tenant) setQuarantine(err error) {
+	if err == nil {
+		return
+	}
+	t.quarantine.CompareAndSwap(nil, &err)
 }
 
 // Open creates a runtime over cfg.DataRoot and recovers every tenant
@@ -192,10 +229,11 @@ func Open(cfg Config) (*Runtime, error) {
 		mon, err := dynfd.OpenDurable(t.dir, nil, rt.engineOptions(tc.Workers)...)
 		if err != nil {
 			// Quarantine, don't die: the other tenants must keep serving.
-			t.quarantine = fmt.Errorf("recovering tenant %q: %w", name, err)
+			t.setQuarantine(fmt.Errorf("recovering tenant %q: %w", name, err))
 			rt.logger.Printf("runtime: tenant %q quarantined at startup: %v", name, err)
 		} else {
 			t.mon = mon
+			t.monRead.Store(mon)
 		}
 		close(t.ready)
 		rt.tenants[name] = t
@@ -214,6 +252,12 @@ func (rt *Runtime) engineOptions(workers *int) []dynfd.Option {
 	opts := []dynfd.Option{dynfd.WithWorkers(w)}
 	if rt.cfg.CheckpointEvery != 0 {
 		opts = append(opts, dynfd.WithCheckpointEvery(rt.cfg.CheckpointEvery))
+	}
+	if rt.cfg.SyncMaxDelay > 0 {
+		opts = append(opts, dynfd.WithSyncMaxDelay(rt.cfg.SyncMaxDelay))
+	}
+	if rt.cfg.CommitQueue > 0 {
+		opts = append(opts, dynfd.WithCommitQueue(rt.cfg.CommitQueue))
 	}
 	return opts
 }
@@ -344,6 +388,7 @@ func (rt *Runtime) CreateWithOptions(name string, columns []string, rows [][]str
 		return fmt.Errorf("runtime: creating tenant %q: %w", name, err)
 	}
 	t.mon = mon
+	t.monRead.Store(mon)
 	close(t.ready)
 	rt.logger.Printf("runtime: tenant %q created (%d columns, %d rows)", name, len(columns), len(rows))
 	return nil
@@ -382,6 +427,8 @@ func (rt *Runtime) Drop(name string) error {
 		return fmt.Errorf("%w: %q", ErrNoSuchTenant, name)
 	}
 	t.closed = true
+	t.dropped.Store(true)
+	t.monRead.Store(nil)
 	var closeErr error
 	if t.mon != nil {
 		closeErr = t.mon.Close()
@@ -454,36 +501,62 @@ func (rt *Runtime) Apply(name string, changes []dynfd.Change) (ApplyResult, erro
 		t.statMu.Unlock()
 	}()
 
+	// Stage under the tenant mutation lock, wait for durability outside
+	// it: while the group fsync runs, the next batch can stage and every
+	// read endpoint keeps serving from the published snapshot.
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		return ApplyResult{}, fmt.Errorf("%w: %q", ErrNoSuchTenant, name)
 	}
-	if t.quarantine != nil {
-		return ApplyResult{}, &QuarantineError{Tenant: name, Err: t.quarantine}
+	if q := t.quarErr(); q != nil {
+		t.mu.Unlock()
+		return ApplyResult{}, &QuarantineError{Tenant: name, Err: q}
 	}
+	mon := t.mon
 	start := time.Now()
-	diff, err := t.mon.Apply(changes...)
+	diff, commit, err := mon.ApplyStaged(changes...)
 	if err != nil {
-		if perr := t.mon.Err(); perr != nil {
+		if perr := mon.Err(); perr != nil {
 			// The engine poisoned itself: durable and in-memory state may
 			// have diverged. Quarantine the tenant; the rest of the fleet
 			// keeps serving.
-			t.quarantine = perr
+			t.setQuarantine(perr)
+			t.mu.Unlock()
 			rt.logger.Printf("runtime: tenant %q quarantined: %v", name, perr)
 			return ApplyResult{}, &QuarantineError{Tenant: name, Err: perr}
+		}
+		t.mu.Unlock()
+		if errors.Is(err, dynfd.ErrCommitQueueFull) {
+			// The bounded commit queue is load shedding, not a tenant
+			// failure: report it like any other overload.
+			return ApplyResult{}, fmt.Errorf("%w: tenant %q: %v", ErrOverloaded, name, err)
 		}
 		// Batch rejected by precheck — engine state untouched and healthy.
 		return ApplyResult{}, fmt.Errorf("runtime: tenant %q: %w", name, err)
 	}
-	elapsed := time.Since(start)
-	res := ApplyResult{Seq: t.mon.Seq(), InsertedIDs: diff.InsertedIDs}
+	res := ApplyResult{Seq: mon.Seq(), InsertedIDs: diff.InsertedIDs}
 	for _, f := range diff.Added {
-		res.Added = append(res.Added, t.mon.FormatFD(f))
+		res.Added = append(res.Added, mon.FormatFD(f))
 	}
 	for _, f := range diff.Removed {
-		res.Removed = append(res.Removed, t.mon.FormatFD(f))
+		res.Removed = append(res.Removed, mon.FormatFD(f))
 	}
+	t.mu.Unlock()
+
+	// The batch is staged but not durable; concurrent Applies coalesce
+	// their fsyncs here. A wait failure means the batch must NOT be
+	// acknowledged — the engine has poisoned itself.
+	if werr := commit.Wait(); werr != nil {
+		perr := werr
+		if e := mon.Err(); e != nil {
+			perr = e
+		}
+		t.setQuarantine(perr)
+		rt.logger.Printf("runtime: tenant %q quarantined: %v", name, perr)
+		return ApplyResult{}, &QuarantineError{Tenant: name, Err: perr}
+	}
+	elapsed := time.Since(start)
 	t.statMu.Lock()
 	t.batches++
 	if len(t.lat) < rt.cfg.LatencyWindow {
@@ -512,9 +585,31 @@ func (rt *Runtime) View(name string, f func(*dynfd.DurableMonitor) error) error 
 		return fmt.Errorf("%w: %q", ErrNoSuchTenant, name)
 	}
 	if t.mon == nil {
-		return &QuarantineError{Tenant: name, Err: t.quarantine}
+		return &QuarantineError{Tenant: name, Err: t.quarErr()}
 	}
 	return f(t.mon)
+}
+
+// Snapshot returns the named tenant's latest published result snapshot
+// together with its staged sequence number (the high-water mark of
+// batches accepted so far; it exceeds the snapshot's Seq by exactly the
+// batches whose commits are still in flight). The call never takes the
+// tenant mutation lock — it is a map lookup plus two atomic loads — so
+// it stays fast while a writer streams batches. A tenant whose recovery
+// failed has no snapshot and returns its QuarantineError.
+func (rt *Runtime) Snapshot(name string) (snap *dynfd.ResultSnapshot, stagedSeq uint64, err error) {
+	t, err := rt.get(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	if t.dropped.Load() {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNoSuchTenant, name)
+	}
+	mon := t.monRead.Load()
+	if mon == nil {
+		return nil, 0, &QuarantineError{Tenant: name, Err: t.quarErr()}
+	}
+	return mon.Snapshot(), mon.Seq(), nil
 }
 
 // Checkpoint folds the named tenant's WAL into a fresh snapshot now.
@@ -528,8 +623,8 @@ func (rt *Runtime) Checkpoint(name string) (seq uint64, err error) {
 	if t.closed {
 		return 0, fmt.Errorf("%w: %q", ErrNoSuchTenant, name)
 	}
-	if t.quarantine != nil || t.mon == nil {
-		return 0, &QuarantineError{Tenant: name, Err: t.quarantine}
+	if q := t.quarErr(); q != nil || t.mon == nil {
+		return 0, &QuarantineError{Tenant: name, Err: q}
 	}
 	if err := t.mon.Checkpoint(); err != nil {
 		return 0, fmt.Errorf("runtime: checkpointing tenant %q: %w", name, err)
@@ -561,6 +656,7 @@ func (rt *Runtime) Close() error {
 		t.mu.Lock()
 		if !t.closed {
 			t.closed = true
+			t.dropped.Store(true)
 			if t.mon != nil {
 				if err := t.mon.Close(); err != nil && first == nil {
 					first = fmt.Errorf("runtime: closing tenant %q: %w", t.name, err)

@@ -100,7 +100,11 @@ func Scan(data []byte) (recs []Record, validLen int64) {
 // Log appends records to an open write-ahead log file. It buffers nothing
 // across calls: Append hands the file exactly one Write per record (so a
 // torn write tears at most one record), and Sync makes everything written
-// so far durable. A Log is not safe for concurrent use.
+// so far durable. Append, Reset, and Truncate calls must be externally
+// serialized; Sync only touches the file and may run concurrently with
+// Append when the file supports it (*os.File does) — the group committer
+// relies on that overlap, and brackets Reset/Truncate with its Exclusive
+// barrier so a truncation never races a sync.
 type Log struct {
 	f   File
 	buf []byte
