@@ -39,6 +39,20 @@
 // commit latency), and -commit-queue bounds staged-but-unsynced batches
 // per engine, shedding overflow with 503 before anything is logged.
 //
+// WAL-shipping replication (DESIGN.md §15): a primary adds -repl-addr to
+// stream every tenant's WAL tail to followers; a follower daemon runs
+// with -replicate-from pointing at that address, mirrors the primary's
+// tenants (seeding new ones from checkpoints, then tailing frames), and
+// serves every read endpoint from its replayed snapshots. Follower read
+// responses report "primary_seq" and "lag", accept ?max_lag=N bounds, and
+// writes answer 403 (with -advertise on the primary, stale reads can 307
+// there instead).
+//
+//	dynfdd -http :8080 -data-root /var/lib/dynfd -repl-addr :7071 \
+//	       -advertise http://primary:8080                  # primary
+//	dynfdd -http :8081 -data-root /var/lib/dynfd-replica \
+//	       -replicate-from http://primary:7071             # follower
+//
 // Engines default to -workers auto (one scheduler worker per CPU);
 // tenants may override it at create time. -pprof-addr serves
 // net/http/pprof on a separate listener for profiling a live daemon,
@@ -70,6 +84,7 @@ import (
 	"dynfd/internal/dataset"
 	"dynfd/internal/durable"
 	"dynfd/internal/httpapi"
+	"dynfd/internal/repl"
 	"dynfd/internal/runtime"
 	"dynfd/internal/server"
 )
@@ -87,6 +102,9 @@ func main() {
 	syncMaxDelay := flag.Duration("sync-max-delay", 0, "group-commit linger: how long a commit leader waits before the shared WAL fsync so concurrent batches coalesce (0 = sync immediately; try 1ms under heavy concurrent write load)")
 	commitQueue := flag.Int("commit-queue", 0, "per-tenant bound on batches staged but not yet fsynced; overflow answers 503 before anything is logged (0 = unbounded)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for profiling scheduler contention; empty disables")
+	replAddr := flag.String("repl-addr", "", "serve the WAL-shipping replication protocol on this address so followers can stream this daemon's tenants; empty disables")
+	replicateFrom := flag.String("replicate-from", "", "run as a read-only follower of the primary whose -repl-addr is at this base URL (e.g. http://10.0.0.1:7071); mirrors its tenants and serves all reads with bounded staleness")
+	advertise := flag.String("advertise", "", "public base URL of this daemon's -http API, handed to followers for write/stale-read redirects (with -repl-addr)")
 	flag.Parse()
 
 	if *httpAddr == "" && *listen == "" {
@@ -95,6 +113,14 @@ func main() {
 	}
 	if *httpAddr != "" && *dataRoot == "" {
 		fmt.Fprintln(os.Stderr, "dynfdd: -http requires -data-root")
+		os.Exit(2)
+	}
+	if (*replAddr != "" || *replicateFrom != "") && *httpAddr == "" {
+		fmt.Fprintln(os.Stderr, "dynfdd: -repl-addr and -replicate-from require -http (the multi-tenant service)")
+		os.Exit(2)
+	}
+	if *replAddr != "" && *replicateFrom != "" {
+		fmt.Fprintln(os.Stderr, "dynfdd: -repl-addr and -replicate-from are mutually exclusive (chained replication is not supported)")
 		os.Exit(2)
 	}
 	workers, err := parseWorkers(*workersFlag)
@@ -137,12 +163,14 @@ func main() {
 	// Multi-tenant HTTP+JSON service.
 	if *httpAddr != "" {
 		rt, err := runtime.Open(runtime.Config{
-			DataRoot:        *dataRoot,
-			Workers:         workers,
-			CheckpointEvery: *checkpointEvery,
-			SyncMaxDelay:    *syncMaxDelay,
-			CommitQueue:     *commitQueue,
-			Logger:          log.Default(),
+			DataRoot:         *dataRoot,
+			Workers:          workers,
+			CheckpointEvery:  *checkpointEvery,
+			SyncMaxDelay:     *syncMaxDelay,
+			CommitQueue:      *commitQueue,
+			ServeReplication: *replAddr != "",
+			ReplicateFrom:    *replicateFrom,
+			Logger:           log.Default(),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dynfdd:", err)
@@ -154,7 +182,12 @@ func main() {
 			os.Exit(1)
 		}
 		hsrv := &http.Server{Handler: httpapi.New(rt).Handler()}
-		log.Printf("dynfdd: http on %s (%d tenants recovered)", ln.Addr(), len(rt.List()))
+		switch {
+		case *replicateFrom != "":
+			log.Printf("dynfdd: http on %s (follower of %s, %d tenants recovered)", ln.Addr(), *replicateFrom, len(rt.List()))
+		default:
+			log.Printf("dynfdd: http on %s (%d tenants recovered)", ln.Addr(), len(rt.List()))
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -167,6 +200,26 @@ func main() {
 			defer cancel()
 			hsrv.Shutdown(ctx)
 		})
+
+		// Replication endpoint on its own listener, so WAL streams never
+		// share the public API address.
+		if *replAddr != "" {
+			rsrv := repl.NewServer(rt)
+			rsrv.Advertise = *advertise
+			rln, err := net.Listen("tcp", *replAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dynfdd:", err)
+				os.Exit(1)
+			}
+			rhsrv := &http.Server{Handler: rsrv.Handler()}
+			log.Printf("dynfdd: replication on %s", rln.Addr())
+			go func() {
+				if err := rhsrv.Serve(rln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					log.Printf("dynfdd: replication server: %v", err)
+				}
+			}()
+			stops = append(stops, func() { rhsrv.Close() })
+		}
 		// Final per-tenant checkpoints after the HTTP server drained.
 		shutdowns = append(shutdowns, rt.Close)
 	}

@@ -68,6 +68,7 @@ func OpenDurable(dir string, columns []string, opts ...Option) (*DurableMonitor,
 		CheckpointEvery: o.checkpointEvery,
 		SyncMaxDelay:    o.syncMaxDelay,
 		CommitQueue:     o.commitQueue,
+		Feed:            o.feed,
 	})
 	if err != nil {
 		st.Close()
@@ -163,6 +164,52 @@ func (m *DurableMonitor) ApplyStaged(changes ...Change) (Diff, *Commit, error) {
 // Checkpoint folds the write-ahead log into a fresh snapshot now, instead
 // of waiting for the automatic interval.
 func (m *DurableMonitor) Checkpoint() error { return m.eng.Checkpoint() }
+
+// ChangeFeed is the replication hook a WAL-shipping primary attaches with
+// WithChangeFeed; repl.Feed implements it. See internal/durable.ChangeFeed
+// for the contract.
+type ChangeFeed = durable.ChangeFeed
+
+// ApplyReplicated durably applies one frame shipped from a replication
+// primary: seq must be exactly Seq()+1 and payload the batch encoding as
+// the primary logged it. Like Apply, calls must be externally serialized;
+// a nil return means the frame survives any subsequent crash of this
+// replica.
+func (m *DurableMonitor) ApplyReplicated(seq uint64, payload []byte) error {
+	return m.eng.ApplyReplicated(seq, payload)
+}
+
+// InstallReplicaCheckpoint replaces the monitor's state with a primary
+// checkpoint ahead of it — the follower catch-up step when the primary no
+// longer retains the monitor's WAL position. Must be externally
+// serialized like Apply.
+func (m *DurableMonitor) InstallReplicaCheckpoint(blob []byte) error {
+	if err := m.eng.InstallCheckpoint(blob); err != nil {
+		return err
+	}
+	m.ro.engine = m.eng.Core() // the install swaps the core engine
+	return nil
+}
+
+// CheckpointBlob returns a checkpoint blob covering at least minSeq (a
+// fresh checkpoint is forced when the stored one is older), plus the
+// sequence it covers — the primary side of follower catch-up. Must be
+// externally serialized like Checkpoint.
+func (m *DurableMonitor) CheckpointBlob(minSeq uint64) ([]byte, uint64, error) {
+	return m.eng.CheckpointBlob(minSeq)
+}
+
+// SeedReplica initializes the directory with a primary checkpoint so the
+// next OpenDurable starts a follower directly at the primary's state. It
+// refuses a directory that already holds a store.
+func SeedReplica(dir string, blob []byte) error {
+	st, err := durable.OpenDir(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	return durable.Seed(st, blob)
+}
 
 // Seq returns the sequence number of the last staged batch. After Apply
 // (or ApplyStaged + Wait) returned nil it is also the last durable

@@ -110,6 +110,7 @@ type options struct {
 	checkpointEvery int
 	syncMaxDelay    time.Duration
 	commitQueue     int
+	feed            ChangeFeed
 }
 
 // WithPruning selects the pruning strategies (default: AllPruning).
@@ -188,6 +189,15 @@ func WithSyncMaxDelay(d time.Duration) Option {
 // unbounded). Plain in-memory Monitors ignore it.
 func WithCommitQueue(n int) Option {
 	return func(o *options) { o.commitQueue = n }
+}
+
+// WithChangeFeed attaches a replication change feed to a DurableMonitor:
+// every committed batch's encoded payload is appended to the feed, and
+// the feed's durability watermark advances as batches become
+// crash-durable, which is what a WAL-shipping primary streams to its
+// followers (internal/repl). Plain in-memory Monitors ignore it.
+func WithChangeFeed(feed ChangeFeed) Option {
+	return func(o *options) { o.feed = feed }
 }
 
 // Diff reports the effects of one applied batch.

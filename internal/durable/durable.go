@@ -62,6 +62,10 @@ type Options struct {
 	// durable; Stage rejects cleanly with wal.ErrCommitQueueFull beyond
 	// it. 0 means unbounded.
 	CommitQueue int
+	// Feed, when set, receives every committed batch for WAL-shipping
+	// replication: Stage appends each staged payload, and the durability
+	// watermark advances as batches are covered by fsyncs or checkpoints.
+	Feed ChangeFeed
 }
 
 // Engine wraps a core engine with write-ahead durability. The commit of a
@@ -83,6 +87,7 @@ type Engine struct {
 	log     *wal.Log
 	eng     *core.Engine
 	columns []string
+	feed    ChangeFeed // nil unless the engine is a replication primary
 
 	seq             atomic.Uint64 // sequence number of the last staged batch
 	sinceCheckpoint int           // batches staged since the last checkpoint
@@ -244,6 +249,12 @@ func (e *Engine) finishOpen(opts Options) {
 	e.committer = wal.NewGroupCommitter(e.log.Sync, e.seq.Load(), opts.SyncMaxDelay, opts.CommitQueue)
 	e.lastStaged = e.eng.BuildResults(nil, e.seq.Load(), e.columns, nil, nil)
 	e.published.Store(e.lastStaged)
+	e.feed = opts.Feed
+	if e.feed != nil {
+		// Everything recovered is durable; the feed starts shipping at the
+		// next staged batch.
+		e.feed.Durable(e.seq.Load())
+	}
 }
 
 func decodeCheckpoint(blob []byte) (*checkpoint, error) {
@@ -331,6 +342,9 @@ func (e *Engine) checkpointLocked() error {
 	// below the checkpoint's sequence either way).
 	e.committer.MarkSynced(e.seq.Load())
 	e.publish(e.lastStaged)
+	if e.feed != nil {
+		e.feed.Durable(e.seq.Load())
+	}
 	return e.committer.Exclusive(e.log.Reset)
 }
 
@@ -414,6 +428,11 @@ func (e *Engine) Stage(batch stream.Batch) (core.Result, *Pending, error) {
 	}
 	e.seq.Store(seq)
 	e.lastStaged = e.eng.BuildResults(e.lastStaged, seq, e.columns, res.Added, res.Removed)
+	if e.feed != nil {
+		// buf is local to this Stage, so the feed takes ownership of the
+		// payload without a copy. Not shippable until durable.
+		e.feed.Append(seq, buf.Bytes())
+	}
 	p := &Pending{e: e, seq: seq, snap: e.lastStaged}
 	e.sinceCheckpoint++
 	if e.checkpointEvery > 0 && e.sinceCheckpoint >= e.checkpointEvery {
@@ -444,6 +463,9 @@ func (p *Pending) Wait() error {
 		return err
 	}
 	p.e.publish(p.snap)
+	if p.e.feed != nil {
+		p.e.feed.Durable(p.seq)
+	}
 	return nil
 }
 
@@ -483,6 +505,13 @@ func (e *Engine) Bootstrap(rows [][]string) error {
 		return err
 	}
 	e.eng = eng
+	if e.feed != nil {
+		// A bootstrap replaces the engine state without a frame a follower
+		// could replay, so it consumes one sequence number: the durability
+		// jump drops the feed's ring, a tailing follower falls below the
+		// floor, and catch-up installs the bootstrap checkpoint.
+		e.seq.Add(1)
+	}
 	// The bootstrapped state must be durable before Bootstrap returns;
 	// failing here leaves memory ahead of disk, so poison.
 	if err := e.writeCheckpoint(); err != nil {
@@ -492,6 +521,11 @@ func (e *Engine) Bootstrap(rows [][]string) error {
 	if err := e.committer.Exclusive(e.log.Reset); err != nil {
 		e.poison(err)
 		return err
+	}
+	if e.feed != nil {
+		e.committer.Appended(e.seq.Load())
+		e.committer.MarkSynced(e.seq.Load())
+		e.feed.Durable(e.seq.Load())
 	}
 	// The core engine was swapped out, so the snapshot chain restarts
 	// from scratch (no copy-on-write predecessor).

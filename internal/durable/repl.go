@@ -1,0 +1,149 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+
+	"dynfd/internal/core"
+	"dynfd/internal/stream"
+)
+
+// ChangeFeed receives every change the engine commits, for WAL-shipping
+// replication (DESIGN.md §15). Append delivers each staged batch's encoded
+// payload in sequence order (called under the engine's external staging
+// serialization; the payload is handed over and never modified again);
+// Durable advances the durability watermark — only frames at or below it
+// may be shipped to followers, so a follower can never hold a batch a
+// crashed primary would lose. Durable is called from arbitrary goroutines
+// and may jump past Append's high-water mark when a checkpoint replaces
+// the engine state wholesale.
+//
+// repl.Feed is the implementation; durable only sees this interface to
+// avoid the dependency.
+type ChangeFeed interface {
+	Append(seq uint64, payload []byte)
+	Durable(seq uint64)
+}
+
+// ApplyReplicated applies one frame shipped from a replication primary:
+// the payload is the stream-codec batch encoding exactly as the primary
+// logged it, and seq must be exactly Seq()+1 — the follower's replay is a
+// gapless prefix of the primary's history. The batch runs through the
+// normal Apply path, so the replica assigns the same sequence, logs to its
+// own WAL, and group-commits like any local write; a nil return means the
+// frame survives any subsequent crash of the replica.
+//
+// Like Stage, calls must be externally serialized.
+func (e *Engine) ApplyReplicated(seq uint64, payload []byte) error {
+	if want := e.seq.Load() + 1; seq != want {
+		return fmt.Errorf("durable: replicated frame has seq %d, engine expects %d", seq, want)
+	}
+	changes, err := stream.ReadChanges(bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("durable: decoding replicated frame %d: %w", seq, err)
+	}
+	_, err = e.Apply(stream.Batch{Changes: changes})
+	return err
+}
+
+// CheckpointBlob returns a checkpoint blob covering at least minSeq,
+// together with the sequence it actually covers. The stored checkpoint is
+// served when fresh enough; otherwise a new checkpoint is forced first —
+// so the blob a follower installs can always be continued from the
+// primary's retained frame stream (the caller passes the feed's floor as
+// minSeq). Like Checkpoint, calls must be externally serialized.
+func (e *Engine) CheckpointBlob(minSeq uint64) ([]byte, uint64, error) {
+	blob, ok, err := e.st.ReadCheckpoint()
+	if err == nil && ok {
+		if cp, derr := decodeCheckpoint(blob); derr == nil && cp.Seq >= minSeq {
+			return blob, cp.Seq, nil
+		}
+	}
+	if err := e.Checkpoint(); err != nil {
+		return nil, 0, err
+	}
+	blob, ok, err = e.st.ReadCheckpoint()
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		return nil, 0, fmt.Errorf("durable: checkpoint missing right after writing one")
+	}
+	cp, err := decodeCheckpoint(blob)
+	if err != nil {
+		return nil, 0, err
+	}
+	return blob, cp.Seq, nil
+}
+
+// InstallCheckpoint replaces the engine's state with a primary checkpoint
+// ahead of it — the follower's catch-up step when the primary no longer
+// retains its position. The blob is persisted verbatim (atomic replace),
+// the local WAL is reset, and the in-memory engine is swapped to the
+// restored snapshot, so crash recovery at any interleaving converges to
+// either the old state or the installed one, never a mix. Every staged
+// batch is below the new sequence, so their waiters are released as
+// covered. Like Stage, calls must be externally serialized.
+func (e *Engine) InstallCheckpoint(blob []byte) error {
+	if err := e.Poisoned(); err != nil {
+		return fmt.Errorf("durable: engine poisoned, refusing checkpoint install: %w", err)
+	}
+	cp, err := decodeCheckpoint(blob)
+	if err != nil {
+		return err
+	}
+	if !equalColumns(cp.Columns, e.columns) {
+		return fmt.Errorf("durable: checkpoint schema mismatch: store has %v, checkpoint has %v", e.columns, cp.Columns)
+	}
+	if cur := e.seq.Load(); cp.Seq <= cur {
+		return fmt.Errorf("durable: checkpoint at seq %d is not ahead of engine at seq %d", cp.Seq, cur)
+	}
+	eng, err := core.Restore(cp.Engine)
+	if err != nil {
+		return fmt.Errorf("durable: restoring installed checkpoint: %w", err)
+	}
+	// Persist first: once the blob is on disk, recovery lands on the
+	// installed state (local WAL records all have lower sequences and are
+	// skipped); before it, recovery lands on the old state. Either is
+	// consistent. A failed replace leaves the old checkpoint intact, so
+	// nothing is poisoned.
+	if err := e.st.WriteCheckpoint(blob); err != nil {
+		return err
+	}
+	e.sinceCheckpoint = 0
+	if err := e.committer.Exclusive(e.log.Reset); err != nil {
+		// Disk has the new checkpoint but the log cannot be trusted for
+		// further appends.
+		e.poison(err)
+		return err
+	}
+	e.eng = eng
+	e.seq.Store(cp.Seq)
+	e.committer.Appended(cp.Seq)
+	e.committer.MarkSynced(cp.Seq)
+	if e.feed != nil {
+		e.feed.Durable(cp.Seq)
+	}
+	// The core engine was swapped out: the snapshot chain restarts with no
+	// copy-on-write predecessor.
+	e.lastStaged = e.eng.BuildResults(nil, cp.Seq, e.columns, nil, nil)
+	e.publish(e.lastStaged)
+	return nil
+}
+
+// Seed writes a primary checkpoint into empty storage so the next Open
+// starts a follower directly at the primary's state instead of replaying
+// its whole history. It refuses storage that already holds a checkpoint.
+func Seed(st Storage, blob []byte) error {
+	if _, err := decodeCheckpoint(blob); err != nil {
+		return err
+	}
+	_, ok, err := st.ReadCheckpoint()
+	if err != nil {
+		return err
+	}
+	if ok {
+		return fmt.Errorf("durable: refusing to seed storage that already holds a checkpoint")
+	}
+	return st.WriteCheckpoint(blob)
+}

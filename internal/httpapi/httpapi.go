@@ -25,12 +25,19 @@
 // in-flight batch, and report the snapshot's "seq" plus a "staleness"
 // count of batches staged but not yet durably committed.
 //
+// On a runtime replicating from a primary (DESIGN.md §15), read responses
+// additionally carry "primary_seq", "lag", and "connected", writes fail
+// with 403, and any read may bound its tolerated staleness with
+// ?max_lag=N — exceeded, the response is 503 (Retry-After: 1) or, with
+// ?redirect=1, a 307 to the primary's advertised URL.
+//
 // Error contract: every non-2xx response carries {"error": "..."}; the
 // handler never panics outward (a recovered panic is a 500). Status codes:
-// 400 malformed input or invalid tenant name, 404 unknown tenant or route,
-// 405 method mismatch (with Allow header), 409 tenant exists, 413 body
-// over the limit, 422 batch rejected by the engine precheck, 429 per-tenant
-// admission cap, and 503 quarantined tenant, global overload, or shutdown.
+// 400 malformed input or invalid tenant name, 403 write on a read-only
+// follower, 404 unknown tenant or route, 405 method mismatch (with Allow
+// header), 409 tenant exists, 413 body over the limit, 422 batch rejected
+// by the engine precheck, 429 per-tenant admission cap, and 503
+// quarantined tenant, global overload, excessive lag, or shutdown.
 package httpapi
 
 import (
@@ -187,7 +194,7 @@ func (s *Server) tenantVerb(w http.ResponseWriter, r *http.Request, name, verb s
 			methodNotAllowed(w, r, http.MethodGet)
 			return
 		}
-		s.fds(w, name)
+		s.fds(w, r, name)
 	case "keys":
 		if r.Method != http.MethodGet {
 			methodNotAllowed(w, r, http.MethodGet)
@@ -199,7 +206,7 @@ func (s *Server) tenantVerb(w http.ResponseWriter, r *http.Request, name, verb s
 			methodNotAllowed(w, r, http.MethodGet)
 			return
 		}
-		s.inds(w, name)
+		s.inds(w, r, name)
 	case "violations":
 		if r.Method != http.MethodGet {
 			methodNotAllowed(w, r, http.MethodGet)
@@ -247,6 +254,8 @@ func (s *Server) runtimeError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 	case errors.Is(err, runtime.ErrOverloaded), errors.Is(err, runtime.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, runtime.ErrReadOnly):
+		writeError(w, http.StatusForbidden, "%v", err)
 	default:
 		writeError(w, http.StatusBadRequest, "%v", err)
 	}
@@ -433,6 +442,7 @@ func isLifecycleErr(err error) bool {
 		errors.Is(err, runtime.ErrOverloaded) ||
 		errors.Is(err, runtime.ErrTooManyTenants) ||
 		errors.Is(err, runtime.ErrClosed) ||
+		errors.Is(err, runtime.ErrReadOnly) ||
 		errors.As(err, &q)
 }
 
@@ -443,22 +453,66 @@ type fdJSON struct {
 	Rendered string   `json:"rendered"`
 }
 
-// readSnapshot resolves the tenant's published result snapshot and its
-// staleness (staged batches not yet reflected). All read endpoints go
+// readSnapshot resolves the tenant's published result snapshot plus the
+// staleness fields every read response carries. All read endpoints go
 // through it: they never take the tenant mutation lock, so queries stay
 // fast while a writer streams batches. The bool reports whether the
 // caller may proceed.
-func (s *Server) readSnapshot(w http.ResponseWriter, name string) (*dynfd.ResultSnapshot, uint64, bool) {
+//
+// The fields map always holds "seq" (the snapshot's sequence) and
+// "staleness" (local batches staged but not yet reflected). On a follower
+// it additionally holds "primary_seq" (the primary's durable sequence as
+// last observed on the replication stream), "lag" (primary_seq minus seq
+// — how many primary batches this snapshot is missing), and "connected".
+// A request may bound its tolerated lag with ?max_lag=N: when the
+// snapshot is further behind, the response is 503 with a Retry-After (or,
+// with ?redirect=1 and a known primary URL, a 307 to the primary).
+func (s *Server) readSnapshot(w http.ResponseWriter, r *http.Request, name string) (*dynfd.ResultSnapshot, map[string]any, bool) {
 	snap, staged, err := s.rt.Snapshot(name)
 	if err != nil {
 		s.runtimeError(w, err)
-		return nil, 0, false
+		return nil, nil, false
 	}
-	return snap, staged - snap.Seq(), true
+	fields := map[string]any{
+		"seq":       snap.Seq(),
+		"staleness": staged - snap.Seq(),
+	}
+	lag := staged - snap.Seq()
+	advertise := ""
+	if rs, follower := s.rt.ReplStatus(name); follower {
+		lag = 0
+		if rs.PrimarySeq > snap.Seq() {
+			lag = rs.PrimarySeq - snap.Seq()
+		}
+		fields["primary_seq"] = rs.PrimarySeq
+		fields["lag"] = lag
+		fields["connected"] = rs.Connected
+		advertise = rs.Advertise
+	}
+	if rawMax := r.URL.Query().Get("max_lag"); rawMax != "" {
+		maxLag, err := strconv.ParseUint(rawMax, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad max_lag %q: %v", rawMax, err)
+			return nil, nil, false
+		}
+		if lag > maxLag {
+			if r.URL.Query().Get("redirect") != "" && advertise != "" {
+				w.Header().Set("Location", strings.TrimRight(advertise, "/")+r.URL.RequestURI())
+				writeError(w, http.StatusTemporaryRedirect,
+					"snapshot lags %d batches behind the primary (max_lag %d); redirecting", lag, maxLag)
+				return nil, nil, false
+			}
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				"snapshot lags %d batches behind (max_lag %d)", lag, maxLag)
+			return nil, nil, false
+		}
+	}
+	return snap, fields, true
 }
 
-func (s *Server) fds(w http.ResponseWriter, name string) {
-	snap, staleness, ok := s.readSnapshot(w, name)
+func (s *Server) fds(w http.ResponseWriter, r *http.Request, name string) {
+	snap, fields, ok := s.readSnapshot(w, r, name)
 	if !ok {
 		return
 	}
@@ -471,7 +525,8 @@ func (s *Server) fds(w http.ResponseWriter, name string) {
 		}
 		out = append(out, j)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"fds": out, "seq": snap.Seq(), "staleness": staleness})
+	fields["fds"] = out
+	writeJSON(w, http.StatusOK, fields)
 }
 
 func (s *Server) keys(w http.ResponseWriter, r *http.Request, name string) {
@@ -481,7 +536,7 @@ func (s *Server) keys(w http.ResponseWriter, r *http.Request, name string) {
 		return
 	}
 	columns := strings.Split(raw, ",")
-	snap, staleness, ok := s.readSnapshot(w, name)
+	snap, fields, ok := s.readSnapshot(w, r, name)
 	if !ok {
 		return
 	}
@@ -490,14 +545,13 @@ func (s *Server) keys(w http.ResponseWriter, r *http.Request, name string) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"columns": columns, "unique": unique,
-		"seq": snap.Seq(), "staleness": staleness,
-	})
+	fields["columns"] = columns
+	fields["unique"] = unique
+	writeJSON(w, http.StatusOK, fields)
 }
 
-func (s *Server) inds(w http.ResponseWriter, name string) {
-	snap, staleness, ok := s.readSnapshot(w, name)
+func (s *Server) inds(w http.ResponseWriter, r *http.Request, name string) {
+	snap, fields, ok := s.readSnapshot(w, r, name)
 	if !ok {
 		return
 	}
@@ -506,7 +560,8 @@ func (s *Server) inds(w http.ResponseWriter, name string) {
 	for _, d := range snap.INDs() {
 		inds = append(inds, runtime.UnaryIND{Lhs: cols[d.Lhs], Rhs: cols[d.Rhs]})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"inds": inds, "seq": snap.Seq(), "staleness": staleness})
+	fields["inds"] = inds
+	writeJSON(w, http.StatusOK, fields)
 }
 
 // violationGroupJSON is one violating record group.
@@ -534,7 +589,7 @@ func (s *Server) violations(w http.ResponseWriter, r *http.Request, name string)
 			return
 		}
 	}
-	snap, staleness, ok := s.readSnapshot(w, name)
+	snap, fields, ok := s.readSnapshot(w, r, name)
 	if !ok {
 		return
 	}
@@ -547,8 +602,7 @@ func (s *Server) violations(w http.ResponseWriter, r *http.Request, name string)
 	for _, g := range gs {
 		groups = append(groups, violationGroupJSON{IDs: g.IDs, RhsValues: g.RhsValues})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"groups": groups, "g3": g3,
-		"seq": snap.Seq(), "staleness": staleness,
-	})
+	fields["groups"] = groups
+	fields["g3"] = g3
+	writeJSON(w, http.StatusOK, fields)
 }

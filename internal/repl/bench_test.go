@@ -1,0 +1,37 @@
+package repl_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dynfd"
+)
+
+// BenchmarkFollowerReadLag measures end-to-end replication visibility: the
+// time from a batch being acknowledged on the primary until a follower's
+// lock-free read surface serves it — one committed batch per iteration,
+// spin-waiting on the follower's published sequence. This is the
+// bounded-staleness latency a `?max_lag=0` reader pays on a healthy
+// stream (WAL append + fsync on the primary, frame push over HTTP, replay
+// + publish on the follower).
+func BenchmarkFollowerReadLag(b *testing.B) {
+	src, client := startPrimary(b, 1024, -1)
+	mon, _, stop := runFollower(b, client, b.TempDir(), testCols)
+	defer stop()
+
+	// Converge once before timing so setup traffic is excluded.
+	src.apply(b, []dynfd.Change{dynfd.Insert("seed", "seed", "seed")})
+	waitSeq(b, mon, src.mon.Seq())
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.apply(b, []dynfd.Change{dynfd.Insert(
+			fmt.Sprint("k", i%97), fmt.Sprint("v", i%13), fmt.Sprint("w", i%7))})
+		target := src.mon.Seq()
+		for mon.Seq() < target {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	b.StopTimer()
+}

@@ -1,0 +1,151 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"dynfd/internal/wal"
+)
+
+// Client speaks the follower side of the replication protocol against one
+// primary.
+type Client struct {
+	base string // primary replication base URL, no trailing slash
+	hc   *http.Client
+}
+
+// NewClient returns a client for the primary at base (e.g.
+// "http://10.0.0.1:7071"). httpClient nil uses a default client without
+// timeouts — tail streams are long-lived, so any overall timeout on the
+// client would tear them down.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// Base returns the primary replication base URL.
+func (c *Client) Base() string { return c.base }
+
+// Tenants fetches the primary's replicable tenant listing and its
+// advertised public API URL.
+func (c *Client) Tenants(ctx context.Context) ([]TenantStatus, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/repl/v1/tenants", nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", statusError("tenant listing", resp)
+	}
+	var body tenantsResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&body); err != nil {
+		return nil, "", fmt.Errorf("repl: decoding tenant listing: %w", err)
+	}
+	return body.Tenants, body.Advertise, nil
+}
+
+// Checkpoint fetches the primary's latest checkpoint for the tenant,
+// returning the blob and the WAL sequence it covers.
+func (c *Client) Checkpoint(ctx context.Context, tenant string) ([]byte, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/repl/v1/t/"+tenant+"/checkpoint", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, statusError("checkpoint fetch", resp)
+	}
+	seq, err := strconv.ParseUint(resp.Header.Get(SeqHeader), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("repl: checkpoint response missing %s header: %w", SeqHeader, err)
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 1<<31))
+	if err != nil {
+		return nil, 0, fmt.Errorf("repl: reading checkpoint: %w", err)
+	}
+	return blob, seq, nil
+}
+
+// TailStream is one open frame stream from the primary. Next returns
+// frames in order until the stream ends or tears; the caller must Close it.
+type TailStream struct {
+	resp *http.Response
+	rd   *wal.TailReader
+}
+
+// Next returns the next complete, checksum-valid frame. Any error —
+// including a torn or corrupt frame, which is never returned as data —
+// ends the stream; the caller reconnects from its last applied sequence.
+func (t *TailStream) Next() (Frame, error) {
+	rec, err := t.rd.Next()
+	if err != nil {
+		return Frame{}, err
+	}
+	return Frame{Seq: rec.Seq, Payload: rec.Payload}, nil
+}
+
+// Close releases the underlying connection.
+func (t *TailStream) Close() error {
+	io.Copy(io.Discard, io.LimitReader(t.resp.Body, 1<<16))
+	return t.resp.Body.Close()
+}
+
+// Tail opens a frame stream resuming after sequence from. ErrSnapshotNeeded
+// reports that the primary no longer retains from+1 and the follower must
+// install a checkpoint first.
+func (c *Client) Tail(ctx context.Context, tenant string, from uint64) (*TailStream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/repl/v1/t/"+tenant+"/wal?from="+strconv.FormatUint(from, 10), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusGone {
+		drain(resp)
+		return nil, ErrSnapshotNeeded
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer drain(resp)
+		return nil, statusError("wal tail", resp)
+	}
+	return &TailStream{resp: resp, rd: wal.NewTailReader(resp.Body)}, nil
+}
+
+// drain consumes and closes a response body so the connection can be
+// reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// statusError renders a non-2xx protocol response, including the JSON
+// error body when one is present.
+func statusError(op string, resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		return fmt.Errorf("repl: %s: %s (status %d)", op, body.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("repl: %s: status %d", op, resp.StatusCode)
+}

@@ -1,0 +1,163 @@
+package repl
+
+import (
+	"sync"
+)
+
+// DefaultFeedCapacity is the number of frames a Feed retains when no
+// explicit capacity is given. A follower further behind than this many
+// batches catches up from a checkpoint instead of the frame stream.
+const DefaultFeedCapacity = 1024
+
+// Feed is the primary-side frame buffer of one replicated engine: a
+// bounded ring of the most recent WAL frames plus a durability watermark.
+// The engine appends every staged batch (under its staging serialization)
+// and advances the watermark when batches become crash-durable; streaming
+// subscribers only ever see frames at or below the watermark, so a
+// follower can never apply a batch the primary might still lose.
+//
+// Feed implements durable.ChangeFeed. All methods are safe for concurrent
+// use.
+type Feed struct {
+	mu     sync.Mutex
+	frames []Frame // retained frames, ascending seq, frames[i].Seq = base+i
+	base   uint64  // seq of frames[0]; meaningful only when len(frames) > 0
+	floor  uint64  // highest discarded seq: frames <= floor are gone
+	high   uint64  // highest appended seq
+	rel    uint64  // durability watermark: frames <= rel may be shipped
+	cap    int
+	closed bool
+
+	// notify is closed and replaced whenever the released range grows (or
+	// the feed closes) — the broadcast subscribers select on.
+	notify chan struct{}
+}
+
+// NewFeed returns a feed whose first shippable frame will be base+1: base
+// is the engine's durable sequence at creation (everything at or below it
+// is only reachable via a checkpoint). capacity <= 0 means
+// DefaultFeedCapacity.
+func NewFeed(base uint64, capacity int) *Feed {
+	if capacity <= 0 {
+		capacity = DefaultFeedCapacity
+	}
+	return &Feed{
+		floor:  base,
+		high:   base,
+		rel:    base,
+		cap:    capacity,
+		notify: make(chan struct{}),
+	}
+}
+
+// Append retains one staged frame. Calls arrive in ascending sequence
+// order from the engine's (externally serialized) staging path; the frame
+// is not shippable until Durable covers its sequence. The payload is
+// retained as given and must not be modified afterwards.
+func (f *Feed) Append(seq uint64, payload []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || seq <= f.high {
+		return
+	}
+	if len(f.frames) == 0 || seq != f.high+1 {
+		// Fresh ring, or a sequence jump (the engine state was replaced,
+		// e.g. by a checkpoint install on a chained follower): frames below
+		// seq are reachable only via a checkpoint.
+		f.frames = f.frames[:0]
+		f.base = seq
+		if seq-1 > f.floor {
+			f.floor = seq - 1
+		}
+	}
+	f.frames = append(f.frames, Frame{Seq: seq, Payload: payload})
+	f.high = seq
+	for len(f.frames) > f.cap {
+		f.floor = f.frames[0].Seq
+		f.frames = f.frames[1:]
+		f.base++
+	}
+}
+
+// Durable advances the durability watermark: every frame at or below seq
+// is crash-durable on the primary and may now be shipped. Sequences below
+// the current watermark are ignored (durability is monotone).
+func (f *Feed) Durable(seq uint64) {
+	f.mu.Lock()
+	if f.closed || seq <= f.rel {
+		f.mu.Unlock()
+		return
+	}
+	f.rel = seq
+	if seq > f.high {
+		// A checkpoint can cover sequences the feed never saw as frames
+		// (e.g. an InstallCheckpoint on a chained follower): everything at
+		// or below it is reachable only via the checkpoint, so the retained
+		// ring — which now has a gap before seq — is useless.
+		f.frames = f.frames[:0]
+		f.high = seq
+		f.floor = seq
+	}
+	notify := f.notify
+	f.notify = make(chan struct{})
+	f.mu.Unlock()
+	close(notify)
+}
+
+// Floor returns the highest sequence the feed can NOT serve: a tail
+// request must start from at least this sequence (exclusive lower bound
+// of the retained range).
+func (f *Feed) Floor() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.floor
+}
+
+// DurableSeq returns the durability watermark — the sequence a heartbeat
+// advertises.
+func (f *Feed) DurableSeq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rel
+}
+
+// Next returns every released frame with sequence in (from, durable], or,
+// when none are available yet, a channel that is closed the next time the
+// released range grows. Exactly one of frames and wait is non-nil unless
+// the feed cannot serve `from` at all: ErrSnapshotNeeded when the ring has
+// moved past from+1, ErrClosed after Close.
+func (f *Feed) Next(from uint64) (frames []Frame, wait <-chan struct{}, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, nil, ErrClosed
+	}
+	if from < f.floor {
+		return nil, nil, ErrSnapshotNeeded
+	}
+	if from >= f.rel {
+		return nil, f.notify, nil
+	}
+	lo := int(from + 1 - f.base)
+	hi := int(f.rel + 1 - f.base)
+	if hi > len(f.frames) {
+		hi = len(f.frames)
+	}
+	out := make([]Frame, hi-lo)
+	copy(out, f.frames[lo:hi])
+	return out, nil, nil
+}
+
+// Close wakes every subscriber and makes all further operations fail with
+// ErrClosed. The engine calls it when the tenant shuts down or drops.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	notify := f.notify
+	f.mu.Unlock()
+	close(notify)
+}

@@ -1,0 +1,204 @@
+package repl_test
+
+import (
+	"errors"
+	"testing"
+
+	"dynfd/internal/repl"
+)
+
+func seqs(frames []repl.Frame) []uint64 {
+	out := make([]uint64, len(frames))
+	for i, f := range frames {
+		out[i] = f.Seq
+	}
+	return out
+}
+
+func wantSeqs(t *testing.T, frames []repl.Frame, want ...uint64) {
+	t.Helper()
+	got := seqs(frames)
+	if len(got) != len(want) {
+		t.Fatalf("got frames %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got frames %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFeedDurabilityGate: appended frames are invisible to subscribers
+// until the durability watermark covers them — a follower can never apply
+// a batch the primary might still lose.
+func TestFeedDurabilityGate(t *testing.T) {
+	f := repl.NewFeed(0, 8)
+	frames, wait, err := f.Next(0)
+	if err != nil || frames != nil || wait == nil {
+		t.Fatalf("empty feed: frames %v wait %v err %v", frames, wait, err)
+	}
+	f.Append(1, []byte("a"))
+	f.Append(2, []byte("b"))
+	f.Append(3, []byte("c"))
+	select {
+	case <-wait:
+		t.Fatal("notified before any frame became durable")
+	default:
+	}
+	f.Durable(2)
+	select {
+	case <-wait:
+	default:
+		t.Fatal("durability advance did not notify")
+	}
+	frames, _, err = f.Next(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, frames, 1, 2) // 3 is staged but not durable
+	if got := f.DurableSeq(); got != 2 {
+		t.Fatalf("DurableSeq = %d, want 2", got)
+	}
+	f.Durable(3)
+	frames, _, err = f.Next(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, frames, 3)
+}
+
+// TestFeedEviction: the ring retains at most capacity frames; a reader
+// below the floor is told to catch up from a checkpoint.
+func TestFeedEviction(t *testing.T) {
+	f := repl.NewFeed(0, 2)
+	for s := uint64(1); s <= 5; s++ {
+		f.Append(s, []byte{byte(s)})
+	}
+	f.Durable(5)
+	if got := f.Floor(); got != 3 {
+		t.Fatalf("Floor = %d, want 3", got)
+	}
+	if _, _, err := f.Next(0); !errors.Is(err, repl.ErrSnapshotNeeded) {
+		t.Fatalf("Next(0) err = %v, want ErrSnapshotNeeded", err)
+	}
+	if _, _, err := f.Next(2); !errors.Is(err, repl.ErrSnapshotNeeded) {
+		t.Fatalf("Next(2) err = %v, want ErrSnapshotNeeded", err)
+	}
+	frames, _, err := f.Next(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, frames, 4, 5)
+}
+
+// TestFeedDurableJump: a durability watermark beyond the highest appended
+// frame (a checkpoint install replaced the engine state) invalidates the
+// retained ring — everything at or below it is only reachable via the
+// checkpoint.
+func TestFeedDurableJump(t *testing.T) {
+	f := repl.NewFeed(0, 8)
+	f.Append(1, []byte("a"))
+	f.Durable(1)
+	f.Durable(10)
+	if got := f.Floor(); got != 10 {
+		t.Fatalf("Floor = %d, want 10", got)
+	}
+	if got := f.DurableSeq(); got != 10 {
+		t.Fatalf("DurableSeq = %d, want 10", got)
+	}
+	if _, _, err := f.Next(1); !errors.Is(err, repl.ErrSnapshotNeeded) {
+		t.Fatalf("Next(1) err = %v, want ErrSnapshotNeeded", err)
+	}
+	frames, wait, err := f.Next(10)
+	if err != nil || frames != nil || wait == nil {
+		t.Fatalf("Next(10): frames %v wait %v err %v", frames, wait, err)
+	}
+	// The ring resumes contiguously after the jump.
+	f.Append(11, []byte("k"))
+	f.Durable(11)
+	frames, _, err = f.Next(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, frames, 11)
+}
+
+// TestFeedAppendGapResets: a sequence jump on the append side (the engine
+// state was replaced under the feed) discards the stale prefix instead of
+// serving a stream with a hole in it.
+func TestFeedAppendGapResets(t *testing.T) {
+	f := repl.NewFeed(0, 8)
+	f.Append(1, []byte("a"))
+	f.Append(2, []byte("b"))
+	f.Append(5, []byte("e"))
+	f.Durable(5)
+	if _, _, err := f.Next(2); !errors.Is(err, repl.ErrSnapshotNeeded) {
+		t.Fatalf("Next(2) err = %v, want ErrSnapshotNeeded", err)
+	}
+	frames, _, err := f.Next(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, frames, 5)
+}
+
+// TestFeedNonzeroBase: a feed attached to a recovered engine starts at the
+// engine's durable sequence; history below it is checkpoint-only.
+func TestFeedNonzeroBase(t *testing.T) {
+	f := repl.NewFeed(7, 8)
+	if _, _, err := f.Next(3); !errors.Is(err, repl.ErrSnapshotNeeded) {
+		t.Fatalf("Next(3) err = %v, want ErrSnapshotNeeded", err)
+	}
+	f.Append(8, []byte("h"))
+	f.Durable(8)
+	frames, _, err := f.Next(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, frames, 8)
+}
+
+// TestFeedClose: Close wakes waiters and fails all further calls with
+// ErrClosed, so streaming handlers end instead of hanging on a dropped
+// tenant.
+func TestFeedClose(t *testing.T) {
+	f := repl.NewFeed(0, 8)
+	_, wait, err := f.Next(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	select {
+	case <-wait:
+	default:
+		t.Fatal("Close did not wake the waiter")
+	}
+	if _, _, err := f.Next(0); !errors.Is(err, repl.ErrClosed) {
+		t.Fatalf("Next after Close err = %v, want ErrClosed", err)
+	}
+	f.Append(1, []byte("a")) // must be a no-op, not a panic
+	f.Durable(1)
+	if got := f.DurableSeq(); got != 0 {
+		t.Fatalf("closed feed advanced: DurableSeq = %d", got)
+	}
+	f.Close() // idempotent
+}
+
+// TestFeedDuplicateAppendIgnored: re-delivery of an already-retained
+// sequence (e.g. a conservative caller re-staging after recovery) does not
+// corrupt the ring.
+func TestFeedDuplicateAppendIgnored(t *testing.T) {
+	f := repl.NewFeed(0, 8)
+	f.Append(1, []byte("a"))
+	f.Append(2, []byte("b"))
+	f.Append(2, []byte("B"))
+	f.Durable(2)
+	frames, _, err := f.Next(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, frames, 1, 2)
+	if string(frames[1].Payload) != "b" {
+		t.Fatalf("duplicate append replaced payload: %q", frames[1].Payload)
+	}
+}

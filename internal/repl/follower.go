@@ -1,0 +1,197 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Replica is the local engine surface a Follower replays into. The
+// dynfd.DurableMonitor implements it; every method is called from the
+// follower's single replay goroutine, so the usual external serialization
+// of mutations is satisfied by construction.
+type Replica interface {
+	// Seq returns the sequence of the last applied batch.
+	Seq() uint64
+	// ApplyReplicated durably applies one replicated frame. The sequence
+	// must be exactly Seq()+1.
+	ApplyReplicated(seq uint64, payload []byte) error
+	// InstallReplicaCheckpoint replaces the replica's state with a primary
+	// checkpoint ahead of it.
+	InstallReplicaCheckpoint(blob []byte) error
+}
+
+// FollowerOptions tunes the catch-up state machine.
+type FollowerOptions struct {
+	// MinBackoff and MaxBackoff bound the reconnect backoff after a stream
+	// error (defaults 50ms and 2s). Backoff doubles per consecutive
+	// failure and resets on any received frame.
+	MinBackoff, MaxBackoff time.Duration
+}
+
+func (o *FollowerOptions) defaults() {
+	if o.MinBackoff <= 0 {
+		o.MinBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+}
+
+// Follower replicates one tenant from a primary into a local replica:
+// tail the primary's frame stream from the replica's current sequence,
+// fall back to a checkpoint install whenever the primary no longer
+// retains that position, apply frames in order, and reconnect with
+// exponential backoff when the stream tears. Run owns the replica's
+// mutation surface for its whole lifetime.
+//
+// The exported state — PrimarySeq, Connected — is what the read path
+// needs for its bounded-staleness contract: the last primary durable
+// sequence learned from any frame or heartbeat, and whether a stream is
+// currently open.
+type Follower struct {
+	client *Client
+	tenant string
+	rep    Replica
+	opts   FollowerOptions
+
+	primarySeq atomic.Uint64
+	connected  atomic.Bool
+	applied    atomic.Uint64 // frames applied since start (observability)
+	installs   atomic.Uint64 // checkpoint installs since start
+}
+
+// NewFollower wires a follower; Run starts it.
+func NewFollower(client *Client, tenant string, rep Replica, opts FollowerOptions) *Follower {
+	opts.defaults()
+	f := &Follower{client: client, tenant: tenant, rep: rep, opts: opts}
+	f.primarySeq.Store(rep.Seq()) // the replica's state once was primary-durable
+	return f
+}
+
+// PrimarySeq returns the primary's durable sequence as last observed on
+// the stream. While disconnected it is the last known value, so reported
+// lag is a lower bound — Connected disambiguates.
+func (f *Follower) PrimarySeq() uint64 { return f.primarySeq.Load() }
+
+// Connected reports whether a tail stream is currently open.
+func (f *Follower) Connected() bool { return f.connected.Load() }
+
+// Applied returns the number of frames applied since Run started.
+func (f *Follower) Applied() uint64 { return f.applied.Load() }
+
+// Installs returns the number of checkpoint catch-ups performed.
+func (f *Follower) Installs() uint64 { return f.installs.Load() }
+
+// Run replicates until ctx is cancelled or the replica fails
+// (a non-nil return other than ctx.Err() means the replica rejected an
+// apply or install — its engine has poisoned itself — and the caller
+// should quarantine the tenant). Transient network errors never end Run.
+func (f *Follower) Run(ctx context.Context) error {
+	defer f.connected.Store(false)
+	backoff := f.opts.MinBackoff
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		madeProgress, err := f.tailOnce(ctx)
+		if err != nil {
+			return err // replica failure: fatal
+		}
+		if madeProgress {
+			backoff = f.opts.MinBackoff
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > f.opts.MaxBackoff {
+			backoff = f.opts.MaxBackoff
+		}
+	}
+}
+
+// tailOnce runs one connect attempt: resolve the resume position (via
+// checkpoint install if needed), stream frames until the stream ends or
+// tears. It returns whether any frame arrived (progress resets the
+// backoff); a non-nil error is a replica failure and fatal.
+func (f *Follower) tailOnce(ctx context.Context) (progress bool, err error) {
+	stream, err := f.client.Tail(ctx, f.tenant, f.rep.Seq())
+	if errors.Is(err, ErrSnapshotNeeded) {
+		return f.catchUp(ctx)
+	}
+	if err != nil {
+		return false, nil // transient: listing moved, primary down, ...
+	}
+	defer stream.Close()
+	f.connected.Store(true)
+	defer f.connected.Store(false)
+	for {
+		frame, err := stream.Next()
+		if err != nil {
+			// Clean end, torn tail, or transport error: reconnect from the
+			// last applied sequence either way. Nothing past the first
+			// invalid frame was surfaced, so nothing invalid was applied.
+			return progress, nil
+		}
+		if err := f.apply(frame); err != nil {
+			return progress, err
+		}
+		progress = true
+	}
+}
+
+// apply folds one received frame into the replica.
+func (f *Follower) apply(frame Frame) error {
+	if frame.Seq > f.primarySeq.Load() {
+		f.primarySeq.Store(frame.Seq)
+	}
+	if frame.Heartbeat() {
+		return nil
+	}
+	cur := f.rep.Seq()
+	if frame.Seq <= cur {
+		return nil // duplicate delivery after a reconnect race; already applied
+	}
+	if frame.Seq != cur+1 {
+		// A gap means the stream is not what we asked for — do not apply;
+		// the next reconnect renegotiates (and fetches a checkpoint if
+		// needed). Not a replica failure.
+		return nil
+	}
+	if err := f.rep.ApplyReplicated(frame.Seq, frame.Payload); err != nil {
+		return fmt.Errorf("repl: tenant %q: applying frame %d: %w", f.tenant, frame.Seq, err)
+	}
+	f.applied.Add(1)
+	return nil
+}
+
+// catchUp fetches and installs the primary's latest checkpoint. The
+// install only runs when the checkpoint is ahead of the replica — the
+// primary may have checkpointed again since the 410, in which case the
+// next tail attempt renegotiates.
+func (f *Follower) catchUp(ctx context.Context) (progress bool, err error) {
+	blob, seq, err := f.client.Checkpoint(ctx, f.tenant)
+	if err != nil {
+		return false, nil // transient
+	}
+	if seq > f.primarySeq.Load() {
+		f.primarySeq.Store(seq)
+	}
+	if seq <= f.rep.Seq() {
+		// The primary's checkpoint is not ahead of us, yet it refused our
+		// tail position: its history restarted behind ours (a restored
+		// backup, a rebuilt primary). Re-tailing resolves it eventually;
+		// treat as no progress so backoff applies.
+		return false, nil
+	}
+	if err := f.rep.InstallReplicaCheckpoint(blob); err != nil {
+		return false, fmt.Errorf("repl: tenant %q: installing checkpoint at seq %d: %w", f.tenant, seq, err)
+	}
+	f.installs.Add(1)
+	return true, nil
+}

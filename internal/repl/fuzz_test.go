@@ -1,0 +1,115 @@
+package repl_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"dynfd/internal/wal"
+)
+
+// FuzzReplFrameDecode fuzzes the replication wire decoder with arbitrary
+// byte streams — truncated frames, bit-flipped frames, duplicated and
+// reordered fragments. The invariants, for ANY input:
+//
+//   - the decoder never panics;
+//   - the records it yields before its first error are exactly the records
+//     wal.Scan accepts on the same bytes (so a frame the recovery path
+//     would reject can never reach a follower's apply path);
+//   - one-byte-at-a-time delivery (network fragmentation) yields the same
+//     records and the same error class as one-shot delivery;
+//   - the terminal error is one of the documented classes.
+func FuzzReplFrameDecode(f *testing.F) {
+	// Seed corpus: real streams as the primary produces them, plus the
+	// interesting mutilations.
+	var valid []byte
+	valid = wal.AppendRecord(valid, 1, []byte("batch-one"))
+	valid = wal.AppendRecord(valid, 2, nil) // heartbeat frame
+	valid = wal.AppendRecord(valid, 3, bytes.Repeat([]byte{0xab}, 300))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])                            // torn tail
+	f.Add(valid[:17])                                      // torn mid-payload
+	f.Add(valid[:8])                                       // torn mid-header
+	f.Add(append(valid[:0:0], valid[16:]...))              // missing first header
+	dup := append(append([]byte(nil), valid...), valid...) // duplicated stream
+	f.Add(dup)
+	flip := append([]byte(nil), valid...)
+	flip[20] ^= 0x40 // bit flip inside a payload
+	f.Add(flip)
+	flip2 := append([]byte(nil), valid...)
+	flip2[0] ^= 0x80 // bit flip in a length prefix
+	f.Add(flip2)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // absurd length prefix
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scanRecs, _ := wal.Scan(data)
+
+		decode := func(r io.Reader) ([]wal.Record, error) {
+			rd := wal.NewTailReader(r)
+			var recs []wal.Record
+			for {
+				rec, err := rd.Next()
+				if err != nil {
+					return recs, err
+				}
+				recs = append(recs, rec)
+			}
+		}
+		recs, err := decode(bytes.NewReader(data))
+		if err == nil {
+			t.Fatal("decoder terminated without an error")
+		}
+		if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, wal.ErrCorruptFrame) {
+			t.Fatalf("undocumented error class: %v", err)
+		}
+		if len(recs) != len(scanRecs) {
+			t.Fatalf("decoder yielded %d records, Scan accepts %d", len(recs), len(scanRecs))
+		}
+		for i := range recs {
+			if recs[i].Seq != scanRecs[i].Seq || !bytes.Equal(recs[i].Payload, scanRecs[i].Payload) {
+				t.Fatalf("record %d differs from Scan's", i)
+			}
+		}
+
+		// Fragmented delivery must be byte-for-byte equivalent.
+		fragRecs, fragErr := decode(iotest(data))
+		if len(fragRecs) != len(recs) {
+			t.Fatalf("fragmented delivery yielded %d records, one-shot %d", len(fragRecs), len(recs))
+		}
+		if !sameErrClass(fragErr, err) {
+			t.Fatalf("fragmented delivery error %v, one-shot %v", fragErr, err)
+		}
+	})
+}
+
+// iotest returns a reader that delivers data one byte per Read call.
+func iotest(data []byte) io.Reader { return &oneByteReader{data: data} }
+
+type oneByteReader struct{ data []byte }
+
+func (r *oneByteReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	if len(p) > 0 {
+		p[0] = r.data[0]
+		r.data = r.data[1:]
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func sameErrClass(a, b error) bool {
+	switch {
+	case errors.Is(a, wal.ErrCorruptFrame):
+		return errors.Is(b, wal.ErrCorruptFrame)
+	case errors.Is(a, io.ErrUnexpectedEOF):
+		return errors.Is(b, io.ErrUnexpectedEOF)
+	case errors.Is(a, io.EOF):
+		return errors.Is(b, io.EOF)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,220 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dynfd/internal/wal"
+)
+
+// Wire-protocol constants of the replication endpoints.
+const (
+	// SeqHeader carries the WAL sequence a checkpoint response covers.
+	SeqHeader = "X-Dynfd-Checkpoint-Seq"
+	// DefaultHeartbeat is the idle interval between heartbeat frames on a
+	// tail stream when the server is not given an explicit one.
+	DefaultHeartbeat = 500 * time.Millisecond
+)
+
+// TenantStatus is one entry of the replication tenant listing.
+type TenantStatus struct {
+	Name string `json:"name"`
+	// Seq is the tenant's durable sequence at listing time.
+	Seq uint64 `json:"seq"`
+}
+
+// tenantsResponse is the body of GET /repl/v1/tenants.
+type tenantsResponse struct {
+	// Advertise is the primary's public read/write API base URL (empty when
+	// the primary did not configure one); followers use it to redirect
+	// writes and stale reads.
+	Advertise string         `json:"advertise,omitempty"`
+	Tenants   []TenantStatus `json:"tenants"`
+}
+
+// Source is the primary-side state the replication server needs. The
+// runtime implements it over its tenant table.
+type Source interface {
+	// ReplTenants lists the replicable tenants and their durable sequences.
+	ReplTenants() []TenantStatus
+	// ReplFeed resolves a tenant's frame feed; it fails for unknown,
+	// dropped, or quarantined tenants.
+	ReplFeed(name string) (*Feed, error)
+	// ReplCheckpoint returns a checkpoint blob for the tenant that a
+	// follower can both install and tail from: its covered sequence must
+	// be at or above the feed's floor (the implementation forces a fresh
+	// checkpoint when the on-disk one has fallen behind the ring).
+	ReplCheckpoint(name string) (blob []byte, seq uint64, err error)
+}
+
+// Server is the primary-side HTTP handler of the replication protocol:
+//
+//	GET /repl/v1/tenants                    tenant listing + advertise URL
+//	GET /repl/v1/t/{tenant}/checkpoint      latest checkpoint blob, seq in header
+//	GET /repl/v1/t/{tenant}/wal?from=N      frame stream resumable after seq N
+//
+// The wal endpoint streams frames in the on-disk WAL format (wal.Record
+// framing) and never ends on its own: after the retained backlog it stays
+// open, pushing each newly durable batch as it commits and a heartbeat
+// frame (empty payload, seq = durable sequence) every Heartbeat of idle
+// time. A request whose from is below the feed's floor answers 410 Gone —
+// the follower must install a checkpoint first.
+type Server struct {
+	src Source
+	// Advertise is the primary's public API base URL handed to followers
+	// (see tenantsResponse.Advertise). Optional.
+	Advertise string
+	// Heartbeat overrides the idle heartbeat interval; 0 means
+	// DefaultHeartbeat.
+	Heartbeat time.Duration
+}
+
+// NewServer wraps a frame source.
+func NewServer(src Source) *Server { return &Server{src: src} }
+
+// Handler returns the root handler; mount it at "/".
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.route) }
+
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	if r.URL.Path == "/repl/v1/tenants" {
+		writeJSON(w, http.StatusOK, tenantsResponse{Advertise: s.Advertise, Tenants: s.src.ReplTenants()})
+		return
+	}
+	rest, ok := strings.CutPrefix(r.URL.Path, "/repl/v1/t/")
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such route %s", r.URL.Path)
+		return
+	}
+	parts := strings.Split(rest, "/")
+	if len(parts) != 2 {
+		httpError(w, http.StatusNotFound, "no such route %s", r.URL.Path)
+		return
+	}
+	name, verb := parts[0], parts[1]
+	switch verb {
+	case "checkpoint":
+		s.checkpoint(w, name)
+	case "wal":
+		s.wal(w, r, name)
+	default:
+		httpError(w, http.StatusNotFound, "no such replication verb %q", verb)
+	}
+}
+
+func (s *Server) checkpoint(w http.ResponseWriter, name string) {
+	blob, seq, err := s.src.ReplCheckpoint(name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(SeqHeader, strconv.FormatUint(seq, 10))
+	w.WriteHeader(http.StatusOK)
+	w.Write(blob)
+}
+
+func (s *Server) wal(w http.ResponseWriter, r *http.Request, name string) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "wal tail requires ?from=<last applied seq>: %v", err)
+		return
+	}
+	feed, err := s.src.ReplFeed(name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	// Resolve the resume position before committing to a 200: a follower
+	// below the ring's floor needs a checkpoint, which still has a status
+	// code of its own.
+	frames, wait, err := feed.Next(from)
+	if err != nil {
+		s.feedError(w, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	heartbeat := s.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = DefaultHeartbeat
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+
+	var buf []byte
+	timer := time.NewTimer(heartbeat)
+	defer timer.Stop()
+	for {
+		if err != nil {
+			// The ring moved past the follower mid-stream (it is too slow)
+			// or the feed closed: end the stream; the reconnect resolves
+			// the new state to a fresh status code.
+			return
+		}
+		if len(frames) > 0 {
+			buf = buf[:0]
+			for _, fr := range frames {
+				buf = wal.AppendRecord(buf, fr.Seq, fr.Payload)
+				from = fr.Seq
+			}
+			if _, werr := w.Write(buf); werr != nil {
+				return // client gone
+			}
+			flusher.Flush()
+		} else {
+			select {
+			case <-wait:
+			case <-timer.C:
+				buf = wal.AppendRecord(buf[:0], feed.DurableSeq(), nil)
+				if _, werr := w.Write(buf); werr != nil {
+					return
+				}
+				flusher.Flush()
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(heartbeat)
+		frames, wait, err = feed.Next(from)
+	}
+}
+
+func (s *Server) feedError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSnapshotNeeded):
+		httpError(w, http.StatusGone, "%v", err)
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusNotFound, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

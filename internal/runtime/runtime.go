@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"dynfd"
+	"dynfd/internal/repl"
 	"dynfd/internal/server"
 )
 
@@ -52,6 +53,9 @@ var (
 	ErrOverloaded = errors.New("runtime: too many batches in flight")
 	// ErrTooManyTenants reports that the tenant-count cap is exhausted.
 	ErrTooManyTenants = errors.New("runtime: tenant limit reached")
+	// ErrReadOnly reports a write on a follower runtime: followers mirror
+	// their primary and only serve reads.
+	ErrReadOnly = errors.New("runtime: follower is read-only; write to the primary")
 )
 
 // QuarantineError reports a write rejected because the named tenant's
@@ -112,6 +116,23 @@ type Config struct {
 	// (dynfd.WithCommitQueue); overflow is reported as ErrOverloaded.
 	// 0 means unbounded.
 	CommitQueue int
+	// ServeReplication attaches a WAL-shipping change feed to every tenant
+	// engine so the runtime can act as a replication primary (the daemon
+	// sets it when -repl-addr is given). DESIGN.md §15.
+	ServeReplication bool
+	// FeedCapacity is the per-tenant frame ring size when ServeReplication
+	// is set; a follower further behind catches up from a checkpoint.
+	// 0 means repl.DefaultFeedCapacity.
+	FeedCapacity int
+	// ReplicateFrom, when non-empty, runs the runtime as a read-only
+	// follower of the primary at this replication base URL: tenants mirror
+	// the primary's, every write endpoint fails with ErrReadOnly, and
+	// reads are served from replayed snapshots with a bounded-staleness
+	// contract.
+	ReplicateFrom string
+	// ReplPoll is how often a follower re-lists the primary's tenants to
+	// pick up creates and drops; 0 means 2s.
+	ReplPoll time.Duration
 }
 
 // Runtime manages named tenants, each backed by its own durable engine.
@@ -120,6 +141,10 @@ type Config struct {
 type Runtime struct {
 	cfg    Config
 	logger *log.Logger
+
+	// repl holds the follower-mode replication state (nil on a primary or
+	// standalone runtime); see repl.go.
+	repl *replState
 
 	mu       sync.Mutex
 	tenants  map[string]*tenant
@@ -155,6 +180,13 @@ type tenant struct {
 	monRead    atomic.Pointer[dynfd.DurableMonitor]
 	dropped    atomic.Bool
 	quarantine atomic.Pointer[error]
+
+	// feed is the tenant's replication frame ring (primaries only; nil
+	// otherwise). folH is the tenant's running follower (followers only) —
+	// written by the replication manager goroutine, read by the status
+	// endpoints.
+	feed *repl.Feed
+	folH atomic.Pointer[followerHandle]
 
 	// statMu guards the admission counter and latency ring; it is never
 	// held while the engine works, so metrics and admission stay
@@ -226,7 +258,8 @@ func Open(cfg Config) (*Runtime, error) {
 			rt.logger.Printf("runtime: tenant %q: %v; using runtime defaults", name, err)
 			tc = tenantConfig{}
 		}
-		mon, err := dynfd.OpenDurable(t.dir, nil, rt.engineOptions(tc.Workers)...)
+		t.feed = rt.newFeed()
+		mon, err := dynfd.OpenDurable(t.dir, nil, rt.engineOptions(tc.Workers, t.feed)...)
 		if err != nil {
 			// Quarantine, don't die: the other tenants must keep serving.
 			t.setQuarantine(fmt.Errorf("recovering tenant %q: %w", name, err))
@@ -238,13 +271,15 @@ func Open(cfg Config) (*Runtime, error) {
 		close(t.ready)
 		rt.tenants[name] = t
 	}
+	rt.startFollowing()
 	return rt, nil
 }
 
 // engineOptions builds the dynfd options for one tenant's engine. A
 // non-nil workers pointer (from a persisted per-tenant config) overrides
-// the runtime-wide default.
-func (rt *Runtime) engineOptions(workers *int) []dynfd.Option {
+// the runtime-wide default; a non-nil feed makes the engine a replication
+// primary.
+func (rt *Runtime) engineOptions(workers *int, feed *repl.Feed) []dynfd.Option {
 	w := rt.cfg.Workers
 	if workers != nil {
 		w = *workers
@@ -258,6 +293,9 @@ func (rt *Runtime) engineOptions(workers *int) []dynfd.Option {
 	}
 	if rt.cfg.CommitQueue > 0 {
 		opts = append(opts, dynfd.WithCommitQueue(rt.cfg.CommitQueue))
+	}
+	if feed != nil {
+		opts = append(opts, dynfd.WithChangeFeed(feed))
 	}
 	return opts
 }
@@ -334,6 +372,9 @@ func (rt *Runtime) Create(name string, columns []string, rows [][]string) error 
 
 // CreateWithOptions is Create with per-tenant overrides.
 func (rt *Runtime) CreateWithOptions(name string, columns []string, rows [][]string, co CreateOptions) error {
+	if err := rt.writable(); err != nil {
+		return err
+	}
 	if err := ValidateTenantName(name); err != nil {
 		return err
 	}
@@ -366,9 +407,10 @@ func (rt *Runtime) CreateWithOptions(name string, columns []string, rows [][]str
 	if err == nil {
 		err = writeTenantConfig(t.dir, tc)
 	}
+	t.feed = rt.newFeed()
 	var mon *dynfd.DurableMonitor
 	if err == nil {
-		mon, err = dynfd.OpenDurable(t.dir, columns, rt.engineOptions(tc.Workers)...)
+		mon, err = dynfd.OpenDurable(t.dir, columns, rt.engineOptions(tc.Workers, t.feed)...)
 	}
 	if err == nil && len(rows) > 0 {
 		if berr := mon.Bootstrap(rows); berr != nil {
@@ -417,9 +459,21 @@ func (rt *Runtime) get(name string) (*tenant, error) {
 // batches finish first (they hold the tenant lock); the name only becomes
 // creatable again once the directory is gone.
 func (rt *Runtime) Drop(name string) error {
+	if err := rt.writable(); err != nil {
+		return err
+	}
+	return rt.drop(name)
+}
+
+// drop is Drop without the follower write gate — the replication manager
+// uses it to retire tenants the primary dropped.
+func (rt *Runtime) drop(name string) error {
 	t, err := rt.get(name)
 	if err != nil {
 		return err
+	}
+	if h := t.folH.Load(); h != nil {
+		h.cancel() // stop replaying into an engine about to close
 	}
 	t.mu.Lock()
 	if t.closed {
@@ -432,6 +486,9 @@ func (rt *Runtime) Drop(name string) error {
 	var closeErr error
 	if t.mon != nil {
 		closeErr = t.mon.Close()
+	}
+	if t.feed != nil {
+		t.feed.Close()
 	}
 	t.mu.Unlock()
 	rmErr := os.RemoveAll(t.dir)
@@ -467,6 +524,9 @@ type ApplyResult struct {
 // admitted-but-unfinished batch, so a stalled tenant saturates its own
 // budget long before the global one.
 func (rt *Runtime) Apply(name string, changes []dynfd.Change) (ApplyResult, error) {
+	if err := rt.writable(); err != nil {
+		return ApplyResult{}, err
+	}
 	t, err := rt.get(name)
 	if err != nil {
 		return ApplyResult{}, err
@@ -614,6 +674,9 @@ func (rt *Runtime) Snapshot(name string) (snap *dynfd.ResultSnapshot, stagedSeq 
 
 // Checkpoint folds the named tenant's WAL into a fresh snapshot now.
 func (rt *Runtime) Checkpoint(name string) (seq uint64, err error) {
+	if err := rt.writable(); err != nil {
+		return 0, err
+	}
 	t, err := rt.get(name)
 	if err != nil {
 		return 0, err
@@ -636,6 +699,8 @@ func (rt *Runtime) Checkpoint(name string) (seq uint64, err error) {
 // healthy engine writes its final checkpoint, and the runtime refuses all
 // further work with ErrClosed. The first close error is returned.
 func (rt *Runtime) Close() error {
+	// Followers first: stop replaying before the engines close underneath.
+	rt.stopFollowing()
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
@@ -661,6 +726,9 @@ func (rt *Runtime) Close() error {
 				if err := t.mon.Close(); err != nil && first == nil {
 					first = fmt.Errorf("runtime: closing tenant %q: %w", t.name, err)
 				}
+			}
+			if t.feed != nil {
+				t.feed.Close()
 			}
 		}
 		t.mu.Unlock()

@@ -1,0 +1,158 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// buildTailStream returns a valid frame stream of n records with varied
+// payload sizes (including an empty heartbeat-style payload).
+func buildTailStream(n int) ([]byte, []Record) {
+	var buf []byte
+	var recs []Record
+	for i := 0; i < n; i++ {
+		var payload []byte
+		for j := 0; j < (i*7)%13; j++ {
+			payload = append(payload, byte(i+j))
+		}
+		buf = AppendRecord(buf, uint64(i+1), payload)
+		recs = append(recs, Record{Seq: uint64(i + 1), Payload: payload})
+	}
+	return buf, recs
+}
+
+// readAllTail drains a TailReader, returning every yielded record and the
+// terminating error.
+func readAllTail(data []byte) ([]Record, error) {
+	rd := NewTailReader(bytes.NewReader(data))
+	var recs []Record
+	for {
+		rec, err := rd.Next()
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+func sameRecords(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq || !bytes.Equal(a[i].Payload, b[i].Payload) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTailReaderMatchesScanOnPrefixes is the decoder's core property: for
+// every truncation of a valid stream, the records TailReader yields before
+// its first error are exactly the records Scan accepts from the same
+// bytes, and the error class reflects whether the cut hit a frame
+// boundary.
+func TestTailReaderMatchesScanOnPrefixes(t *testing.T) {
+	full, want := buildTailStream(6)
+	boundaries := map[int]int{0: 0} // prefix length -> records before it
+	{
+		recs, _ := Scan(full)
+		for i, r := range recs {
+			boundaries[int(r.End)] = i + 1
+		}
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		prefix := full[:cut]
+		scanRecs, validLen := Scan(prefix)
+		tailRecs, err := readAllTail(prefix)
+		if !sameRecords(tailRecs, scanRecs) {
+			t.Fatalf("cut %d: TailReader yielded %d records, Scan %d", cut, len(tailRecs), len(scanRecs))
+		}
+		if n, ok := boundaries[cut]; ok {
+			if !errors.Is(err, io.EOF) || err == io.ErrUnexpectedEOF {
+				t.Fatalf("cut %d at frame boundary: want io.EOF, got %v", cut, err)
+			}
+			if len(tailRecs) != n || !sameRecords(tailRecs, want[:n]) {
+				t.Fatalf("cut %d: want %d intact records", cut, n)
+			}
+			if int64(cut) != validLen {
+				t.Fatalf("cut %d: Scan validLen %d", cut, validLen)
+			}
+		} else if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d mid-frame: want io.ErrUnexpectedEOF, got %v", cut, err)
+		}
+	}
+}
+
+// TestTailReaderBitFlips flips every bit position of a stream one at a
+// time; the decoder must never yield a record Scan would not, never yield
+// a record whose content differs from the original at that position, and
+// never panic. This is the "a corrupt frame can never be applied"
+// guarantee of the replication wire protocol.
+func TestTailReaderBitFlips(t *testing.T) {
+	full, want := buildTailStream(4)
+	for i := 0; i < len(full); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), full...)
+			mut[i] ^= 1 << bit
+			scanRecs, _ := Scan(mut)
+			tailRecs, err := readAllTail(mut)
+			if err == nil {
+				t.Fatalf("flip %d.%d: stream ended without error", i, bit)
+			}
+			if !sameRecords(tailRecs, scanRecs) {
+				t.Fatalf("flip %d.%d: TailReader and Scan disagree (%d vs %d records)",
+					i, bit, len(tailRecs), len(scanRecs))
+			}
+			for j, rec := range tailRecs {
+				if rec.Seq == want[j].Seq && bytes.Equal(rec.Payload, want[j].Payload) {
+					continue
+				}
+				// A yielded record that differs from the original must still
+				// be checksum-consistent — only possible when the flip landed
+				// in this frame yet produced a self-consistent frame, which a
+				// single bit flip cannot (CRC32 detects all 1-bit errors).
+				t.Fatalf("flip %d.%d: record %d silently altered", i, bit, j)
+			}
+		}
+	}
+}
+
+// TestTailReaderOversizeLength: a length prefix beyond MaxPayload is
+// provably corrupt, not a torn tail.
+func TestTailReaderOversizeLength(t *testing.T) {
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], MaxPayload+1)
+	recs, err := readAllTail(hdr[:])
+	if len(recs) != 0 || !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("want ErrCorruptFrame, got %d records, err %v", len(recs), err)
+	}
+}
+
+// TestTailReaderSticky: after the first error every further Next returns
+// the same error, so a reconnect loop cannot accidentally resume past a
+// corrupt frame.
+func TestTailReaderSticky(t *testing.T) {
+	full, _ := buildTailStream(2)
+	mut := append([]byte(nil), full...)
+	mut[len(mut)-1] ^= 0xff
+	rd := NewTailReader(bytes.NewReader(mut))
+	var first error
+	for i := 0; i < 5; i++ {
+		_, err := rd.Next()
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		} else if !errors.Is(err, first) && err != first {
+			t.Fatalf("error not sticky: %v then %v", first, err)
+		}
+	}
+	if first == nil {
+		t.Fatal("corrupt stream never errored")
+	}
+}
