@@ -53,6 +53,23 @@
 //	dynfdd -http :8081 -data-root /var/lib/dynfd-replica \
 //	       -replicate-from http://primary:7071             # follower
 //
+// Failover (DESIGN.md §16): a follower may also pass -repl-addr so that,
+// once promoted, it can feed the remaining followers. When the primary
+// dies, promote a follower — in place, no restart:
+//
+//	dynfdd -promote http://follower:8081
+//
+// Promotion durably bumps every tenant's fencing epoch (a WAL-recorded
+// promotion record that survives crash and replay) and opens the write
+// gate. If the old primary comes back, any node that observes the higher
+// epoch fences it: its writes answer 403 naming the winning epoch, its
+// followers re-point at the winner automatically, and restarting it with
+// -replicate-from the winner discards its unshipped divergent tail via a
+// checkpoint install. GET /repl/v1/status on any node reports its role,
+// fence, and per-tenant replication positions; POST /repl/v1/demote
+// hands a node the winning epoch and addresses explicitly. See the
+// README's "Failover" section for the full three-node walkthrough.
+//
 // Engines default to -workers auto (one scheduler worker per CPU);
 // tenants may override it at create time. -pprof-addr serves
 // net/http/pprof on a separate listener for profiling a live daemon,
@@ -64,9 +81,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -74,6 +93,7 @@ import (
 	"os"
 	"os/signal"
 	goruntime "runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -105,8 +125,16 @@ func main() {
 	replAddr := flag.String("repl-addr", "", "serve the WAL-shipping replication protocol on this address so followers can stream this daemon's tenants; empty disables")
 	replicateFrom := flag.String("replicate-from", "", "run as a read-only follower of the primary whose -repl-addr is at this base URL (e.g. http://10.0.0.1:7071); mirrors its tenants and serves all reads with bounded staleness")
 	advertise := flag.String("advertise", "", "public base URL of this daemon's -http API, handed to followers for write/stale-read redirects (with -repl-addr)")
+	promote := flag.String("promote", "", "one-shot client mode: promote the follower daemon whose -http API is at this base URL to primary, print its new epochs, and exit")
 	flag.Parse()
 
+	if *promote != "" {
+		if err := promoteNode(*promote); err != nil {
+			fmt.Fprintln(os.Stderr, "dynfdd:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *httpAddr == "" && *listen == "" {
 		fmt.Fprintln(os.Stderr, "dynfdd: nothing to serve: pass -http addr (multi-tenant API) and/or -listen addr (line protocol)")
 		os.Exit(2)
@@ -117,10 +145,6 @@ func main() {
 	}
 	if (*replAddr != "" || *replicateFrom != "") && *httpAddr == "" {
 		fmt.Fprintln(os.Stderr, "dynfdd: -repl-addr and -replicate-from require -http (the multi-tenant service)")
-		os.Exit(2)
-	}
-	if *replAddr != "" && *replicateFrom != "" {
-		fmt.Fprintln(os.Stderr, "dynfdd: -repl-addr and -replicate-from are mutually exclusive (chained replication is not supported)")
 		os.Exit(2)
 	}
 	workers, err := parseWorkers(*workersFlag)
@@ -265,6 +289,46 @@ func main() {
 		}
 	}
 	log.Printf("dynfdd: shut down cleanly")
+}
+
+// promoteNode is the -promote one-shot client: POST /repl/v1/promote on
+// the target daemon's public HTTP API and report the promoted epochs.
+func promoteNode(base string) error {
+	url := strings.TrimRight(base, "/") + "/repl/v1/promote"
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	var body struct {
+		Role   string            `json:"role"`
+		Epochs map[string]uint64 `json:"epochs"`
+		Error  string            `json:"error"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		return fmt.Errorf("promote %s: unexpected response (status %d): %.200s", base, resp.StatusCode, data)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("promote %s: %s (status %d)", base, body.Error, resp.StatusCode)
+	}
+	if len(body.Epochs) == 0 {
+		fmt.Printf("dynfdd: %s is now %s (no tenants promoted)\n", base, body.Role)
+		return nil
+	}
+	names := make([]string, 0, len(body.Epochs))
+	for name := range body.Epochs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("dynfdd: %s is now %s\n", base, body.Role)
+	for _, name := range names {
+		fmt.Printf("dynfdd: tenant %s promoted to epoch %d\n", name, body.Epochs[name])
+	}
+	return nil
 }
 
 // parseWorkers resolves the -workers flag: "auto" (the default) means one

@@ -179,10 +179,26 @@ func (m *DurableMonitor) ApplyReplicated(seq uint64, payload []byte) error {
 	return m.eng.ApplyReplicated(seq, payload)
 }
 
+// Promote durably bumps the monitor's fencing epoch by one and returns
+// the new epoch — the follower-to-primary transition of the failover
+// protocol (DESIGN.md §16). The promotion is recorded in the WAL, so it
+// survives any subsequent crash and ships in-band to downstream
+// followers. Must be externally serialized like Apply.
+func (m *DurableMonitor) Promote() (uint64, error) { return m.eng.Promote() }
+
+// Epoch returns the fencing epoch the monitor's state belongs to (0 until
+// the first promotion). Safe from any goroutine.
+func (m *DurableMonitor) Epoch() uint64 { return m.eng.Epoch() }
+
+// EpochStart returns the WAL sequence at which the current fencing epoch
+// began (0 for epoch 0). Safe from any goroutine.
+func (m *DurableMonitor) EpochStart() uint64 { return m.eng.EpochStart() }
+
 // InstallReplicaCheckpoint replaces the monitor's state with a primary
 // checkpoint ahead of it — the follower catch-up step when the primary no
-// longer retains the monitor's WAL position. Must be externally
-// serialized like Apply.
+// longer retains the monitor's WAL position, or when a higher fencing
+// epoch forces a fenced ex-primary to discard its divergent tail. Must be
+// externally serialized like Apply.
 func (m *DurableMonitor) InstallReplicaCheckpoint(blob []byte) error {
 	if err := m.eng.InstallCheckpoint(blob); err != nil {
 		return err

@@ -36,6 +36,12 @@ type checkpoint struct {
 	Seq     uint64         `json:"seq"`
 	Columns []string       `json:"columns"`
 	Engine  *core.Snapshot `json:"engine"`
+	// Epoch is the fencing epoch the state belongs to and EpochStart the
+	// WAL sequence at which that epoch began (DESIGN.md §16). Both are 0
+	// for a store that has never been promoted, so pre-failover checkpoints
+	// decode unchanged.
+	Epoch      uint64 `json:"epoch,omitempty"`
+	EpochStart uint64 `json:"epoch_start,omitempty"`
 }
 
 // Options configures Open.
@@ -92,6 +98,13 @@ type Engine struct {
 	seq             atomic.Uint64 // sequence number of the last staged batch
 	sinceCheckpoint int           // batches staged since the last checkpoint
 	checkpointEvery int           // 0 disables automatic checkpoints
+
+	// epoch is the fencing epoch the state belongs to and epochStart the
+	// WAL sequence the epoch began at — both advanced only by a durable
+	// promotion record (DESIGN.md §16) or an epoch-forced checkpoint
+	// install. Read lock-free by the replication server's fencing checks.
+	epoch      atomic.Uint64
+	epochStart atomic.Uint64
 
 	// lastCheckpoint is the outcome of the most recent checkpoint attempt.
 	// It has its own lock because health probes read it from arbitrary
@@ -188,6 +201,8 @@ func Open(st Storage, opts Options) (*Engine, error) {
 	}
 	e.columns = cp.Columns
 	e.seq.Store(cp.Seq)
+	e.epoch.Store(cp.Epoch)
+	e.epochStart.Store(cp.EpochStart)
 	e.eng, err = core.Restore(cp.Engine)
 	if err != nil {
 		return nil, fmt.Errorf("durable: restoring checkpoint: %w", err)
@@ -216,6 +231,22 @@ func Open(st Storage, opts Options) (*Engine, error) {
 		}
 		if rec.Seq != seq+1 {
 			return nil, fmt.Errorf("durable: WAL gap: have state at seq %d, next record is seq %d", seq, rec.Seq)
+		}
+		if wal.IsControl(rec.Payload) {
+			// A promotion record: it consumes a sequence number but mutates
+			// only the fencing epoch, which must survive crash/replay.
+			epoch, err := wal.DecodePromotion(rec.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("durable: WAL record %d: %w", rec.Seq, err)
+			}
+			if epoch <= e.epoch.Load() {
+				return nil, fmt.Errorf("durable: WAL record %d promotes to epoch %d, not above %d", rec.Seq, epoch, e.epoch.Load())
+			}
+			e.epoch.Store(epoch)
+			e.epochStart.Store(rec.Seq)
+			seq = rec.Seq
+			replayed = true
+			continue
 		}
 		changes, err := stream.ReadChanges(bytes.NewReader(rec.Payload))
 		if err != nil {
@@ -290,11 +321,13 @@ func equalColumns(a, b []string) bool {
 // current sequence number.
 func (e *Engine) writeCheckpoint() error {
 	blob, err := json.Marshal(checkpoint{
-		Format:  checkpointFormat,
-		Version: checkpointVersion,
-		Seq:     e.seq.Load(),
-		Columns: e.columns,
-		Engine:  e.eng.Snapshot(),
+		Format:     checkpointFormat,
+		Version:    checkpointVersion,
+		Seq:        e.seq.Load(),
+		Columns:    e.columns,
+		Engine:     e.eng.Snapshot(),
+		Epoch:      e.epoch.Load(),
+		EpochStart: e.epochStart.Load(),
 	})
 	if err != nil {
 		return fmt.Errorf("durable: encoding checkpoint: %w", err)

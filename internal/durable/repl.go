@@ -6,6 +6,7 @@ import (
 
 	"dynfd/internal/core"
 	"dynfd/internal/stream"
+	"dynfd/internal/wal"
 )
 
 // ChangeFeed receives every change the engine commits, for WAL-shipping
@@ -37,6 +38,22 @@ type ChangeFeed interface {
 func (e *Engine) ApplyReplicated(seq uint64, payload []byte) error {
 	if want := e.seq.Load() + 1; seq != want {
 		return fmt.Errorf("durable: replicated frame has seq %d, engine expects %d", seq, want)
+	}
+	if wal.IsControl(payload) {
+		// A promotion record shipped in-band: the upstream primary was
+		// promoted into a new epoch, and the follower adopts it at the same
+		// sequence so epoch history stays identical across the cluster.
+		epoch, err := wal.DecodePromotion(payload)
+		if err != nil {
+			return fmt.Errorf("durable: replicated frame %d: %w", seq, err)
+		}
+		if cur := e.epoch.Load(); epoch <= cur {
+			return fmt.Errorf("durable: replicated frame %d promotes to epoch %d, engine already at %d", seq, epoch, cur)
+		}
+		if err := e.Poisoned(); err != nil {
+			return fmt.Errorf("durable: engine poisoned, refusing replicated promotion: %w", err)
+		}
+		return e.stagePromotion(seq, epoch, payload)
 	}
 	changes, err := stream.ReadChanges(bytes.NewReader(payload))
 	if err != nil {
@@ -78,7 +95,9 @@ func (e *Engine) CheckpointBlob(minSeq uint64) ([]byte, uint64, error) {
 
 // InstallCheckpoint replaces the engine's state with a primary checkpoint
 // ahead of it — the follower's catch-up step when the primary no longer
-// retains its position. The blob is persisted verbatim (atomic replace),
+// retains its position. "Ahead" means a higher sequence within the same
+// epoch, or any sequence from a higher fencing epoch: the latter is how a
+// fenced ex-primary discards a divergent tail the winner never shipped. The blob is persisted verbatim (atomic replace),
 // the local WAL is reset, and the in-memory engine is swapped to the
 // restored snapshot, so crash recovery at any interleaving converges to
 // either the old state or the installed one, never a mix. Every staged
@@ -95,8 +114,12 @@ func (e *Engine) InstallCheckpoint(blob []byte) error {
 	if !equalColumns(cp.Columns, e.columns) {
 		return fmt.Errorf("durable: checkpoint schema mismatch: store has %v, checkpoint has %v", e.columns, cp.Columns)
 	}
-	if cur := e.seq.Load(); cp.Seq <= cur {
-		return fmt.Errorf("durable: checkpoint at seq %d is not ahead of engine at seq %d", cp.Seq, cur)
+	if cur := e.seq.Load(); cp.Seq <= cur && cp.Epoch <= e.epoch.Load() {
+		// Same epoch and not ahead: nothing to gain. A checkpoint from a
+		// HIGHER epoch installs even at a lower sequence — that is the
+		// fenced ex-primary discarding its divergent unshipped tail in
+		// favor of the winner's history (DESIGN.md §16).
+		return fmt.Errorf("durable: checkpoint at seq %d epoch %d is not ahead of engine at seq %d epoch %d", cp.Seq, cp.Epoch, cur, e.epoch.Load())
 	}
 	eng, err := core.Restore(cp.Engine)
 	if err != nil {
@@ -119,8 +142,12 @@ func (e *Engine) InstallCheckpoint(blob []byte) error {
 	}
 	e.eng = eng
 	e.seq.Store(cp.Seq)
-	e.committer.Appended(cp.Seq)
-	e.committer.MarkSynced(cp.Seq)
+	e.epoch.Store(cp.Epoch)
+	e.epochStart.Store(cp.EpochStart)
+	// Rewind, not Appended+MarkSynced: an epoch-forced install may move the
+	// engine BACKWARDS, and a stale synced mark above cp.Seq would report
+	// later batches durable without an fsync.
+	e.committer.Rewind(cp.Seq)
 	if e.feed != nil {
 		e.feed.Durable(cp.Seq)
 	}

@@ -1,0 +1,129 @@
+package httpapi
+
+import (
+	"net/http"
+	"time"
+
+	"dynfd/internal/runtime"
+)
+
+// This file is the HTTP surface of the failover role machine (DESIGN.md
+// §16): the status endpoint operators watch, the promote/demote verbs the
+// failover runbook drives, and the JSON shapes they share with the fenced
+// write rejection.
+
+// fenceJSON renders the fence in force on a fenced node.
+type fenceJSON struct {
+	Epoch     uint64 `json:"epoch"`
+	Primary   string `json:"primary,omitempty"`
+	Advertise string `json:"advertise,omitempty"`
+}
+
+// replTenantJSON is one tenant row of GET /repl/v1/status.
+type replTenantJSON struct {
+	Name        string `json:"name"`
+	Seq         uint64 `json:"seq"`
+	Epoch       uint64 `json:"epoch"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+	// Follower link state; zero/absent on a primary or fenced node.
+	PrimarySeq  uint64 `json:"primary_seq,omitempty"`
+	Lag         uint64 `json:"lag"`
+	Connected   bool   `json:"connected"`
+	LastFrameAt string `json:"last_frame_at,omitempty"`
+}
+
+// replStatus serves GET /repl/v1/status: the node's failover role, its
+// fence when fenced, and every tenant's replication position.
+func (s *Server) replStatus(w http.ResponseWriter) {
+	tenants := []replTenantJSON{}
+	for _, tr := range s.rt.ReplOverview() {
+		row := replTenantJSON{
+			Name:        tr.Name,
+			Seq:         tr.Seq,
+			Epoch:       tr.Epoch,
+			Quarantined: tr.Quarantined,
+			PrimarySeq:  tr.PrimarySeq,
+			Connected:   tr.Connected,
+		}
+		if tr.PrimarySeq > tr.Seq {
+			row.Lag = tr.PrimarySeq - tr.Seq
+		}
+		if !tr.LastFrameAt.IsZero() {
+			row.LastFrameAt = tr.LastFrameAt.UTC().Format(time.RFC3339Nano)
+		}
+		tenants = append(tenants, row)
+	}
+	resp := map[string]any{
+		"role":    s.rt.Role().String(),
+		"tenants": tenants,
+	}
+	if f := s.rt.Fence(); f != nil {
+		resp["fence"] = fenceJSON{Epoch: f.Epoch, Primary: f.Primary, Advertise: f.Advertise}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// promote serves POST /repl/v1/promote: flip this follower into a
+// writable primary, durably bumping every tenant's fencing epoch. The
+// refusals — already primary, or fenced by a lost failover — are state
+// conflicts, not malformed requests.
+func (s *Server) promote(w http.ResponseWriter) {
+	epochs, err := s.rt.Promote()
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role":   s.rt.Role().String(),
+		"epochs": epochs,
+	})
+}
+
+// demoteRequest is the body of POST /repl/v1/demote: the winning epoch
+// (required) and, when known, where the winner serves replication and its
+// public API.
+type demoteRequest struct {
+	Epoch     uint64 `json:"epoch"`
+	Primary   string `json:"primary,omitempty"`
+	Advertise string `json:"advertise,omitempty"`
+}
+
+// demote serves POST /repl/v1/demote: tell this node a higher fencing
+// epoch won a failover. A primary fences itself, a follower re-points at
+// the winner, a fenced node refreshes its fence.
+func (s *Server) demote(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req demoteRequest
+	if err := unmarshalStrict(data, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad demote request: %v", err)
+		return
+	}
+	if req.Epoch == 0 {
+		writeError(w, http.StatusBadRequest, "demote requires the winning epoch")
+		return
+	}
+	if err := s.rt.Demote(req.Epoch, req.Primary, req.Advertise); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	resp := map[string]any{"role": s.rt.Role().String()}
+	if f := s.rt.Fence(); f != nil {
+		resp["fence"] = fenceJSON{Epoch: f.Epoch, Primary: f.Primary, Advertise: f.Advertise}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeFenced renders a *runtime.FencedError: 403 whose body names the
+// winning epoch and, when known, the winner's addresses — enough for a
+// client to chase the failover without a directory service.
+func writeFenced(w http.ResponseWriter, fe *runtime.FencedError) {
+	writeJSON(w, http.StatusForbidden, map[string]any{
+		"error":     fe.Error(),
+		"epoch":     fe.Epoch,
+		"primary":   fe.Primary,
+		"advertise": fe.Advertise,
+	})
+}

@@ -1,0 +1,137 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+// statusBody decodes GET /repl/v1/status.
+type statusBody struct {
+	Role  string `json:"role"`
+	Fence *struct {
+		Epoch     uint64 `json:"epoch"`
+		Primary   string `json:"primary"`
+		Advertise string `json:"advertise"`
+	} `json:"fence"`
+	Tenants []struct {
+		Name        string `json:"name"`
+		Seq         uint64 `json:"seq"`
+		Epoch       uint64 `json:"epoch"`
+		Lag         uint64 `json:"lag"`
+		Connected   bool   `json:"connected"`
+		LastFrameAt string `json:"last_frame_at"`
+	} `json:"tenants"`
+}
+
+func replStatusOf(t *testing.T, ts *httptest.Server) statusBody {
+	t.Helper()
+	resp, body := doReq(t, ts, "GET", "/repl/v1/status", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status: %d %s", resp.StatusCode, body)
+	}
+	var st statusBody
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("bad status body %s: %v", body, err)
+	}
+	return st
+}
+
+// TestFailoverControlEndpoints walks the operator's failover runbook over
+// HTTP: status on both nodes, promote the follower, watch the epoch land
+// on read responses, demote the stale primary, and see its writes fenced
+// with the winning epoch and addresses.
+func TestFailoverControlEndpoints(t *testing.T) {
+	p := newReplPair(t)
+	waitFollowerSeq(t, p.follower, 1)
+
+	ps, fs := replStatusOf(t, p.primary), replStatusOf(t, p.follower)
+	if ps.Role != "primary" || fs.Role != "follower" {
+		t.Fatalf("initial roles: primary=%q follower=%q", ps.Role, fs.Role)
+	}
+	if len(ps.Tenants) != 1 || ps.Tenants[0].Name != "t0" || ps.Tenants[0].Epoch != 0 {
+		t.Fatalf("primary status tenants: %+v", ps.Tenants)
+	}
+
+	// One replicated batch, so the follower has link state to report.
+	if resp, body := doReq(t, p.primary, "POST", "/v1/tenants/t0/batch",
+		`{"changes":[{"op":"insert","values":["60311","Frankfurt"]}]}`); resp.StatusCode != 200 {
+		t.Fatalf("primary batch: %d %s", resp.StatusCode, body)
+	}
+	waitFollowerSeq(t, p.follower, 2)
+	fs = replStatusOf(t, p.follower)
+	if len(fs.Tenants) != 1 || !fs.Tenants[0].Connected || fs.Tenants[0].LastFrameAt == "" {
+		t.Fatalf("follower status must report a connected link with last_frame_at: %+v", fs.Tenants)
+	}
+
+	// Promote the follower.
+	resp, body := doReq(t, p.follower, "POST", "/repl/v1/promote", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("promote: %d %s", resp.StatusCode, body)
+	}
+	var promoted struct {
+		Role   string            `json:"role"`
+		Epochs map[string]uint64 `json:"epochs"`
+	}
+	if err := json.Unmarshal(body, &promoted); err != nil {
+		t.Fatalf("bad promote body %s: %v", body, err)
+	}
+	if promoted.Role != "primary" || promoted.Epochs["t0"] != 1 {
+		t.Fatalf("promote response: %+v", promoted)
+	}
+	if resp, _ := doReq(t, p.follower, "POST", "/repl/v1/promote", ""); resp.StatusCode != 409 {
+		t.Fatalf("second promote: %d, want 409", resp.StatusCode)
+	}
+
+	// The promoted node serves writes, and its reads carry the new role and
+	// epoch (the promotion record consumed sequence 3, so the write is 4).
+	if resp, body := doReq(t, p.follower, "POST", "/v1/tenants/t0/batch",
+		`{"changes":[{"op":"insert","values":["50667","Cologne"]}]}`); resp.StatusCode != 200 {
+		t.Fatalf("write on promoted node: %d %s", resp.StatusCode, body)
+	}
+	_, read, _ := readFDs(t, p.follower, "")
+	if read.Seq != 4 {
+		t.Fatalf("promoted node at seq %d, want 4", read.Seq)
+	}
+	var fields map[string]any
+	_, raw := doReq(t, p.follower, "GET", "/v1/tenants/t0/fds", "")
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	if fields["role"] != "primary" || fields["epoch"] != float64(1) {
+		t.Fatalf("promoted read fields: role=%v epoch=%v", fields["role"], fields["epoch"])
+	}
+
+	// Demote the stale primary with the winning epoch and addresses.
+	if resp, body := doReq(t, p.primary, "POST", "/repl/v1/demote", `{"epoch":0}`); resp.StatusCode != 400 {
+		t.Fatalf("demote without epoch: %d %s", resp.StatusCode, body)
+	}
+	demote := fmt.Sprintf(`{"epoch":1,"advertise":%q}`, p.follower.URL)
+	resp, body = doReq(t, p.primary, "POST", "/repl/v1/demote", demote)
+	if resp.StatusCode != 200 {
+		t.Fatalf("demote: %d %s", resp.StatusCode, body)
+	}
+	ps = replStatusOf(t, p.primary)
+	if ps.Role != "fenced" || ps.Fence == nil || ps.Fence.Epoch != 1 || ps.Fence.Advertise != p.follower.URL {
+		t.Fatalf("demoted status: %+v", ps)
+	}
+
+	// Writes on the fenced node answer 403 naming the winner.
+	resp, body = doReq(t, p.primary, "POST", "/v1/tenants/t0/batch",
+		`{"changes":[{"op":"insert","values":["XXXXX","Staleville"]}]}`)
+	if resp.StatusCode != 403 {
+		t.Fatalf("write on fenced node: %d %s", resp.StatusCode, body)
+	}
+	var fenced struct {
+		Error     string `json:"error"`
+		Epoch     uint64 `json:"epoch"`
+		Advertise string `json:"advertise"`
+	}
+	if err := json.Unmarshal(body, &fenced); err != nil {
+		t.Fatal(err)
+	}
+	if fenced.Epoch != 1 || fenced.Advertise != p.follower.URL || fenced.Error == "" {
+		t.Fatalf("fenced body: %+v", fenced)
+	}
+}

@@ -18,6 +18,9 @@
 //	GET    /v1/tenants/{t}/violations?lhs=a,b&rhs=c[&max=n]  why an FD fails, plus g3 error
 //	POST   /v1/tenants/{t}/snapshot          force a checkpoint
 //	GET    /v1/tenants/{t}/metrics           one tenant's metrics
+//	GET    /repl/v1/status                   failover role, fence, per-tenant replication positions
+//	POST   /repl/v1/promote                  promote this follower to a writable primary
+//	POST   /repl/v1/demote                   inform this node a higher epoch won {"epoch",["primary"],["advertise"]}
 //
 // Read endpoints (/fds, /keys, /inds, /violations, tenant info, and the
 // metrics) are served from each tenant's last published result snapshot
@@ -25,11 +28,16 @@
 // in-flight batch, and report the snapshot's "seq" plus a "staleness"
 // count of batches staged but not yet durably committed.
 //
-// On a runtime replicating from a primary (DESIGN.md §15), read responses
-// additionally carry "primary_seq", "lag", and "connected", writes fail
+// Every read response carries "role" (primary/follower/fenced) and the
+// tenant's fencing "epoch" (DESIGN.md §16). On a runtime replicating from
+// a primary (DESIGN.md §15), read responses additionally carry
+// "primary_seq", "lag", "connected", and "last_frame_at", writes fail
 // with 403, and any read may bound its tolerated staleness with
 // ?max_lag=N — exceeded, the response is 503 (Retry-After: 1) or, with
-// ?redirect=1, a 307 to the primary's advertised URL.
+// ?redirect=1, a 307 to the primary's advertised URL. A write rejected on
+// a fenced ex-primary answers 403 with the winning "epoch" and, when
+// known, the winner's "primary" (replication) and "advertise" (API) URLs
+// in the body, so clients chase the failover winner.
 //
 // Error contract: every non-2xx response carries {"error": "..."}; the
 // handler never panics outward (a recovered panic is a 500). Status codes:
@@ -48,6 +56,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"dynfd"
 	"dynfd/internal/runtime"
@@ -138,6 +147,27 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 		default:
 			methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
 		}
+		return
+	case "/repl/v1/status":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, r, http.MethodGet)
+			return
+		}
+		s.replStatus(w)
+		return
+	case "/repl/v1/promote":
+		if r.Method != http.MethodPost {
+			methodNotAllowed(w, r, http.MethodPost)
+			return
+		}
+		s.promote(w)
+		return
+	case "/repl/v1/demote":
+		if r.Method != http.MethodPost {
+			methodNotAllowed(w, r, http.MethodPost)
+			return
+		}
+		s.demote(w, r)
 		return
 	}
 	rest, ok := strings.CutPrefix(path, "/v1/tenants/")
@@ -243,7 +273,10 @@ func (s *Server) tenantVerb(w http.ResponseWriter, r *http.Request, name, verb s
 // runtimeError maps runtime sentinel errors onto the documented statuses.
 func (s *Server) runtimeError(w http.ResponseWriter, err error) {
 	var q *runtime.QuarantineError
+	var fe *runtime.FencedError
 	switch {
+	case errors.As(err, &fe):
+		writeFenced(w, fe)
 	case errors.As(err, &q):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, runtime.ErrNoSuchTenant):
@@ -436,7 +469,9 @@ func (s *Server) applyBatch(w http.ResponseWriter, r *http.Request, name string)
 // admission sentinels (as opposed to a per-batch validation failure).
 func isLifecycleErr(err error) bool {
 	var q *runtime.QuarantineError
+	var fe *runtime.FencedError
 	return errors.Is(err, runtime.ErrNoSuchTenant) ||
+		errors.As(err, &fe) ||
 		errors.Is(err, runtime.ErrTenantExists) ||
 		errors.Is(err, runtime.ErrTenantBusy) ||
 		errors.Is(err, runtime.ErrOverloaded) ||
@@ -476,6 +511,10 @@ func (s *Server) readSnapshot(w http.ResponseWriter, r *http.Request, name strin
 	fields := map[string]any{
 		"seq":       snap.Seq(),
 		"staleness": staged - snap.Seq(),
+		"role":      s.rt.Role().String(),
+	}
+	if epoch, _, err := s.rt.ReplEpoch(name); err == nil {
+		fields["epoch"] = epoch
 	}
 	lag := staged - snap.Seq()
 	advertise := ""
@@ -487,6 +526,9 @@ func (s *Server) readSnapshot(w http.ResponseWriter, r *http.Request, name strin
 		fields["primary_seq"] = rs.PrimarySeq
 		fields["lag"] = lag
 		fields["connected"] = rs.Connected
+		if !rs.LastFrameAt.IsZero() {
+			fields["last_frame_at"] = rs.LastFrameAt.UTC().Format(time.RFC3339Nano)
+		}
 		advertise = rs.Advertise
 	}
 	if rawMax := r.URL.Query().Get("max_lag"); rawMax != "" {

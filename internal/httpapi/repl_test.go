@@ -220,7 +220,7 @@ func stripVolatile(t *testing.T, body []byte) string {
 	if err := json.Unmarshal(body, &m); err != nil {
 		t.Fatalf("bad body %s: %v", body, err)
 	}
-	for _, k := range []string{"seq", "staleness", "primary_seq", "lag", "connected"} {
+	for _, k := range []string{"seq", "staleness", "primary_seq", "lag", "connected", "role", "last_frame_at"} {
 		delete(m, k)
 	}
 	out, err := json.Marshal(m)

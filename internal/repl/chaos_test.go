@@ -90,7 +90,8 @@ func genEngineWorkload(t *testing.T, cfg core.Config, numBatches int) ([]stream.
 // engine's install method carries a shorter name than the interface).
 type engReplica struct{ eng *durable.Engine }
 
-func (r engReplica) Seq() uint64 { return r.eng.Seq() }
+func (r engReplica) Seq() uint64   { return r.eng.Seq() }
+func (r engReplica) Epoch() uint64 { return r.eng.Epoch() }
 func (r engReplica) ApplyReplicated(seq uint64, payload []byte) error {
 	return r.eng.ApplyReplicated(seq, payload)
 }
@@ -127,13 +128,28 @@ func (p *chaosPrimary) ReplFeed(name string) (*repl.Feed, error) {
 	return p.feed, nil
 }
 
+func (p *chaosPrimary) ReplEpoch(name string) (uint64, uint64, error) {
+	if name != "t" {
+		return 0, 0, fmt.Errorf("no such tenant %q", name)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.eng.Epoch(), p.eng.EpochStart(), nil
+}
+
+func (p *chaosPrimary) ReplObserve(name string, epoch uint64) {}
+
 func (p *chaosPrimary) ReplCheckpoint(name string) ([]byte, uint64, error) {
 	if name != "t" {
 		return nil, 0, fmt.Errorf("no such tenant %q", name)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	blob, seq, err := p.eng.CheckpointBlob(p.feed.Floor())
+	minSeq := p.feed.Floor()
+	if es := p.eng.EpochStart(); es > minSeq {
+		minSeq = es // a rejoiner from a lost epoch needs a post-promotion checkpoint
+	}
+	blob, seq, err := p.eng.CheckpointBlob(minSeq)
 	return blob, seq, err
 }
 

@@ -8,13 +8,17 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"dynfd/internal/wal"
 )
 
 // Client speaks the follower side of the replication protocol against one
-// primary.
+// primary. The primary it points at can change at runtime — a fenced
+// response names the failover winner and Repoint switches over — so the
+// base URL is guarded for concurrent readers.
 type Client struct {
+	mu   sync.Mutex
 	base string // primary replication base URL, no trailing slash
 	hc   *http.Client
 }
@@ -30,13 +34,28 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
 
-// Base returns the primary replication base URL.
-func (c *Client) Base() string { return c.base }
+// Base returns the primary replication base URL. Safe from any goroutine.
+func (c *Client) Base() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base
+}
+
+// Repoint switches the client to a new primary base URL — the follower's
+// reaction to a fenced response naming the failover winner. In-flight
+// requests finish against the old base; every later request uses the new
+// one. Safe from any goroutine, so one shared client heals every follower
+// that uses it.
+func (c *Client) Repoint(base string) {
+	c.mu.Lock()
+	c.base = strings.TrimRight(base, "/")
+	c.mu.Unlock()
+}
 
 // Tenants fetches the primary's replicable tenant listing and its
 // advertised public API URL.
 func (c *Client) Tenants(ctx context.Context) ([]TenantStatus, string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/repl/v1/tenants", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base()+"/repl/v1/tenants", nil)
 	if err != nil {
 		return nil, "", err
 	}
@@ -56,30 +75,35 @@ func (c *Client) Tenants(ctx context.Context) ([]TenantStatus, string, error) {
 }
 
 // Checkpoint fetches the primary's latest checkpoint for the tenant,
-// returning the blob and the WAL sequence it covers.
-func (c *Client) Checkpoint(ctx context.Context, tenant string) ([]byte, uint64, error) {
+// returning the blob, the WAL sequence it covers, and its fencing epoch.
+// The epoch is advisory (0 when the primary predates the header): the blob
+// itself carries the authoritative value and the installing engine
+// re-validates, but it lets the catch-up guard recognize an epoch-forced
+// install at a lower sequence.
+func (c *Client) Checkpoint(ctx context.Context, tenant string) (blob []byte, seq, epoch uint64, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/repl/v1/t/"+tenant+"/checkpoint", nil)
+		c.Base()+"/repl/v1/t/"+tenant+"/checkpoint", nil)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, 0, statusError("checkpoint fetch", resp)
+		return nil, 0, 0, statusError("checkpoint fetch", resp)
 	}
-	seq, err := strconv.ParseUint(resp.Header.Get(SeqHeader), 10, 64)
+	seq, err = strconv.ParseUint(resp.Header.Get(SeqHeader), 10, 64)
 	if err != nil {
-		return nil, 0, fmt.Errorf("repl: checkpoint response missing %s header: %w", SeqHeader, err)
+		return nil, 0, 0, fmt.Errorf("repl: checkpoint response missing %s header: %w", SeqHeader, err)
 	}
-	blob, err := io.ReadAll(io.LimitReader(resp.Body, 1<<31))
+	epoch, _ = strconv.ParseUint(resp.Header.Get(EpochHeader), 10, 64)
+	blob, err = io.ReadAll(io.LimitReader(resp.Body, 1<<31))
 	if err != nil {
-		return nil, 0, fmt.Errorf("repl: reading checkpoint: %w", err)
+		return nil, 0, 0, fmt.Errorf("repl: reading checkpoint: %w", err)
 	}
-	return blob, seq, nil
+	return blob, seq, epoch, nil
 }
 
 // TailStream is one open frame stream from the primary. Next returns
@@ -106,12 +130,15 @@ func (t *TailStream) Close() error {
 	return t.resp.Body.Close()
 }
 
-// Tail opens a frame stream resuming after sequence from. ErrSnapshotNeeded
-// reports that the primary no longer retains from+1 and the follower must
-// install a checkpoint first.
-func (c *Client) Tail(ctx context.Context, tenant string, from uint64) (*TailStream, error) {
+// Tail opens a frame stream resuming after sequence from, presenting the
+// follower's fencing epoch. ErrSnapshotNeeded reports that the primary no
+// longer retains from+1 — or that the follower's history diverged across a
+// failover — and a checkpoint must be installed first; a *FencedError
+// reports the primary itself is the stale side.
+func (c *Client) Tail(ctx context.Context, tenant string, from, epoch uint64) (*TailStream, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/repl/v1/t/"+tenant+"/wal?from="+strconv.FormatUint(from, 10), nil)
+		c.Base()+"/repl/v1/t/"+tenant+"/wal?from="+strconv.FormatUint(from, 10)+
+			"&epoch="+strconv.FormatUint(epoch, 10), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -138,13 +165,16 @@ func drain(resp *http.Response) {
 }
 
 // statusError renders a non-2xx protocol response, including the JSON
-// error body when one is present.
+// error body when one is present. A 403 carrying a fencing epoch decodes
+// to a typed *FencedError so the follower can react (re-point, back off)
+// instead of treating it as an opaque failure.
 func statusError(op string, resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	var body struct {
-		Error string `json:"error"`
-	}
+	var body fencedBody
 	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		if resp.StatusCode == http.StatusForbidden && body.Epoch > 0 {
+			return &FencedError{Epoch: body.Epoch, Primary: body.Primary}
+		}
 		return fmt.Errorf("repl: %s: %s (status %d)", op, body.Error, resp.StatusCode)
 	}
 	return fmt.Errorf("repl: %s: status %d", op, resp.StatusCode)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync/atomic"
 	"time"
 )
@@ -15,11 +16,15 @@ import (
 type Replica interface {
 	// Seq returns the sequence of the last applied batch.
 	Seq() uint64
+	// Epoch returns the fencing epoch of the replica's state (0 until the
+	// first promotion it has replayed or installed).
+	Epoch() uint64
 	// ApplyReplicated durably applies one replicated frame. The sequence
 	// must be exactly Seq()+1.
 	ApplyReplicated(seq uint64, payload []byte) error
 	// InstallReplicaCheckpoint replaces the replica's state with a primary
-	// checkpoint ahead of it.
+	// checkpoint ahead of it — in sequence, or in fencing epoch (the
+	// divergent-tail discard of a failover rejoin).
 	InstallReplicaCheckpoint(blob []byte) error
 }
 
@@ -27,8 +32,17 @@ type Replica interface {
 type FollowerOptions struct {
 	// MinBackoff and MaxBackoff bound the reconnect backoff after a stream
 	// error (defaults 50ms and 2s). Backoff doubles per consecutive
-	// failure and resets on any received frame.
+	// unhealthy attempt and resets after a sustained healthy tail.
 	MinBackoff, MaxBackoff time.Duration
+	// HealthyReset is how long a tail stream must stay open before the
+	// reconnect backoff resets to MinBackoff (default 1s). Resetting on the
+	// first received frame instead would turn a primary that dies right
+	// after the handshake into a hot reconnect loop: each attempt delivers
+	// one frame, "makes progress", and retries at full speed.
+	HealthyReset time.Duration
+	// Logf, when set, receives structured key=value lines for the
+	// follower's transitions (fence, repoint, install, unhealthy streams).
+	Logf func(format string, args ...any)
 }
 
 func (o *FollowerOptions) defaults() {
@@ -38,19 +52,24 @@ func (o *FollowerOptions) defaults() {
 	if o.MaxBackoff <= 0 {
 		o.MaxBackoff = 2 * time.Second
 	}
+	if o.HealthyReset <= 0 {
+		o.HealthyReset = time.Second
+	}
 }
 
 // Follower replicates one tenant from a primary into a local replica:
-// tail the primary's frame stream from the replica's current sequence,
-// fall back to a checkpoint install whenever the primary no longer
-// retains that position, apply frames in order, and reconnect with
-// exponential backoff when the stream tears. Run owns the replica's
-// mutation surface for its whole lifetime.
+// tail the primary's frame stream from the replica's current sequence and
+// epoch, fall back to a checkpoint install whenever the primary no longer
+// retains that position (or the histories diverged across a failover),
+// apply frames in order, and reconnect with jittered exponential backoff
+// when the stream tears. A fenced response naming the failover winner
+// re-points the shared client, so the follower heals onto the new primary
+// without operator action. Run owns the replica's mutation surface for its
+// whole lifetime.
 //
-// The exported state — PrimarySeq, Connected — is what the read path
-// needs for its bounded-staleness contract: the last primary durable
-// sequence learned from any frame or heartbeat, and whether a stream is
-// currently open.
+// The exported state — PrimarySeq, Connected, LastFrameAt — is what the
+// read path needs for its bounded-staleness contract and what the status
+// endpoint reports.
 type Follower struct {
 	client *Client
 	tenant string
@@ -61,6 +80,7 @@ type Follower struct {
 	connected  atomic.Bool
 	applied    atomic.Uint64 // frames applied since start (observability)
 	installs   atomic.Uint64 // checkpoint installs since start
+	lastFrame  atomic.Int64  // unix nanos of the last received frame (incl. heartbeats)
 }
 
 // NewFollower wires a follower; Run starts it.
@@ -85,6 +105,23 @@ func (f *Follower) Applied() uint64 { return f.applied.Load() }
 // Installs returns the number of checkpoint catch-ups performed.
 func (f *Follower) Installs() uint64 { return f.installs.Load() }
 
+// LastFrameAt returns the arrival time of the most recent frame, including
+// heartbeats — the liveness signal of the link to the primary. Zero before
+// the first frame.
+func (f *Follower) LastFrameAt() time.Time {
+	ns := f.lastFrame.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.opts.Logf != nil {
+		f.opts.Logf(format, args...)
+	}
+}
+
 // Run replicates until ctx is cancelled or the replica fails
 // (a non-nil return other than ctx.Err() means the replica rejected an
 // apply or install — its engine has poisoned itself — and the caller
@@ -96,18 +133,22 @@ func (f *Follower) Run(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		madeProgress, err := f.tailOnce(ctx)
+		healthy, err := f.tailOnce(ctx)
 		if err != nil {
 			return err // replica failure: fatal
 		}
-		if madeProgress {
+		if healthy {
 			backoff = f.opts.MinBackoff
 			continue
 		}
+		// Jittered sleep in [backoff/2, backoff] so a herd of followers
+		// losing the same primary does not hammer its successor in
+		// lockstep. math/rand's global source is safe for concurrent use.
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
 		if backoff *= 2; backoff > f.opts.MaxBackoff {
 			backoff = f.opts.MaxBackoff
@@ -117,36 +158,66 @@ func (f *Follower) Run(ctx context.Context) error {
 
 // tailOnce runs one connect attempt: resolve the resume position (via
 // checkpoint install if needed), stream frames until the stream ends or
-// tears. It returns whether any frame arrived (progress resets the
-// backoff); a non-nil error is a replica failure and fatal.
-func (f *Follower) tailOnce(ctx context.Context) (progress bool, err error) {
-	stream, err := f.client.Tail(ctx, f.tenant, f.rep.Seq())
+// tears. It reports whether the attempt was healthy — a checkpoint
+// install, or a stream that stayed open for at least HealthyReset — which
+// is what resets the backoff; a non-nil error is a replica failure and
+// fatal.
+func (f *Follower) tailOnce(ctx context.Context) (healthy bool, err error) {
+	stream, err := f.client.Tail(ctx, f.tenant, f.rep.Seq(), f.rep.Epoch())
 	if errors.Is(err, ErrSnapshotNeeded) {
 		return f.catchUp(ctx)
 	}
 	if err != nil {
+		f.fencedMaybe(err)
 		return false, nil // transient: listing moved, primary down, ...
 	}
 	defer stream.Close()
 	f.connected.Store(true)
 	defer f.connected.Store(false)
+	opened := time.Now()
 	for {
 		frame, err := stream.Next()
 		if err != nil {
 			// Clean end, torn tail, or transport error: reconnect from the
 			// last applied sequence either way. Nothing past the first
 			// invalid frame was surfaced, so nothing invalid was applied.
-			return progress, nil
+			// Healthy is a property of how long the stream lived, measured
+			// from the stream open (not the connect attempt, so a slow
+			// checkpoint negotiation cannot fake health).
+			if healthy = time.Since(opened) >= f.opts.HealthyReset; !healthy {
+				f.logf("repl: event=stream_unhealthy tenant=%s open_ms=%d seq=%d",
+					f.tenant, time.Since(opened).Milliseconds(), f.rep.Seq())
+			}
+			return healthy, nil
 		}
 		if err := f.apply(frame); err != nil {
-			return progress, err
+			return false, err
 		}
-		progress = true
 	}
+}
+
+// fencedMaybe reacts to a *FencedError from any protocol call: when the
+// response names the winning primary, the shared client is re-pointed at
+// it, healing this follower (and everything else using the client) onto
+// the winner; otherwise the fence is only logged and ordinary backoff
+// applies until an operator intervenes or the stale node recovers.
+func (f *Follower) fencedMaybe(err error) {
+	var fe *FencedError
+	if !errors.As(err, &fe) {
+		return
+	}
+	if fe.Primary != "" && fe.Primary != f.client.Base() {
+		f.logf("repl: event=repoint tenant=%s epoch=%d from=%s to=%s",
+			f.tenant, fe.Epoch, f.client.Base(), fe.Primary)
+		f.client.Repoint(fe.Primary)
+		return
+	}
+	f.logf("repl: event=fenced tenant=%s epoch=%d primary=%q", f.tenant, fe.Epoch, fe.Primary)
 }
 
 // apply folds one received frame into the replica.
 func (f *Follower) apply(frame Frame) error {
+	f.lastFrame.Store(time.Now().UnixNano())
 	if frame.Seq > f.primarySeq.Load() {
 		f.primarySeq.Store(frame.Seq)
 	}
@@ -171,27 +242,30 @@ func (f *Follower) apply(frame Frame) error {
 }
 
 // catchUp fetches and installs the primary's latest checkpoint. The
-// install only runs when the checkpoint is ahead of the replica — the
-// primary may have checkpointed again since the 410, in which case the
-// next tail attempt renegotiates.
-func (f *Follower) catchUp(ctx context.Context) (progress bool, err error) {
-	blob, seq, err := f.client.Checkpoint(ctx, f.tenant)
+// install only runs when the checkpoint is ahead of the replica — in
+// sequence, or in fencing epoch: an epoch-forced install at a LOWER
+// sequence is the rejoin of a fenced ex-primary, discarding the tail it
+// accepted but never shipped before losing the failover.
+func (f *Follower) catchUp(ctx context.Context) (healthy bool, err error) {
+	blob, seq, epoch, err := f.client.Checkpoint(ctx, f.tenant)
 	if err != nil {
+		f.fencedMaybe(err)
 		return false, nil // transient
 	}
 	if seq > f.primarySeq.Load() {
 		f.primarySeq.Store(seq)
 	}
-	if seq <= f.rep.Seq() {
-		// The primary's checkpoint is not ahead of us, yet it refused our
-		// tail position: its history restarted behind ours (a restored
-		// backup, a rebuilt primary). Re-tailing resolves it eventually;
-		// treat as no progress so backoff applies.
+	if seq <= f.rep.Seq() && epoch <= f.rep.Epoch() {
+		// The primary's checkpoint is not ahead of us in any dimension, yet
+		// it refused our tail position: its history restarted behind ours (a
+		// restored backup, a rebuilt primary). Re-tailing resolves it
+		// eventually; treat as unhealthy so backoff applies.
 		return false, nil
 	}
 	if err := f.rep.InstallReplicaCheckpoint(blob); err != nil {
 		return false, fmt.Errorf("repl: tenant %q: installing checkpoint at seq %d: %w", f.tenant, seq, err)
 	}
 	f.installs.Add(1)
+	f.logf("repl: event=install tenant=%s seq=%d epoch=%d", f.tenant, seq, epoch)
 	return true, nil
 }

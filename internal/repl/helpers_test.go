@@ -111,13 +111,26 @@ func (s *primarySource) ReplFeed(name string) (*repl.Feed, error) {
 	return s.feed, nil
 }
 
+func (s *primarySource) ReplEpoch(name string) (uint64, uint64, error) {
+	if name != s.name {
+		return 0, 0, fmt.Errorf("no such tenant %q", name)
+	}
+	return s.mon.Epoch(), s.mon.EpochStart(), nil
+}
+
+func (s *primarySource) ReplObserve(name string, epoch uint64) {}
+
 func (s *primarySource) ReplCheckpoint(name string) ([]byte, uint64, error) {
 	if name != s.name {
 		return nil, 0, fmt.Errorf("no such tenant %q", name)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	blob, seq, err := s.mon.CheckpointBlob(s.feed.Floor())
+	minSeq := s.feed.Floor()
+	if es := s.mon.EpochStart(); es > minSeq {
+		minSeq = es // a rejoiner from a lost epoch needs a post-promotion checkpoint
+	}
+	blob, seq, err := s.mon.CheckpointBlob(minSeq)
 	return blob, seq, err
 }
 

@@ -35,7 +35,10 @@
 // never applied.
 package repl
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // ErrSnapshotNeeded reports that the primary can no longer serve frames
 // from the requested sequence — the feed's ring has moved past it — and
@@ -44,6 +47,26 @@ var ErrSnapshotNeeded = errors.New("repl: requested sequence no longer retained;
 
 // ErrClosed reports an operation on a closed feed or follower.
 var ErrClosed = errors.New("repl: closed")
+
+// FencedError reports that a node refused a replication request because a
+// higher fencing epoch has won (DESIGN.md §16): the refusing node is
+// stale, and the caller should follow the winning primary instead. On the
+// wire it travels as a 403 with a JSON body carrying the epoch and — when
+// the refusing node knows it — the winner's replication base URL.
+type FencedError struct {
+	// Epoch is the winning fencing epoch the refusing node has observed.
+	Epoch uint64
+	// Primary is the winning primary's replication base URL, when known;
+	// a follower receiving it re-points its client there automatically.
+	Primary string
+}
+
+func (e *FencedError) Error() string {
+	if e.Primary != "" {
+		return fmt.Sprintf("repl: fenced by epoch %d (primary %s)", e.Epoch, e.Primary)
+	}
+	return fmt.Sprintf("repl: fenced by epoch %d", e.Epoch)
+}
 
 // Frame is one replicated change batch: the WAL sequence number and the
 // stream-codec payload exactly as logged on the primary. A heartbeat frame

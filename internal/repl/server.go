@@ -16,6 +16,11 @@ import (
 const (
 	// SeqHeader carries the WAL sequence a checkpoint response covers.
 	SeqHeader = "X-Dynfd-Checkpoint-Seq"
+	// EpochHeader carries the fencing epoch a checkpoint response covers.
+	// Advisory — the blob itself is authoritative and the installing engine
+	// re-validates — but it lets the follower's catch-up guard decide
+	// whether a lower-sequence checkpoint is an epoch-forced install.
+	EpochHeader = "X-Dynfd-Checkpoint-Epoch"
 	// DefaultHeartbeat is the idle interval between heartbeat frames on a
 	// tail stream when the server is not given an explicit one.
 	DefaultHeartbeat = 500 * time.Millisecond
@@ -26,6 +31,8 @@ type TenantStatus struct {
 	Name string `json:"name"`
 	// Seq is the tenant's durable sequence at listing time.
 	Seq uint64 `json:"seq"`
+	// Epoch is the tenant's fencing epoch (0 until the first promotion).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // tenantsResponse is the body of GET /repl/v1/tenants.
@@ -50,6 +57,13 @@ type Source interface {
 	// be at or above the feed's floor (the implementation forces a fresh
 	// checkpoint when the on-disk one has fallen behind the ring).
 	ReplCheckpoint(name string) (blob []byte, seq uint64, err error)
+	// ReplEpoch returns the tenant's fencing epoch and the WAL sequence
+	// that epoch began at (both 0 before the first promotion).
+	ReplEpoch(name string) (epoch, epochStart uint64, err error)
+	// ReplObserve reports that a peer presented a higher fencing epoch for
+	// the tenant than this node's own — proof this node lost a failover.
+	// The source fences itself (or records the observation); never fails.
+	ReplObserve(name string, epoch uint64)
 }
 
 // Server is the primary-side HTTP handler of the replication protocol:
@@ -114,11 +128,14 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 func (s *Server) checkpoint(w http.ResponseWriter, name string) {
 	blob, seq, err := s.src.ReplCheckpoint(name)
 	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		s.sourceError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(SeqHeader, strconv.FormatUint(seq, 10))
+	if epoch, _, err := s.src.ReplEpoch(name); err == nil {
+		w.Header().Set(EpochHeader, strconv.FormatUint(epoch, 10))
+	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(blob)
 }
@@ -129,14 +146,48 @@ func (s *Server) wal(w http.ResponseWriter, r *http.Request, name string) {
 		httpError(w, http.StatusBadRequest, "wal tail requires ?from=<last applied seq>: %v", err)
 		return
 	}
+	var reqEpoch uint64
+	if q := r.URL.Query().Get("epoch"); q != "" {
+		if reqEpoch, err = strconv.ParseUint(q, 10, 64); err != nil {
+			httpError(w, http.StatusBadRequest, "bad ?epoch: %v", err)
+			return
+		}
+	}
 	feed, err := s.src.ReplFeed(name)
 	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		s.sourceError(w, err)
 		return
 	}
-	// Resolve the resume position before committing to a 200: a follower
-	// below the ring's floor needs a checkpoint, which still has a status
-	// code of its own.
+	// Fencing checks come BEFORE the feed resolves the resume position: a
+	// divergent follower may sit past the ring's high-water mark, and
+	// letting it wait for frames there would hang it instead of telling it
+	// to catch up.
+	epoch, epochStart, err := s.src.ReplEpoch(name)
+	if err != nil {
+		s.sourceError(w, err)
+		return
+	}
+	if reqEpoch > epoch {
+		// The follower has seen a promotion we have not: WE are the stale
+		// side. Record the observation (the source fences itself) and bounce
+		// the follower; it renegotiates against whatever fence is now up.
+		s.src.ReplObserve(name, reqEpoch)
+		writeFenced(w, &FencedError{Epoch: reqEpoch})
+		return
+	}
+	if reqEpoch < epoch && from >= epochStart {
+		// The follower holds frames at or past where our epoch began, but
+		// from an older epoch: its tail diverged from the winning history
+		// and same-epoch frame shipping cannot reconcile it. 410 forces the
+		// checkpoint catch-up, whose epoch-forced install discards the tail.
+		httpError(w, http.StatusGone,
+			"repl: history diverged: follower at seq %d epoch %d, but epoch %d began at seq %d — catch up from a checkpoint",
+			from, reqEpoch, epoch, epochStart)
+		return
+	}
+	// reqEpoch == epoch, or an older epoch whose position lies before this
+	// epoch began — then the promotion record itself is still ahead of the
+	// follower and arrives in-band through the stream.
 	frames, wait, err := feed.Next(from)
 	if err != nil {
 		s.feedError(w, err)
@@ -196,6 +247,30 @@ func (s *Server) wal(w http.ResponseWriter, r *http.Request, name string) {
 		timer.Reset(heartbeat)
 		frames, wait, err = feed.Next(from)
 	}
+}
+
+// sourceError maps a Source failure to its wire status: a *FencedError —
+// this node lost a failover — becomes the 403 fenced response so the
+// follower can re-point, anything else a 404.
+func (s *Server) sourceError(w http.ResponseWriter, err error) {
+	var fe *FencedError
+	if errors.As(err, &fe) {
+		writeFenced(w, fe)
+		return
+	}
+	httpError(w, http.StatusNotFound, "%v", err)
+}
+
+// fencedBody is the JSON body of a 403 fenced response; the client decodes
+// it back into a *FencedError.
+type fencedBody struct {
+	Error   string `json:"error"`
+	Epoch   uint64 `json:"epoch"`
+	Primary string `json:"primary,omitempty"`
+}
+
+func writeFenced(w http.ResponseWriter, fe *FencedError) {
+	writeJSON(w, http.StatusForbidden, fencedBody{Error: fe.Error(), Epoch: fe.Epoch, Primary: fe.Primary})
 }
 
 func (s *Server) feedError(w http.ResponseWriter, err error) {

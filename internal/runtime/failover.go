@@ -1,0 +1,314 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the runtime's failover role machine (DESIGN.md §16). A node
+// is primary (writable), follower (read-only, replaying a primary), or
+// fenced (an ex-primary that observed a higher fencing epoch: every write
+// is rejected with the winning epoch, every replication request redirects
+// followers to the winner). Transitions:
+//
+//	follower --Promote--> primary          (durable per-tenant epoch bump)
+//	primary  --Demote/ReplObserve--> fenced (higher epoch won)
+//	fenced   --(restart as follower)--> follower
+//
+// There is no auto-election: promotion is operator- or script-driven, and
+// a fenced node stays fenced until it is restarted pointing at the winner.
+
+// Role is a node's failover role.
+type Role int32
+
+const (
+	RolePrimary Role = iota
+	RoleFollower
+	RoleFenced
+)
+
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleFollower:
+		return "follower"
+	case RoleFenced:
+		return "fenced"
+	}
+	return fmt.Sprintf("role(%d)", int32(r))
+}
+
+// Fence records why a node is fenced: the winning epoch and — when the
+// demotion named it — where the winner lives.
+type Fence struct {
+	// Epoch is the winning fencing epoch this node observed.
+	Epoch uint64
+	// Primary is the winner's replication base URL, when known.
+	Primary string
+	// Advertise is the winner's public API base URL, when known.
+	Advertise string
+}
+
+// FencedError rejects a write on a fenced node: a higher fencing epoch has
+// won and this node must not accept state that could diverge. The HTTP
+// layer maps it to 403 with the winning epoch and addresses in the body.
+type FencedError struct {
+	Epoch     uint64
+	Primary   string
+	Advertise string
+}
+
+func (e *FencedError) Error() string {
+	if e.Advertise != "" {
+		return fmt.Sprintf("runtime: fenced by epoch %d; write to %s", e.Epoch, e.Advertise)
+	}
+	return fmt.Sprintf("runtime: fenced by epoch %d", e.Epoch)
+}
+
+// Role returns the node's current failover role. Safe from any goroutine.
+func (rt *Runtime) Role() Role { return Role(rt.role.Load()) }
+
+// Fence returns the fence in force, or nil unless the node is fenced.
+// Safe from any goroutine.
+func (rt *Runtime) Fence() *Fence {
+	if rt.Role() != RoleFenced {
+		return nil
+	}
+	return rt.fence.Load()
+}
+
+// liveTenants snapshots the ready, healthy-or-quarantined tenant slots.
+func (rt *Runtime) liveTenants() []*tenant {
+	rt.mu.Lock()
+	slots := make([]*tenant, 0, len(rt.tenants))
+	for _, t := range rt.tenants {
+		slots = append(slots, t)
+	}
+	rt.mu.Unlock()
+	out := slots[:0]
+	for _, t := range slots {
+		select {
+		case <-t.ready:
+		default:
+			continue
+		}
+		if t.initErr != nil || t.dropped.Load() {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// maxEpoch returns the highest fencing epoch across the node's tenants —
+// the node's own epoch for fencing comparisons.
+func (rt *Runtime) maxEpoch() uint64 {
+	var max uint64
+	for _, t := range rt.liveTenants() {
+		if mon := t.monRead.Load(); mon != nil && mon.Epoch() > max {
+			max = mon.Epoch()
+		}
+	}
+	return max
+}
+
+// Promote flips a follower into a writable primary: replication replay is
+// stopped, every healthy tenant durably bumps its fencing epoch (a
+// WAL-recorded promotion record that survives crash/replay and ships
+// in-band to any downstream follower), and the write gate opens. The
+// returned map holds each promoted tenant's new epoch. A tenant whose
+// promotion fails is quarantined — the rest of the node still promotes,
+// matching the runtime's failure containment. Promoting a primary is an
+// error; promoting a fenced node is refused (it lost a failover and must
+// rejoin as a follower first, or it would restart the split brain).
+func (rt *Runtime) Promote() (map[string]uint64, error) {
+	rt.roleMu.Lock()
+	defer rt.roleMu.Unlock()
+	switch rt.Role() {
+	case RolePrimary:
+		return nil, fmt.Errorf("runtime: node is already primary")
+	case RoleFenced:
+		f := rt.fence.Load()
+		return nil, fmt.Errorf("runtime: node is fenced by epoch %d; restart it as a follower of the winner before promoting", f.Epoch)
+	}
+	// Stop replaying before touching any engine: promotion and replicated
+	// applies must never interleave on one tenant.
+	rt.stopFollowing()
+	epochs := make(map[string]uint64)
+	for _, t := range rt.liveTenants() {
+		if h := t.folH.Swap(nil); h != nil {
+			h.cancel()
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			continue
+		}
+		if q := t.quarErr(); q != nil || t.mon == nil {
+			t.mu.Unlock()
+			rt.logger.Printf("runtime: event=promote_skip tenant=%s reason=quarantined err=%q", t.name, q)
+			continue
+		}
+		epoch, err := t.mon.Promote()
+		t.mu.Unlock()
+		if err != nil {
+			t.setQuarantine(err)
+			rt.logger.Printf("runtime: event=promote_fail tenant=%s err=%q", t.name, err)
+			continue
+		}
+		epochs[t.name] = epoch
+		rt.logger.Printf("runtime: event=promote tenant=%s epoch=%d seq=%d", t.name, epoch, t.mon.Seq())
+	}
+	rt.role.Store(int32(RolePrimary))
+	rt.logger.Printf("runtime: event=role_change role=primary tenants=%d", len(epochs))
+	return epochs, nil
+}
+
+// Demote tells the node a higher epoch has won the given failover. On a
+// primary it raises the fence (epoch must exceed the node's own); on a
+// fenced node it refreshes the fence with newer information; on a follower
+// it re-points the replication client at the winner — a follower is
+// already read-only, so there is nothing to fence.
+func (rt *Runtime) Demote(epoch uint64, primary, advertise string) error {
+	if epoch == 0 {
+		return fmt.Errorf("runtime: demotion requires the winning epoch")
+	}
+	rt.roleMu.Lock()
+	defer rt.roleMu.Unlock()
+	switch rt.Role() {
+	case RoleFollower:
+		if primary != "" && rt.repl != nil && primary != rt.repl.client.Base() {
+			rt.logger.Printf("runtime: event=repoint epoch=%d from=%s to=%s", epoch, rt.repl.client.Base(), primary)
+			rt.repl.client.Repoint(primary)
+		}
+		return nil
+	case RoleFenced:
+		cur := rt.fence.Load()
+		if epoch >= cur.Epoch {
+			rt.fence.Store(&Fence{Epoch: epoch, Primary: pickAddr(primary, cur.Primary), Advertise: pickAddr(advertise, cur.Advertise)})
+		}
+		return nil
+	}
+	if own := rt.maxEpoch(); epoch <= own {
+		return fmt.Errorf("runtime: demotion epoch %d is not above this node's epoch %d", epoch, own)
+	}
+	rt.fenceNode(epoch, primary, advertise)
+	return nil
+}
+
+func pickAddr(next, cur string) string {
+	if next != "" {
+		return next
+	}
+	return cur
+}
+
+// fenceNode raises the fence and ends every live frame stream, so tailing
+// followers renegotiate, hit the fenced response, and learn the winner.
+// Callers hold roleMu. The fence is stored before the role flips so any
+// reader that observes RoleFenced finds the fence populated.
+func (rt *Runtime) fenceNode(epoch uint64, primary, advertise string) {
+	rt.fence.Store(&Fence{Epoch: epoch, Primary: primary, Advertise: advertise})
+	rt.role.Store(int32(RoleFenced))
+	for _, t := range rt.liveTenants() {
+		if t.feed != nil {
+			t.feed.Close()
+		}
+	}
+	rt.logger.Printf("runtime: event=fence epoch=%d primary=%q advertise=%q", epoch, primary, advertise)
+}
+
+// ReplObserve is the repl.Source observation hook: a peer presented a
+// higher fencing epoch for the tenant than this node's own — proof this
+// node lost a failover it has not heard about. A primary fences itself; a
+// fenced node refreshes its fence; a follower needs no action (its replica
+// adopts the epoch through the stream).
+func (rt *Runtime) ReplObserve(name string, epoch uint64) {
+	rt.roleMu.Lock()
+	defer rt.roleMu.Unlock()
+	switch rt.Role() {
+	case RolePrimary:
+		if epoch > rt.maxEpoch() {
+			rt.logger.Printf("runtime: event=fence_observed tenant=%s epoch=%d", name, epoch)
+			rt.fenceNode(epoch, "", "")
+		}
+	case RoleFenced:
+		if cur := rt.fence.Load(); epoch > cur.Epoch {
+			rt.fence.Store(&Fence{Epoch: epoch, Primary: cur.Primary, Advertise: cur.Advertise})
+		}
+	}
+}
+
+// ReplEpoch is the repl.Source epoch hook: the tenant's fencing epoch and
+// the WAL sequence it began at.
+func (rt *Runtime) ReplEpoch(name string) (epoch, epochStart uint64, err error) {
+	t, err := rt.get(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	if t.dropped.Load() {
+		return 0, 0, fmt.Errorf("%w: %q", ErrNoSuchTenant, name)
+	}
+	mon := t.monRead.Load()
+	if mon == nil {
+		return 0, 0, &QuarantineError{Tenant: name, Err: t.quarErr()}
+	}
+	return mon.Epoch(), mon.EpochStart(), nil
+}
+
+// TenantRepl is one tenant's replication position in the node status
+// overview (GET /repl/v1/status).
+type TenantRepl struct {
+	Name  string
+	Seq   uint64
+	Epoch uint64
+	// Quarantined reports a poisoned tenant engine.
+	Quarantined bool
+	// Follower link state; zero values on a primary or fenced node.
+	PrimarySeq  uint64
+	Connected   bool
+	LastFrameAt time.Time
+}
+
+// ReplOverview returns every tenant's replication position for the status
+// endpoint, sorted by name.
+func (rt *Runtime) ReplOverview() []TenantRepl {
+	tenants := rt.liveTenants()
+	out := make([]TenantRepl, 0, len(tenants))
+	for _, t := range tenants {
+		tr := TenantRepl{Name: t.name, Quarantined: t.quarErr() != nil}
+		if mon := t.monRead.Load(); mon != nil {
+			tr.Seq = mon.Seq()
+			tr.Epoch = mon.Epoch()
+		}
+		if h := t.folH.Load(); h != nil {
+			tr.PrimarySeq = h.fol.PrimarySeq()
+			tr.Connected = h.fol.Connected()
+			tr.LastFrameAt = h.fol.LastFrameAt()
+		}
+		out = append(out, tr)
+	}
+	sortTenantRepl(out)
+	return out
+}
+
+func sortTenantRepl(s []TenantRepl) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Name < s[j-1].Name; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TenantEpochs returns each live tenant's current epoch (primarily for
+// tests and the promote response on nodes with zero promoted tenants).
+func (rt *Runtime) TenantEpochs() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, t := range rt.liveTenants() {
+		if mon := t.monRead.Load(); mon != nil {
+			out[t.name] = mon.Epoch()
+		}
+	}
+	return out
+}

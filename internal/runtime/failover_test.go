@@ -1,0 +1,163 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dynfd"
+	"dynfd/internal/repl"
+)
+
+// monitorState is the query surface the failover tests compare across
+// nodes: position, epoch, both covers, and the record count.
+type monitorState struct {
+	seq, epoch uint64
+	fds        string
+	records    int
+}
+
+func captureTenant(t *testing.T, rt *Runtime, name string) monitorState {
+	t.Helper()
+	var st monitorState
+	if err := rt.View(name, func(mon *dynfd.DurableMonitor) error {
+		st = monitorState{seq: mon.Seq(), epoch: mon.Epoch(), fds: fmt.Sprint(mon.FDs()), records: mon.NumRecords()}
+		return nil
+	}); err != nil {
+		t.Fatalf("capturing %q: %v", name, err)
+	}
+	return st
+}
+
+func waitTenantSeq(t *testing.T, rt *Runtime, name string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		snap, _, err := rt.Snapshot(name)
+		if err == nil && snap.Seq() == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			seq := uint64(0)
+			if snap != nil {
+				seq = snap.Seq()
+			}
+			t.Fatalf("tenant %q stuck at seq %d (err %v), want %d", name, seq, err, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func serveRepl(t *testing.T, rt *Runtime) *httptest.Server {
+	t.Helper()
+	srv := repl.NewServer(rt)
+	srv.Heartbeat = 10 * time.Millisecond
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestSplitBrainFencesAndDiscards is the deliberate split-brain property
+// (DESIGN.md §16): a follower is promoted while the old primary is still
+// alive and accepting writes. Both sides diverge; the moment the stale
+// primary observes the higher fencing epoch it must fence itself — reject
+// every write with the winning epoch, stop feeding followers — and after
+// rejoining as a follower of the winner its divergent writes must be
+// DISCARDED, never merged into the winning history.
+func TestSplitBrainFencesAndDiscards(t *testing.T) {
+	t.Parallel()
+	aDir := t.TempDir()
+	rtA := openTestRuntime(t, Config{DataRoot: aDir, ServeReplication: true})
+	if err := rtA.Create("t", []string{"zip", "city"}, [][]string{{"14482", "Potsdam"}, {"10115", "Berlin"}}); err != nil {
+		t.Fatal(err)
+	}
+	tsA := serveRepl(t, rtA)
+	rtB := openTestRuntime(t, Config{
+		DataRoot:         t.TempDir(),
+		ReplicateFrom:    tsA.URL,
+		ReplPoll:         25 * time.Millisecond,
+		ServeReplication: true, // warm feeds: B can feed followers the moment it is promoted
+	})
+	if _, err := rtA.Apply("t", []dynfd.Change{dynfd.Insert("60311", "Frankfurt")}); err != nil {
+		t.Fatal(err)
+	}
+	sharedSeq := captureTenant(t, rtA, "t").seq
+	waitTenantSeq(t, rtB, "t", sharedSeq)
+
+	if rtA.Role() != RolePrimary || rtB.Role() != RoleFollower {
+		t.Fatalf("roles before failover: A=%v B=%v", rtA.Role(), rtB.Role())
+	}
+
+	// Operator promotes B while A is still up: deliberate split brain.
+	epochs, err := rtB.Promote()
+	if err != nil {
+		t.Fatalf("promoting B: %v", err)
+	}
+	if epochs["t"] != 1 || rtB.Role() != RolePrimary {
+		t.Fatalf("after promote: epochs=%v role=%v", epochs, rtB.Role())
+	}
+	if _, err := rtB.Promote(); err == nil {
+		t.Fatal("second promote must refuse: node is already primary")
+	}
+	if err := rtB.Demote(1, "", ""); err == nil {
+		t.Fatal("demoting the winner with its own epoch must refuse")
+	}
+
+	// Divergence: the stale primary has not heard and still accepts writes.
+	if _, err := rtA.Apply("t", []dynfd.Change{dynfd.Insert("XXXXX", "Staleville")}); err != nil {
+		t.Fatalf("stale primary write before fencing: %v", err)
+	}
+	if _, err := rtB.Apply("t", []dynfd.Change{dynfd.Insert("50667", "Cologne")}); err != nil {
+		t.Fatalf("new primary write: %v", err)
+	}
+
+	// The stale side observes the higher epoch through the replication
+	// protocol — a tail request presenting epoch 1 — and fences itself.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	client := repl.NewClient(tsA.URL, nil)
+	var fe *repl.FencedError
+	if _, err := client.Tail(ctx, "t", sharedSeq+1, 1); !errors.As(err, &fe) || fe.Epoch != 1 {
+		t.Fatalf("tail with higher epoch: err=%v, want fenced by epoch 1", err)
+	}
+	if rtA.Role() != RoleFenced {
+		t.Fatalf("stale primary role = %v, want fenced", rtA.Role())
+	}
+	if f := rtA.Fence(); f == nil || f.Epoch != 1 {
+		t.Fatalf("stale primary fence = %+v, want epoch 1", rtA.Fence())
+	}
+
+	// Fenced: every write rejected with the winning epoch, and the node no
+	// longer feeds followers.
+	var wfe *FencedError
+	if _, err := rtA.Apply("t", []dynfd.Change{dynfd.Insert("NOPE", "Nope")}); !errors.As(err, &wfe) || wfe.Epoch != 1 {
+		t.Fatalf("write on fenced node: err=%v, want *FencedError epoch 1", err)
+	}
+	var rfe *repl.FencedError
+	if _, err := rtA.ReplFeed("t"); !errors.As(err, &rfe) {
+		t.Fatalf("fenced node still serves its feed: %v", err)
+	}
+
+	// Rejoin: restart the loser as a follower of the winner. Its divergent
+	// tail sits past the winner's epoch start, so catch-up goes through the
+	// epoch-forced checkpoint install that discards it.
+	tsB := serveRepl(t, rtB)
+	if err := rtA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rtA2 := openTestRuntime(t, Config{DataRoot: aDir, ReplicateFrom: tsB.URL, ReplPoll: 25 * time.Millisecond})
+	wantState := captureTenant(t, rtB, "t")
+	waitTenantSeq(t, rtA2, "t", wantState.seq)
+	if got := captureTenant(t, rtA2, "t"); got != wantState {
+		t.Fatalf("rejoined loser diverged:\n got %+v\nwant %+v", got, wantState)
+	}
+	// Equality is the never-merge proof: the winner holds the shared prefix
+	// plus its own write (records counts match), so the loser's divergent
+	// insert is gone; a merge would leave one extra record.
+	if got := captureTenant(t, rtA2, "t").records; got != wantState.records {
+		t.Fatalf("rejoined loser has %d records, want %d", got, wantState.records)
+	}
+}

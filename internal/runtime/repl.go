@@ -37,16 +37,24 @@ func (rt *Runtime) newFeed() *repl.Feed {
 	return repl.NewFeed(0, rt.cfg.FeedCapacity)
 }
 
-// writable gates the mutating endpoints: a follower rejects every write.
+// writable gates the mutating endpoints by failover role: a follower
+// rejects every write as read-only, a fenced ex-primary rejects with the
+// winning epoch so the client can chase the new primary, and a primary
+// accepts. The role is dynamic — Promote opens the gate, a fence closes it.
 func (rt *Runtime) writable() error {
-	if rt.cfg.ReplicateFrom != "" {
+	switch rt.Role() {
+	case RoleFollower:
 		return ErrReadOnly
+	case RoleFenced:
+		f := rt.fence.Load()
+		return &FencedError{Epoch: f.Epoch, Primary: f.Primary, Advertise: f.Advertise}
 	}
 	return nil
 }
 
-// IsFollower reports whether the runtime mirrors a primary.
-func (rt *Runtime) IsFollower() bool { return rt.cfg.ReplicateFrom != "" }
+// IsFollower reports whether the runtime currently mirrors a primary
+// (false again after a Promote).
+func (rt *Runtime) IsFollower() bool { return rt.Role() == RoleFollower }
 
 // --- primary side: repl.Source over the tenant table ---
 
@@ -71,14 +79,32 @@ func (rt *Runtime) ReplTenants() []repl.TenantStatus {
 		if t.initErr != nil || t.dropped.Load() || t.feed == nil {
 			continue
 		}
-		out = append(out, repl.TenantStatus{Name: t.name, Seq: t.feed.DurableSeq()})
+		ts := repl.TenantStatus{Name: t.name, Seq: t.feed.DurableSeq()}
+		if mon := t.monRead.Load(); mon != nil {
+			ts.Epoch = mon.Epoch()
+		}
+		out = append(out, ts)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
+// replFenced returns the typed wire error when this node is fenced: a
+// fenced ex-primary must not feed followers, and the error carries the
+// winner's replication base so they re-point automatically.
+func (rt *Runtime) replFenced() *repl.FencedError {
+	f := rt.Fence()
+	if f == nil {
+		return nil
+	}
+	return &repl.FencedError{Epoch: f.Epoch, Primary: f.Primary}
+}
+
 // ReplFeed resolves a tenant's frame feed.
 func (rt *Runtime) ReplFeed(name string) (*repl.Feed, error) {
+	if fe := rt.replFenced(); fe != nil {
+		return nil, fe
+	}
 	t, err := rt.get(name)
 	if err != nil {
 		return nil, err
@@ -94,8 +120,14 @@ func (rt *Runtime) ReplFeed(name string) (*repl.Feed, error) {
 
 // ReplCheckpoint returns a checkpoint blob a follower can install and then
 // tail from: the blob's sequence is at least the feed's floor, forcing a
-// fresh checkpoint when the stored one has fallen behind the frame ring.
+// fresh checkpoint when the stored one has fallen behind the frame ring —
+// and at least the tenant's epoch start, because a checkpoint from before
+// the promotion can neither catch up a divergent rejoiner (its guard would
+// see nothing ahead) nor carry the fencing epoch it must adopt.
 func (rt *Runtime) ReplCheckpoint(name string) ([]byte, uint64, error) {
+	if fe := rt.replFenced(); fe != nil {
+		return nil, 0, fe
+	}
 	t, err := rt.get(name)
 	if err != nil {
 		return nil, 0, err
@@ -111,6 +143,9 @@ func (rt *Runtime) ReplCheckpoint(name string) ([]byte, uint64, error) {
 	var minSeq uint64
 	if t.feed != nil {
 		minSeq = t.feed.Floor()
+	}
+	if es := t.mon.EpochStart(); es > minSeq {
+		minSeq = es
 	}
 	return t.mon.CheckpointBlob(minSeq)
 }
@@ -147,12 +182,16 @@ type ReplStatus struct {
 	// first successful tenant listing, or if the primary does not
 	// advertise one).
 	Advertise string
+	// LastFrameAt is when the last frame (including heartbeats) arrived —
+	// the liveness signal of the link. Zero before the first frame.
+	LastFrameAt time.Time
 }
 
 // ReplStatus returns the named tenant's replication position. The bool is
-// false when the runtime is not a follower.
+// false when the runtime is not currently a follower (a promoted node
+// stops reporting follower state).
 func (rt *Runtime) ReplStatus(name string) (ReplStatus, bool) {
-	if rt.repl == nil {
+	if rt.repl == nil || !rt.IsFollower() {
 		return ReplStatus{}, false
 	}
 	st := ReplStatus{}
@@ -166,6 +205,7 @@ func (rt *Runtime) ReplStatus(name string) (ReplStatus, bool) {
 		if h := t.folH.Load(); h != nil {
 			st.PrimarySeq = h.fol.PrimarySeq()
 			st.Connected = h.fol.Connected()
+			st.LastFrameAt = h.fol.LastFrameAt()
 		}
 	}
 	return st, true
@@ -320,14 +360,18 @@ func (rt *Runtime) createReplica(name string) (*tenant, error) {
 	rt.mu.Unlock()
 
 	ctx, cancel := context.WithTimeout(rt.repl.ctx, time.Minute)
-	blob, _, err := rt.repl.client.Checkpoint(ctx, name)
+	blob, _, _, err := rt.repl.client.Checkpoint(ctx, name)
 	cancel()
 	if err == nil {
 		err = dynfd.SeedReplica(t.dir, blob)
 	}
+	// The replica gets its own feed (when this node serves replication) so
+	// a promoted follower starts shipping frames without reopening engines:
+	// warm feeds are what make promotion instantaneous.
+	t.feed = rt.newFeed()
 	var mon *dynfd.DurableMonitor
 	if err == nil {
-		mon, err = dynfd.OpenDurable(t.dir, nil, rt.engineOptions(nil, nil)...)
+		mon, err = dynfd.OpenDurable(t.dir, nil, rt.engineOptions(nil, t.feed)...)
 	}
 	if err != nil {
 		os.RemoveAll(t.dir)
@@ -351,7 +395,9 @@ func (rt *Runtime) createReplica(name string) (*tenant, error) {
 // reads keep serving the last replayed snapshot, and the follower stops.
 func (rt *Runtime) startFollower(t *tenant) {
 	ctx, cancel := context.WithCancel(rt.repl.ctx)
-	fol := repl.NewFollower(rt.repl.client, t.name, &tenantReplica{t: t}, repl.FollowerOptions{})
+	fol := repl.NewFollower(rt.repl.client, t.name, &tenantReplica{t: t}, repl.FollowerOptions{
+		Logf: rt.logger.Printf,
+	})
 	t.folH.Store(&followerHandle{fol: fol, cancel: cancel})
 	rt.repl.wg.Add(1)
 	go func() {
@@ -373,6 +419,13 @@ type tenantReplica struct {
 func (r *tenantReplica) Seq() uint64 {
 	if mon := r.t.monRead.Load(); mon != nil {
 		return mon.Seq()
+	}
+	return 0
+}
+
+func (r *tenantReplica) Epoch() uint64 {
+	if mon := r.t.monRead.Load(); mon != nil {
+		return mon.Epoch()
 	}
 	return 0
 }

@@ -146,6 +146,13 @@ type Runtime struct {
 	// standalone runtime); see repl.go.
 	repl *replState
 
+	// Failover role machine (failover.go): role is the node's current
+	// Role, fence the reason when fenced, roleMu serializes transitions
+	// (Promote, Demote, ReplObserve-triggered fencing).
+	role   atomic.Int32
+	fence  atomic.Pointer[Fence]
+	roleMu sync.Mutex
+
 	mu       sync.Mutex
 	tenants  map[string]*tenant
 	inFlight int // batches admitted across all tenants
@@ -239,6 +246,9 @@ func Open(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{cfg: cfg, logger: logger, tenants: make(map[string]*tenant)}
+	if cfg.ReplicateFrom != "" {
+		rt.role.Store(int32(RoleFollower))
+	}
 	entries, err := os.ReadDir(cfg.DataRoot)
 	if err != nil {
 		return nil, err

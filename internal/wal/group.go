@@ -162,6 +162,22 @@ func (g *GroupCommitter) leadSync() {
 	g.cond.Broadcast()
 }
 
+// Rewind resets both high-water marks to seq after the engine's state was
+// replaced wholesale at a position that may lie BEHIND the previous marks —
+// the fencing-epoch checkpoint install that discards a divergent tail
+// (DESIGN.md §16). Without it a later append at old-seq+1 would find
+// synced already past it and be reported durable without an fsync. The
+// caller must guarantee no waiter is in flight above seq: installs are
+// externally serialized with staging, and the follower replay loop
+// completes each batch's wait before the next mutation.
+func (g *GroupCommitter) Rewind(seq uint64) {
+	g.mu.Lock()
+	g.appended = seq
+	g.synced = seq
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
 // MarkSynced records that every sequence at or below seq is durable
 // through a checkpoint, waking the covered waiters without an fsync.
 func (g *GroupCommitter) MarkSynced(seq uint64) {
