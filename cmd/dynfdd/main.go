@@ -292,10 +292,13 @@ func main() {
 }
 
 // promoteNode is the -promote one-shot client: POST /repl/v1/promote on
-// the target daemon's public HTTP API and report the promoted epochs.
+// the target daemon's public HTTP API and report the promoted epochs. The
+// request carries a deadline: in a failover runbook the target may be
+// half-dead, and a hung promote is worse than a failed one.
 func promoteNode(base string) error {
 	url := strings.TrimRight(base, "/") + "/repl/v1/promote"
-	resp, err := http.Post(url, "application/json", nil)
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Post(url, "application/json", nil)
 	if err != nil {
 		return err
 	}

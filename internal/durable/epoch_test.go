@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"dynfd/internal/faultio"
+	"dynfd/internal/repl"
 	"dynfd/internal/stream"
 	"dynfd/internal/wal"
 )
@@ -222,5 +223,98 @@ func TestEpochForcedInstallDiscardsDivergentTail(t *testing.T) {
 	}
 	if got := fdsOf(rec); got != want {
 		t.Fatalf("FDs after post-install recovery:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestEpochForcedInstallRewindsFeed: the loser of a failover may itself
+// feed downstream followers (chained replication). The backward checkpoint
+// install must rewind the feed along with the committer — the ring's
+// retained frames belong to the discarded history, and a downstream
+// follower that installs the same winner checkpoint and re-tails with the
+// matching epoch must never be served them, or it would apply divergent
+// old-epoch frames onto winner state.
+func TestEpochForcedInstallRewindsFeed(t *testing.T) {
+	t.Parallel()
+	shared := []stream.Batch{insertBatch("1", "x", "p"), insertBatch("2", "x", "q")}
+
+	winner, err := Open(faultio.NewMem(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range shared {
+		if _, err := winner.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := winner.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := winner.Apply(insertBatch("3", "y", "p")); err != nil {
+		t.Fatal(err)
+	}
+	blob, cpSeq, err := winner.CheckpointBlob(winner.Seq())
+	if err != nil || cpSeq != 4 {
+		t.Fatalf("CheckpointBlob: seq=%d err=%v, want 4/nil", cpSeq, err)
+	}
+
+	feed := repl.NewFeed(0, 8)
+	opts := testOpts()
+	opts.Feed = feed
+	loser, err := Open(faultio.NewMem(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range shared {
+		if _, err := loser.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := loser.Apply(insertBatch(fmt.Sprint("lost", i), "z", "r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := feed.DurableSeq(); got != 5 {
+		t.Fatalf("feed watermark before install = %d, want 5", got)
+	}
+
+	if err := loser.InstallCheckpoint(blob); err != nil {
+		t.Fatalf("epoch-forced install: %v", err)
+	}
+	// The feed must be rewound to the installed sequence: watermark and
+	// floor at 4, divergent frames 3..5 gone.
+	if got := feed.DurableSeq(); got != 4 {
+		t.Fatalf("feed watermark after install = %d, want 4", got)
+	}
+	if got := feed.Floor(); got != 4 {
+		t.Fatalf("feed floor after install = %d, want 4", got)
+	}
+	// A downstream follower that installed the same winner checkpoint and
+	// re-tails from it waits for new frames instead of receiving the
+	// discarded divergent ones.
+	frames, wait, err := feed.Next(4)
+	if err != nil || frames != nil || wait == nil {
+		t.Fatalf("Next(4) after install: frames=%v wait=%v err=%v", frames, wait, err)
+	}
+	// A mid-stream downstream still parked at the divergent high is bounced
+	// to checkpoint catch-up.
+	if _, _, err := feed.Next(5); !errors.Is(err, repl.ErrSnapshotNeeded) {
+		t.Fatalf("Next(5) after install: err=%v, want ErrSnapshotNeeded", err)
+	}
+
+	// The next batch on the rejoined loser ships as the replacement frame 5.
+	if _, err := loser.Apply(insertBatch("after", "y", "q")); err != nil {
+		t.Fatal(err)
+	}
+	frames, _, err = feed.Next(4)
+	if err != nil || len(frames) != 1 || frames[0].Seq != 5 {
+		t.Fatalf("Next(4) after rejoin write: frames=%v err=%v, want the single replacement frame 5", frames, err)
+	}
+	var changes []stream.Change
+	if changes, err = stream.ReadChanges(bytes.NewReader(frames[0].Payload)); err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 || changes[0].Values[0] != "after" {
+		t.Fatalf("replacement frame carries %v, want the post-install batch", changes)
 	}
 }

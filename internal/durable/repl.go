@@ -24,6 +24,11 @@ import (
 type ChangeFeed interface {
 	Append(seq uint64, payload []byte)
 	Durable(seq uint64)
+	// Rewind resets the feed to seq after a checkpoint install replaced the
+	// engine state at a position that may lie BEHIND the retained frames:
+	// the retained tail belongs to a discarded history and must never be
+	// shipped again (DESIGN.md §16).
+	Rewind(seq uint64)
 }
 
 // ApplyReplicated applies one frame shipped from a replication primary:
@@ -149,7 +154,12 @@ func (e *Engine) InstallCheckpoint(blob []byte) error {
 	// later batches durable without an fsync.
 	e.committer.Rewind(cp.Seq)
 	if e.feed != nil {
-		e.feed.Durable(cp.Seq)
+		// Rewind, not Durable: Durable is monotone, so a backwards install
+		// would leave the ring holding the discarded history's frames with
+		// the watermark still at the old high — and a chained downstream
+		// follower re-tailing after installing the same winner checkpoint
+		// would be served divergent frames onto winner state.
+		e.feed.Rewind(cp.Seq)
 	}
 	// The core engine was swapped out: the snapshot chain restarts with no
 	// copy-on-write predecessor.

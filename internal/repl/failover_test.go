@@ -96,7 +96,12 @@ func TestFailoverChaosConvergence(t *testing.T) {
 				ctx, cancel := context.WithCancel(context.Background())
 				done := make(chan error, 1)
 				go func() { done <- fol.Run(ctx) }()
+				stopped := false // stop is idempotent: called explicitly to quiesce, again via defer
 				return fol, func() {
+					if stopped {
+						return
+					}
+					stopped = true
 					cancel()
 					if err := <-done; err != nil && err != context.Canceled {
 						t.Errorf("follower run: %v", err)
@@ -235,6 +240,13 @@ func TestFailoverChaosConvergence(t *testing.T) {
 			if folA.Installs() == 0 {
 				t.Fatal("rejoined A never installed a checkpoint; its divergent tail cannot have been discarded")
 			}
+
+			// Quiesce the followers before touching engine cores directly:
+			// Seq() lands before an install finishes publishing, and
+			// CheckInvariants mutates lattice internals, so comparing cores
+			// while a replay goroutine is mid-install is a data race.
+			stopC()
+			stopA()
 
 			// Oracle equivalence: the oracle never saw the divergent inserts,
 			// so matching it proves the tail was discarded — on every node.

@@ -104,6 +104,33 @@ func (f *Feed) Durable(seq uint64) {
 	close(notify)
 }
 
+// Rewind resets the feed to seq after the engine's state was replaced
+// wholesale at a position that may lie BEHIND the retained ring — the
+// fencing-epoch checkpoint install that discards a divergent tail
+// (DESIGN.md §16). The retained frames belong to the discarded history,
+// so they are dropped rather than kept: a downstream follower that
+// installs the same winner checkpoint and re-tails must never be served
+// the divergent frames, and the winner's replacement frames land in a
+// clean ring. Subscribers are woken so an in-flight tail re-resolves
+// against the rewound range (Next fails for positions past the new high,
+// forcing the reconnect that re-runs the epoch handshake).
+func (f *Feed) Rewind(seq uint64) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.frames = f.frames[:0]
+	f.base = seq
+	f.floor = seq
+	f.high = seq
+	f.rel = seq
+	notify := f.notify
+	f.notify = make(chan struct{})
+	f.mu.Unlock()
+	close(notify)
+}
+
 // Floor returns the highest sequence the feed can NOT serve: a tail
 // request must start from at least this sequence (exclusive lower bound
 // of the retained range).
@@ -133,6 +160,16 @@ func (f *Feed) Next(from uint64) (frames []Frame, wait <-chan struct{}, err erro
 		return nil, nil, ErrClosed
 	}
 	if from < f.floor {
+		return nil, nil, ErrSnapshotNeeded
+	}
+	if from > f.high {
+		// No frame at or below from was ever appended in the feed's current
+		// history: the subscriber's position comes from a history a Rewind
+		// discarded (an epoch-forced checkpoint install moved the engine
+		// backwards). Waiting would eventually hand it the replacement
+		// frames for sequences it already holds divergent versions of, so
+		// fail instead — the reconnect re-runs the epoch handshake and is
+		// routed to checkpoint catch-up.
 		return nil, nil, ErrSnapshotNeeded
 	}
 	if from >= f.rel {

@@ -28,6 +28,70 @@ func wantSeqs(t *testing.T, frames []repl.Frame, want ...uint64) {
 	}
 }
 
+// TestFeedRewind: an epoch-forced checkpoint install can move the engine
+// BACKWARDS (the fenced loser of a failover adopting the winner's state).
+// Rewind must drop the retained ring — its frames belong to the discarded
+// history — reset the watermark, and fail subscribers whose position lies
+// past the new high so they reconnect and re-run the epoch handshake
+// instead of being served divergent frames onto winner state.
+func TestFeedRewind(t *testing.T) {
+	f := repl.NewFeed(0, 8)
+	for seq := uint64(1); seq <= 5; seq++ {
+		f.Append(seq, []byte{byte('a' + seq)})
+	}
+	f.Durable(5)
+
+	// A subscriber parked at the durable high before the rewind.
+	_, wait, err := f.Next(5)
+	if err != nil || wait == nil {
+		t.Fatalf("Next(5): wait=%v err=%v", wait, err)
+	}
+
+	f.Rewind(3)
+	select {
+	case <-wait:
+	default:
+		t.Fatal("rewind did not wake parked subscribers")
+	}
+	if got := f.DurableSeq(); got != 3 {
+		t.Fatalf("DurableSeq after rewind = %d, want 3", got)
+	}
+	if got := f.Floor(); got != 3 {
+		t.Fatalf("Floor after rewind = %d, want 3", got)
+	}
+	// A re-tail from the rewind point must wait for replacement frames, not
+	// receive the discarded 4 and 5.
+	frames, wait, err := f.Next(3)
+	if err != nil || frames != nil || wait == nil {
+		t.Fatalf("Next(3) after rewind: frames=%v wait=%v err=%v", frames, wait, err)
+	}
+	// The parked subscriber's old position only exists in the discarded
+	// history: it must be bounced into checkpoint catch-up, never handed the
+	// replacement frames for sequences it already holds divergent versions
+	// of.
+	if _, _, err := f.Next(5); !errors.Is(err, repl.ErrSnapshotNeeded) {
+		t.Fatalf("Next(5) after rewind: err=%v, want ErrSnapshotNeeded", err)
+	}
+	// The replacement history ships normally from the rewind point.
+	f.Append(4, []byte("winner-4"))
+	f.Durable(4)
+	frames, _, err = f.Next(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, frames, 4)
+	if string(frames[0].Payload) != "winner-4" {
+		t.Fatalf("frame 4 payload = %q, want the replacement history's", frames[0].Payload)
+	}
+
+	// Rewind after Close stays closed.
+	f.Close()
+	f.Rewind(0)
+	if _, _, err := f.Next(0); !errors.Is(err, repl.ErrClosed) {
+		t.Fatalf("Next after Close: err=%v, want ErrClosed", err)
+	}
+}
+
 // TestFeedDurabilityGate: appended frames are invisible to subscribers
 // until the durability watermark covers them — a follower can never apply
 // a batch the primary might still lose.

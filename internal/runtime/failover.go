@@ -113,6 +113,53 @@ func (rt *Runtime) maxEpoch() uint64 {
 	return max
 }
 
+// minEpoch returns the lowest fencing epoch across the node's live
+// tenants (0 when there are none). Per-tenant epochs diverge when a
+// tenant is created between failovers — it sits at epoch 0 while older
+// tenants are at N — so a demotion is provably stale only when its epoch
+// is not above ANY tenant's epoch; comparing against the maximum would
+// let a stale primary keep accepting writes for the younger tenant that
+// lost a later failover.
+func (rt *Runtime) minEpoch() uint64 {
+	var min uint64
+	first := true
+	for _, t := range rt.liveTenants() {
+		mon := t.monRead.Load()
+		if mon == nil {
+			continue
+		}
+		if e := mon.Epoch(); first || e < min {
+			min, first = e, false
+		}
+	}
+	return min
+}
+
+// tenantEpoch returns one tenant's own fencing epoch for per-tenant
+// fencing comparisons. The second return is false when the tenant cannot
+// be resolved (unknown, still initializing, dropped, or quarantined) —
+// the caller falls back to a node-wide comparison.
+func (rt *Runtime) tenantEpoch(name string) (uint64, bool) {
+	rt.mu.Lock()
+	t, ok := rt.tenants[name]
+	rt.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	select {
+	case <-t.ready:
+	default:
+		return 0, false
+	}
+	if t.initErr != nil || t.dropped.Load() {
+		return 0, false
+	}
+	if mon := t.monRead.Load(); mon != nil {
+		return mon.Epoch(), true
+	}
+	return 0, false
+}
+
 // Promote flips a follower into a writable primary: replication replay is
 // stopped, every healthy tenant durably bumps its fencing epoch (a
 // WAL-recorded promotion record that survives crash/replay and ships
@@ -166,10 +213,13 @@ func (rt *Runtime) Promote() (map[string]uint64, error) {
 }
 
 // Demote tells the node a higher epoch has won the given failover. On a
-// primary it raises the fence (epoch must exceed the node's own); on a
-// fenced node it refreshes the fence with newer information; on a follower
-// it re-points the replication client at the winner — a follower is
-// already read-only, so there is nothing to fence.
+// primary it raises the fence (epoch must exceed at least one tenant's
+// own epoch — per-tenant epochs diverge, see minEpoch); on a fenced node
+// it refreshes the fence with newer information; on a follower it
+// re-points the replication client at the winner — a follower is already
+// read-only, so there is nothing to fence, but the epoch must still beat
+// every epoch the follower has adopted or a replayed demote could yank it
+// off the real primary.
 func (rt *Runtime) Demote(epoch uint64, primary, advertise string) error {
 	if epoch == 0 {
 		return fmt.Errorf("runtime: demotion requires the winning epoch")
@@ -178,6 +228,13 @@ func (rt *Runtime) Demote(epoch uint64, primary, advertise string) error {
 	defer rt.roleMu.Unlock()
 	switch rt.Role() {
 	case RoleFollower:
+		// A follower is already read-only, but a stale or replayed demote
+		// must not yank it off the real primary: the winning epoch has to
+		// beat every epoch this follower has already adopted through the
+		// stream.
+		if own := rt.maxEpoch(); epoch <= own {
+			return fmt.Errorf("runtime: demotion epoch %d is not above this follower's epoch %d", epoch, own)
+		}
 		if primary != "" && rt.repl != nil && primary != rt.repl.client.Base() {
 			rt.logger.Printf("runtime: event=repoint epoch=%d from=%s to=%s", epoch, rt.repl.client.Base(), primary)
 			rt.repl.client.Repoint(primary)
@@ -190,8 +247,11 @@ func (rt *Runtime) Demote(epoch uint64, primary, advertise string) error {
 		}
 		return nil
 	}
-	if own := rt.maxEpoch(); epoch <= own {
-		return fmt.Errorf("runtime: demotion epoch %d is not above this node's epoch %d", epoch, own)
+	// Per-tenant epochs diverge (a tenant created after earlier failovers
+	// sits at epoch 0), so the demotion is stale only if it beats NO
+	// tenant's epoch — see minEpoch.
+	if own := rt.minEpoch(); epoch <= own {
+		return fmt.Errorf("runtime: demotion epoch %d is not above any tenant's epoch on this node (minimum %d)", epoch, own)
 	}
 	rt.fenceNode(epoch, primary, advertise)
 	return nil
@@ -224,13 +284,23 @@ func (rt *Runtime) fenceNode(epoch uint64, primary, advertise string) {
 // node lost a failover it has not heard about. A primary fences itself; a
 // fenced node refreshes its fence; a follower needs no action (its replica
 // adopts the epoch through the stream).
+//
+// The comparison is against the NAMED tenant's epoch, not the node-wide
+// maximum: a tenant created after earlier failovers sits at epoch 0 while
+// older tenants are at N, and an observation of epoch k <= N but above
+// that tenant's epoch still proves this node lost a failover for it —
+// comparing against the maximum would leave the split brain open.
 func (rt *Runtime) ReplObserve(name string, epoch uint64) {
 	rt.roleMu.Lock()
 	defer rt.roleMu.Unlock()
 	switch rt.Role() {
 	case RolePrimary:
-		if epoch > rt.maxEpoch() {
-			rt.logger.Printf("runtime: event=fence_observed tenant=%s epoch=%d", name, epoch)
+		own, ok := rt.tenantEpoch(name)
+		if !ok {
+			own = rt.maxEpoch()
+		}
+		if epoch > own {
+			rt.logger.Printf("runtime: event=fence_observed tenant=%s epoch=%d own=%d", name, epoch, own)
 			rt.fenceNode(epoch, "", "")
 		}
 	case RoleFenced:

@@ -60,6 +60,132 @@ func serveRepl(t *testing.T, rt *Runtime) *httptest.Server {
 	return ts
 }
 
+// waitTenantEpoch polls until the tenant exists on rt and reports the
+// wanted fencing epoch — the follower-side "promotion record replayed"
+// condition, tolerant of the tenant not having been mirrored yet.
+func waitTenantEpoch(t *testing.T, rt *Runtime, name string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		var epoch uint64
+		err := rt.View(name, func(mon *dynfd.DurableMonitor) error {
+			epoch = mon.Epoch()
+			return nil
+		})
+		if err == nil && epoch == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant %q stuck at epoch %d (err %v), want %d", name, epoch, err, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// promoteInPlace runs a promotion on a node regardless of its current
+// role — the test shortcut for building a node with a promotion history
+// (per-tenant epochs above zero) without a second node.
+func promoteInPlace(t *testing.T, rt *Runtime) map[string]uint64 {
+	t.Helper()
+	rt.role.Store(int32(RoleFollower))
+	epochs, err := rt.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return epochs
+}
+
+// TestReplObserveFencesPerTenantEpoch: per-tenant epochs diverge when a
+// tenant is created after earlier failovers — it sits at epoch 0 while
+// older tenants are at N. A peer presenting epoch k <= N but above the
+// YOUNG tenant's epoch still proves this node lost a failover for that
+// tenant, so the node must fence; comparing against the node-wide maximum
+// would leave the split brain open and bounce the winner-side follower
+// with 403 forever.
+func TestReplObserveFencesPerTenantEpoch(t *testing.T) {
+	t.Parallel()
+	rt := openTestRuntime(t, Config{ServeReplication: true})
+	if err := rt.Create("old", []string{"zip", "city"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if epochs := promoteInPlace(t, rt); epochs["old"] != 1 {
+		t.Fatalf("promote epochs = %v, want old at 1", epochs)
+	}
+	if err := rt.Create("young", []string{"zip", "city"}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 1 is not news for the old tenant: no fence.
+	rt.ReplObserve("old", 1)
+	if rt.Role() != RolePrimary {
+		t.Fatalf("role after stale observation = %v, want primary", rt.Role())
+	}
+	// But for the young tenant (epoch 0) it proves a lost failover, even
+	// though it does not beat the node-wide maximum.
+	rt.ReplObserve("young", 1)
+	if rt.Role() != RoleFenced {
+		t.Fatalf("role after per-tenant observation = %v, want fenced", rt.Role())
+	}
+	if f := rt.Fence(); f == nil || f.Epoch != 1 {
+		t.Fatalf("fence = %+v, want epoch 1", rt.Fence())
+	}
+}
+
+// TestDemoteFencesPerTenantEpoch: the primary-side demote guard must
+// dismiss a demotion as stale only when it beats NO tenant's epoch. With
+// tenants at epochs {1, 0}, a demotion carrying epoch 1 fences the node —
+// the young tenant genuinely lost an epoch-1 failover.
+func TestDemoteFencesPerTenantEpoch(t *testing.T) {
+	t.Parallel()
+	rt := openTestRuntime(t, Config{ServeReplication: true})
+	if err := rt.Create("old", []string{"zip", "city"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	promoteInPlace(t, rt)
+	if err := rt.Create("young", []string{"zip", "city"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Demote(1, "", "http://winner.example"); err != nil {
+		t.Fatalf("demote above the minimum epoch: %v", err)
+	}
+	if rt.Role() != RoleFenced {
+		t.Fatalf("role after demote = %v, want fenced", rt.Role())
+	}
+	if _, err := rt.Apply("young", []dynfd.Change{dynfd.Insert("14482", "Potsdam")}); err == nil {
+		t.Fatal("write on fenced node must be rejected")
+	}
+}
+
+// TestFollowerDemoteGuard: a stale or replayed demote must not yank a
+// healthy follower off the real primary — the epoch has to beat every
+// epoch the follower has already adopted through the stream.
+func TestFollowerDemoteGuard(t *testing.T) {
+	t.Parallel()
+	rtA := openTestRuntime(t, Config{DataRoot: t.TempDir(), ServeReplication: true})
+	if err := rtA.Create("t", []string{"zip", "city"}, [][]string{{"14482", "Potsdam"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Give A a promotion history so the follower adopts epoch 1.
+	promoteInPlace(t, rtA)
+	tsA := serveRepl(t, rtA)
+
+	rtB := openTestRuntime(t, Config{ReplicateFrom: tsA.URL, ReplPoll: 25 * time.Millisecond})
+	waitTenantEpoch(t, rtB, "t", 1)
+
+	// A replayed demote with an epoch the follower already adopted must be
+	// refused, leaving the client pointed at the real primary.
+	if err := rtB.Demote(1, "http://dead.example", ""); err == nil {
+		t.Fatal("stale demote must not repoint a healthy follower")
+	}
+	if base := rtB.repl.client.Base(); base != tsA.URL {
+		t.Fatalf("follower repointed to %q by a stale demote, want %q", base, tsA.URL)
+	}
+	// A genuine demote naming a higher epoch passes the guard.
+	if err := rtB.Demote(2, "", ""); err != nil {
+		t.Fatalf("demote with a winning epoch: %v", err)
+	}
+}
+
 // TestSplitBrainFencesAndDiscards is the deliberate split-brain property
 // (DESIGN.md §16): a follower is promoted while the old primary is still
 // alive and accepting writes. Both sides diverge; the moment the stale
